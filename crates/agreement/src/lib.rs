@@ -1,0 +1,30 @@
+//! # doall-agreement
+//!
+//! Byzantine agreement for crash failures built on the Do-All work
+//! protocols — §5 of Dwork, Halpern & Waarts, *Performing Work Efficiently
+//! in the Presence of Faults* (PODC 1992).
+//!
+//! The reduction treats "inform process `i` of the general's value" as one
+//! idempotent unit of work: the general distributes its value to `t + 1`
+//! senders, who then run Protocol A, B or C to perform the `n` informs.
+//! Using Protocol B this yields a *constructive* `O(n + t√t)`-message,
+//! `O(n)`-round agreement algorithm (matching Bracha's nonconstructive
+//! bound); using Protocol C, `O(n + t log t)` messages at exponential time.
+//!
+//! The [`flooding`] module provides the naive every-round-echo algorithm
+//! (`Θ(n²t)` messages) as the comparison baseline.
+//!
+//! The eventual-agreement phase used by Protocol D lives with Protocol D
+//! itself (`doall_core::d`), since Figure 4 embeds it in the protocol.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod ba;
+pub mod bootstrap;
+pub mod flooding;
+
+pub use ba::{BaOutcome, BaProcess, BaSystem, Engine, Value};
+pub use bootstrap::{run_bootstrap, BootstrapOutcome};
+pub use flooding::FloodingBa;

@@ -1,0 +1,30 @@
+//! Criterion benchmarks for the §5 Byzantine-agreement reduction vs the
+//! flooding baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doall_agreement::{BaSystem, Engine, FloodingBa};
+use doall_sim::NoFailures;
+
+fn bench_ba(c: &mut Criterion) {
+    let mut group = c.benchmark_group("byzantine_agreement");
+    let (n, t) = (64u64, 8u64);
+    group.bench_function(BenchmarkId::new("via_protocol_b", format!("n{n}_t{t}")), |b| {
+        let system = BaSystem::new(n, t, Engine::B).unwrap().general_value(1);
+        b.iter(|| system.run(NoFailures).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("via_protocol_a", format!("n{n}_t{t}")), |b| {
+        let system = BaSystem::new(n, t, Engine::A).unwrap().general_value(1);
+        b.iter(|| system.run(NoFailures).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("via_protocol_c", format!("n{n}_t7")), |b| {
+        let system = BaSystem::new(n, 7, Engine::C).unwrap().general_value(1);
+        b.iter(|| system.run(NoFailures).unwrap())
+    });
+    group.bench_function(BenchmarkId::new("flooding", format!("n{n}_t{t}")), |b| {
+        b.iter(|| FloodingBa::run_system(n, t, 1, NoFailures).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_ba);
+criterion_main!(benches);

@@ -1,0 +1,112 @@
+//! Criterion wall-clock benchmarks: simulator throughput for each protocol
+//! (not a paper claim — the paper's "time" is rounds, measured by the
+//! experiments — but a library-quality requirement).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doall_core::{ProtocolA, ProtocolB, ProtocolC, ProtocolD};
+use doall_sim::{run, RunConfig};
+use doall_workload::Scenario;
+
+fn bench_failure_free(c: &mut Criterion) {
+    let mut group = c.benchmark_group("failure_free");
+    let (n, t) = (256u64, 16u64);
+    group.bench_function(BenchmarkId::new("protocol_a", format!("n{n}_t{t}")), |b| {
+        b.iter(|| {
+            run(
+                ProtocolA::processes(n, t).unwrap(),
+                Scenario::FailureFree.adversary(),
+                RunConfig::new(n as usize, 1_000_000),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("protocol_b", format!("n{n}_t{t}")), |b| {
+        b.iter(|| {
+            run(
+                ProtocolB::processes(n, t).unwrap(),
+                Scenario::FailureFree.adversary(),
+                RunConfig::new(n as usize, 1_000_000),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("protocol_c", format!("n{n}_t{t}")), |b| {
+        b.iter(|| {
+            run(
+                ProtocolC::processes(n, t).unwrap(),
+                Scenario::FailureFree.adversary(),
+                RunConfig::new(n as usize, u64::MAX - 1),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("protocol_d", format!("n{n}_t{t}")), |b| {
+        b.iter(|| {
+            run(
+                ProtocolD::processes(n, t).unwrap(),
+                Scenario::FailureFree.adversary(),
+                RunConfig::new(n as usize, 1_000_000),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_crash_recovery(c: &mut Criterion) {
+    let mut group = c.benchmark_group("takeover_cascade");
+    let (n, t) = (64u64, 16u64);
+    let scenario = Scenario::TakeoverCascade { victims: t - 1 };
+    group.bench_function(BenchmarkId::new("protocol_a", format!("n{n}_t{t}")), |b| {
+        b.iter(|| {
+            run(
+                ProtocolA::processes(n, t).unwrap(),
+                scenario.adversary(),
+                RunConfig::new(n as usize, 1_000_000),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("protocol_b", format!("n{n}_t{t}")), |b| {
+        b.iter(|| {
+            run(
+                ProtocolB::processes(n, t).unwrap(),
+                scenario.adversary(),
+                RunConfig::new(n as usize, 1_000_000),
+            )
+            .unwrap()
+        })
+    });
+    group.bench_function(BenchmarkId::new("protocol_d", format!("n{n}_t{t}")), |b| {
+        b.iter(|| {
+            run(
+                ProtocolD::processes(n, t).unwrap(),
+                scenario.adversary(),
+                RunConfig::new(n as usize, 1_000_000),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol_b_scaling");
+    for t in [16u64, 64, 256] {
+        let n = 4 * t;
+        group.bench_function(BenchmarkId::from_parameter(format!("n{n}_t{t}")), |b| {
+            b.iter(|| {
+                run(
+                    ProtocolB::processes(n, t).unwrap(),
+                    Scenario::DeadOnArrival { k: t / 2 }.adversary(),
+                    RunConfig::new(n as usize, 10_000_000),
+                )
+                .unwrap()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_failure_free, bench_crash_recovery, bench_scaling);
+criterion_main!(benches);

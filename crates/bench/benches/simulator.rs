@@ -1,0 +1,58 @@
+//! Criterion benchmarks of the engine itself: raw stepping throughput and
+//! the fast-forward optimization that makes Protocol C's exponential
+//! deadlines simulable.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use doall_core::{Lockstep, ProtocolC, ReplicateAll};
+use doall_sim::{run, NoFailures, RunConfig};
+use doall_workload::Scenario;
+
+fn bench_engine_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine");
+    // Dense stepping: t processes × n rounds of pure work.
+    for (n, t) in [(1_000u64, 16u64), (1_000, 64)] {
+        group.bench_function(BenchmarkId::new("replicate_all", format!("n{n}_t{t}")), |b| {
+            b.iter(|| {
+                run(
+                    ReplicateAll::processes(n, t).unwrap(),
+                    NoFailures,
+                    RunConfig::new(n as usize, 10_000_000),
+                )
+                .unwrap()
+            })
+        });
+    }
+    // Message-heavy stepping: a broadcast every other round.
+    group.bench_function(BenchmarkId::new("lockstep", "n512_t32"), |b| {
+        b.iter(|| {
+            run(
+                Lockstep::processes(512, 32).unwrap(),
+                NoFailures,
+                RunConfig::new(512, 10_000_000),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_fast_forward(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fast_forward");
+    // Protocol C under dead-on-arrival: the run spans ~10^13 simulated
+    // rounds; finishing at all (let alone in microseconds) is the
+    // fast-forward path at work.
+    group.bench_function("protocol_c_exponential_idle", |b| {
+        b.iter(|| {
+            run(
+                ProtocolC::processes(16, 8).unwrap(),
+                Scenario::DeadOnArrival { k: 7 }.adversary(),
+                RunConfig::new(16, u64::MAX - 1),
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engine_throughput, bench_fast_forward);
+criterion_main!(benches);

@@ -1,0 +1,181 @@
+//! Deadline functions for Protocol C (§3 of the paper).
+
+use crate::util::{log2_exact, mul_saturating, pow2_saturating};
+
+/// Parameters for the Protocol C formulas.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CParams {
+    /// Number of work units.
+    pub n: u64,
+    /// Number of processes (a power of two).
+    pub t: u64,
+    /// Reporting stride at level 0: `1` for Protocol C (report after every
+    /// unit), `n/t` for the Corollary 3.9 variant C′.
+    pub report_stride: u64,
+}
+
+impl CParams {
+    /// Protocol C proper: report every unit of real work.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `t` is a power of two with `t >= 2` and `n >= 1`.
+    pub fn protocol_c(n: u64, t: u64) -> Self {
+        assert!(t.is_power_of_two() && t >= 2, "t = {t} must be a power of two >= 2");
+        assert!(n >= 1, "need at least one unit of work");
+        CParams { n, t, report_stride: 1 }
+    }
+
+    /// The Corollary 3.9 variant: report to `G_1` only after every `n/t`
+    /// units of real work.
+    ///
+    /// # Panics
+    ///
+    /// As [`CParams::protocol_c`], plus `t` must divide `n`.
+    pub fn protocol_c_prime(n: u64, t: u64) -> Self {
+        assert!(t.is_power_of_two() && t >= 2, "t = {t} must be a power of two >= 2");
+        assert!(n.is_multiple_of(t) && n >= t, "n = {n} must be a positive multiple of t = {t}");
+        CParams { n, t, report_stride: n / t }
+    }
+
+    /// `log₂ t`: the number of group levels.
+    pub fn levels(self) -> u32 {
+        log2_exact(self.t)
+    }
+
+    /// Size of a level-`h` group, `2^(log t − h + 1)`, for `1 <= h <= log t`.
+    pub fn group_size(self, h: u32) -> u64 {
+        assert!((1..=self.levels()).contains(&h), "level {h} out of range");
+        pow2_saturating(u64::from(self.levels() - h + 1))
+    }
+
+    /// The constant `K`: an upper bound on the rounds a process can wait,
+    /// from the moment the active process takes over, before first hearing
+    /// from it.
+    ///
+    /// For Protocol C this is `5t + 2 log t` (Lemma 3.2). For C′ the active
+    /// process may do up to `n` units between level-0 reports, so the bound
+    /// grows to `2n + 3t + 2 log t` (Corollary 3.9); the paper notes all
+    /// arguments go through for any valid bound.
+    pub fn k(self) -> u64 {
+        if self.report_stride == 1 {
+            5 * self.t + 2 * u64::from(self.levels())
+        } else {
+            2 * self.n + 3 * self.t + 2 * u64::from(self.levels())
+        }
+    }
+
+    /// The deadline `D(i, m)`: how many rounds process `i` waits after
+    /// first obtaining reduced view `m` before becoming active.
+    ///
+    /// ```text
+    /// D(i, m) = K (n + t − m) 2^{n+t−1−m}        if m >= 1
+    ///           K (t − i) (n + t) 2^{n+t−1}      if m = 0
+    /// ```
+    ///
+    /// Saturates at `u64::MAX` (for experiments keep `n + t` small; the
+    /// protocol's running time is genuinely exponential).
+    pub fn d(self, i: u64, m: u64) -> u64 {
+        let nt = self.n + self.t;
+        debug_assert!(m < nt, "reduced view m = {m} out of range (n+t = {nt})");
+        if m >= 1 {
+            mul_saturating(&[self.k(), nt - m, pow2_saturating(nt - 1 - m)])
+        } else {
+            mul_saturating(&[self.k(), self.t - i, nt, pow2_saturating(nt - 1)])
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_sizes_shrink_with_level() {
+        let p = CParams::protocol_c(8, 8);
+        assert_eq!(p.levels(), 3);
+        assert_eq!(p.group_size(1), 8);
+        assert_eq!(p.group_size(2), 4);
+        assert_eq!(p.group_size(3), 2);
+    }
+
+    #[test]
+    fn k_matches_lemma_3_2() {
+        let p = CParams::protocol_c(10, 8);
+        assert_eq!(p.k(), 5 * 8 + 2 * 3);
+    }
+
+    #[test]
+    fn k_prime_matches_corollary_3_9() {
+        let p = CParams::protocol_c_prime(16, 8);
+        assert_eq!(p.k(), 2 * 16 + 3 * 8 + 2 * 3);
+    }
+
+    #[test]
+    fn deadlines_strictly_decrease_in_m() {
+        let p = CParams::protocol_c(6, 4);
+        let mut prev = u64::MAX;
+        for m in 1..(p.n + p.t) {
+            let d = p.d(0, m);
+            assert!(d < prev, "D must strictly decrease: D(0,{m}) = {d} >= {prev}");
+            prev = d;
+        }
+    }
+
+    /// The key telescoping property used in Lemma 3.4(b):
+    /// `D(i, m) > (n+t−m)·K + D(i, m+1) + ... + D(i, n+t−1)`.
+    #[test]
+    fn deadline_dominates_suffix_sum() {
+        let p = CParams::protocol_c(5, 4);
+        let nt = p.n + p.t;
+        // At m = n+t-1 the suffix is empty and the inequality is an equality
+        // (D = K); the induction in Lemma 3.4(b) is vacuous there.
+        for m in 1..nt - 1 {
+            let suffix: u64 = (m + 1..nt).map(|m2| p.d(0, m2)).sum();
+            assert!(
+                p.d(0, m) > (nt - m) * p.k() + suffix,
+                "domination failed at m = {m}"
+            );
+        }
+    }
+
+    /// For the zero-knowledge deadline, Lemma 3.4's requirement is
+    /// `D(i, 0) > (n+t)·K + max_{j>i} D(j, 0) + D(i, 1) + ... + D(i, n+t−1)`.
+    #[test]
+    fn zero_view_deadline_dominates() {
+        let p = CParams::protocol_c(5, 4);
+        let nt = p.n + p.t;
+        for i in 0..p.t - 1 {
+            let max_higher = (i + 1..p.t).map(|j| p.d(j, 0)).max().unwrap();
+            let suffix: u64 = (1..nt).map(|m| p.d(i, m)).sum();
+            assert!(
+                p.d(i, 0) > nt * p.k() + max_higher + suffix,
+                "zero-view domination failed at i = {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_view_deadlines_are_distinct_per_process() {
+        let p = CParams::protocol_c(4, 8);
+        let ds: Vec<u64> = (0..p.t).map(|i| p.d(i, 0)).collect();
+        let mut sorted = ds.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), ds.len());
+    }
+
+    #[test]
+    fn saturation_instead_of_overflow() {
+        let p = CParams::protocol_c(100, 64);
+        assert_eq!(p.d(0, 0), u64::MAX);
+        assert_eq!(p.d(0, 1), u64::MAX);
+        // Very knowledgeable views still fit.
+        assert!(p.d(0, 160) < u64::MAX);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_t_is_rejected() {
+        let _ = CParams::protocol_c(10, 6);
+    }
+}

@@ -1,0 +1,44 @@
+//! # doall-bounds
+//!
+//! The closed-form arithmetic of Dwork, Halpern & Waarts, *Performing Work
+//! Efficiently in the Presence of Faults* (PODC 1992), as executable,
+//! heavily-tested functions:
+//!
+//! * [`deadlines_ab`] — Protocol A's `DD` and Protocol B's
+//!   `PTO` / `GTO` / `DDB` / `TT` timing functions (§2), including the
+//!   Lemma 2.5 telescoping identities as tests;
+//! * [`deadlines_c`] — Protocol C's constant `K` and exponential deadlines
+//!   `D(i, m)` (§3);
+//! * [`theorems`] — every theorem's work/message/round bound
+//!   (Theorems 2.3, 2.8, 3.8, 4.1; Corollary 3.9; the §1 baselines, the §3
+//!   strawman and the §5 Byzantine-agreement counts).
+//!
+//! The protocol implementations in `doall-core` import their timing from
+//! here, so the deadline code is shared between "what the paper says" (the
+//! tests in this crate) and "what the simulation does".
+//!
+//! # Examples
+//!
+//! ```
+//! use doall_bounds::{theorems, deadlines_ab::{AbParams, dd}};
+//!
+//! let p = AbParams::new(64, 16);
+//! assert_eq!(dd(p, 2), 2 * (64 + 3 * 16));
+//!
+//! let b = theorems::protocol_a(64, 16);
+//! assert!(b.work <= 3 * 64 && b.messages == 9 * 16 * 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod deadlines_ab;
+pub mod deadlines_c;
+pub mod theorems;
+mod util;
+
+pub use deadlines_ab::AbParams;
+pub use deadlines_c::CParams;
+pub use theorems::Bounds;
+pub use util::{is_perfect_square, isqrt, log2_exact, mul_saturating, pow2_saturating};

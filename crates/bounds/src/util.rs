@@ -1,0 +1,116 @@
+//! Small integer helpers used throughout the bound formulas.
+
+/// Integer square root: the largest `s` with `s * s <= x`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(doall_bounds::isqrt(16), 4);
+/// assert_eq!(doall_bounds::isqrt(17), 4);
+/// assert_eq!(doall_bounds::isqrt(0), 0);
+/// ```
+pub fn isqrt(x: u64) -> u64 {
+    if x == 0 {
+        return 0;
+    }
+    let mut s = (x as f64).sqrt() as u64;
+    // Float sqrt can be off by one in either direction near perfect squares.
+    while s.saturating_mul(s) > x {
+        s -= 1;
+    }
+    while (s + 1).saturating_mul(s + 1) <= x {
+        s += 1;
+    }
+    s
+}
+
+/// Whether `x` is a perfect square (the paper's assumption on `t` for
+/// Protocols A and B).
+pub fn is_perfect_square(x: u64) -> bool {
+    let s = isqrt(x);
+    s * s == x
+}
+
+/// Base-2 logarithm of a power of two.
+///
+/// # Panics
+///
+/// Panics if `x` is not a positive power of two.
+pub fn log2_exact(x: u64) -> u32 {
+    assert!(x.is_power_of_two(), "{x} is not a power of two");
+    x.trailing_zeros()
+}
+
+/// Saturating `2^e` in `u64`.
+pub fn pow2_saturating(e: u64) -> u64 {
+    if e >= 63 {
+        u64::MAX
+    } else {
+        1u64 << e
+    }
+}
+
+/// Saturating product of a slice of factors.
+pub fn mul_saturating(factors: &[u64]) -> u64 {
+    factors.iter().fold(1u64, |acc, &f| acc.saturating_mul(f))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn isqrt_handles_exact_and_inexact() {
+        for (x, want) in [(0, 0), (1, 1), (2, 1), (3, 1), (4, 2), (35, 5), (36, 6), (37, 6)] {
+            assert_eq!(isqrt(x), want, "isqrt({x})");
+        }
+    }
+
+    #[test]
+    fn isqrt_is_exact_for_large_squares() {
+        for s in [1u64 << 20, (1u64 << 31) - 1, 3_037_000_499] {
+            assert_eq!(isqrt(s * s), s);
+            assert_eq!(isqrt(s * s + 1), s);
+            if s > 1 {
+                assert_eq!(isqrt(s * s - 1), s - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn perfect_square_detection() {
+        assert!(is_perfect_square(0));
+        assert!(is_perfect_square(4));
+        assert!(is_perfect_square(144));
+        assert!(!is_perfect_square(2));
+        assert!(!is_perfect_square(143));
+    }
+
+    #[test]
+    fn log2_of_powers() {
+        assert_eq!(log2_exact(1), 0);
+        assert_eq!(log2_exact(2), 1);
+        assert_eq!(log2_exact(1024), 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "not a power of two")]
+    fn log2_rejects_non_powers() {
+        let _ = log2_exact(6);
+    }
+
+    #[test]
+    fn pow2_saturates() {
+        assert_eq!(pow2_saturating(3), 8);
+        assert_eq!(pow2_saturating(62), 1 << 62);
+        assert_eq!(pow2_saturating(63), u64::MAX);
+        assert_eq!(pow2_saturating(1000), u64::MAX);
+    }
+
+    #[test]
+    fn mul_saturates() {
+        assert_eq!(mul_saturating(&[3, 4, 5]), 60);
+        assert_eq!(mul_saturating(&[u64::MAX, 2]), u64::MAX);
+        assert_eq!(mul_saturating(&[]), 1);
+    }
+}

@@ -1,0 +1,475 @@
+//! Machinery shared by Protocols A and B (§2 of the paper).
+//!
+//! Both protocols keep **at most one active process** at a time. The active
+//! process works through the `t` *subchunks* (of `n/t` units each), doing a
+//! *partial checkpoint* — a broadcast of `(c)` to the higher-numbered
+//! members of its own group — after each subchunk `c`, and a *full
+//! checkpoint* after each *chunk* (every `√t`-th subchunk): for each group
+//! `g` above its own it broadcasts `(c, g)` to group `g` and then
+//! checkpoints that fact, with the same message, to its own group.
+//!
+//! The two protocols differ only in *when a passive process takes over*:
+//! Protocol A uses the crude global deadline `DD(j) = j(n + 3t)`; Protocol
+//! B uses the per-edge deadline `DDB(j, i)` plus a polling `go ahead` phase
+//! (see [`protocol_b`]).
+//!
+//! This module holds the piece they share: the message type, the
+//! sequential `DoWork` procedure of Figure 1 compiled into a queue of
+//! one-round operations, and the takeover-restart logic that interprets
+//! the last ordinary message received.
+
+pub mod asynch;
+pub mod padded;
+pub mod protocol_a;
+pub mod protocol_b;
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use doall_bounds::AbParams;
+use doall_sim::{Classify, Effects, Pid, Unit};
+
+use crate::error::ConfigError;
+
+/// Messages exchanged by Protocols A and B.
+///
+/// `Partial(c)` is the paper's `(c)`; `Full { c, g }` is `(c, g)`;
+/// `GoAhead` exists only in Protocol B.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AbMsg {
+    /// `(c)` — subchunk `c` has been performed (partial checkpoint to the
+    /// sender's own group).
+    Partial {
+        /// The completed subchunk, `1..=t`.
+        c: u64,
+    },
+    /// `(c, g)` — subchunk `c` has been performed and group `g` is being
+    /// (or has been) informed of it.
+    Full {
+        /// The completed subchunk (always a multiple of `√t`).
+        c: u64,
+        /// The group being informed.
+        g: u64,
+    },
+    /// Protocol B's poll: "you are the lowest process I cannot prove
+    /// retired — take over if you are alive".
+    GoAhead,
+}
+
+impl AbMsg {
+    /// Whether this is an *ordinary* message in the paper's sense
+    /// (everything except `go ahead`).
+    pub fn is_ordinary(&self) -> bool {
+        !matches!(self, AbMsg::GoAhead)
+    }
+
+    /// The subchunk the message reports, if ordinary.
+    pub fn subchunk(&self) -> Option<u64> {
+        match self {
+            AbMsg::Partial { c } | AbMsg::Full { c, .. } => Some(*c),
+            AbMsg::GoAhead => None,
+        }
+    }
+}
+
+impl Classify for AbMsg {
+    fn class(&self) -> &'static str {
+        match self {
+            AbMsg::Partial { .. } | AbMsg::Full { .. } => "ordinary",
+            AbMsg::GoAhead => "go_ahead",
+        }
+    }
+}
+
+impl fmt::Display for AbMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AbMsg::Partial { c } => write!(f, "({c})"),
+            AbMsg::Full { c, g } => write!(f, "({c},{g})"),
+            AbMsg::GoAhead => write!(f, "go_ahead"),
+        }
+    }
+}
+
+/// Validates the shared Protocol A/B parameters and returns the parameter
+/// pack from `doall-bounds`.
+///
+/// # Errors
+///
+/// See [`ConfigError`]: `t` must be a positive perfect square, `n` a
+/// multiple of `t`, and `n >= t`.
+pub fn validate(n: u64, t: u64) -> Result<AbParams, ConfigError> {
+    if t == 0 {
+        return Err(ConfigError::NoProcesses);
+    }
+    if n == 0 {
+        return Err(ConfigError::NoWork);
+    }
+    if !doall_bounds::is_perfect_square(t) {
+        return Err(ConfigError::NotPerfectSquare { t });
+    }
+    if !n.is_multiple_of(t) {
+        return Err(ConfigError::NotDivisible { n, t });
+    }
+    if n < t {
+        return Err(ConfigError::WorkTooSmall { n, t });
+    }
+    Ok(AbParams::new(n, t))
+}
+
+/// The last ordinary message a process holds, which determines where it
+/// restarts when it becomes active (the `DoWork` dispatch of Figure 1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum LastOrdinary {
+    /// Nothing real received: the paper's fictitious `(0, g_j)` message
+    /// from process 0 at round 0. Restart from scratch, *without*
+    /// checkpointing the empty subchunk 0 (Lemma 2.1's `n + 3t` lifetime
+    /// bound, which the deadlines depend on, leaves no room for it).
+    Fictitious,
+    /// Last received `(c)` — a partial checkpoint within our group.
+    Partial {
+        /// Reported subchunk.
+        c: u64,
+    },
+    /// Last received `(c, g)` from process `k`: a full-checkpoint message;
+    /// its meaning depends on whether `k` was in our group.
+    Full {
+        /// Reported subchunk.
+        c: u64,
+        /// Group stamped in the message.
+        g: u64,
+        /// Whether the sender was in our own group (then `g` is a group
+        /// *above* ours that the sender had just informed); otherwise
+        /// `g == g_j` and we were the ones being informed.
+        sender_in_own_group: bool,
+    },
+}
+
+impl LastOrdinary {
+    /// The subchunk this knowledge says is complete (0 for none).
+    pub fn completed_subchunk(&self) -> u64 {
+        match self {
+            LastOrdinary::Fictitious => 0,
+            LastOrdinary::Partial { c } => *c,
+            LastOrdinary::Full { c, .. } => *c,
+        }
+    }
+}
+
+/// One one-round operation of an active process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Perform work unit `u`.
+    Work {
+        /// One-based unit id.
+        u: u64,
+    },
+    /// Partial checkpoint: broadcast `(c)` to the higher-numbered members
+    /// of our own group.
+    PartialCp {
+        /// The just-completed subchunk.
+        c: u64,
+    },
+    /// Full-checkpoint step 1: broadcast `(c, g)` to all of group `g`.
+    FullCpGroup {
+        /// The completed subchunk (a multiple of `√t`).
+        c: u64,
+        /// The group being informed.
+        g: u64,
+    },
+    /// Full-checkpoint step 2: broadcast `(c, g)` to the higher-numbered
+    /// members of our own group ("the checkpointing of a checkpoint").
+    FullCpOwn {
+        /// The completed subchunk.
+        c: u64,
+        /// The group that was just informed.
+        g: u64,
+    },
+}
+
+/// Compiles Figure 1's `DoWork` for process `j`, given its last ordinary
+/// message, into the exact sequence of one-round operations it will
+/// execute while active.
+pub fn compile_dowork(p: AbParams, j: u64, last: LastOrdinary) -> VecDeque<Op> {
+    let sqrt_t = p.sqrt_t();
+    let gj = p.group_of(j);
+    let mut ops = VecDeque::new();
+
+    // Resume the checkpointing that the previous active process may have
+    // been in the middle of.
+    let c = last.completed_subchunk();
+    match last {
+        LastOrdinary::Fictitious => {
+            // Nothing has provably happened; start working immediately.
+        }
+        LastOrdinary::Partial { c } => {
+            ops.push_back(Op::PartialCp { c });
+            if c % sqrt_t == 0 && c > 0 {
+                push_full_checkpoint(&mut ops, p, c, gj + 1);
+            }
+        }
+        LastOrdinary::Full { c, g, sender_in_own_group } => {
+            if sender_in_own_group {
+                // k ∈ g_j, so g > g_j: k had informed group g and was telling
+                // us; make sure the rest of our group knows, then continue
+                // the full checkpoint with group g + 1.
+                ops.push_back(Op::FullCpOwn { c, g });
+                push_full_checkpoint(&mut ops, p, c, g + 1);
+            } else {
+                // k ∉ g_j, so g == g_j: we were being informed that subchunk
+                // c is complete. Tell the rest of our group, then continue
+                // the full checkpoint from the next group up.
+                ops.push_back(Op::PartialCp { c });
+                push_full_checkpoint(&mut ops, p, c, g + 1);
+            }
+        }
+    }
+
+    // Figure 1 lines 10–14: perform the remaining subchunks.
+    for s in c + 1..=p.t {
+        for u in p.subchunk_units(s) {
+            ops.push_back(Op::Work { u });
+        }
+        ops.push_back(Op::PartialCp { c: s });
+        if s % sqrt_t == 0 {
+            push_full_checkpoint(&mut ops, p, s, gj + 1);
+        }
+    }
+
+    ops
+}
+
+fn push_full_checkpoint(ops: &mut VecDeque<Op>, p: AbParams, c: u64, from_group: u64) {
+    for g in from_group..=p.sqrt_t() {
+        ops.push_back(Op::FullCpGroup { c, g });
+        ops.push_back(Op::FullCpOwn { c, g });
+    }
+}
+
+/// Executes one compiled operation, emitting its work or broadcast.
+pub fn exec_op(op: Op, p: AbParams, j: u64, eff: &mut Effects<AbMsg>) {
+    match op {
+        Op::Work { u } => eff.perform(Unit::new(u as usize)),
+        Op::PartialCp { c } => {
+            eff.broadcast(higher_own_group(p, j), AbMsg::Partial { c });
+        }
+        Op::FullCpGroup { c, g } => {
+            let members = p.group_members(g).map(|i| Pid::new(i as usize));
+            eff.broadcast(members, AbMsg::Full { c, g });
+        }
+        Op::FullCpOwn { c, g } => {
+            eff.broadcast(higher_own_group(p, j), AbMsg::Full { c, g });
+        }
+    }
+}
+
+/// The recipients of an own-group broadcast: processes `j+1 ..= g_j·√t − 1`
+/// (all lower-numbered members are known to have retired).
+pub fn higher_own_group(p: AbParams, j: u64) -> impl Iterator<Item = Pid> {
+    let end = p.group_of(j) * p.sqrt_t();
+    (j + 1..end).map(|i| Pid::new(i as usize))
+}
+
+/// Whether an incoming ordinary message tells `j` to terminate: `(t)` from
+/// a partial checkpoint, or `(t, g_j)` from a full checkpoint.
+pub fn is_terminal_for(p: AbParams, j: u64, msg: AbMsg) -> bool {
+    match msg {
+        AbMsg::Partial { c } => c == p.t,
+        AbMsg::Full { c, g } => c == p.t && g == p.group_of(j),
+        AbMsg::GoAhead => false,
+    }
+}
+
+/// Interprets a received ordinary message as [`LastOrdinary`] knowledge
+/// for process `j` (given the sender `k`).
+pub fn interpret(p: AbParams, j: u64, k: u64, msg: AbMsg) -> Option<LastOrdinary> {
+    match msg {
+        AbMsg::Partial { c } => Some(LastOrdinary::Partial { c }),
+        AbMsg::Full { c, g } => Some(LastOrdinary::Full {
+            c,
+            g,
+            sender_in_own_group: p.group_of(k) == p.group_of(j),
+        }),
+        AbMsg::GoAhead => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn p() -> AbParams {
+        // t = 16 (√t = 4 groups of 4), n = 32 (subchunks of 2 units).
+        AbParams::new(32, 16)
+    }
+
+    #[test]
+    fn message_classes_match_the_paper() {
+        assert_eq!(AbMsg::Partial { c: 3 }.class(), "ordinary");
+        assert_eq!(AbMsg::Full { c: 4, g: 2 }.class(), "ordinary");
+        assert_eq!(AbMsg::GoAhead.class(), "go_ahead");
+        assert!(AbMsg::Partial { c: 3 }.is_ordinary());
+        assert!(!AbMsg::GoAhead.is_ordinary());
+    }
+
+    #[test]
+    fn fresh_schedule_does_all_work_in_order() {
+        let ops = compile_dowork(p(), 0, LastOrdinary::Fictitious);
+        // First op is work on unit 1 — no zero-checkpoints.
+        assert_eq!(ops[0], Op::Work { u: 1 });
+        let units: Vec<u64> = ops
+            .iter()
+            .filter_map(|op| match op {
+                Op::Work { u } => Some(*u),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(units, (1..=32).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn fresh_schedule_length_matches_lemma_2_1() {
+        // Lemma 2.1: n work + t partial-checkpoint rounds + at most 2t
+        // full-checkpoint rounds => fewer than n + 3t rounds.
+        let p = p();
+        let ops = compile_dowork(p, 0, LastOrdinary::Fictitious);
+        assert!(ops.len() as u64 <= p.n + 3 * p.t);
+        let partials = ops.iter().filter(|o| matches!(o, Op::PartialCp { .. })).count() as u64;
+        assert_eq!(partials, p.t);
+        let fulls = ops
+            .iter()
+            .filter(|o| matches!(o, Op::FullCpGroup { .. } | Op::FullCpOwn { .. }))
+            .count() as u64;
+        // √t full checkpoints; the one by group 1 has √t−1 target groups,
+        // each costing 2 rounds.
+        assert_eq!(fulls, 2 * (p.sqrt_t() - 1) * p.sqrt_t());
+    }
+
+    #[test]
+    fn partial_restart_resumes_after_reported_subchunk() {
+        // Last heard (5): redo partial checkpoint of 5, then work from
+        // subchunk 6 (units 11, 12 with n/t = 2).
+        let ops = compile_dowork(p(), 1, LastOrdinary::Partial { c: 5 });
+        assert_eq!(ops[0], Op::PartialCp { c: 5 });
+        assert_eq!(ops[1], Op::Work { u: 11 });
+        assert_eq!(ops[2], Op::Work { u: 12 });
+        assert_eq!(ops[3], Op::PartialCp { c: 6 });
+    }
+
+    #[test]
+    fn partial_restart_on_chunk_boundary_refires_full_checkpoint() {
+        // c = 4 is a multiple of √t = 4: the previous active process may
+        // have died before full-checkpointing chunk 1.
+        let ops = compile_dowork(p(), 1, LastOrdinary::Partial { c: 4 });
+        assert_eq!(ops[0], Op::PartialCp { c: 4 });
+        assert_eq!(ops[1], Op::FullCpGroup { c: 4, g: 2 });
+        assert_eq!(ops[2], Op::FullCpOwn { c: 4, g: 2 });
+        assert_eq!(ops[3], Op::FullCpGroup { c: 4, g: 3 });
+    }
+
+    #[test]
+    fn full_restart_from_outside_sender_informs_own_group_first() {
+        // j = 9 lives in group 3; it last heard (8, 3) from process 2
+        // (group 1). It must partial-checkpoint 8 to its own group and
+        // continue the full checkpoint with group 4.
+        let p = p();
+        let last = interpret(p, 9, 2, AbMsg::Full { c: 8, g: 3 }).unwrap();
+        assert_eq!(last, LastOrdinary::Full { c: 8, g: 3, sender_in_own_group: false });
+        let ops = compile_dowork(p, 9, last);
+        assert_eq!(ops[0], Op::PartialCp { c: 8 });
+        assert_eq!(ops[1], Op::FullCpGroup { c: 8, g: 4 });
+        assert_eq!(ops[2], Op::FullCpOwn { c: 8, g: 4 });
+        // Then work resumes at subchunk 9 (unit 17).
+        assert_eq!(ops[3], Op::Work { u: 17 });
+    }
+
+    #[test]
+    fn full_restart_from_own_group_continues_checkpoint_chain() {
+        // j = 9 (group 3) heard (8, 4) from 8 (group 3): 8 had informed
+        // group 4 and was checkpointing that to its own group.
+        let p = p();
+        let last = interpret(p, 9, 8, AbMsg::Full { c: 8, g: 4 }).unwrap();
+        assert_eq!(last, LastOrdinary::Full { c: 8, g: 4, sender_in_own_group: true });
+        let ops = compile_dowork(p, 9, last);
+        assert_eq!(ops[0], Op::FullCpOwn { c: 8, g: 4 });
+        // g + 1 = 5 > √t: full checkpoint finished; straight to work.
+        assert_eq!(ops[1], Op::Work { u: 17 });
+    }
+
+    #[test]
+    fn restart_with_all_work_done_only_finishes_checkpoints() {
+        // c = t = 16, message (16, 3) from an own-group sender: complete
+        // the checkpoint of groups 4.. and then terminate (no work ops).
+        let p = p();
+        let last = LastOrdinary::Full { c: 16, g: 3, sender_in_own_group: true };
+        let ops = compile_dowork(p, 5, last);
+        assert!(ops.iter().all(|o| !matches!(o, Op::Work { .. })));
+        assert_eq!(ops[0], Op::FullCpOwn { c: 16, g: 3 });
+        assert_eq!(ops[1], Op::FullCpGroup { c: 16, g: 4 });
+    }
+
+    #[test]
+    fn exec_partial_cp_broadcasts_to_higher_own_group_only() {
+        let mut eff = Effects::new();
+        exec_op(Op::PartialCp { c: 2 }, p(), 5, &mut eff);
+        let to: Vec<usize> = eff.sends().iter().map(|(pid, _)| pid.index()).collect();
+        // Group 2 is processes 4..=7; j = 5 informs 6, 7.
+        assert_eq!(to, vec![6, 7]);
+        assert!(eff.sends().iter().all(|(_, m)| *m == AbMsg::Partial { c: 2 }));
+    }
+
+    #[test]
+    fn exec_full_cp_group_broadcasts_to_whole_target_group() {
+        let mut eff = Effects::new();
+        exec_op(Op::FullCpGroup { c: 4, g: 3 }, p(), 0, &mut eff);
+        let to: Vec<usize> = eff.sends().iter().map(|(pid, _)| pid.index()).collect();
+        assert_eq!(to, vec![8, 9, 10, 11]);
+    }
+
+    #[test]
+    fn exec_work_performs_the_unit() {
+        let mut eff = Effects::new();
+        exec_op(Op::Work { u: 7 }, p(), 0, &mut eff);
+        assert_eq!(eff.work(), Some(Unit::new(7)));
+        assert!(eff.sends().is_empty());
+    }
+
+    #[test]
+    fn terminal_messages_follow_the_paper() {
+        let p = p();
+        assert!(is_terminal_for(p, 5, AbMsg::Partial { c: 16 }));
+        assert!(!is_terminal_for(p, 5, AbMsg::Partial { c: 15 }));
+        // j = 5 is in group 2.
+        assert!(is_terminal_for(p, 5, AbMsg::Full { c: 16, g: 2 }));
+        assert!(!is_terminal_for(p, 5, AbMsg::Full { c: 16, g: 3 }));
+        assert!(!is_terminal_for(p, 5, AbMsg::GoAhead));
+    }
+
+    #[test]
+    fn validate_rejects_bad_parameters() {
+        assert_eq!(validate(10, 0), Err(ConfigError::NoProcesses));
+        assert_eq!(validate(0, 4), Err(ConfigError::NoWork));
+        assert_eq!(validate(10, 5), Err(ConfigError::NotPerfectSquare { t: 5 }));
+        assert_eq!(validate(10, 4), Err(ConfigError::NotDivisible { n: 10, t: 4 }));
+        assert!(validate(2, 4).is_err());
+        assert!(validate(8, 4).is_ok());
+    }
+
+    #[test]
+    fn schedule_covers_every_unit_exactly_once_from_any_restart() {
+        let p = p();
+        for c in 0..=p.t {
+            let last = if c == 0 { LastOrdinary::Fictitious } else { LastOrdinary::Partial { c } };
+            let ops = compile_dowork(p, 3, last);
+            let units: Vec<u64> = ops
+                .iter()
+                .filter_map(|op| match op {
+                    Op::Work { u } => Some(*u),
+                    _ => None,
+                })
+                .collect();
+            let expected: Vec<u64> = (c * p.subchunk_size() + 1..=p.n).collect();
+            assert_eq!(units, expected, "restart at subchunk {c}");
+        }
+    }
+}

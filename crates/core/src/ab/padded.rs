@@ -1,0 +1,290 @@
+//! Protocol A for arbitrary shapes — the paper's "easy modifications of
+//! the protocol when these assumptions do not hold", made concrete.
+//!
+//! §2.1 assumes `t` is a perfect square and `t | n` with `n >= t`. For any
+//! other shape we pad:
+//!
+//! * **virtual processes** fill `t` up to the next perfect square
+//!   `t⁺ = ⌈√t⌉²`. They are "crashed from round 0"; Protocol A natively
+//!   tolerates silent processes, and since they hold the *highest* ids
+//!   no real process ever waits on them. Broadcasts addressed to them are
+//!   dropped unsent.
+//! * **phantom units** fill `n` up to `max(t⁺, ⌈n/t⁺⌉·t⁺)`. Performing a
+//!   phantom consumes the round (keeping every deadline computation of the
+//!   original protocol intact) but emits no work.
+//!
+//! The Theorem 2.3 guarantees carry over with `n` and `t` replaced by
+//! their padded values — a constant-factor slack (`t⁺ < (√t + 1)² <
+//! t + 2√t + 1` and `n⁺ < n + t⁺`).
+
+use std::collections::VecDeque;
+
+use doall_bounds::deadlines_ab::{dd, AbParams};
+use doall_sim::{Effects, Envelope, Pid, Protocol, Round, Unit};
+
+use super::{compile_dowork, interpret, is_terminal_for, AbMsg, LastOrdinary, Op};
+use crate::error::ConfigError;
+
+#[derive(Debug)]
+enum PState {
+    Passive,
+    Active { ops: VecDeque<Op> },
+    Done,
+}
+
+/// Protocol A generalized to any `n >= 1`, `t >= 1` via padding.
+///
+/// # Examples
+///
+/// ```
+/// use doall_core::ab::padded::PaddedA;
+/// use doall_sim::{run, NoFailures, RunConfig};
+///
+/// // 10 units on 6 processes: neither square nor divisible — fine here.
+/// let procs = PaddedA::processes(10, 6)?;
+/// let report = run(procs, NoFailures, RunConfig::new(10, 100_000))?;
+/// assert!(report.metrics.all_work_done());
+/// assert_eq!(report.metrics.work_total, 10); // phantoms are not counted
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct PaddedA {
+    params: AbParams,
+    /// Real process count (`<= params.t`).
+    t_real: u64,
+    /// Real unit count (`<= params.n`).
+    n_real: u64,
+    j: u64,
+    state: PState,
+    last: LastOrdinary,
+}
+
+impl PaddedA {
+    /// The padded parameters actually driving the schedule.
+    pub fn padded_params(&self) -> AbParams {
+        self.params
+    }
+
+    /// Creates the `t` real processes for `n` real units.
+    ///
+    /// # Errors
+    ///
+    /// Rejects empty systems and workloads; any positive shape is allowed.
+    pub fn processes(n: u64, t: u64) -> Result<Vec<PaddedA>, ConfigError> {
+        if t == 0 {
+            return Err(ConfigError::NoProcesses);
+        }
+        if n == 0 {
+            return Err(ConfigError::NoWork);
+        }
+        let params = padded_params(n, t);
+        Ok((0..t)
+            .map(|j| PaddedA { params, t_real: t, n_real: n, j, state: PState::Passive, last: LastOrdinary::Fictitious })
+            .collect())
+    }
+
+    fn broadcast_real<I: Iterator<Item = u64>>(
+        &self,
+        targets: I,
+        msg: AbMsg,
+        eff: &mut Effects<AbMsg>,
+    ) {
+        for r in targets {
+            if r < self.t_real {
+                eff.send(Pid::new(r as usize), msg);
+            }
+        }
+    }
+
+    fn exec(&mut self, op: Op, eff: &mut Effects<AbMsg>) {
+        let p = self.params;
+        match op {
+            Op::Work { u } => {
+                if u <= self.n_real {
+                    eff.perform(Unit::new(u as usize));
+                }
+            }
+            Op::PartialCp { c } => {
+                let end = p.group_of(self.j) * p.sqrt_t();
+                self.broadcast_real(self.j + 1..end, AbMsg::Partial { c }, eff);
+            }
+            Op::FullCpGroup { c, g } => {
+                self.broadcast_real(p.group_members(g), AbMsg::Full { c, g }, eff);
+            }
+            Op::FullCpOwn { c, g } => {
+                let end = p.group_of(self.j) * p.sqrt_t();
+                self.broadcast_real(self.j + 1..end, AbMsg::Full { c, g }, eff);
+            }
+        }
+    }
+
+    fn activate(&mut self, eff: &mut Effects<AbMsg>) {
+        eff.note("activate");
+        let mut ops = compile_dowork(self.params, self.j, self.last);
+        if let Some(op) = ops.pop_front() {
+            self.exec(op, eff);
+        }
+        if matches!(&self.state, PState::Active { .. }) {
+            // activate() is only entered from Passive; defensive guard.
+        }
+        if ops.is_empty() {
+            eff.terminate();
+            self.state = PState::Done;
+        } else {
+            self.state = PState::Active { ops };
+        }
+    }
+}
+
+/// The padded `(n⁺, t⁺)` for a real `(n, t)`.
+pub fn padded_params(n: u64, t: u64) -> AbParams {
+    let mut s = 1u64;
+    while s * s < t {
+        s += 1;
+    }
+    let t_pad = s * s;
+    let n_pad = n.div_ceil(t_pad).max(1) * t_pad;
+    AbParams::new(n_pad, t_pad)
+}
+
+impl Protocol for PaddedA {
+    type Msg = AbMsg;
+
+    fn step(&mut self, round: Round, inbox: &[Envelope<AbMsg>], eff: &mut Effects<AbMsg>) {
+        match &mut self.state {
+            PState::Done => {}
+            PState::Active { ops } => {
+                let op = ops.pop_front();
+                let empty = ops.is_empty();
+                if let Some(op) = op {
+                    self.exec(op, eff);
+                }
+                if empty {
+                    eff.terminate();
+                    self.state = PState::Done;
+                }
+            }
+            PState::Passive => {
+                let mut terminal = false;
+                let mut updated = false;
+                for env in inbox {
+                    if is_terminal_for(self.params, self.j, env.payload) {
+                        terminal = true;
+                    }
+                    if !updated {
+                        if let Some(last) =
+                            interpret(self.params, self.j, env.from.index() as u64, env.payload)
+                        {
+                            self.last = last;
+                            updated = true;
+                        }
+                    }
+                }
+                if terminal {
+                    eff.terminate();
+                    self.state = PState::Done;
+                    return;
+                }
+                if round >= dd(self.params, self.j).max(1) {
+                    self.activate(eff);
+                }
+            }
+        }
+    }
+
+    fn next_wakeup(&self, now: Round) -> Option<Round> {
+        match self.state {
+            PState::Done => None,
+            PState::Active { .. } => Some(now),
+            PState::Passive => Some(dd(self.params, self.j).max(1).max(now)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use doall_bounds::theorems;
+    use doall_sim::invariants::{check_activation_order, check_single_active};
+    use doall_sim::{run, CrashSchedule, CrashSpec, NoFailures, RunConfig};
+    use doall_workload_free::*;
+
+    // No dependency on doall-workload from core: tiny local helper.
+    mod doall_workload_free {
+        pub use doall_sim::Pid;
+    }
+
+    use super::*;
+
+    fn cfg(n: u64) -> RunConfig {
+        RunConfig::new(n as usize, 10_000_000).with_trace()
+    }
+
+    #[test]
+    fn padding_shapes_are_minimal_squares() {
+        assert_eq!(padded_params(10, 6).t, 9);
+        assert_eq!(padded_params(10, 6).n, 18);
+        assert_eq!(padded_params(5, 3).t, 4);
+        assert_eq!(padded_params(5, 3).n, 8);
+        // Already-valid shapes pass through unchanged.
+        assert_eq!(padded_params(32, 16).t, 16);
+        assert_eq!(padded_params(32, 16).n, 32);
+        assert_eq!(padded_params(1, 1).t, 1);
+        assert_eq!(padded_params(1, 1).n, 1);
+    }
+
+    #[test]
+    fn awkward_shapes_complete_failure_free() {
+        for (n, t) in [(1, 1), (1, 2), (3, 2), (7, 3), (10, 6), (11, 7), (13, 5), (100, 11)] {
+            let report = run(PaddedA::processes(n, t).unwrap(), NoFailures, cfg(n)).unwrap();
+            assert!(report.metrics.all_work_done(), "shape ({n},{t})");
+            assert_eq!(report.metrics.work_total, n, "shape ({n},{t}): phantoms not counted");
+        }
+    }
+
+    #[test]
+    fn awkward_shapes_survive_crash_cascades() {
+        for (n, t) in [(7, 3), (10, 6), (13, 5), (23, 7)] {
+            let mut adv = CrashSchedule::new();
+            for j in 0..t - 1 {
+                adv = adv.crash_at(Pid::new(j as usize), 1 + j * 3, CrashSpec::silent());
+            }
+            let report = run(PaddedA::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
+            assert!(report.metrics.all_work_done(), "shape ({n},{t})");
+            assert!(check_single_active(&report.trace).is_empty(), "shape ({n},{t})");
+            assert!(check_activation_order(&report.trace).is_empty(), "shape ({n},{t})");
+        }
+    }
+
+    #[test]
+    fn padded_bounds_hold_in_padded_terms() {
+        // Theorem 2.3 in padded parameters covers the real run.
+        let (n, t) = (10u64, 6u64);
+        let p = padded_params(n, t);
+        let mut adv = CrashSchedule::new();
+        for j in 0..t - 1 {
+            adv = adv.crash_at(Pid::new(j as usize), 2 + j, CrashSpec::silent());
+        }
+        let report = run(PaddedA::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
+        let b = theorems::protocol_a(p.n, p.t);
+        assert!(report.metrics.work_total <= b.work);
+        assert!(report.metrics.messages <= b.messages);
+        assert!(report.metrics.rounds <= b.rounds);
+    }
+
+    #[test]
+    fn no_message_ever_targets_a_virtual_process() {
+        let (n, t) = (10u64, 6u64); // padded to t=9: ranks 6..8 are virtual
+        let report = run(
+            PaddedA::processes(n, t).unwrap(),
+            CrashSchedule::new().crash_at(Pid::new(0), 4, CrashSpec::prefix(1)),
+            cfg(n),
+        )
+        .unwrap();
+        for event in report.trace.events() {
+            if let doall_sim::Event::Send { to, .. } = event {
+                assert!(to.index() < t as usize, "message to virtual process {to}");
+            }
+        }
+        assert!(report.metrics.all_work_done());
+    }
+}

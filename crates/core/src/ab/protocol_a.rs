@@ -1,0 +1,371 @@
+//! Protocol A (§2.1–§2.2): checkpointing with the crude deadline
+//! `DD(j) = j(n + 3t)`.
+//!
+//! Guarantees (Theorem 2.3): in every execution at most `3n` units of work
+//! are performed, at most `9t√t` messages are sent, and all processes
+//! retire by round `nt + 3t²`.
+
+use std::collections::VecDeque;
+
+use doall_bounds::deadlines_ab::{dd, AbParams};
+use doall_sim::{Effects, Envelope, Protocol, Round};
+
+use super::{
+    compile_dowork, exec_op, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op,
+};
+use crate::error::ConfigError;
+
+#[derive(Debug)]
+enum AState {
+    Passive,
+    Active { ops: VecDeque<Op> },
+    Done,
+}
+
+/// One process of Protocol A.
+///
+/// Build the whole system with [`ProtocolA::processes`] and hand it to
+/// [`doall_sim::run`].
+///
+/// # Examples
+///
+/// ```
+/// use doall_core::ab::protocol_a::ProtocolA;
+/// use doall_sim::{run, NoFailures, RunConfig};
+///
+/// let procs = ProtocolA::processes(32, 16)?;
+/// let report = run(procs, NoFailures, RunConfig::new(32, 10_000))?;
+/// assert!(report.metrics.all_work_done());
+/// assert_eq!(report.metrics.work_total, 32); // no failures, no rework
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ProtocolA {
+    params: AbParams,
+    j: u64,
+    state: AState,
+    last: LastOrdinary,
+}
+
+impl ProtocolA {
+    /// Creates process `j` of a `(n, t)` system.
+    pub fn new(params: AbParams, j: u64) -> Self {
+        debug_assert!(j < params.t);
+        ProtocolA { params, j, state: AState::Passive, last: LastOrdinary::Fictitious }
+    }
+
+    /// Creates the full vector of `t` processes for `n` units of work.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] unless `t` is a positive perfect square,
+    /// `t | n`, and `n >= t`.
+    pub fn processes(n: u64, t: u64) -> Result<Vec<ProtocolA>, ConfigError> {
+        let params = validate(n, t)?;
+        Ok((0..t).map(|j| ProtocolA::new(params, j)).collect())
+    }
+
+    /// The deadline at which this process takes over if still passive:
+    /// `DD(j) = j(n + 3t)`.
+    pub fn deadline(&self) -> Round {
+        dd(self.params, self.j)
+    }
+
+    fn activate(&mut self, eff: &mut Effects<AbMsg>) {
+        eff.note("activate");
+        let mut ops = compile_dowork(self.params, self.j, self.last);
+        if let Some(op) = ops.pop_front() {
+            exec_op(op, self.params, self.j, eff);
+        }
+        if ops.is_empty() {
+            eff.terminate();
+            self.state = AState::Done;
+        } else {
+            self.state = AState::Active { ops };
+        }
+    }
+
+    /// Digests the inbox: returns `true` if a terminal message arrived.
+    fn ingest(&mut self, inbox: &[Envelope<AbMsg>]) -> bool {
+        let mut terminal = false;
+        // Per the paper's convention, if several ordinary messages arrive in
+        // one round (impossible in a clean execution), the lowest-numbered
+        // sender wins; iterating in pid order and keeping the first does it.
+        let mut updated = false;
+        for env in inbox {
+            if !env.payload.is_ordinary() {
+                continue;
+            }
+            if is_terminal_for(self.params, self.j, env.payload) {
+                terminal = true;
+            }
+            if !updated {
+                if let Some(last) =
+                    interpret(self.params, self.j, env.from.index() as u64, env.payload)
+                {
+                    self.last = last;
+                    updated = true;
+                }
+            }
+        }
+        terminal
+    }
+}
+
+impl Protocol for ProtocolA {
+    type Msg = AbMsg;
+
+    fn step(&mut self, round: Round, inbox: &[Envelope<AbMsg>], eff: &mut Effects<AbMsg>) {
+        match &mut self.state {
+            AState::Done => {}
+            AState::Active { ops } => {
+                // An active process ignores incoming messages (in a clean
+                // execution there are none: all lower processes retired).
+                if let Some(op) = ops.pop_front() {
+                    exec_op(op, self.params, self.j, eff);
+                }
+                if ops.is_empty() {
+                    eff.terminate();
+                    self.state = AState::Done;
+                }
+            }
+            AState::Passive => {
+                if self.ingest(inbox) {
+                    eff.terminate();
+                    self.state = AState::Done;
+                    return;
+                }
+                // Figure 1, main protocol: take over at round DD(j).
+                if round >= self.deadline().max(1) {
+                    self.activate(eff);
+                }
+            }
+        }
+    }
+
+    fn next_wakeup(&self, now: Round) -> Option<Round> {
+        match self.state {
+            AState::Passive => Some(self.deadline().max(1).max(now)),
+            AState::Active { .. } => Some(now),
+            AState::Done => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use doall_bounds::theorems;
+    use doall_sim::invariants::{check_activation_order, check_sequential_work, check_single_active};
+    use doall_sim::{
+        run, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RunConfig, Trigger,
+        TriggerAdversary, TriggerRule,
+    };
+
+    use super::*;
+
+    const N: u64 = 32;
+    const T: u64 = 16;
+
+    fn cfg() -> RunConfig {
+        RunConfig::new(N as usize, 1_000_000).with_trace()
+    }
+
+    fn bounds_hold(report: &doall_sim::Report, n: u64, t: u64) {
+        let b = theorems::protocol_a(n, t);
+        assert!(
+            report.metrics.work_total <= b.work,
+            "work {} exceeds Theorem 2.3 bound {}",
+            report.metrics.work_total,
+            b.work
+        );
+        assert!(
+            report.metrics.messages <= b.messages,
+            "messages {} exceed Theorem 2.3 bound {}",
+            report.metrics.messages,
+            b.messages
+        );
+        assert!(
+            report.metrics.rounds <= b.rounds,
+            "rounds {} exceed Theorem 2.3 bound {}",
+            report.metrics.rounds,
+            b.rounds
+        );
+    }
+
+    fn invariants_hold(report: &doall_sim::Report) {
+        assert!(check_single_active(&report.trace).is_empty());
+        assert!(check_activation_order(&report.trace).is_empty());
+        assert!(check_sequential_work(&report.trace).is_empty());
+    }
+
+    #[test]
+    fn failure_free_run_is_exact() {
+        let report = run(ProtocolA::processes(N, T).unwrap(), NoFailures, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, N, "no failures => no rework");
+        assert_eq!(report.metrics.crashes, 0);
+        assert_eq!(report.metrics.terminations, T as u32);
+        // Process 0 does n work rounds + t partial + 2·√t(√t−1) full rounds.
+        let sqrt_t = 4;
+        let expected_rounds = N + T + 2 * sqrt_t * (sqrt_t - 1);
+        assert_eq!(report.metrics.rounds, expected_rounds);
+        // Exact failure-free message count: partial cps t·(√t−1) plus full
+        // cps √t chunks × (√t−1) groups × (√t + √t−1).
+        let expected_msgs = T * (sqrt_t - 1) + sqrt_t * (sqrt_t - 1) * (2 * sqrt_t - 1);
+        assert_eq!(report.metrics.messages, expected_msgs);
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn minimal_system_t1_does_all_work_silently() {
+        let report =
+            run(ProtocolA::processes(8, 1).unwrap(), NoFailures, RunConfig::new(8, 100)).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.messages, 0);
+        assert_eq!(report.metrics.work_total, 8);
+    }
+
+    #[test]
+    fn silent_crash_of_process_0_hands_over_at_dd1() {
+        let adv = CrashSchedule::new().crash_at(Pid::new(0), 1, CrashSpec::silent());
+        let report = run(ProtocolA::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        // p1 starts from scratch at DD(1) = n + 3t.
+        let activations: Vec<_> = report.trace.notes("activate").collect();
+        assert_eq!(activations[0], (1, Pid::new(0)));
+        assert_eq!(activations[1], (N + 3 * T, Pid::new(1)));
+        assert_eq!(report.metrics.work_total, N, "p0 did nothing countable");
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn crash_after_checkpoint_loses_no_work() {
+        // p0 dies right after its first partial checkpoint went out in
+        // full; p1 resumes at subchunk 2 without redoing anything.
+        let adv = TriggerAdversary::new(vec![TriggerRule {
+            trigger: Trigger::NthSendRoundBy { pid: Pid::new(0), nth: 1 },
+            target: None,
+            spec: CrashSpec::after_round(),
+        }]);
+        let report = run(ProtocolA::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, N, "checkpointed work must not be redone");
+        assert_eq!(report.metrics.wasted_work(), 0);
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn unreported_work_is_redone_by_the_successor() {
+        // p0 performs exactly one unit and dies before any checkpoint: the
+        // classic "work-optimal protocols must do n + t - 1 work" scenario.
+        let adv = TriggerAdversary::new(vec![TriggerRule {
+            trigger: Trigger::NthWorkBy { pid: Pid::new(0), nth: 1 },
+            target: None,
+            spec: CrashSpec { deliver: Deliver::None, count_work: true },
+        }]);
+        let report = run(ProtocolA::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, N + 1, "unit 1 performed twice");
+        assert_eq!(report.metrics.redone_units(), vec![(doall_sim::Unit::new(1), 2)]);
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn partial_broadcast_delivery_still_recovers() {
+        // p0 crashes mid-partial-checkpoint: the (1) reaches only p3 (not
+        // p1, p2). p1 takes over from scratch; single-active must still
+        // hold thanks to DD's pessimism.
+        let adv = TriggerAdversary::new(vec![TriggerRule {
+            trigger: Trigger::NthSendRoundBy { pid: Pid::new(0), nth: 1 },
+            target: None,
+            spec: CrashSpec::subset([Pid::new(3)]),
+        }]);
+        let report = run(ProtocolA::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        // p1 redoes subchunk 1 (its view is fictitious).
+        assert_eq!(report.metrics.work_total, N + N / T);
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn cascade_of_takeover_crashes_respects_all_bounds() {
+        // Each newly-activated process dies right after performing one more
+        // unit, unreported — the adversary that forces Θ(n + t) work.
+        let rules: Vec<TriggerRule> = (0..T - 1)
+            .map(|j| TriggerRule {
+                trigger: Trigger::NthWorkBy { pid: Pid::new(j as usize), nth: 1 },
+                target: None,
+                spec: CrashSpec { deliver: Deliver::None, count_work: true },
+            })
+            .collect();
+        let report =
+            run(ProtocolA::processes(N, T).unwrap(), TriggerAdversary::new(rules), cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.crashes, (T - 1) as u32);
+        // Every faulty process redid unit 1: n + (t-1) total.
+        assert_eq!(report.metrics.work_total, N + T - 1);
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn checkpoint_boundary_crashes_drive_rework_within_3n() {
+        // Kill each successive activated process right before it finishes
+        // checkpointing a chunk, forcing chunk-sized rework, the worst case
+        // of Theorem 2.3's accounting.
+        let rules: Vec<TriggerRule> = (0..T - 1)
+            .map(|j| TriggerRule {
+                // Crash on the 9th send-round: subchunk cps 1-4 plus the
+                // first 4 full-cp broadcasts of chunk 1, dying mid-full-cp.
+                trigger: Trigger::NthSendRoundBy { pid: Pid::new(j as usize), nth: 5 },
+                target: None,
+                spec: CrashSpec { deliver: Deliver::Prefix(1), count_work: true },
+            })
+            .collect();
+        let report =
+            run(ProtocolA::processes(N, T).unwrap(), TriggerAdversary::new(rules), cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn random_crashes_never_violate_theorem_2_3() {
+        for seed in 0..20 {
+            let adv = doall_sim::RandomCrashes::new(seed, 0.002, (T - 1) as u32);
+            let report = run(ProtocolA::processes(N, T).unwrap(), adv, cfg()).unwrap();
+            assert!(report.has_survivor(), "budgeted adversary leaves a survivor");
+            assert!(report.metrics.all_work_done(), "seed {seed}: work incomplete");
+            bounds_hold(&report, N, T);
+            invariants_hold(&report);
+        }
+    }
+
+    #[test]
+    fn worst_case_time_when_only_last_process_survives() {
+        // Everybody but p_{t-1} is dead on arrival: it must wait for
+        // DD(t-1) and then do everything — the Theorem 2.3(c) worst case.
+        let mut adv = CrashSchedule::new();
+        for j in 0..T - 1 {
+            adv = adv.crash_at(Pid::new(j as usize), 1, CrashSpec::silent());
+        }
+        let report = run(ProtocolA::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, N);
+        let dd_last = (T - 1) * (N + 3 * T);
+        assert!(report.metrics.rounds >= dd_last);
+        bounds_hold(&report, N, T);
+    }
+
+    #[test]
+    fn rejects_invalid_configurations() {
+        assert!(ProtocolA::processes(10, 3).is_err());
+        assert!(ProtocolA::processes(7, 4).is_err());
+        assert!(ProtocolA::processes(0, 4).is_err());
+    }
+}

@@ -1,0 +1,497 @@
+//! Protocol B (§2.3–§2.4): Protocol A's checkpointing with message-driven
+//! deadlines (`DDB`) and a polling *preactive* phase, bringing the running
+//! time from `Θ(nt + t²)` down to `O(n + t)`.
+//!
+//! Guarantees (Theorem 2.8): at most `3n` work, `10t√t` messages (of which
+//! at most `t√t` are `go ahead`s), and all processes retired by round
+//! `3n + 8t`.
+//!
+//! How takeover works: a passive process `j` that last heard from `i` at
+//! round `r'` waits `DDB(j, i)` rounds. If nothing arrives it becomes
+//! *preactive*: it polls each lower-numbered process of its own group that
+//! it cannot prove retired with a `go ahead` message, one every `PTO`
+//! rounds. A polled process that is alive becomes active immediately (its
+//! first `DoWork` operation is a broadcast to its own group, which reaches
+//! the poller and demotes it back to passive); if none responds, `j`
+//! becomes active at round `r' + TT(j, i)` exactly as the analysis
+//! requires.
+
+use std::collections::VecDeque;
+
+use doall_bounds::deadlines_ab::{ddb, pto, AbParams};
+use doall_sim::{Effects, Envelope, Pid, Protocol, Round};
+
+use super::{
+    compile_dowork, exec_op, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op,
+};
+use crate::error::ConfigError;
+
+#[derive(Debug)]
+enum BState {
+    Passive,
+    Preactive {
+        /// Round at which the preactive phase began.
+        entry: Round,
+        /// The next group member to poll (absolute pid).
+        next_target: u64,
+    },
+    Active {
+        ops: VecDeque<Op>,
+    },
+    Done,
+}
+
+/// One process of Protocol B.
+///
+/// # Examples
+///
+/// ```
+/// use doall_core::ab::protocol_b::ProtocolB;
+/// use doall_sim::{run, NoFailures, RunConfig};
+///
+/// let procs = ProtocolB::processes(32, 16)?;
+/// let report = run(procs, NoFailures, RunConfig::new(32, 10_000))?;
+/// assert!(report.metrics.all_work_done());
+/// // Theorem 2.8(c): everyone retires by round 3n + 8t.
+/// assert!(report.metrics.rounds <= 3 * 32 + 8 * 16);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug)]
+pub struct ProtocolB {
+    params: AbParams,
+    j: u64,
+    state: BState,
+    last: LastOrdinary,
+    /// Sender of the last ordinary message (`i` in the paper); process 0
+    /// fictitiously, before anything arrives.
+    last_sender: u64,
+    /// Round at which the last ordinary message was received (`r'`); 0 for
+    /// the fictitious initial message.
+    last_round: Round,
+}
+
+impl ProtocolB {
+    /// Creates process `j` of an `(n, t)` system.
+    pub fn new(params: AbParams, j: u64) -> Self {
+        debug_assert!(j < params.t);
+        ProtocolB {
+            params,
+            j,
+            state: BState::Passive,
+            last: LastOrdinary::Fictitious,
+            last_sender: 0,
+            last_round: 0,
+        }
+    }
+
+    /// Creates the full vector of `t` processes for `n` units of work.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] unless `t` is a positive perfect square,
+    /// `t | n`, and `n >= t`.
+    pub fn processes(n: u64, t: u64) -> Result<Vec<ProtocolB>, ConfigError> {
+        let params = validate(n, t)?;
+        Ok((0..t).map(|j| ProtocolB::new(params, j)).collect())
+    }
+
+    /// The round at which this process will go preactive if it hears
+    /// nothing more: `r' + DDB(j, i)`.
+    pub fn preactive_deadline(&self) -> Round {
+        self.last_round + ddb(self.params, self.j, self.last_sender)
+    }
+
+    fn knows_all_work_done(&self) -> bool {
+        self.last.completed_subchunk() >= self.params.t
+    }
+
+    fn activate(&mut self, eff: &mut Effects<AbMsg>) {
+        eff.note("activate");
+        let mut ops = compile_dowork(self.params, self.j, self.last);
+        if let Some(op) = ops.pop_front() {
+            exec_op(op, self.params, self.j, eff);
+        }
+        if ops.is_empty() {
+            eff.terminate();
+            self.state = BState::Done;
+        } else {
+            self.state = BState::Active { ops };
+        }
+    }
+
+    /// First pid to poll with `go ahead`s: the start of our group if the
+    /// last sender was an outsider (we know nothing about our own group),
+    /// or the process right after the sender if it was one of ours
+    /// (everything up to the sender has provably retired — Lemma 2.7).
+    fn first_poll_target(&self) -> u64 {
+        let gj = self.params.group_of(self.j);
+        if self.params.group_of(self.last_sender) != gj {
+            (gj - 1) * self.params.sqrt_t()
+        } else {
+            self.last_sender + 1
+        }
+    }
+
+    /// Digests the inbox. Returns `(terminal, got_ordinary, got_go_ahead)`.
+    fn ingest(&mut self, round: Round, inbox: &[Envelope<AbMsg>]) -> (bool, bool, bool) {
+        let mut terminal = false;
+        let mut got_ordinary = false;
+        let mut got_go_ahead = false;
+        for env in inbox {
+            match env.payload {
+                AbMsg::GoAhead => got_go_ahead = true,
+                msg => {
+                    if is_terminal_for(self.params, self.j, msg) {
+                        terminal = true;
+                    }
+                    if !got_ordinary {
+                        if let Some(last) =
+                            interpret(self.params, self.j, env.from.index() as u64, msg)
+                        {
+                            self.last = last;
+                            self.last_sender = env.from.index() as u64;
+                            self.last_round = round;
+                            got_ordinary = true;
+                        }
+                    }
+                }
+            }
+        }
+        (terminal, got_ordinary, got_go_ahead)
+    }
+}
+
+impl Protocol for ProtocolB {
+    type Msg = AbMsg;
+
+    fn step(&mut self, round: Round, inbox: &[Envelope<AbMsg>], eff: &mut Effects<AbMsg>) {
+        if matches!(self.state, BState::Done) {
+            return;
+        }
+        if let BState::Active { ops } = &mut self.state {
+            // Active processes ignore incoming traffic (stray go_aheads
+            // from pollers that had not yet heard our broadcasts).
+            if let Some(op) = ops.pop_front() {
+                exec_op(op, self.params, self.j, eff);
+            }
+            if ops.is_empty() {
+                eff.terminate();
+                self.state = BState::Done;
+            }
+            return;
+        }
+
+        // Passive / preactive: digest the inbox first — a message arriving
+        // exactly at a deadline round cancels the takeover.
+        let (terminal, got_ordinary, got_go_ahead) = self.ingest(round, inbox);
+        if terminal {
+            eff.terminate();
+            self.state = BState::Done;
+            return;
+        }
+        if got_ordinary {
+            // "If it does get a message, then j becomes passive again."
+            self.state = BState::Passive;
+        }
+        if got_go_ahead && !self.knows_all_work_done() {
+            // Figure 2, main protocol lines 1–2.
+            self.activate(eff);
+            return;
+        }
+
+        // Process 0 is active from the start (it "becomes active in round
+        // 0", before the execution begins).
+        if self.j == 0 {
+            if matches!(self.state, BState::Passive) {
+                self.activate(eff);
+            }
+            return;
+        }
+
+        match self.state {
+            BState::Passive => {
+                if !self.knows_all_work_done() && round >= self.preactive_deadline() {
+                    // Enter the preactive phase; its first poll (or
+                    // immediate activation) happens this very round.
+                    let next_target = self.first_poll_target();
+                    self.state = BState::Preactive { entry: round, next_target };
+                    self.preactive_tick(round, eff);
+                }
+            }
+            BState::Preactive { .. } => {
+                if !got_ordinary {
+                    self.preactive_tick(round, eff);
+                }
+            }
+            BState::Active { .. } | BState::Done => unreachable!("handled above"),
+        }
+    }
+
+    fn next_wakeup(&self, now: Round) -> Option<Round> {
+        match self.state {
+            BState::Done => None,
+            BState::Active { .. } => Some(now),
+            BState::Passive => {
+                if self.j == 0 {
+                    Some(now)
+                } else if self.knows_all_work_done() {
+                    // Only waiting for the final (t)/(t, g_j); purely reactive.
+                    None
+                } else {
+                    Some(self.preactive_deadline().max(now))
+                }
+            }
+            BState::Preactive { entry, .. } => {
+                let p = pto(self.params);
+                let elapsed = now.saturating_sub(entry);
+                Some(entry + elapsed.div_ceil(p) * p)
+            }
+        }
+    }
+}
+
+impl ProtocolB {
+    /// One round of the preactive phase (Figure 2, `PreactivePhase`): every
+    /// `PTO` rounds, poll the next candidate or — once all lower group
+    /// members have been polled without response — become active.
+    fn preactive_tick(&mut self, round: Round, eff: &mut Effects<AbMsg>) {
+        let BState::Preactive { entry, next_target } = self.state else {
+            unreachable!("preactive_tick outside preactive state");
+        };
+        if !(round - entry).is_multiple_of(pto(self.params)) {
+            return; // between polls, waiting for a response
+        }
+        if next_target < self.j {
+            eff.send(Pid::new(next_target as usize), AbMsg::GoAhead);
+            self.state = BState::Preactive { entry, next_target: next_target + 1 };
+        } else {
+            self.activate(eff);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use doall_bounds::theorems;
+    use doall_sim::invariants::{check_activation_order, check_sequential_work, check_single_active};
+    use doall_sim::{
+        run, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RandomCrashes, RunConfig,
+        Trigger, TriggerAdversary, TriggerRule,
+    };
+
+    use super::*;
+
+    const N: u64 = 32;
+    const T: u64 = 16;
+
+    fn cfg() -> RunConfig {
+        RunConfig::new(N as usize, 100_000).with_trace()
+    }
+
+    fn bounds_hold(report: &doall_sim::Report, n: u64, t: u64) {
+        let b = theorems::protocol_b(n, t);
+        assert!(
+            report.metrics.work_total <= b.work,
+            "work {} exceeds Theorem 2.8 bound {}",
+            report.metrics.work_total,
+            b.work
+        );
+        assert!(
+            report.metrics.messages <= b.messages,
+            "messages {} exceed Theorem 2.8 bound {}",
+            report.metrics.messages,
+            b.messages
+        );
+        assert!(
+            report.metrics.rounds <= b.rounds,
+            "rounds {} exceed Theorem 2.8 bound {} (3n + 8t)",
+            report.metrics.rounds,
+            b.rounds
+        );
+    }
+
+    fn invariants_hold(report: &doall_sim::Report) {
+        assert!(check_single_active(&report.trace).is_empty(), "two active processes");
+        assert!(check_activation_order(&report.trace).is_empty(), "activation out of order");
+        assert!(check_sequential_work(&report.trace).is_empty());
+    }
+
+    #[test]
+    fn failure_free_run_matches_protocol_a_exactly() {
+        let report = run(ProtocolB::processes(N, T).unwrap(), NoFailures, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, N);
+        // Nobody ever goes preactive, so zero go_aheads...
+        assert_eq!(report.metrics.messages_by_class.get("go_ahead"), None);
+        // ...and the run is byte-for-byte Protocol A's failure-free run.
+        let a = run(
+            crate::ab::protocol_a::ProtocolA::processes(N, T).unwrap(),
+            NoFailures,
+            cfg(),
+        )
+        .unwrap();
+        assert_eq!(report.metrics.messages, a.metrics.messages);
+        assert_eq!(report.metrics.rounds, a.metrics.rounds);
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn silent_crash_of_p0_hands_over_within_pto() {
+        let adv = CrashSchedule::new().crash_at(Pid::new(0), 1, CrashSpec::silent());
+        let report = run(ProtocolB::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        let activations: Vec<_> = report.trace.notes("activate").collect();
+        // p1 takes over at round PTO = n/t + 2 — vastly sooner than
+        // Protocol A's DD(1) = n + 3t.
+        assert_eq!(activations[1], (N / T + 2, Pid::new(1)));
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn go_ahead_wakes_the_lowest_alive_process() {
+        // p0 and p1 die instantly; p2's self-deadline fires before p3 can
+        // poll it, and every activation stays single.
+        let adv = CrashSchedule::new()
+            .crash_at(Pid::new(0), 1, CrashSpec::silent())
+            .crash_at(Pid::new(1), 1, CrashSpec::silent());
+        let report = run(ProtocolB::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        let activations: Vec<_> = report.trace.notes("activate").collect();
+        assert_eq!(activations.last().unwrap().1, Pid::new(2));
+        // go_aheads were sent (p2 polls p1; p3 polls p1 before hearing p2).
+        assert!(report.metrics.messages_by_class.get("go_ahead").copied().unwrap_or(0) >= 1);
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn partial_checkpoint_subset_delivery_keeps_single_active() {
+        // p0 dies during its first partial checkpoint, reaching only p3.
+        // p1 restarts from scratch while p3 knows subchunk 1 is done — the
+        // exact interleaving Lemma 2.7 worries about.
+        let adv = TriggerAdversary::new(vec![TriggerRule {
+            trigger: Trigger::NthSendRoundBy { pid: Pid::new(0), nth: 1 },
+            target: None,
+            spec: CrashSpec::subset([Pid::new(3)]),
+        }]);
+        let report = run(ProtocolB::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, N + N / T, "p1 redoes subchunk 1 only");
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn takeover_cascade_stays_within_bounds() {
+        let rules: Vec<TriggerRule> = (0..T - 1)
+            .map(|j| TriggerRule {
+                trigger: Trigger::NthWorkBy { pid: Pid::new(j as usize), nth: 1 },
+                target: None,
+                spec: CrashSpec { deliver: Deliver::None, count_work: true },
+            })
+            .collect();
+        let report =
+            run(ProtocolB::processes(N, T).unwrap(), TriggerAdversary::new(rules), cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.crashes, (T - 1) as u32);
+        assert_eq!(report.metrics.work_total, N + T - 1);
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn cross_group_takeover_uses_gto_deadlines() {
+        // Kill all of group 1 at once: group 2's first member must take
+        // over after GTO-based waiting, polling nobody (it is first in its
+        // group).
+        let mut adv = CrashSchedule::new();
+        for j in 0..4u64 {
+            adv = adv.crash_at(Pid::new(j as usize), 1, CrashSpec::silent());
+        }
+        let report = run(ProtocolB::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        let activations: Vec<_> = report.trace.notes("activate").collect();
+        let (takeover_round, who) = activations[1];
+        assert_eq!(who, Pid::new(4));
+        // DDB(4, 0) = GTO(0); p4 is first in its group so it activates
+        // immediately on going preactive.
+        let p = AbParams::new(N, T);
+        assert_eq!(takeover_round, ddb(p, 4, 0));
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn worst_case_time_is_linear_not_quadratic() {
+        // Only the last process survives. Protocol A would need
+        // DD(t-1) = (t-1)(n+3t) rounds; Protocol B must finish within
+        // 3n + 8t (Theorem 2.8(c)).
+        let mut adv = CrashSchedule::new();
+        for j in 0..T - 1 {
+            adv = adv.crash_at(Pid::new(j as usize), 1, CrashSpec::silent());
+        }
+        let report = run(ProtocolB::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, N);
+        assert!(report.metrics.rounds <= 3 * N + 8 * T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn go_ahead_to_dead_process_times_out_to_next() {
+        // Group 1 processes 0,1,2 die; p3 (last of group 1) must poll 1, 2
+        // (it knows nothing about them) and then activate on its own.
+        let adv = CrashSchedule::new()
+            .crash_at(Pid::new(0), 1, CrashSpec::silent())
+            .crash_at(Pid::new(1), 1, CrashSpec::silent())
+            .crash_at(Pid::new(2), 1, CrashSpec::silent());
+        let report = run(ProtocolB::processes(N, T).unwrap(), adv, cfg()).unwrap();
+        assert!(report.metrics.all_work_done());
+        let activations: Vec<_> = report.trace.notes("activate").collect();
+        assert_eq!(activations.last().unwrap().1, Pid::new(3));
+        let go_aheads = report.metrics.messages_by_class.get("go_ahead").copied().unwrap_or(0);
+        assert!(go_aheads >= 2, "p3 must poll p1 and p2; saw {go_aheads}");
+        bounds_hold(&report, N, T);
+        invariants_hold(&report);
+    }
+
+    #[test]
+    fn random_crashes_never_violate_theorem_2_8() {
+        for seed in 0..20 {
+            let adv = RandomCrashes::new(seed, 0.01, (T - 1) as u32);
+            let report = run(ProtocolB::processes(N, T).unwrap(), adv, cfg()).unwrap();
+            assert!(report.has_survivor());
+            assert!(report.metrics.all_work_done(), "seed {seed}: work incomplete");
+            bounds_hold(&report, N, T);
+            invariants_hold(&report);
+        }
+    }
+
+    #[test]
+    fn larger_configuration_stays_within_bounds_under_stress() {
+        let (n, t) = (256, 64);
+        for seed in 0..5 {
+            let adv = RandomCrashes::new(seed, 0.01, (t - 1) as u32);
+            let report = run(
+                ProtocolB::processes(n, t).unwrap(),
+                adv,
+                RunConfig::new(n as usize, 1_000_000).with_trace(),
+            )
+            .unwrap();
+            assert!(report.metrics.all_work_done(), "seed {seed}");
+            let b = theorems::protocol_b(n, t);
+            assert!(report.metrics.work_total <= b.work);
+            assert!(report.metrics.messages <= b.messages);
+            assert!(report.metrics.rounds <= b.rounds, "seed {seed}: {} > {}", report.metrics.rounds, b.rounds);
+            invariants_hold(&report);
+        }
+    }
+
+    #[test]
+    fn rejects_invalid_configurations() {
+        assert!(ProtocolB::processes(12, 6).is_err());
+        assert!(ProtocolB::processes(0, 16).is_err());
+    }
+}

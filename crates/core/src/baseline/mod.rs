@@ -1,0 +1,18 @@
+//! Baseline algorithms the paper compares against.
+//!
+//! * [`ReplicateAll`] — §1's first trivial solution: every process performs
+//!   every unit. No messages, but `Θ(tn)` work.
+//! * [`Lockstep`] — §1's second trivial solution: a single worker
+//!   checkpoints to *everyone* after *every* unit. Work-optimal
+//!   (`n + t − 1`) but `Θ(tn)` messages.
+//! * [`NaiveSpread`] — the §3 strawman: spread knowledge round-robin with
+//!   no fault detection. `Θ(n + t²)` work and messages in the worst case —
+//!   the motivation for Protocol C's recursive fault detection.
+
+pub mod lockstep;
+pub mod naive_spread;
+pub mod replicate;
+
+pub use lockstep::Lockstep;
+pub use naive_spread::NaiveSpread;
+pub use replicate::ReplicateAll;

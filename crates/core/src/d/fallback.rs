@@ -1,0 +1,299 @@
+//! The Protocol D → Protocol A fallback (Figure 4, line 12).
+//!
+//! When an agreement phase reveals that more than half of the previously
+//! live processes died, Protocol D gives up on parallelism and "performs
+//! the work in `S` using Protocol A". At that point all survivors agree on
+//! the outstanding unit set `S` and the live set `T`, so we can relabel:
+//! survivor ranks `0..|T|-1` play the roles of Protocol A's processes, the
+//! sorted units of `S` play units `1..|S|`.
+//!
+//! Protocol A needs `t` a perfect square and `t | n` with `n >= t`; `|T|`
+//! and `|S|` are arbitrary, so we pad — the paper's "easy modifications of
+//! the protocol when these assumptions do not hold" left to the reader:
+//!
+//! * *virtual processes* fill `|T|` up to the next perfect square. They
+//!   rank above every real process and are crashed from the start; since
+//!   Protocol A natively tolerates silent processes, correctness is
+//!   untouched. Messages addressed to them are simply dropped (never sent).
+//! * *phantom units* pad `|S|` up to a positive multiple of the padded
+//!   process count. Performing a phantom unit consumes the round but emits
+//!   no work.
+
+use std::collections::VecDeque;
+
+use doall_bounds::deadlines_ab::{dd, AbParams};
+use doall_sim::{Effects, Pid, Round, Unit};
+
+use crate::ab::{
+    compile_dowork, interpret, is_terminal_for, AbMsg, LastOrdinary, Op,
+};
+
+use super::DMsg;
+
+#[derive(Clone, Debug)]
+enum FState {
+    Passive,
+    Active { ops: VecDeque<Op> },
+    Done,
+}
+
+/// The embedded, relabeled Protocol A machine driven by a Protocol D
+/// process after the fallback trigger.
+#[derive(Clone, Debug)]
+pub struct FallbackMachine {
+    params: AbParams,
+    /// My rank within the sorted survivor set.
+    rank: u64,
+    /// The engine round at which this machine started (deadlines offset).
+    base: Round,
+    /// Sorted survivor pids: `ranks[r]` is the real pid of rank `r`.
+    ranks: Vec<u64>,
+    /// Sorted outstanding units: `units[u-1]` is the real unit of
+    /// relabeled unit `u`.
+    units: Vec<u64>,
+    state: FState,
+    last: LastOrdinary,
+}
+
+impl FallbackMachine {
+    /// Builds the fallback machine for real process `me`, given the agreed
+    /// survivor set and outstanding units, starting at engine round `base`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `me` is not in `survivors` (only agreed-live processes
+    /// run the fallback) or if `units` is empty (an empty `S` skips the
+    /// fallback entirely).
+    pub fn new(me: u64, survivors: Vec<u64>, units: Vec<u64>, base: Round) -> Self {
+        assert!(!units.is_empty(), "empty S never reaches the fallback");
+        let rank = survivors
+            .iter()
+            .position(|&p| p == me)
+            .expect("fallback is only run by agreed survivors") as u64;
+        let t_padded = {
+            let mut s = 1u64;
+            while s * s < survivors.len() as u64 {
+                s += 1;
+            }
+            s * s
+        };
+        let n_padded = (units.len() as u64).div_ceil(t_padded).max(1) * t_padded;
+        let params = AbParams::new(n_padded, t_padded);
+        FallbackMachine {
+            params,
+            rank,
+            base,
+            ranks: survivors,
+            units,
+            state: FState::Passive,
+            last: LastOrdinary::Fictitious,
+        }
+    }
+
+    /// Whether the machine has retired.
+    pub fn is_done(&self) -> bool {
+        matches!(self.state, FState::Done)
+    }
+
+    /// The padded Protocol A parameters (for tests).
+    pub fn params(&self) -> AbParams {
+        self.params
+    }
+
+    fn rank_of(&self, pid: u64) -> Option<u64> {
+        self.ranks.binary_search(&pid).ok().map(|r| r as u64)
+    }
+
+    /// Broadcasts `msg` to the given ranks, dropping virtual ones.
+    fn broadcast_ranks<I: Iterator<Item = u64>>(
+        &self,
+        ranks: I,
+        msg: AbMsg,
+        eff: &mut Effects<DMsg>,
+    ) {
+        for r in ranks {
+            if let Some(&pid) = self.ranks.get(r as usize) {
+                eff.send(Pid::new(pid as usize), DMsg::Fallback(msg));
+            }
+        }
+    }
+
+    fn exec(&mut self, op: Op, eff: &mut Effects<DMsg>) {
+        let p = self.params;
+        match op {
+            Op::Work { u } => {
+                // Phantom units beyond |S| consume the round silently.
+                if let Some(&real) = self.units.get(u as usize - 1) {
+                    eff.perform(Unit::new(real as usize));
+                }
+            }
+            Op::PartialCp { c } => {
+                let end = p.group_of(self.rank) * p.sqrt_t();
+                self.broadcast_ranks(self.rank + 1..end, AbMsg::Partial { c }, eff);
+            }
+            Op::FullCpGroup { c, g } => {
+                self.broadcast_ranks(p.group_members(g), AbMsg::Full { c, g }, eff);
+            }
+            Op::FullCpOwn { c, g } => {
+                let end = p.group_of(self.rank) * p.sqrt_t();
+                self.broadcast_ranks(self.rank + 1..end, AbMsg::Full { c, g }, eff);
+            }
+        }
+    }
+
+    fn activate(&mut self, eff: &mut Effects<DMsg>) {
+        eff.note("activate");
+        let mut ops = compile_dowork(self.params, self.rank, self.last);
+        if let Some(op) = ops.pop_front() {
+            self.exec(op, eff);
+        }
+        if ops.is_empty() {
+            eff.terminate();
+            self.state = FState::Done;
+        } else {
+            self.state = FState::Active { ops };
+        }
+    }
+
+    /// One engine round. `inbox` holds the fallback messages delivered this
+    /// round as `(sender pid, message)` pairs.
+    pub fn step(&mut self, round: Round, inbox: &[(u64, AbMsg)], eff: &mut Effects<DMsg>) {
+        match &mut self.state {
+            FState::Done => {}
+            FState::Active { ops } => {
+                let op = ops.pop_front();
+                if let Some(op) = op {
+                    self.exec(op, eff);
+                }
+                if matches!(&self.state, FState::Active { ops } if ops.is_empty()) {
+                    eff.terminate();
+                    self.state = FState::Done;
+                }
+            }
+            FState::Passive => {
+                for (from, msg) in inbox {
+                    if is_terminal_for(self.params, self.rank, *msg) {
+                        eff.terminate();
+                        self.state = FState::Done;
+                        return;
+                    }
+                    if let Some(sender_rank) = self.rank_of(*from) {
+                        if let Some(last) = interpret(self.params, self.rank, sender_rank, *msg) {
+                            self.last = last;
+                        }
+                    }
+                }
+                let rel = round.saturating_sub(self.base);
+                if rel >= dd(self.params, self.rank) {
+                    self.activate(eff);
+                }
+            }
+        }
+    }
+
+    /// Earliest round at which this machine wants to act spontaneously.
+    pub fn next_wakeup(&self, now: Round) -> Option<Round> {
+        match self.state {
+            FState::Done => None,
+            FState::Active { .. } => Some(now),
+            FState::Passive => Some((self.base + dd(self.params, self.rank)).max(now)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn padding_produces_valid_protocol_a_params() {
+        // 3 survivors, 5 units: pad to t = 4, n = 8.
+        let m = FallbackMachine::new(7, vec![2, 7, 9], vec![10, 11, 12, 40, 41], 100);
+        assert_eq!(m.params().t, 4);
+        assert_eq!(m.params().n, 8);
+        assert_eq!(m.rank, 1);
+    }
+
+    #[test]
+    fn single_survivor_pads_to_one_by_one(){
+        let m = FallbackMachine::new(3, vec![3], vec![9], 5);
+        assert_eq!(m.params().t, 1);
+        assert_eq!(m.params().n, 1);
+        assert_eq!(m.rank, 0);
+    }
+
+    #[test]
+    fn rank_zero_activates_immediately_and_performs_real_units() {
+        let mut m = FallbackMachine::new(2, vec![2, 7, 9], vec![10, 11, 12, 40, 41], 100);
+        let mut eff = Effects::new();
+        m.step(100, &[], &mut eff);
+        // First op is real unit 10 (relabeled unit 1).
+        assert_eq!(eff.work(), Some(Unit::new(10)));
+        assert_eq!(eff.notes(), ["activate"]);
+    }
+
+    #[test]
+    fn phantom_units_consume_rounds_without_work() {
+        // 1 survivor, 1 real unit padded to n = 1: trivially fine; use 2
+        // survivors (pad t to 4), 3 units padded to n = 4 -> 1 phantom.
+        let mut m = FallbackMachine::new(0, vec![0, 1], vec![5, 6, 7], 1);
+        let mut performed = Vec::new();
+        for r in 1..200 {
+            let mut eff = Effects::new();
+            m.step(r, &[], &mut eff);
+            if let Some(u) = eff.work() {
+                performed.push(u.get());
+            }
+            if m.is_done() {
+                break;
+            }
+        }
+        assert_eq!(performed, vec![5, 6, 7], "exactly the real units, in order");
+        assert!(m.is_done());
+    }
+
+    #[test]
+    fn messages_to_virtual_ranks_are_dropped() {
+        // 2 survivors padded to t = 4: partial checkpoints address ranks
+        // 1..3 but only rank 1 exists.
+        let mut m = FallbackMachine::new(0, vec![0, 9], vec![1, 2, 3, 4], 1);
+        let mut total_sends = 0;
+        for r in 1..200 {
+            let mut eff = Effects::new();
+            m.step(r, &[], &mut eff);
+            for (to, _) in eff.sends() {
+                assert!(to.index() == 9, "only the real survivor may be addressed");
+                total_sends += 1;
+            }
+            if m.is_done() {
+                break;
+            }
+        }
+        assert!(total_sends > 0);
+    }
+
+    #[test]
+    fn passive_rank_takes_over_after_dd() {
+        let mut m = FallbackMachine::new(9, vec![2, 9], vec![1, 2, 3, 4], 50);
+        let dd1 = dd(m.params(), 1);
+        // Before the deadline: idle.
+        let mut eff = Effects::new();
+        m.step(50, &[], &mut eff);
+        assert!(eff.is_idle());
+        assert_eq!(m.next_wakeup(51), Some(50 + dd1));
+        // At the deadline: activates from scratch.
+        let mut eff = Effects::new();
+        m.step(50 + dd1, &[], &mut eff);
+        assert_eq!(eff.notes(), ["activate"]);
+    }
+
+    #[test]
+    fn terminal_fallback_message_retires_passive_rank() {
+        let mut m = FallbackMachine::new(9, vec![2, 9], vec![1, 2, 3, 4], 50);
+        let t_sub = m.params().t; // relabeled final subchunk id
+        let mut eff = Effects::new();
+        m.step(51, &[(2, AbMsg::Partial { c: t_sub })], &mut eff);
+        assert!(eff.is_terminated());
+        assert!(m.is_done());
+    }
+}

@@ -1,0 +1,784 @@
+//! Protocol D (§4): the time-optimal algorithm — alternate *work phases*
+//! (the outstanding units split evenly among the processes believed live)
+//! with *agreement phases* (an Eventual-Byzantine-Agreement-style exchange
+//! that re-establishes a common view of what remains and who is alive).
+//!
+//! Failure-free it takes `n/t + 2` rounds and `2t²` messages — optimal
+//! time — and degrades gracefully: with `f` failures (never more than half
+//! of the live processes per phase) it finishes within
+//! `(f+1)n/t + 4f + 2` rounds, `(4f+2)t²` messages and `2n` work
+//! (Theorem 4.1, case 1). If some phase *does* lose more than half of the
+//! live processes, it reverts to Protocol A on the remaining units
+//! (case 2; see [`fallback`]).
+
+pub mod fallback;
+
+use std::collections::{BTreeSet, VecDeque};
+use std::fmt;
+
+use doall_sim::{Classify, Effects, Envelope, Pid, Protocol, Round, Unit};
+
+use crate::ab::AbMsg;
+use crate::error::ConfigError;
+use fallback::FallbackMachine;
+
+/// Messages of Protocol D.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DMsg {
+    /// One agreement-phase broadcast: `(j, S, T, done)` of Figure 4,
+    /// tagged with the phase number so one-round stragglers never confuse
+    /// consecutive phases.
+    Agree {
+        /// Work/agreement phase index (0-based).
+        phase: u32,
+        /// The sender's outstanding-units set.
+        s: BTreeSet<u64>,
+        /// The sender's set of processes believed live.
+        t: BTreeSet<u64>,
+        /// Whether the sender has decided this agreement phase.
+        done: bool,
+    },
+    /// Coordinator variant (§4 closing remark): a participant's view sent
+    /// to the phase coordinator instead of being broadcast.
+    Report {
+        /// Work/agreement phase index.
+        phase: u32,
+        /// The sender's outstanding-units set.
+        s: BTreeSet<u64>,
+        /// The sender's set of processes believed live.
+        t: BTreeSet<u64>,
+    },
+    /// Coordinator variant: the coordinator's merged, authoritative view.
+    Decision {
+        /// Work/agreement phase index.
+        phase: u32,
+        /// The agreed outstanding-units set.
+        s: BTreeSet<u64>,
+        /// The agreed live set.
+        t: BTreeSet<u64>,
+    },
+    /// A relabeled Protocol A message of the fallback (§4 / Figure 4
+    /// line 12).
+    Fallback(AbMsg),
+}
+
+impl Classify for DMsg {
+    fn class(&self) -> &'static str {
+        match self {
+            DMsg::Agree { .. } => "agree",
+            DMsg::Report { .. } => "coord_report",
+            DMsg::Decision { .. } => "coord_decision",
+            DMsg::Fallback(_) => "fallback",
+        }
+    }
+}
+
+impl fmt::Display for DMsg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DMsg::Agree { phase, s, t, done } => {
+                write!(f, "agree(phase={phase}, |S|={}, |T|={}, done={done})", s.len(), t.len())
+            }
+            DMsg::Report { phase, s, t } => {
+                write!(f, "report(phase={phase}, |S|={}, |T|={})", s.len(), t.len())
+            }
+            DMsg::Decision { phase, s, t } => {
+                write!(f, "decision(phase={phase}, |S|={}, |T|={})", s.len(), t.len())
+            }
+            DMsg::Fallback(m) => write!(f, "fallback({m})"),
+        }
+    }
+}
+
+#[derive(Clone, Debug)]
+enum DState {
+    /// Performing this phase's share, one unit per round, then idling so
+    /// every process spends exactly `⌈|S|/|T|⌉` rounds in the phase.
+    Work { queue: VecDeque<u64>, rounds_left: u64 },
+    /// Running the Figure 4 `Agree` exchange.
+    Agree {
+        /// Processes not yet known faulty (`U`).
+        u: BTreeSet<u64>,
+        /// The rebuilt live set (`T` in the figure; starts at `{j}`).
+        t_new: BTreeSet<u64>,
+        /// |T'| — the live-set size before this agreement phase.
+        t_prev: usize,
+        /// Broadcast iterations completed.
+        iter: u64,
+        /// First iteration at which silence means faulty and stability
+        /// means done (1 in the first phase, 2 afterwards — the paper's
+        /// grace round).
+        enable_iter: u64,
+    },
+    /// Coordinator variant, non-coordinator side: report sent, awaiting
+    /// the coordinator's decision (`entry == 0` until the first step).
+    CoordFollower {
+        entry: Round,
+        t_prev: usize,
+    },
+    /// Coordinator variant, coordinator side: collecting reports.
+    CoordLeader {
+        entry: Round,
+        t_prev: usize,
+        s_acc: BTreeSet<u64>,
+        heard: BTreeSet<u64>,
+    },
+    /// Reverted to Protocol A.
+    Fallback(FallbackMachine),
+    Done,
+}
+
+/// One process of Protocol D.
+///
+/// # Examples
+///
+/// ```
+/// use doall_core::d::ProtocolD;
+/// use doall_sim::{run, NoFailures, RunConfig};
+///
+/// let procs = ProtocolD::processes(100, 10)?;
+/// let report = run(procs, NoFailures, RunConfig::new(100, 1000))?;
+/// assert!(report.metrics.all_work_done());
+/// // §4: failure-free Protocol D is time-optimal — n/t + 2 rounds.
+/// assert_eq!(report.metrics.rounds, 100 / 10 + 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct ProtocolD {
+    n: u64,
+    t: u64,
+    j: u64,
+    /// Outstanding units (`S`).
+    s: BTreeSet<u64>,
+    /// Processes thought correct at the end of the previous work phase
+    /// (`T`).
+    t_set: BTreeSet<u64>,
+    /// Current phase index (0-based; phase 0 gets no grace round).
+    phase: u32,
+    /// Whether agreement phases use the §4 coordinator optimization.
+    coordinated: bool,
+    /// Set once a coordinator failure forces this process back to the
+    /// broadcast agreement (one-way, for all later phases).
+    fell_back_to_broadcast: bool,
+    state: DState,
+}
+
+impl ProtocolD {
+    /// Creates process `j` of an `(n, t)` system.
+    ///
+    /// Unlike Protocols A–C, Figure 4 is written with general `⌈|S|/|T|⌉`
+    /// arithmetic, so any `n >= 1`, `t >= 1` works.
+    pub fn new(n: u64, t: u64, j: u64) -> Self {
+        debug_assert!(j < t);
+        let s: BTreeSet<u64> = (1..=n).collect();
+        let t_set: BTreeSet<u64> = (0..t).collect();
+        let mut d = ProtocolD {
+            n,
+            t,
+            j,
+            s: s.clone(),
+            t_set: t_set.clone(),
+            phase: 0,
+            coordinated: false,
+            fell_back_to_broadcast: false,
+            state: DState::Done,
+        };
+        d.state = d.build_work_phase();
+        d
+    }
+
+    /// The workload size `n`.
+    pub fn n(&self) -> u64 {
+        self.n
+    }
+
+    /// The system size `t`.
+    pub fn t(&self) -> u64 {
+        self.t
+    }
+
+    /// Creates the full vector of `t` processes for `n` units of work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ConfigError::NoProcesses`] / [`ConfigError::NoWork`] on
+    /// empty systems.
+    pub fn processes(n: u64, t: u64) -> Result<Vec<ProtocolD>, ConfigError> {
+        if t == 0 {
+            return Err(ConfigError::NoProcesses);
+        }
+        if n == 0 {
+            return Err(ConfigError::NoWork);
+        }
+        Ok((0..t).map(|j| ProtocolD::new(n, t, j)).collect())
+    }
+
+    /// Creates the `t` processes with the §4 coordinator optimization:
+    /// during agreement, views are sent to a central coordinator (the
+    /// lowest-numbered live process), who merges them and broadcasts the
+    /// result — `2(t − 1)` messages per failure-free agreement phase
+    /// instead of `≈ 2t²`, at the cost of one extra round.
+    ///
+    /// The paper notes that "dealing with failures is somewhat subtle" in
+    /// this variant and leaves it unanalysed; our resolution: a process
+    /// that times out waiting for its coordinator permanently reverts to
+    /// the Figure 4 broadcast agreement. If the coordinator dies *while*
+    /// broadcasting a decision, the system may briefly split into teams
+    /// with divergent live-sets; each team still covers all outstanding
+    /// work (idempotently), so correctness is never at risk — only up to a
+    /// factor-two work overhead in that corner case.
+    ///
+    /// # Errors
+    ///
+    /// As [`ProtocolD::processes`].
+    pub fn processes_with_coordinator(n: u64, t: u64) -> Result<Vec<ProtocolD>, ConfigError> {
+        let mut procs = Self::processes(n, t)?;
+        for p in &mut procs {
+            p.coordinated = true;
+        }
+        Ok(procs)
+    }
+
+    /// The current phase coordinator: the lowest process this one believes
+    /// to be alive.
+    fn coordinator(&self) -> u64 {
+        *self.t_set.iter().next().expect("t_set always contains self")
+    }
+
+    /// Figure 4 line 5: my share of the outstanding work, by grade.
+    fn build_work_phase(&self) -> DState {
+        let w = (self.s.len() as u64).div_ceil(self.t_set.len() as u64);
+        let grade = self.t_set.iter().position(|&p| p == self.j).unwrap_or(0) as u64;
+        let lo = grade * w;
+        let queue: VecDeque<u64> =
+            self.s.iter().copied().skip(lo as usize).take(w as usize).collect();
+        DState::Work { queue, rounds_left: w }
+    }
+
+    fn enter_agree(&mut self) -> DState {
+        if self.coordinated && !self.fell_back_to_broadcast {
+            let t_prev = self.t_set.len();
+            return if self.coordinator() == self.j {
+                DState::CoordLeader {
+                    entry: 0,
+                    t_prev,
+                    s_acc: self.s.clone(),
+                    heard: [self.j].into_iter().collect(),
+                }
+            } else {
+                DState::CoordFollower { entry: 0, t_prev }
+            };
+        }
+        let enable_iter = if self.phase == 0 { 1 } else { 2 };
+        DState::Agree {
+            u: self.t_set.clone(),
+            t_new: [self.j].into_iter().collect(),
+            t_prev: self.t_set.len(),
+            iter: 0,
+            enable_iter,
+        }
+    }
+
+    /// Abandons the coordinator protocol (its coordinator is presumed
+    /// dead) and joins the broadcast agreement for this phase.
+    fn revert_to_broadcast(&mut self, t_prev: usize) -> DState {
+        self.fell_back_to_broadcast = true;
+        let dead_coordinator = self.coordinator();
+        let mut u = self.t_set.clone();
+        u.remove(&dead_coordinator);
+        self.t_set.remove(&dead_coordinator);
+        DState::Agree {
+            u,
+            t_new: [self.j].into_iter().collect(),
+            t_prev,
+            iter: 0,
+            // Extra grace: fallen-back processes join within a couple of
+            // rounds of one another; do not declare anyone faulty (or the
+            // view stable) before everyone has had time to join.
+            enable_iter: 4,
+        }
+    }
+
+    /// One round of the coordinator-variant agreement.
+    fn coord_step(&mut self, round: Round, inbox: &[Envelope<DMsg>], eff: &mut Effects<DMsg>) {
+        // A broadcast-mode message for our phase means somebody already
+        // gave up on the coordinator: join them.
+        let saw_broadcast = inbox.iter().any(
+            |env| matches!(&env.payload, DMsg::Agree { phase, .. } if *phase == self.phase),
+        );
+
+        match std::mem::replace(&mut self.state, DState::Done) {
+            DState::CoordLeader { mut entry, t_prev, mut s_acc, mut heard } => {
+                if entry == 0 {
+                    entry = round;
+                }
+                if saw_broadcast {
+                    self.state = self.revert_to_broadcast(t_prev);
+                    self.agree_step(round, inbox, eff);
+                    return;
+                }
+                for env in inbox {
+                    if let DMsg::Report { phase, s, t } = &env.payload {
+                        if *phase == self.phase {
+                            let _ = t; // liveness knowledge comes from who reported
+                            s_acc = s_acc.intersection(s).copied().collect();
+                            heard.insert(env.from.index() as u64);
+                        }
+                    }
+                }
+                // In phase 0 every report is filed at `entry` and lands
+                // at `entry + 1`; later phases carry one round of follower
+                // skew, so the window extends one round further.
+                let decide_at = entry + if self.phase == 0 { 1 } else { 2 };
+                if round >= decide_at {
+                    // Decide: the merged view is authoritative.
+                    self.s = s_acc;
+                    let t_new = heard.clone();
+                    let msg = DMsg::Decision {
+                        phase: self.phase,
+                        s: self.s.clone(),
+                        t: t_new.clone(),
+                    };
+                    let recipients: Vec<Pid> = self
+                        .t_set
+                        .iter()
+                        .filter(|&&p| p != self.j)
+                        .map(|&p| Pid::new(p as usize))
+                        .collect();
+                    eff.broadcast(recipients, msg);
+                    self.t_set = t_new;
+                    self.finish_phase(round, t_prev, eff);
+                } else {
+                    self.state = DState::CoordLeader { entry, t_prev, s_acc, heard };
+                }
+            }
+            DState::CoordFollower { mut entry, t_prev } => {
+                if entry == 0 {
+                    entry = round;
+                    // First round of the phase: file our report.
+                    eff.send(
+                        Pid::new(self.coordinator() as usize),
+                        DMsg::Report {
+                            phase: self.phase,
+                            s: self.s.clone(),
+                            t: self.t_set.clone(),
+                        },
+                    );
+                    self.state = DState::CoordFollower { entry, t_prev };
+                    return;
+                }
+                if let Some(env) = inbox.iter().find(
+                    |env| matches!(&env.payload, DMsg::Decision { phase, .. } if *phase == self.phase),
+                ) {
+                    let DMsg::Decision { s, t, .. } = &env.payload else { unreachable!() };
+                    self.s = s.clone();
+                    self.t_set = t.clone();
+                    self.finish_phase(round, t_prev, eff);
+                    return;
+                }
+                if saw_broadcast || round >= entry + 6 {
+                    // The coordinator is gone (directly observed or timed
+                    // out): revert to the Figure 4 broadcast agreement.
+                    self.state = self.revert_to_broadcast(t_prev);
+                    self.agree_step(round, inbox, eff);
+                    return;
+                }
+                self.state = DState::CoordFollower { entry, t_prev };
+            }
+            other => {
+                self.state = other;
+                unreachable!("coord_step outside coordinator agreement");
+            }
+        }
+    }
+
+    /// Ends an agreement phase at `round` with the agreed `(S, T)`;
+    /// decides between next work phase, fallback, and termination.
+    fn finish_phase(&mut self, round: Round, t_prev: usize, eff: &mut Effects<DMsg>) {
+        self.phase += 1;
+        if self.s.is_empty() {
+            eff.terminate();
+            self.state = DState::Done;
+            return;
+        }
+        // Figure 4 line 11: more than half the previously live processes
+        // died during this phase — revert to Protocol A.
+        if t_prev > 2 * self.t_set.len() {
+            eff.note("fallback");
+            let survivors: Vec<u64> = self.t_set.iter().copied().collect();
+            let units: Vec<u64> = self.s.iter().copied().collect();
+            self.state =
+                DState::Fallback(FallbackMachine::new(self.j, survivors, units, round + 1));
+            return;
+        }
+        self.state = self.build_work_phase();
+    }
+
+    /// One iteration of the Figure 4 `Agree` loop, driven once per round.
+    fn agree_step(&mut self, round: Round, inbox: &[Envelope<DMsg>], eff: &mut Effects<DMsg>) {
+        let DState::Agree { mut u, mut t_new, t_prev, iter, enable_iter } =
+            std::mem::replace(&mut self.state, DState::Done)
+        else {
+            unreachable!("agree_step outside agreement phase");
+        };
+
+        let mut done = false;
+        if iter >= 1 {
+            // Messages broadcast during the previous round are in.
+            let u_before = u.clone();
+            let mut adopted = false;
+            for env in inbox {
+                let DMsg::Agree { phase, s, t, done: their_done } = &env.payload else {
+                    continue;
+                };
+                if *phase != self.phase {
+                    continue; // stale straggler from an earlier phase
+                }
+                if *their_done {
+                    // Line 11-14: adopt the decided view wholesale.
+                    self.s = s.clone();
+                    t_new = t.clone();
+                    done = true;
+                    adopted = true;
+                } else if !adopted {
+                    self.s = self.s.intersection(s).copied().collect();
+                    t_new.extend(t.iter().copied());
+                }
+            }
+            if !adopted && iter >= enable_iter {
+                for i in u_before.iter() {
+                    if *i == self.j {
+                        continue;
+                    }
+                    let heard = inbox.iter().any(|env| {
+                        env.from.index() as u64 == *i
+                            && matches!(&env.payload, DMsg::Agree { phase, .. } if *phase == self.phase)
+                    });
+                    if !heard {
+                        u.remove(i);
+                    }
+                }
+                if u == u_before {
+                    done = true; // line 17: the view has stabilized
+                }
+            }
+        }
+
+        // Line 6 / line 20: broadcast the (possibly decided) view.
+        let msg = DMsg::Agree { phase: self.phase, s: self.s.clone(), t: t_new.clone(), done };
+        let recipients: Vec<Pid> = u
+            .iter()
+            .filter(|&&p| p != self.j)
+            .map(|&p| Pid::new(p as usize))
+            .collect();
+        eff.broadcast(recipients, msg);
+
+        if done {
+            self.t_set = t_new;
+            self.finish_phase(round, t_prev, eff);
+        } else {
+            self.state = DState::Agree { u, t_new, t_prev, iter: iter + 1, enable_iter };
+        }
+    }
+}
+
+impl Protocol for ProtocolD {
+    type Msg = DMsg;
+
+    fn step(&mut self, round: Round, inbox: &[Envelope<DMsg>], eff: &mut Effects<DMsg>) {
+        match &mut self.state {
+            DState::Done => {}
+            DState::Work { queue, rounds_left } => {
+                if let Some(unit) = queue.pop_front() {
+                    eff.perform(Unit::new(unit as usize));
+                    self.s.remove(&unit); // line 8: S := S \ S' (incrementally)
+                }
+                *rounds_left -= 1;
+                if *rounds_left == 0 {
+                    self.state = self.enter_agree();
+                }
+            }
+            DState::Agree { .. } => self.agree_step(round, inbox, eff),
+            DState::CoordLeader { .. } | DState::CoordFollower { .. } => {
+                self.coord_step(round, inbox, eff)
+            }
+            DState::Fallback(machine) => {
+                let translated: Vec<(u64, AbMsg)> = inbox
+                    .iter()
+                    .filter_map(|env| match &env.payload {
+                        DMsg::Fallback(m) => Some((env.from.index() as u64, *m)),
+                        _ => None,
+                    })
+                    .collect();
+                machine.step(round, &translated, eff);
+                if machine.is_done() {
+                    self.state = DState::Done;
+                }
+            }
+        }
+    }
+
+    fn next_wakeup(&self, now: Round) -> Option<Round> {
+        match &self.state {
+            DState::Done => None,
+            DState::Fallback(machine) => machine.next_wakeup(now),
+            _ => Some(now),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use doall_bounds::theorems;
+    use doall_sim::invariants::check_no_zombie_actions;
+    use doall_sim::{
+        run, CrashSchedule, CrashSpec, NoFailures, Pid, RandomCrashes, RunConfig,
+    };
+
+    use super::*;
+
+    fn cfg(n: u64) -> RunConfig {
+        RunConfig::new(n as usize, 10_000_000).with_trace()
+    }
+
+    #[test]
+    fn failure_free_is_time_optimal() {
+        // §4: n/t + 2 rounds, exactly n work, 2t(t-1) < 2t² messages.
+        let (n, t) = (100, 10);
+        let report = run(ProtocolD::processes(n, t).unwrap(), NoFailures, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, n);
+        assert_eq!(report.metrics.rounds, n / t + 2);
+        assert_eq!(report.metrics.messages, 2 * t * (t - 1));
+        let b = theorems::protocol_d_failure_free(n, t);
+        assert!(report.metrics.messages <= b.messages);
+        assert!(check_no_zombie_actions(&report.trace).is_empty());
+    }
+
+    #[test]
+    fn uneven_division_rounds_up() {
+        // n = 7, t = 3: W = ⌈7/3⌉ = 3 rounds of work + 2 agreement rounds.
+        let report = run(ProtocolD::processes(7, 3).unwrap(), NoFailures, cfg(7)).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, 7);
+        assert_eq!(report.metrics.rounds, 3 + 2);
+    }
+
+    #[test]
+    fn single_process_system_just_works() {
+        let report = run(ProtocolD::processes(5, 1).unwrap(), NoFailures, cfg(5)).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.messages, 0);
+    }
+
+    #[test]
+    fn one_crash_redistributes_within_one_extra_phase() {
+        // p0 dies in the first work round: its share is redone in phase 2
+        // by the survivors. §4 bounds: work <= n + n/t, messages <= 5t²,
+        // rounds <= n/t + ⌈n/(t(t-1))⌉ + 6.
+        let (n, t) = (100u64, 10u64);
+        let adv = CrashSchedule::new().crash_at(Pid::new(0), 1, CrashSpec::silent());
+        let report = run(ProtocolD::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        let b = theorems::protocol_d_one_failure(n, t);
+        assert!(report.metrics.work_total <= b.work, "{} > {}", report.metrics.work_total, b.work);
+        assert!(report.metrics.messages <= b.messages);
+        assert!(report.metrics.rounds <= b.rounds, "{} > {}", report.metrics.rounds, b.rounds);
+    }
+
+    #[test]
+    fn crash_after_work_before_broadcast_forces_rework() {
+        // p0 completes its share but dies before its agreement broadcast:
+        // the other processes cannot distinguish this from no work done,
+        // so they must redo p0's share — the 2n work bound in action.
+        let (n, t) = (100u64, 10u64);
+        let adv = CrashSchedule::new()
+            .crash_at(Pid::new(0), n / t + 1, CrashSpec::silent());
+        let report = run(ProtocolD::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, n + n / t, "p0's share redone");
+        assert!(report.metrics.work_total <= theorems::protocol_d_normal(n, t, 1).work);
+    }
+
+    #[test]
+    fn graceful_degradation_with_f_failures() {
+        // Crash one process per phase (f = 3, never more than half):
+        // Theorem 4.1 case 1 bounds hold.
+        let (n, t) = (64u64, 8u64);
+        let adv = CrashSchedule::new()
+            .crash_at(Pid::new(1), 2, CrashSpec::silent())
+            .crash_at(Pid::new(2), 15, CrashSpec::silent())
+            .crash_at(Pid::new(3), 25, CrashSpec::silent());
+        let report = run(ProtocolD::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        let f = u64::from(report.metrics.crashes);
+        let b = theorems::protocol_d_normal(n, t, f);
+        assert!(report.metrics.work_total <= b.work);
+        assert!(report.metrics.messages <= b.messages, "{} > {}", report.metrics.messages, b.messages);
+        assert!(report.metrics.rounds <= b.rounds, "{} > {}", report.metrics.rounds, b.rounds);
+    }
+
+    #[test]
+    fn mass_extinction_triggers_protocol_a_fallback() {
+        // 6 of 8 processes die in the first work phase: more than half of
+        // the live set, so the survivors revert to Protocol A.
+        let (n, t) = (64u64, 8u64);
+        let mut adv = CrashSchedule::new();
+        for j in 2..8 {
+            adv = adv.crash_at(Pid::new(j), 2, CrashSpec::silent());
+        }
+        let report = run(ProtocolD::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        // The fallback note must have been emitted by a survivor.
+        assert!(report.trace.notes("fallback").count() >= 1);
+        let f = u64::from(report.metrics.crashes);
+        let b = theorems::protocol_d_fallback(n, t, f);
+        assert!(report.metrics.work_total <= b.work);
+        assert!(report.metrics.messages <= b.messages);
+        assert!(report.metrics.rounds <= b.rounds);
+        // Fallback messages actually flowed.
+        assert!(report.metrics.messages_by_class.contains_key("fallback") || t == 1);
+    }
+
+    #[test]
+    fn fallback_with_lone_survivor_finishes_silently() {
+        let (n, t) = (30u64, 6u64);
+        let mut adv = CrashSchedule::new();
+        for j in 1..6 {
+            adv = adv.crash_at(Pid::new(j), 2, CrashSpec::silent());
+        }
+        let report = run(ProtocolD::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.survivors(), vec![Pid::new(0)]);
+    }
+
+    #[test]
+    fn mid_broadcast_crash_in_agreement_still_agrees() {
+        // p0 dies while broadcasting its first agreement message, reaching
+        // only p1 and p2: views diverge momentarily; the exchange must
+        // still converge and no unit may be lost.
+        let (n, t) = (60u64, 6u64);
+        let adv = CrashSchedule::new().crash_at(
+            Pid::new(0),
+            n / t + 1,
+            CrashSpec::subset([Pid::new(1), Pid::new(2)]),
+        );
+        let report = run(ProtocolD::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert!(report.metrics.work_total <= 2 * n);
+    }
+
+    #[test]
+    fn random_crash_storms_hold_theorem_4_1() {
+        let (n, t) = (48u64, 8u64);
+        for seed in 0..15 {
+            let adv = RandomCrashes::new(seed, 0.02, (t - 1) as u32);
+            let report = run(ProtocolD::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
+            assert!(report.has_survivor(), "seed {seed}");
+            assert!(report.metrics.all_work_done(), "seed {seed}: incomplete work");
+            let f = u64::from(report.metrics.crashes);
+            let b = theorems::protocol_d_fallback(n, t, f); // the weaker of the two cases
+            assert!(report.metrics.work_total <= b.work, "seed {seed}");
+            assert!(report.metrics.messages <= b.messages, "seed {seed}");
+            assert!(check_no_zombie_actions(&report.trace).is_empty(), "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn coordinator_variant_failure_free_costs_2t_minus_2_messages() {
+        // §4 closing remark: "cut down the message complexity in the case
+        // of no failures to 2(t − 1) rather than 2t²". One extra round is
+        // the price of the report/decision round trip in our
+        // next-round-delivery model.
+        let (n, t) = (100u64, 10u64);
+        let report =
+            run(ProtocolD::processes_with_coordinator(n, t).unwrap(), NoFailures, cfg(n))
+                .unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.work_total, n);
+        assert_eq!(report.metrics.messages, 2 * (t - 1));
+        assert_eq!(report.metrics.rounds, n / t + 3);
+        // An order of magnitude below the broadcast variant.
+        let broadcast =
+            run(ProtocolD::processes(n, t).unwrap(), NoFailures, cfg(n)).unwrap();
+        assert!(report.metrics.messages * 5 <= broadcast.metrics.messages);
+    }
+
+    #[test]
+    fn coordinator_variant_single_process() {
+        let report =
+            run(ProtocolD::processes_with_coordinator(7, 1).unwrap(), NoFailures, cfg(7))
+                .unwrap();
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.metrics.messages, 0);
+    }
+
+    #[test]
+    fn coordinator_variant_follower_crash_is_absorbed() {
+        // A follower dies mid-work: the coordinator simply never hears it,
+        // excludes it from T, and its share is redone next phase.
+        let (n, t) = (60u64, 6u64);
+        let adv = CrashSchedule::new().crash_at(Pid::new(3), 2, CrashSpec::silent());
+        let report =
+            run(ProtocolD::processes_with_coordinator(n, t).unwrap(), adv, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert!(report.metrics.work_total <= n + n / t + t);
+    }
+
+    #[test]
+    fn coordinator_crash_reverts_to_broadcast_agreement() {
+        // The coordinator (p0) dies during the first work phase: followers
+        // time out waiting for its decision and fall back to the Figure 4
+        // broadcast exchange for the rest of the run.
+        let (n, t) = (60u64, 6u64);
+        let adv = CrashSchedule::new().crash_at(Pid::new(0), 2, CrashSpec::silent());
+        let report =
+            run(ProtocolD::processes_with_coordinator(n, t).unwrap(), adv, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        // Broadcast agreement messages must have flowed after the fallback.
+        assert!(report.metrics.messages_by_class.contains_key("agree"));
+        assert!(report.metrics.work_total <= 2 * n);
+    }
+
+    #[test]
+    fn coordinator_crash_mid_decision_split_brain_is_safe() {
+        // The coordinator dies while broadcasting its decision, reaching
+        // only p1: p1 proceeds, the others fall back — both "teams" cover
+        // the outstanding work; correctness holds, waste is bounded.
+        let (n, t) = (60u64, 6u64);
+        let decide_round = n / t + 3; // leader decides at entry + 2
+        let adv = CrashSchedule::new().crash_at(
+            Pid::new(0),
+            decide_round,
+            CrashSpec::subset([Pid::new(1)]),
+        );
+        let report =
+            run(ProtocolD::processes_with_coordinator(n, t).unwrap(), adv, cfg(n)).unwrap();
+        assert!(report.metrics.all_work_done());
+        assert!(
+            report.metrics.work_total <= 3 * n,
+            "split-brain waste must stay bounded: {}",
+            report.metrics.work_total
+        );
+    }
+
+    #[test]
+    fn coordinator_variant_random_storms_complete() {
+        let (n, t) = (48u64, 8u64);
+        for seed in 0..12 {
+            let adv = RandomCrashes::new(seed, 0.02, (t - 1) as u32);
+            let report =
+                run(ProtocolD::processes_with_coordinator(n, t).unwrap(), adv, cfg(n))
+                    .unwrap();
+            assert!(report.has_survivor(), "seed {seed}");
+            assert!(report.metrics.all_work_done(), "seed {seed}");
+            assert!(report.metrics.work_total <= 3 * n, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn rejects_empty_configurations() {
+        assert!(ProtocolD::processes(0, 4).is_err());
+        assert!(ProtocolD::processes(4, 0).is_err());
+    }
+}

@@ -1,0 +1,77 @@
+//! Configuration errors for the protocol constructors.
+
+use std::fmt;
+
+/// Why a protocol configuration was rejected.
+///
+/// The paper makes simplifying divisibility assumptions per protocol
+/// ("for ease of exposition we assume that t is a perfect square…", "…a
+/// power of 2"); constructors enforce them and report violations through
+/// this type rather than panicking.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ConfigError {
+    /// `t` must be a perfect square (Protocols A and B).
+    NotPerfectSquare {
+        /// The offending process count.
+        t: u64,
+    },
+    /// `t` must be a power of two of at least 2 (Protocol C).
+    NotPowerOfTwo {
+        /// The offending process count.
+        t: u64,
+    },
+    /// `n` must be a multiple of `t`.
+    NotDivisible {
+        /// The workload size.
+        n: u64,
+        /// The process count.
+        t: u64,
+    },
+    /// `n` must be at least `t` (so that `n/t >= 1`).
+    WorkTooSmall {
+        /// The workload size.
+        n: u64,
+        /// The process count.
+        t: u64,
+    },
+    /// At least one process is required.
+    NoProcesses,
+    /// At least one unit of work is required.
+    NoWork,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::NotPerfectSquare { t } => {
+                write!(f, "t = {t} must be a perfect square for Protocols A/B")
+            }
+            ConfigError::NotPowerOfTwo { t } => {
+                write!(f, "t = {t} must be a power of two (>= 2) for Protocol C")
+            }
+            ConfigError::NotDivisible { n, t } => {
+                write!(f, "n = {n} must be divisible by t = {t}")
+            }
+            ConfigError::WorkTooSmall { n, t } => {
+                write!(f, "n = {n} must be at least t = {t}")
+            }
+            ConfigError::NoProcesses => write!(f, "at least one process is required"),
+            ConfigError::NoWork => write!(f, "at least one unit of work is required"),
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = ConfigError::NotPerfectSquare { t: 10 };
+        assert_eq!(e.to_string(), "t = 10 must be a perfect square for Protocols A/B");
+        let e = ConfigError::NotDivisible { n: 10, t: 4 };
+        assert!(e.to_string().contains("divisible"));
+    }
+}

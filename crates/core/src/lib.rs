@@ -1,0 +1,22 @@
+//! # doall-core
+//!
+//! The Do-All protocols of Dwork, Halpern & Waarts (PODC 1992).
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub mod ab;
+pub mod baseline;
+pub mod c;
+pub mod d;
+pub mod error;
+
+pub use ab::protocol_a::ProtocolA;
+pub use ab::protocol_b::ProtocolB;
+pub use ab::asynch::AsyncProtocolA;
+pub use ab::padded::PaddedA;
+pub use c::protocol_c::ProtocolC;
+pub use d::ProtocolD;
+pub use baseline::{Lockstep, NaiveSpread, ReplicateAll};
+pub use error::ConfigError;

@@ -1,0 +1,614 @@
+//! Crash-failure adversaries.
+//!
+//! The paper's bounds are worst-case over all crash schedules in which a
+//! process may fail at any moment — in particular *in the middle of a
+//! broadcast*, in which case "some subset of the processes receive the
+//! message" (§2.1). The [`Adversary`] trait captures exactly this power:
+//! each executed round, after a process has chosen its actions but before
+//! they take effect, the adversary decides whether the process survives the
+//! round, and if not, which of its outgoing messages escape.
+
+use std::collections::BTreeMap;
+use std::collections::BTreeSet;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::effects::Effects;
+use crate::ids::{Pid, Round};
+
+/// What happens to a process's actions in one round.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// The process survives the round; all effects are applied.
+    Survive,
+    /// The process crashes during this round.
+    Crash(CrashSpec),
+}
+
+/// Fine-grained description of a mid-round crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CrashSpec {
+    /// Which of the round's outgoing messages are actually sent.
+    pub deliver: Deliver,
+    /// Whether the unit of work performed this round (if any) completes
+    /// before the crash. The paper's work-optimality argument hinges on the
+    /// scenario where a process "fails immediately after performing a unit
+    /// of work, before reporting it": that is `count_work: true` with
+    /// `deliver: Deliver::None` on the following round's checkpoint.
+    pub count_work: bool,
+}
+
+impl CrashSpec {
+    /// Crash before anything this round takes effect.
+    pub const fn silent() -> Self {
+        CrashSpec { deliver: Deliver::None, count_work: false }
+    }
+
+    /// Crash after completing this round's work and sends (the process dies
+    /// between rounds).
+    pub const fn after_round() -> Self {
+        CrashSpec { deliver: Deliver::All, count_work: true }
+    }
+
+    /// Crash mid-broadcast: the first `k` messages (in send order) escape.
+    pub const fn prefix(k: usize) -> Self {
+        CrashSpec { deliver: Deliver::Prefix(k), count_work: true }
+    }
+
+    /// Crash mid-broadcast with an arbitrary surviving subset.
+    pub fn subset<I: IntoIterator<Item = Pid>>(recipients: I) -> Self {
+        CrashSpec { deliver: Deliver::Subset(recipients.into_iter().collect()), count_work: true }
+    }
+}
+
+impl Default for CrashSpec {
+    fn default() -> Self {
+        CrashSpec::silent()
+    }
+}
+
+/// Which outgoing messages survive a mid-round crash.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Deliver {
+    /// Every message goes out (crash happens after the send completes).
+    All,
+    /// Nothing goes out.
+    None,
+    /// The first `k` messages in send order go out.
+    Prefix(usize),
+    /// Exactly the messages addressed to this set go out.
+    Subset(BTreeSet<Pid>),
+}
+
+impl Deliver {
+    /// Whether the `idx`-th outgoing message (addressed to `to`) escapes.
+    pub fn lets_through(&self, idx: usize, to: Pid) -> bool {
+        match self {
+            Deliver::All => true,
+            Deliver::None => false,
+            Deliver::Prefix(k) => idx < *k,
+            Deliver::Subset(set) => set.contains(&to),
+        }
+    }
+}
+
+/// Read-only view of the engine state an adversary may consult.
+#[derive(Clone, Copy, Debug)]
+pub struct AdversaryCtx<'a> {
+    /// Number of processes in the system.
+    pub t: usize,
+    /// `alive[p]` is false once process `p` has crashed or terminated.
+    pub alive: &'a [bool],
+    /// Crashes inflicted so far.
+    pub crashes: u32,
+}
+
+impl AdversaryCtx<'_> {
+    /// Number of processes that have neither crashed nor terminated.
+    pub fn alive_count(&self) -> usize {
+        self.alive.iter().filter(|a| **a).count()
+    }
+}
+
+/// A crash-failure adversary.
+///
+/// Implementations decide, per process per executed round, whether the
+/// process survives. They see the process's proposed [`Effects`] — so they
+/// can crash a process precisely when it performs its `k`-th unit of work,
+/// or split a particular broadcast — and the set of still-alive processes.
+pub trait Adversary<M> {
+    /// Decides the fate of `pid`'s round-`round` actions.
+    fn intercept(
+        &mut self,
+        round: Round,
+        pid: Pid,
+        effects: &Effects<M>,
+        ctx: AdversaryCtx<'_>,
+    ) -> Fate;
+
+    /// The earliest round `>= now` at which this adversary may act on an
+    /// otherwise idle system, or `None` if it only reacts to process
+    /// activity. Returning `Some(now)` unconditionally disables
+    /// fast-forwarding.
+    fn next_event(&self, _now: Round) -> Option<Round> {
+        None
+    }
+}
+
+impl<M> Adversary<M> for Box<dyn Adversary<M>> {
+    fn intercept(
+        &mut self,
+        round: Round,
+        pid: Pid,
+        effects: &Effects<M>,
+        ctx: AdversaryCtx<'_>,
+    ) -> Fate {
+        (**self).intercept(round, pid, effects, ctx)
+    }
+
+    fn next_event(&self, now: Round) -> Option<Round> {
+        (**self).next_event(now)
+    }
+}
+
+/// The failure-free adversary.
+///
+/// # Examples
+///
+/// ```
+/// use doall_sim::{NoFailures, Adversary, Effects, Fate, Pid, AdversaryCtx};
+///
+/// let mut adv = NoFailures;
+/// let eff: Effects<()> = Effects::new();
+/// let alive = [true, true];
+/// let ctx = AdversaryCtx { t: 2, alive: &alive, crashes: 0 };
+/// assert_eq!(adv.intercept(1, Pid::new(0), &eff, ctx), Fate::Survive);
+/// ```
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoFailures;
+
+impl<M> Adversary<M> for NoFailures {
+    fn intercept(&mut self, _: Round, _: Pid, _: &Effects<M>, _: AdversaryCtx<'_>) -> Fate {
+        Fate::Survive
+    }
+}
+
+/// Crashes given processes at given rounds, with per-crash delivery control.
+///
+/// # Examples
+///
+/// ```
+/// use doall_sim::{CrashSchedule, CrashSpec, Pid};
+///
+/// let schedule = CrashSchedule::new()
+///     .crash_at(Pid::new(0), 10, CrashSpec::silent())
+///     .crash_at(Pid::new(1), 25, CrashSpec::prefix(2));
+/// assert_eq!(schedule.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CrashSchedule {
+    by_round: BTreeMap<Round, Vec<(Pid, CrashSpec)>>,
+    count: usize,
+}
+
+impl CrashSchedule {
+    /// An empty schedule (equivalent to [`NoFailures`]).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules `pid` to crash during round `round`.
+    ///
+    /// If the process is already retired by then, the entry is ignored at
+    /// run time.
+    pub fn crash_at(mut self, pid: Pid, round: Round, spec: CrashSpec) -> Self {
+        self.by_round.entry(round).or_default().push((pid, spec));
+        self.count += 1;
+        self
+    }
+
+    /// Number of scheduled crash entries.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the schedule is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+}
+
+impl<M> Adversary<M> for CrashSchedule {
+    fn intercept(
+        &mut self,
+        round: Round,
+        pid: Pid,
+        _effects: &Effects<M>,
+        _ctx: AdversaryCtx<'_>,
+    ) -> Fate {
+        if let Some(entries) = self.by_round.get(&round) {
+            if let Some((_, spec)) = entries.iter().find(|(p, _)| *p == pid) {
+                return Fate::Crash(spec.clone());
+            }
+        }
+        Fate::Survive
+    }
+
+    fn next_event(&self, now: Round) -> Option<Round> {
+        self.by_round.range(now..).next().map(|(r, _)| *r)
+    }
+}
+
+/// Seeded random crash adversary.
+///
+/// Each alive process crashes with probability `p_per_round` at each
+/// executed round, up to `max_crashes` total (use `t - 1` to preserve the
+/// paper's "at least one survivor" premise). With `partial_delivery`, a
+/// crashing broadcaster delivers a random prefix of its messages.
+///
+/// Randomness comes from a seeded [`SmallRng`], so runs are reproducible.
+#[derive(Clone, Debug)]
+pub struct RandomCrashes {
+    rng: SmallRng,
+    p_per_round: f64,
+    max_crashes: u32,
+    partial_delivery: bool,
+    inflicted: u32,
+    saw_lone_survivor: bool,
+}
+
+impl RandomCrashes {
+    /// Creates a random adversary with the given per-round crash
+    /// probability and total crash budget.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p_per_round` is not within `[0.0, 1.0]`.
+    pub fn new(seed: u64, p_per_round: f64, max_crashes: u32) -> Self {
+        assert!(
+            (0.0..=1.0).contains(&p_per_round),
+            "crash probability must be in [0, 1], got {p_per_round}"
+        );
+        RandomCrashes {
+            rng: SmallRng::seed_from_u64(seed),
+            p_per_round,
+            max_crashes,
+            partial_delivery: true,
+            inflicted: 0,
+            saw_lone_survivor: false,
+        }
+    }
+
+    /// Disables mid-broadcast partial delivery (crashes then happen cleanly
+    /// between rounds).
+    pub fn clean_crashes(mut self) -> Self {
+        self.partial_delivery = false;
+        self
+    }
+}
+
+impl<M> Adversary<M> for RandomCrashes {
+    fn intercept(
+        &mut self,
+        _round: Round,
+        _pid: Pid,
+        effects: &Effects<M>,
+        ctx: AdversaryCtx<'_>,
+    ) -> Fate {
+        if ctx.alive_count() <= 1 {
+            self.saw_lone_survivor = true;
+            return Fate::Survive;
+        }
+        if ctx.crashes >= self.max_crashes || self.inflicted >= self.max_crashes {
+            return Fate::Survive;
+        }
+        if self.rng.gen_bool(self.p_per_round) {
+            let spec = if self.partial_delivery && !effects.sends().is_empty() {
+                let k = self.rng.gen_range(0..=effects.sends().len());
+                CrashSpec { deliver: Deliver::Prefix(k), count_work: self.rng.gen_bool(0.5) }
+            } else {
+                CrashSpec::silent()
+            };
+            self.inflicted += 1;
+            return Fate::Crash(spec);
+        }
+        Fate::Survive
+    }
+
+    fn next_event(&self, now: Round) -> Option<Round> {
+        // Random crashes can strike any round; fast-forwarding would skip
+        // coin flips and change the distribution, so forbid it while
+        // crashes remain possible. Once the budget is spent (or a lone
+        // survivor remains), no further crash can happen and idle rounds
+        // may be skipped again — essential for Protocol C, whose stragglers
+        // wait exponentially long deadlines.
+        if self.p_per_round > 0.0 && self.inflicted < self.max_crashes && !self.saw_lone_survivor
+        {
+            Some(now)
+        } else {
+            None
+        }
+    }
+}
+
+/// A condition on which a [`TriggerAdversary`] rule fires.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Trigger {
+    /// Fires at the given round.
+    AtRound(Round),
+    /// Fires when the process performs its `nth` unit of work (1-based,
+    /// counted per process).
+    NthWorkBy {
+        /// The watched process.
+        pid: Pid,
+        /// Which work performance triggers (1-based).
+        nth: u64,
+    },
+    /// Fires when the process executes its `nth` *sending* round (1-based):
+    /// checkpoints, reports, polls — any round with at least one outgoing
+    /// message.
+    NthSendRoundBy {
+        /// The watched process.
+        pid: Pid,
+        /// Which sending round triggers (1-based).
+        nth: u64,
+    },
+    /// Fires the `nth` time any process emits the given trace note
+    /// (1-based). Protocols emit notes such as `"activate"`; this lets an
+    /// adversary kill, say, the third process ever to become active.
+    NthNote {
+        /// The watched annotation tag.
+        tag: &'static str,
+        /// Which occurrence triggers, counted across all processes.
+        nth: u64,
+    },
+}
+
+/// A rule: when `trigger` fires, crash the process it fired on.
+#[derive(Clone, Debug)]
+pub struct TriggerRule {
+    /// Condition to watch for.
+    pub trigger: Trigger,
+    /// Target override: crash this process instead of the one that tripped
+    /// the trigger (useful with [`Trigger::AtRound`]).
+    pub target: Option<Pid>,
+    /// How the crash unfolds.
+    pub spec: CrashSpec,
+}
+
+/// Composable behavioural adversary: a list of one-shot rules.
+///
+/// This is how the worst-case schedules from the paper's proofs are
+/// expressed: "crash the active process right after it completes a chunk
+/// but deliver the full-checkpoint to only half the next group", etc.
+///
+/// # Examples
+///
+/// ```
+/// use doall_sim::{TriggerAdversary, TriggerRule, Trigger, CrashSpec, Pid};
+///
+/// // Kill process 0 immediately after its 5th unit of work, unreported.
+/// let adv = TriggerAdversary::new(vec![TriggerRule {
+///     trigger: Trigger::NthWorkBy { pid: Pid::new(0), nth: 5 },
+///     target: None,
+///     spec: CrashSpec { deliver: doall_sim::Deliver::None, count_work: true },
+/// }]);
+/// assert_eq!(adv.remaining_rules(), 1);
+/// ```
+#[derive(Clone, Debug)]
+pub struct TriggerAdversary {
+    rules: Vec<(TriggerRule, bool)>, // (rule, spent)
+    work_counts: BTreeMap<Pid, u64>,
+    send_round_counts: BTreeMap<Pid, u64>,
+    note_counts: BTreeMap<&'static str, u64>,
+}
+
+impl TriggerAdversary {
+    /// Creates an adversary from a list of one-shot rules.
+    pub fn new(rules: Vec<TriggerRule>) -> Self {
+        TriggerAdversary {
+            rules: rules.into_iter().map(|r| (r, false)).collect(),
+            work_counts: BTreeMap::new(),
+            send_round_counts: BTreeMap::new(),
+            note_counts: BTreeMap::new(),
+        }
+    }
+
+    /// Number of rules that have not fired yet.
+    pub fn remaining_rules(&self) -> usize {
+        self.rules.iter().filter(|(_, spent)| !spent).count()
+    }
+}
+
+impl<M> Adversary<M> for TriggerAdversary {
+    fn intercept(
+        &mut self,
+        round: Round,
+        pid: Pid,
+        effects: &Effects<M>,
+        _ctx: AdversaryCtx<'_>,
+    ) -> Fate {
+        // Update observation counters for this (pid, round).
+        let work_count = if effects.work().is_some() {
+            let c = self.work_counts.entry(pid).or_insert(0);
+            *c += 1;
+            *c
+        } else {
+            *self.work_counts.get(&pid).unwrap_or(&0)
+        };
+        let send_count = if !effects.sends().is_empty() {
+            let c = self.send_round_counts.entry(pid).or_insert(0);
+            *c += 1;
+            *c
+        } else {
+            *self.send_round_counts.get(&pid).unwrap_or(&0)
+        };
+        let mut fired_notes: Vec<(&'static str, u64)> = Vec::new();
+        for note in effects.notes() {
+            let c = self.note_counts.entry(note).or_insert(0);
+            *c += 1;
+            fired_notes.push((note, *c));
+        }
+
+        for (rule, spent) in &mut self.rules {
+            if *spent {
+                continue;
+            }
+            let tripped = match &rule.trigger {
+                Trigger::AtRound(r) => {
+                    *r == round && rule.target.is_none_or(|t| t == pid)
+                }
+                Trigger::NthWorkBy { pid: p, nth } => {
+                    *p == pid && effects.work().is_some() && work_count == *nth
+                }
+                Trigger::NthSendRoundBy { pid: p, nth } => {
+                    *p == pid && !effects.sends().is_empty() && send_count == *nth
+                }
+                Trigger::NthNote { tag, nth } => {
+                    fired_notes.iter().any(|(t, c)| t == tag && c == nth)
+                }
+            };
+            if tripped {
+                let victim_is_me = rule.target.is_none_or(|t| t == pid);
+                if victim_is_me {
+                    *spent = true;
+                    return Fate::Crash(rule.spec.clone());
+                }
+            }
+        }
+        Fate::Survive
+    }
+
+    fn next_event(&self, now: Round) -> Option<Round> {
+        self.rules
+            .iter()
+            .filter(|(_, spent)| !spent)
+            .filter_map(|(r, _)| match r.trigger {
+                Trigger::AtRound(rd) if rd >= now => Some(rd),
+                _ => None,
+            })
+            .min()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Unit;
+
+    fn ctx(alive: &[bool]) -> AdversaryCtx<'_> {
+        AdversaryCtx { t: alive.len(), alive, crashes: 0 }
+    }
+
+    #[test]
+    fn deliver_prefix_counts_in_send_order() {
+        let d = Deliver::Prefix(2);
+        assert!(d.lets_through(0, Pid::new(9)));
+        assert!(d.lets_through(1, Pid::new(0)));
+        assert!(!d.lets_through(2, Pid::new(1)));
+    }
+
+    #[test]
+    fn deliver_subset_matches_recipients() {
+        let d = Deliver::Subset([Pid::new(3)].into_iter().collect());
+        assert!(d.lets_through(0, Pid::new(3)));
+        assert!(!d.lets_through(0, Pid::new(4)));
+    }
+
+    #[test]
+    fn schedule_fires_only_on_its_round_and_pid() {
+        let mut s = CrashSchedule::new().crash_at(Pid::new(1), 5, CrashSpec::silent());
+        let eff: Effects<()> = Effects::new();
+        let alive = [true, true];
+        assert_eq!(s.intercept(4, Pid::new(1), &eff, ctx(&alive)), Fate::Survive);
+        assert_eq!(s.intercept(5, Pid::new(0), &eff, ctx(&alive)), Fate::Survive);
+        assert!(matches!(s.intercept(5, Pid::new(1), &eff, ctx(&alive)), Fate::Crash(_)));
+    }
+
+    #[test]
+    fn schedule_next_event_is_first_scheduled_round() {
+        let s = CrashSchedule::new()
+            .crash_at(Pid::new(0), 30, CrashSpec::silent())
+            .crash_at(Pid::new(1), 12, CrashSpec::silent());
+        assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, 0), Some(12));
+        assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, 13), Some(30));
+        assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, 31), None);
+    }
+
+    #[test]
+    fn random_adversary_respects_budget() {
+        let mut adv = RandomCrashes::new(42, 1.0, 0);
+        let eff: Effects<()> = Effects::new();
+        let alive = [true, true, true];
+        // p = 1.0 but budget 0: never crashes.
+        assert_eq!(adv.intercept(1, Pid::new(0), &eff, ctx(&alive)), Fate::Survive);
+    }
+
+    #[test]
+    fn random_adversary_spares_last_survivor() {
+        let mut adv = RandomCrashes::new(7, 1.0, 10);
+        let eff: Effects<()> = Effects::new();
+        let alive = [true, false, false];
+        assert_eq!(adv.intercept(1, Pid::new(0), &eff, ctx(&alive)), Fate::Survive);
+    }
+
+    #[test]
+    fn random_adversary_is_deterministic_per_seed() {
+        let run = |seed| {
+            let mut adv = RandomCrashes::new(seed, 0.5, 100);
+            let eff: Effects<()> = Effects::new();
+            let alive = [true; 4];
+            (1..50)
+                .map(|r| {
+                    matches!(adv.intercept(r, Pid::new(0), &eff, ctx(&alive)), Fate::Crash(_))
+                })
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(3), run(3));
+        assert_ne!(run(3), run(4), "different seeds should differ somewhere");
+    }
+
+    #[test]
+    fn trigger_nth_work_fires_exactly_once() {
+        let mut adv = TriggerAdversary::new(vec![TriggerRule {
+            trigger: Trigger::NthWorkBy { pid: Pid::new(0), nth: 2 },
+            target: None,
+            spec: CrashSpec::silent(),
+        }]);
+        let alive = [true, true];
+        let mut working: Effects<()> = Effects::new();
+        working.perform(Unit::new(1));
+        assert_eq!(adv.intercept(1, Pid::new(0), &working, ctx(&alive)), Fate::Survive);
+        let mut working2: Effects<()> = Effects::new();
+        working2.perform(Unit::new(2));
+        assert!(matches!(adv.intercept(2, Pid::new(0), &working2, ctx(&alive)), Fate::Crash(_)));
+        assert_eq!(adv.remaining_rules(), 0);
+    }
+
+    #[test]
+    fn trigger_note_counts_across_processes() {
+        let mut adv = TriggerAdversary::new(vec![TriggerRule {
+            trigger: Trigger::NthNote { tag: "activate", nth: 2 },
+            target: None,
+            spec: CrashSpec::silent(),
+        }]);
+        let alive = [true, true, true];
+        let mut e1: Effects<()> = Effects::new();
+        e1.note("activate");
+        assert_eq!(adv.intercept(3, Pid::new(1), &e1, ctx(&alive)), Fate::Survive);
+        let mut e2: Effects<()> = Effects::new();
+        e2.note("activate");
+        assert!(matches!(adv.intercept(9, Pid::new(2), &e2, ctx(&alive)), Fate::Crash(_)));
+    }
+
+    #[test]
+    fn at_round_trigger_reports_next_event() {
+        let adv = TriggerAdversary::new(vec![TriggerRule {
+            trigger: Trigger::AtRound(44),
+            target: Some(Pid::new(1)),
+            spec: CrashSpec::silent(),
+        }]);
+        assert_eq!(<TriggerAdversary as Adversary<()>>::next_event(&adv, 10), Some(44));
+    }
+}

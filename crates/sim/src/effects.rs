@@ -1,0 +1,167 @@
+//! The per-round output of a protocol step.
+
+use crate::ids::{Pid, Unit};
+
+/// Everything a process decided to do during one round.
+///
+/// The engine hands a fresh `Effects` to [`Protocol::step`] each round; the
+/// protocol records its actions on it. The synchronous model of the paper
+/// allows, per round, **at most one unit of work** plus **one round of
+/// communication** (any number of messages, e.g. a broadcast to a whole
+/// group); [`Effects::perform`] enforces the work rule.
+///
+/// [`Protocol::step`]: crate::Protocol::step
+#[derive(Debug)]
+pub struct Effects<M> {
+    work: Option<Unit>,
+    sends: Vec<(Pid, M)>,
+    notes: Vec<&'static str>,
+    terminated: bool,
+}
+
+impl<M> Default for Effects<M> {
+    fn default() -> Self {
+        Effects { work: None, sends: Vec::new(), notes: Vec::new(), terminated: false }
+    }
+}
+
+impl<M> Effects<M> {
+    /// Creates an empty set of effects (the idle round).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Performs one unit of work this round.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a unit was already performed this round: the model permits
+    /// one unit of work per process per round.
+    pub fn perform(&mut self, unit: Unit) {
+        assert!(
+            self.work.is_none(),
+            "model violation: at most one unit of work per round (attempted {unit} after {})",
+            self.work.expect("just checked"),
+        );
+        self.work = Some(unit);
+    }
+
+    /// Sends `payload` to a single recipient.
+    pub fn send(&mut self, to: Pid, payload: M) {
+        self.sends.push((to, payload));
+    }
+
+    /// Broadcasts `payload` to every listed recipient (one round, many
+    /// messages — the paper's broadcast primitive).
+    ///
+    /// Recipients equal to the sender are the caller's responsibility to
+    /// exclude; the engine delivers self-addressed messages like any other.
+    pub fn broadcast<I>(&mut self, to: I, payload: M)
+    where
+        I: IntoIterator<Item = Pid>,
+        M: Clone,
+    {
+        for pid in to {
+            self.sends.push((pid, payload.clone()));
+        }
+    }
+
+    /// Marks the process as terminated (retired voluntarily) at the end of
+    /// this round. Messages sent in the same round still go out.
+    pub fn terminate(&mut self) {
+        self.terminated = true;
+    }
+
+    /// Records a structured annotation on the trace (e.g. `"activate"`).
+    ///
+    /// Notes are invisible to other processes; they exist so tests and
+    /// invariant checkers can observe protocol-internal transitions such as
+    /// "process j became active" (Lemmas 2.2, 2.7 and 3.4 are assertions
+    /// about those transitions).
+    pub fn note(&mut self, tag: &'static str) {
+        self.notes.push(tag);
+    }
+
+    /// The unit of work performed this round, if any.
+    pub fn work(&self) -> Option<Unit> {
+        self.work
+    }
+
+    /// The messages queued for sending this round, in send order.
+    pub fn sends(&self) -> &[(Pid, M)] {
+        &self.sends
+    }
+
+    /// The trace annotations recorded this round.
+    pub fn notes(&self) -> &[&'static str] {
+        &self.notes
+    }
+
+    /// Whether the process terminated this round.
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// Whether this round was a pure no-op.
+    pub fn is_idle(&self) -> bool {
+        self.work.is_none() && self.sends.is_empty() && !self.terminated
+    }
+
+    #[allow(clippy::type_complexity)] // crate-internal destructuring helper
+    pub(crate) fn into_parts(self) -> (Option<Unit>, Vec<(Pid, M)>, Vec<&'static str>, bool) {
+        (self.work, self.sends, self.notes, self.terminated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idle_effects_report_idle() {
+        let eff: Effects<()> = Effects::new();
+        assert!(eff.is_idle());
+        assert!(eff.work().is_none());
+        assert!(eff.sends().is_empty());
+    }
+
+    #[test]
+    fn perform_records_the_unit() {
+        let mut eff: Effects<()> = Effects::new();
+        eff.perform(Unit::new(4));
+        assert_eq!(eff.work(), Some(Unit::new(4)));
+        assert!(!eff.is_idle());
+    }
+
+    #[test]
+    #[should_panic(expected = "at most one unit of work per round")]
+    fn two_units_in_one_round_violate_the_model() {
+        let mut eff: Effects<()> = Effects::new();
+        eff.perform(Unit::new(1));
+        eff.perform(Unit::new(2));
+    }
+
+    #[test]
+    fn broadcast_fans_out_in_order() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.broadcast(Pid::range(1, 4), 9);
+        let to: Vec<usize> = eff.sends().iter().map(|(p, _)| p.index()).collect();
+        assert_eq!(to, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn termination_is_not_idle() {
+        let mut eff: Effects<()> = Effects::new();
+        eff.terminate();
+        assert!(!eff.is_idle());
+        assert!(eff.is_terminated());
+    }
+
+    #[test]
+    fn notes_accumulate() {
+        let mut eff: Effects<()> = Effects::new();
+        eff.note("activate");
+        eff.note("full_checkpoint");
+        assert_eq!(eff.notes(), ["activate", "full_checkpoint"]);
+    }
+}

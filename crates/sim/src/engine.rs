@@ -1,0 +1,511 @@
+//! The synchronous round engine.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::adversary::{Adversary, AdversaryCtx, Fate};
+use crate::effects::Effects;
+use crate::ids::{Pid, Round};
+use crate::message::{Classify, Envelope};
+use crate::metrics::Metrics;
+use crate::protocol::Protocol;
+use crate::trace::{Event, Trace};
+
+/// Final status of a process after a run.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Status {
+    /// Still alive when the run ended (only possible on error results).
+    Alive,
+    /// Crashed during the given round.
+    Crashed(Round),
+    /// Terminated voluntarily during the given round.
+    Terminated(Round),
+}
+
+impl Status {
+    /// Whether the process retired (crashed or terminated).
+    pub fn is_retired(&self) -> bool {
+        !matches!(self, Status::Alive)
+    }
+
+    /// Whether the process survived to normal termination.
+    pub fn is_terminated(&self) -> bool {
+        matches!(self, Status::Terminated(_))
+    }
+
+    /// The retirement round, if retired.
+    pub fn round(&self) -> Option<Round> {
+        match self {
+            Status::Alive => None,
+            Status::Crashed(r) | Status::Terminated(r) => Some(*r),
+        }
+    }
+}
+
+/// Configuration of a synchronous run.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct RunConfig {
+    /// Number of work units (pre-sizes the per-unit multiplicity table).
+    pub n: usize,
+    /// Hard cap on the number of rounds; exceeding it is an error
+    /// ([`RunError::RoundLimit`]). Protects against protocol bugs; set it
+    /// above the protocol's proven time bound.
+    pub max_rounds: Round,
+    /// Whether to record a full [`Trace`] (tests: yes; large sweeps: no).
+    pub record_trace: bool,
+}
+
+impl Default for RunConfig {
+    fn default() -> Self {
+        RunConfig { n: 0, max_rounds: 10_000_000, record_trace: false }
+    }
+}
+
+impl RunConfig {
+    /// Convenience constructor for an `n`-unit workload with a round cap.
+    pub fn new(n: usize, max_rounds: Round) -> Self {
+        RunConfig { n, max_rounds, record_trace: false }
+    }
+
+    /// Enables trace recording.
+    pub fn with_trace(mut self) -> Self {
+        self.record_trace = true;
+        self
+    }
+}
+
+/// Outcome of a completed run: every process retired.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Work / message / round counters.
+    pub metrics: Metrics,
+    /// Event log (empty unless [`RunConfig::record_trace`] was set).
+    pub trace: Trace,
+    /// Final per-process statuses, indexed by pid.
+    pub statuses: Vec<Status>,
+}
+
+impl Report {
+    /// Processes that terminated normally (the survivors).
+    pub fn survivors(&self) -> Vec<Pid> {
+        self.statuses
+            .iter()
+            .enumerate()
+            .filter(|(_, s)| s.is_terminated())
+            .map(|(i, _)| Pid::new(i))
+            .collect()
+    }
+
+    /// Whether at least one process survived — the premise of the paper's
+    /// correctness guarantee.
+    pub fn has_survivor(&self) -> bool {
+        self.statuses.iter().any(Status::is_terminated)
+    }
+}
+
+/// Why a run failed to complete.
+#[derive(Debug)]
+pub enum RunError {
+    /// The configured round cap was exceeded (likely a protocol bug or an
+    /// undersized cap).
+    RoundLimit {
+        /// The cap that was exceeded.
+        limit: Round,
+        /// Metrics at the moment the run was abandoned.
+        metrics: Box<Metrics>,
+    },
+    /// No messages in flight, no process due to wake, no adversary event —
+    /// but some processes are still alive. The protocol livelocked.
+    Deadlock {
+        /// Round at which the deadlock was detected.
+        round: Round,
+        /// Processes still alive.
+        alive: Vec<Pid>,
+        /// Metrics at the moment of deadlock.
+        metrics: Box<Metrics>,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::RoundLimit { limit, .. } => {
+                write!(f, "round limit of {limit} exceeded before all processes retired")
+            }
+            RunError::Deadlock { round, alive, .. } => {
+                write!(f, "deadlock at round {round}: processes {alive:?} alive but nothing can ever happen")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// Runs a synchronous execution until every process retires.
+///
+/// Processes are identified by their index in `procs`. Rounds are numbered
+/// from 1. Each executed round:
+///
+/// 1. messages sent in the previous round are delivered (to alive
+///    recipients; the rest become dead letters);
+/// 2. every alive process [`step`](Protocol::step)s, in pid order, against
+///    the state as of the start of the round;
+/// 3. the [`Adversary`] rules on each process's fate; surviving effects are
+///    applied, crashing processes deliver only the subset the adversary
+///    allows.
+///
+/// Rounds in which provably nothing can happen are skipped in O(1) (see
+/// the quiescence contract on [`Protocol`]); skipped rounds still advance
+/// the round counter, so time metrics are unaffected.
+///
+/// # Errors
+///
+/// Returns [`RunError::RoundLimit`] if the cap is exceeded and
+/// [`RunError::Deadlock`] if live processes can never act again.
+///
+/// # Examples
+///
+/// ```
+/// use doall_sim::{run, NoFailures, RunConfig, Protocol, Effects, Envelope, Classify, Round};
+///
+/// #[derive(Clone, Debug)]
+/// struct Nop;
+/// impl Classify for Nop {}
+///
+/// struct Quit;
+/// impl Protocol for Quit {
+///     type Msg = Nop;
+///     fn step(&mut self, _: Round, _: &[Envelope<Nop>], eff: &mut Effects<Nop>) {
+///         eff.terminate();
+///     }
+///     fn next_wakeup(&self, now: Round) -> Option<Round> { Some(now) }
+/// }
+///
+/// let report = run(vec![Quit, Quit], NoFailures, RunConfig::default())?;
+/// assert_eq!(report.metrics.rounds, 1);
+/// assert_eq!(report.survivors().len(), 2);
+/// # Ok::<(), doall_sim::RunError>(())
+/// ```
+pub fn run<P, A>(procs: Vec<P>, adversary: A, cfg: RunConfig) -> Result<Report, RunError>
+where
+    P: Protocol,
+    A: Adversary<P::Msg>,
+{
+    run_returning(procs, adversary, cfg).map(|(report, _)| report)
+}
+
+/// Like [`run`], but also hands back the final per-process protocol states,
+/// for protocols whose outcome lives in process state (e.g. the decision
+/// value of a Byzantine-agreement process).
+///
+/// # Errors
+///
+/// As [`run`].
+pub fn run_returning<P, A>(
+    mut procs: Vec<P>,
+    mut adversary: A,
+    cfg: RunConfig,
+) -> Result<(Report, Vec<P>), RunError>
+where
+    P: Protocol,
+    A: Adversary<P::Msg>,
+{
+    let t = procs.len();
+    let mut statuses = vec![Status::Alive; t];
+    let mut metrics = Metrics::new(cfg.n);
+    let mut trace = Trace::new();
+    let mut pending: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..t).map(|_| Vec::new()).collect();
+    let mut round: Round = 1;
+
+    loop {
+        if round > cfg.max_rounds {
+            return Err(RunError::RoundLimit { limit: cfg.max_rounds, metrics: Box::new(metrics) });
+        }
+
+        // 1. Deliver last round's messages.
+        for inbox in &mut inboxes {
+            inbox.clear();
+        }
+        for env in pending.drain(..) {
+            if matches!(statuses[env.to.index()], Status::Alive) {
+                inboxes[env.to.index()].push(env);
+            } else {
+                metrics.dead_letters += 1;
+            }
+        }
+
+        // 2 & 3. Step every alive process; let the adversary rule on it.
+        let mut next_pending: Vec<Envelope<P::Msg>> = Vec::new();
+        for idx in 0..t {
+            if !matches!(statuses[idx], Status::Alive) {
+                continue;
+            }
+            let pid = Pid::new(idx);
+            let mut eff = Effects::new();
+            procs[idx].step(round, &inboxes[idx], &mut eff);
+
+            let alive: Vec<bool> = statuses.iter().map(|s| !s.is_retired()).collect();
+            let ctx = AdversaryCtx { t, alive: &alive, crashes: metrics.crashes };
+            let fate = adversary.intercept(round, pid, &eff, ctx);
+
+            if cfg.record_trace {
+                for tag in eff.notes() {
+                    trace.push(Event::Note { round, pid, tag });
+                }
+            }
+
+            let (work, sends, _notes, terminated) = eff.into_parts();
+            match fate {
+                Fate::Survive => {
+                    if let Some(unit) = work {
+                        metrics.record_work(unit);
+                        if cfg.record_trace {
+                            trace.push(Event::Work { round, pid, unit });
+                        }
+                    }
+                    for (to, payload) in sends {
+                        metrics.record_message(payload.class());
+                        if cfg.record_trace {
+                            trace.push(Event::Send { round, from: pid, to, class: payload.class() });
+                        }
+                        next_pending.push(Envelope { from: pid, to, sent_at: round, payload });
+                    }
+                    if terminated {
+                        statuses[idx] = Status::Terminated(round);
+                        metrics.terminations += 1;
+                        if cfg.record_trace {
+                            trace.push(Event::Terminate { round, pid });
+                        }
+                    }
+                }
+                Fate::Crash(spec) => {
+                    if spec.count_work {
+                        if let Some(unit) = work {
+                            metrics.record_work(unit);
+                            if cfg.record_trace {
+                                trace.push(Event::Work { round, pid, unit });
+                            }
+                        }
+                    }
+                    for (i, (to, payload)) in sends.into_iter().enumerate() {
+                        if spec.deliver.lets_through(i, to) {
+                            metrics.record_message(payload.class());
+                            if cfg.record_trace {
+                                trace.push(Event::Send { round, from: pid, to, class: payload.class() });
+                            }
+                            next_pending.push(Envelope { from: pid, to, sent_at: round, payload });
+                        }
+                    }
+                    statuses[idx] = Status::Crashed(round);
+                    metrics.crashes += 1;
+                    if cfg.record_trace {
+                        trace.push(Event::Crash { round, pid });
+                    }
+                }
+            }
+        }
+
+        // Did everyone retire?
+        if statuses.iter().all(Status::is_retired) {
+            metrics.rounds = round;
+            return Ok((Report { metrics, trace, statuses }, procs));
+        }
+
+        pending = next_pending;
+
+        // Fast-forward through provably idle rounds.
+        if pending.is_empty() {
+            let wake = (0..t)
+                .filter(|&i| matches!(statuses[i], Status::Alive))
+                .filter_map(|i| procs[i].next_wakeup(round + 1))
+                .map(|w| w.max(round + 1))
+                .min();
+            let adv = adversary.next_event(round + 1).map(|r| r.max(round + 1));
+            round = match (wake, adv) {
+                (Some(w), Some(a)) => w.min(a),
+                (Some(w), None) => w,
+                (None, Some(a)) => a,
+                (None, None) => {
+                    let alive = (0..t)
+                        .filter(|&i| matches!(statuses[i], Status::Alive))
+                        .map(Pid::new)
+                        .collect();
+                    return Err(RunError::Deadlock { round, alive, metrics: Box::new(metrics) });
+                }
+            };
+        } else {
+            round += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CrashSchedule, CrashSpec, NoFailures};
+    use crate::ids::Unit;
+
+    /// Token ring: process 0 starts the token at its wakeup round; each
+    /// process performs one unit, forwards the token, and terminates.
+    #[derive(Clone, Debug)]
+    struct Token;
+    impl Classify for Token {
+        fn class(&self) -> &'static str {
+            "token"
+        }
+    }
+
+    struct Ring {
+        me: usize,
+        t: usize,
+        start_at: Round,
+        done: bool,
+    }
+
+    impl Ring {
+        fn procs(t: usize, start_at: Round) -> Vec<Ring> {
+            (0..t).map(|me| Ring { me, t, start_at, done: false }).collect()
+        }
+    }
+
+    impl Protocol for Ring {
+        type Msg = Token;
+
+        fn step(&mut self, round: Round, inbox: &[Envelope<Token>], eff: &mut Effects<Token>) {
+            if self.done {
+                return;
+            }
+            let triggered =
+                (self.me == 0 && round >= self.start_at) || !inbox.is_empty();
+            if triggered {
+                eff.perform(Unit::new(self.me + 1));
+                if self.me + 1 < self.t {
+                    eff.send(Pid::new(self.me + 1), Token);
+                }
+                eff.terminate();
+                self.done = true;
+            }
+        }
+
+        fn next_wakeup(&self, now: Round) -> Option<Round> {
+            if self.me == 0 && !self.done {
+                Some(self.start_at.max(now))
+            } else {
+                None
+            }
+        }
+    }
+
+    #[test]
+    fn ring_completes_with_exact_metrics() {
+        let report = run(Ring::procs(4, 1), NoFailures, RunConfig::new(4, 100)).unwrap();
+        assert_eq!(report.metrics.work_total, 4);
+        assert_eq!(report.metrics.messages, 3);
+        assert_eq!(report.metrics.rounds, 4);
+        assert!(report.metrics.all_work_done());
+        assert_eq!(report.survivors().len(), 4);
+        assert_eq!(report.metrics.messages_by_class["token"], 3);
+    }
+
+    #[test]
+    fn fast_forward_skips_to_distant_wakeups_without_losing_time() {
+        let report = run(Ring::procs(3, 1_000_000), NoFailures, RunConfig::new(3, 2_000_000))
+            .unwrap();
+        // Time reflects the skipped idle prefix...
+        assert_eq!(report.metrics.rounds, 1_000_002);
+        // ...but the run completes quickly (if it executed every round this
+        // test would take far too long, so reaching here at all is the
+        // point).
+        assert_eq!(report.metrics.work_total, 3);
+    }
+
+    #[test]
+    fn round_limit_is_enforced() {
+        let err = run(Ring::procs(3, 50), NoFailures, RunConfig::new(3, 10)).unwrap_err();
+        match err {
+            RunError::RoundLimit { limit, .. } => assert_eq!(limit, 10),
+            other => panic!("expected RoundLimit, got {other}"),
+        }
+    }
+
+    #[test]
+    fn silent_crash_of_token_holder_deadlocks_the_ring() {
+        // Crash p1 the round it would forward the token: the remaining
+        // processes wait forever — the engine must detect this, not hang.
+        let schedule = CrashSchedule::new().crash_at(Pid::new(1), 2, CrashSpec::silent());
+        let err = run(Ring::procs(3, 1), schedule, RunConfig::new(3, 1000)).unwrap_err();
+        match err {
+            RunError::Deadlock { alive, .. } => assert_eq!(alive, vec![Pid::new(2)]),
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn crash_with_full_delivery_lets_the_token_escape() {
+        let schedule =
+            CrashSchedule::new().crash_at(Pid::new(1), 2, CrashSpec::after_round());
+        let report = run(Ring::procs(3, 1), schedule, RunConfig::new(3, 1000)).unwrap();
+        // p1 crashed but its work and send both counted.
+        assert_eq!(report.metrics.work_total, 3);
+        assert_eq!(report.metrics.messages, 2);
+        assert_eq!(report.metrics.crashes, 1);
+        assert_eq!(report.statuses[1], Status::Crashed(2));
+        assert!(report.has_survivor());
+    }
+
+    #[test]
+    fn crash_with_suppressed_work_uncounts_the_unit() {
+        let schedule = CrashSchedule::new()
+            .crash_at(Pid::new(2), 3, CrashSpec { deliver: crate::Deliver::All, count_work: false });
+        let report = run(Ring::procs(3, 1), schedule, RunConfig::new(3, 1000)).unwrap();
+        assert_eq!(report.metrics.work_total, 2);
+        assert!(!report.metrics.all_work_done());
+        assert_eq!(report.metrics.missing_units(), vec![Unit::new(3)]);
+    }
+
+    #[test]
+    fn dead_letters_are_counted_for_retired_recipients() {
+        // Crash p1 one round before the token reaches it.
+        let schedule = CrashSchedule::new().crash_at(Pid::new(1), 1, CrashSpec::silent());
+        let err = run(Ring::procs(3, 1), schedule, RunConfig::new(3, 1000)).unwrap_err();
+        match err {
+            RunError::Deadlock { metrics, .. } => {
+                assert_eq!(metrics.dead_letters, 1);
+                assert_eq!(metrics.messages, 1);
+            }
+            other => panic!("expected Deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn trace_records_all_event_kinds() {
+        let report =
+            run(Ring::procs(2, 1), NoFailures, RunConfig::new(2, 100).with_trace()).unwrap();
+        let kinds: Vec<&str> = report
+            .trace
+            .events()
+            .iter()
+            .map(|e| match e {
+                Event::Work { .. } => "work",
+                Event::Send { .. } => "send",
+                Event::Terminate { .. } => "terminate",
+                Event::Crash { .. } => "crash",
+                Event::Note { .. } => "note",
+            })
+            .collect();
+        assert_eq!(kinds, vec!["work", "send", "terminate", "work", "terminate"]);
+    }
+
+    #[test]
+    fn statuses_report_rounds() {
+        let report = run(Ring::procs(2, 1), NoFailures, RunConfig::new(2, 100)).unwrap();
+        assert_eq!(report.statuses[0], Status::Terminated(1));
+        assert_eq!(report.statuses[1], Status::Terminated(2));
+        assert!(Status::Crashed(3).is_retired());
+        assert!(!Status::Alive.is_retired());
+        assert_eq!(Status::Terminated(2).round(), Some(2));
+        assert_eq!(Status::Alive.round(), None);
+    }
+}

@@ -1,0 +1,189 @@
+//! Identifier newtypes shared by the whole workspace.
+//!
+//! The paper numbers processes `0..t-1` and work units `1..n`; we keep both
+//! conventions ([`Pid`] is zero-based, [`Unit`] is one-based) so that code
+//! reads like the pseudocode in Figures 1–4.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A round number in the synchronous model.
+///
+/// Round `1` is the first round of the execution; round `0` is reserved for
+/// the paper's fictitious "process 0 broadcast before the execution begins"
+/// convention (Protocol B, §2.3). Protocol C's deadlines are exponential in
+/// `n + t`, so rounds are 64-bit; arithmetic on deadlines saturates rather
+/// than wrapping.
+pub type Round = u64;
+
+/// Identifier of a process, `0..t-1`.
+///
+/// # Examples
+///
+/// ```
+/// use doall_sim::Pid;
+///
+/// let p = Pid::new(3);
+/// assert_eq!(p.index(), 3);
+/// assert_eq!(format!("{p}"), "p3");
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Pid(usize);
+
+impl Pid {
+    /// Creates a process identifier from a zero-based index.
+    pub const fn new(index: usize) -> Self {
+        Pid(index)
+    }
+
+    /// Returns the zero-based index of this process.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+
+    /// Iterates over `Pid(lo), Pid(lo+1), ..., Pid(hi-1)`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use doall_sim::Pid;
+    ///
+    /// let group: Vec<Pid> = Pid::range(2, 5).collect();
+    /// assert_eq!(group, vec![Pid::new(2), Pid::new(3), Pid::new(4)]);
+    /// ```
+    pub fn range(lo: usize, hi: usize) -> impl DoubleEndedIterator<Item = Pid> + Clone {
+        (lo..hi).map(Pid)
+    }
+
+    /// The identifier immediately after this one.
+    pub const fn next(self) -> Pid {
+        Pid(self.0 + 1)
+    }
+}
+
+impl From<usize> for Pid {
+    fn from(index: usize) -> Self {
+        Pid(index)
+    }
+}
+
+impl From<Pid> for usize {
+    fn from(pid: Pid) -> usize {
+        pid.0
+    }
+}
+
+impl fmt::Display for Pid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+/// Identifier of a unit of work, `1..=n` (one-based, as in the paper).
+///
+/// # Examples
+///
+/// ```
+/// use doall_sim::Unit;
+///
+/// let u = Unit::new(1);
+/// assert_eq!(u.get(), 1);
+/// assert_eq!(u.zero_based(), 0);
+/// ```
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+#[serde(transparent)]
+pub struct Unit(usize);
+
+impl Unit {
+    /// Creates a work-unit identifier from a one-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is `0`; the paper numbers units from `1`.
+    pub const fn new(id: usize) -> Self {
+        assert!(id >= 1, "work units are numbered from 1");
+        Unit(id)
+    }
+
+    /// Returns the one-based unit number.
+    pub const fn get(self) -> usize {
+        self.0
+    }
+
+    /// Returns the zero-based index (for array storage).
+    pub const fn zero_based(self) -> usize {
+        self.0 - 1
+    }
+
+    /// Iterates over units `lo..=hi` (inclusive, one-based).
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use doall_sim::Unit;
+    ///
+    /// let units: Vec<usize> = Unit::range_inclusive(3, 5).map(Unit::get).collect();
+    /// assert_eq!(units, vec![3, 4, 5]);
+    /// ```
+    pub fn range_inclusive(lo: usize, hi: usize) -> impl DoubleEndedIterator<Item = Unit> + Clone {
+        (lo..=hi).map(Unit)
+    }
+}
+
+impl fmt::Display for Unit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "u{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pid_roundtrips_through_usize() {
+        let p = Pid::new(7);
+        assert_eq!(usize::from(p), 7);
+        assert_eq!(Pid::from(7usize), p);
+    }
+
+    #[test]
+    fn pid_ordering_matches_index_ordering() {
+        assert!(Pid::new(0) < Pid::new(1));
+        assert!(Pid::new(10) > Pid::new(9));
+    }
+
+    #[test]
+    fn pid_range_is_half_open() {
+        assert_eq!(Pid::range(0, 0).count(), 0);
+        assert_eq!(Pid::range(5, 8).count(), 3);
+    }
+
+    #[test]
+    fn unit_is_one_based() {
+        let u = Unit::new(1);
+        assert_eq!(u.zero_based(), 0);
+        assert_eq!(Unit::new(9).get(), 9);
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered from 1")]
+    fn unit_zero_is_rejected() {
+        let _ = Unit::new(0);
+    }
+
+    #[test]
+    fn unit_range_is_inclusive() {
+        assert_eq!(Unit::range_inclusive(1, 1).count(), 1);
+        // `hi < lo` yields the empty range, used for "no remaining work".
+        assert_eq!(Unit::range_inclusive(2, 1).count(), 0);
+    }
+
+    #[test]
+    fn display_forms_are_stable() {
+        assert_eq!(Pid::new(0).to_string(), "p0");
+        assert_eq!(Unit::new(12).to_string(), "u12");
+    }
+}

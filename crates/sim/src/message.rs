@@ -1,0 +1,89 @@
+//! Message envelopes and classification.
+
+use std::fmt;
+
+use crate::ids::{Pid, Round};
+
+/// A message in flight, with its routing metadata.
+///
+/// Messages sent during round `r` are delivered at the start of round
+/// `r + 1` — the standard synchronous model used by the paper ("in one
+/// time unit a process can ... perform one round of communication").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender of the message.
+    pub from: Pid,
+    /// Recipient of the message.
+    pub to: Pid,
+    /// The round during which the message was sent.
+    pub sent_at: Round,
+    /// The protocol-level payload.
+    pub payload: M,
+}
+
+impl<M: fmt::Display> fmt::Display for Envelope<M> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {} @r{}: {}", self.from, self.to, self.sent_at, self.payload)
+    }
+}
+
+/// Classification of protocol messages for per-kind metrics.
+///
+/// The paper distinguishes *ordinary* messages from `go ahead` messages
+/// (Protocol B) and from `Are you alive?` polls and their responses
+/// (Protocol C); Theorems 2.8 and 3.8 count them separately. Implement this
+/// on your payload type so [`Metrics`](crate::Metrics) can report the
+/// breakdown.
+///
+/// # Examples
+///
+/// ```
+/// use doall_sim::Classify;
+///
+/// #[derive(Clone, Debug)]
+/// enum Msg { Checkpoint, GoAhead }
+///
+/// impl Classify for Msg {
+///     fn class(&self) -> &'static str {
+///         match self {
+///             Msg::Checkpoint => "ordinary",
+///             Msg::GoAhead => "go_ahead",
+///         }
+///     }
+/// }
+///
+/// assert_eq!(Msg::GoAhead.class(), "go_ahead");
+/// ```
+pub trait Classify {
+    /// A short, stable label for this message's kind.
+    fn class(&self) -> &'static str {
+        "msg"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone, Debug, PartialEq, Eq)]
+    struct Ping;
+
+    impl fmt::Display for Ping {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "ping")
+        }
+    }
+
+    impl Classify for Ping {}
+
+    #[test]
+    fn default_class_is_msg() {
+        assert_eq!(Ping.class(), "msg");
+    }
+
+    #[test]
+    fn envelope_display_mentions_route_and_round() {
+        let env = Envelope { from: Pid::new(1), to: Pid::new(2), sent_at: 7, payload: Ping };
+        assert_eq!(env.to_string(), "p1 -> p2 @r7: ping");
+    }
+}

@@ -1,0 +1,155 @@
+//! Work / message / time accounting — the paper's three complexity measures.
+
+use std::collections::BTreeMap;
+
+use serde::Serialize;
+
+use crate::ids::{Round, Unit};
+
+/// Counters for the paper's complexity measures.
+///
+/// * **work** — units performed, *including multiplicity* (a unit redone by
+///   a later process counts again);
+/// * **messages** — point-to-point messages sent. A broadcast to `k`
+///   recipients counts `k`. For a process that crashes mid-broadcast, only
+///   the delivered subset counts (the rest never left the process);
+/// * **rounds** — the round by which every process has retired;
+/// * **effort** — work + messages (the quantity the paper optimizes).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Metrics {
+    /// Total units of work performed, counting repetitions.
+    pub work_total: u64,
+    /// Total messages sent.
+    pub messages: u64,
+    /// Message counts broken down by [`Classify`](crate::Classify) class.
+    pub messages_by_class: BTreeMap<&'static str, u64>,
+    /// The round by which all processes had retired (crashed or
+    /// terminated); equivalently the last executed round of the run.
+    pub rounds: Round,
+    /// Number of processes that crashed.
+    pub crashes: u32,
+    /// Number of processes that terminated voluntarily.
+    pub terminations: u32,
+    /// Messages that arrived at already-retired recipients (sent but never
+    /// processed). Included in `messages`.
+    pub dead_letters: u64,
+    /// Per-unit multiplicities, indexed by `unit - 1`.
+    pub work_by_unit: Vec<u32>,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics for an `n`-unit workload.
+    pub fn new(n: usize) -> Self {
+        Metrics { work_by_unit: vec![0; n], ..Default::default() }
+    }
+
+    /// The paper's *effort* measure: work plus messages.
+    pub fn effort(&self) -> u64 {
+        self.work_total + self.messages
+    }
+
+    /// Whether every unit `1..=n` was performed at least once.
+    pub fn all_work_done(&self) -> bool {
+        self.work_by_unit.iter().all(|&c| c > 0)
+    }
+
+    /// Units that were never performed (should be empty whenever at least
+    /// one process survives — the paper's correctness condition).
+    pub fn missing_units(&self) -> Vec<Unit> {
+        self.work_by_unit
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c == 0)
+            .map(|(i, _)| Unit::new(i + 1))
+            .collect()
+    }
+
+    /// Units performed more than once, with their multiplicities.
+    pub fn redone_units(&self) -> Vec<(Unit, u32)> {
+        self.work_by_unit
+            .iter()
+            .enumerate()
+            .filter(|(_, &c)| c > 1)
+            .map(|(i, &c)| (Unit::new(i + 1), c))
+            .collect()
+    }
+
+    /// Total *wasted* work: performances beyond the first per unit.
+    pub fn wasted_work(&self) -> u64 {
+        self.work_by_unit.iter().map(|&c| u64::from(c.saturating_sub(1))).sum()
+    }
+
+    pub(crate) fn record_work(&mut self, unit: Unit) {
+        self.work_total += 1;
+        let idx = unit.zero_based();
+        if idx >= self.work_by_unit.len() {
+            self.work_by_unit.resize(idx + 1, 0);
+        }
+        self.work_by_unit[idx] += 1;
+    }
+
+    pub(crate) fn record_message(&mut self, class: &'static str) {
+        self.messages += 1;
+        *self.messages_by_class.entry(class).or_insert(0) += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn effort_is_work_plus_messages() {
+        let mut m = Metrics::new(3);
+        m.record_work(Unit::new(1));
+        m.record_work(Unit::new(1));
+        m.record_message("ordinary");
+        assert_eq!(m.work_total, 2);
+        assert_eq!(m.messages, 1);
+        assert_eq!(m.effort(), 3);
+    }
+
+    #[test]
+    fn completion_and_missing_units() {
+        let mut m = Metrics::new(3);
+        m.record_work(Unit::new(1));
+        m.record_work(Unit::new(3));
+        assert!(!m.all_work_done());
+        assert_eq!(m.missing_units(), vec![Unit::new(2)]);
+        m.record_work(Unit::new(2));
+        assert!(m.all_work_done());
+        assert!(m.missing_units().is_empty());
+    }
+
+    #[test]
+    fn wasted_work_counts_repeats_only() {
+        let mut m = Metrics::new(2);
+        m.record_work(Unit::new(1));
+        m.record_work(Unit::new(1));
+        m.record_work(Unit::new(1));
+        m.record_work(Unit::new(2));
+        assert_eq!(m.wasted_work(), 2);
+        assert_eq!(m.redone_units(), vec![(Unit::new(1), 3)]);
+    }
+
+    #[test]
+    fn class_breakdown_sums_to_total() {
+        let mut m = Metrics::new(0);
+        m.record_message("ordinary");
+        m.record_message("ordinary");
+        m.record_message("go_ahead");
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.messages_by_class["ordinary"], 2);
+        assert_eq!(m.messages_by_class["go_ahead"], 1);
+        let sum: u64 = m.messages_by_class.values().sum();
+        assert_eq!(sum, m.messages);
+    }
+
+    #[test]
+    fn work_by_unit_grows_on_demand() {
+        let mut m = Metrics::new(1);
+        m.record_work(Unit::new(5));
+        assert_eq!(m.work_by_unit.len(), 5);
+        assert_eq!(m.work_by_unit[4], 1);
+    }
+}

@@ -1,0 +1,104 @@
+//! The trait implemented by every protocol under simulation.
+
+use std::fmt;
+
+use crate::effects::Effects;
+use crate::ids::Round;
+use crate::message::{Classify, Envelope};
+
+/// A per-process protocol state machine driven by the synchronous engine.
+///
+/// One value of the implementing type exists per process. Each *executed*
+/// round, the engine calls [`step`](Protocol::step) on every process that is
+/// still alive and unterminated, passing the messages delivered this round
+/// (those sent during the previous round).
+///
+/// # Quiescence contract
+///
+/// The engine may **fast-forward** over rounds in which no messages are in
+/// flight, no process is due to act, and the adversary has no scheduled
+/// event. For this to be sound, `step` must be a pure no-op whenever the
+/// inbox is empty and `round` is earlier than the round most recently
+/// reported by [`next_wakeup`](Protocol::next_wakeup). All timing decisions
+/// must therefore be derived from the absolute `round` argument (deadlines),
+/// never from counting `step` invocations. Protocol C relies on this: its
+/// deadlines are `Θ(K (n+t) 2^{n+t})` rounds long, and simulating them
+/// round-by-round would be infeasible.
+pub trait Protocol {
+    /// The message payload exchanged by this protocol.
+    type Msg: Clone + fmt::Debug + Classify;
+
+    /// Executes one synchronous round.
+    ///
+    /// `inbox` holds the messages delivered at the start of this round,
+    /// ordered by sender identifier (deterministic). Record all actions on
+    /// `eff`.
+    fn step(&mut self, round: Round, inbox: &[Envelope<Self::Msg>], eff: &mut Effects<Self::Msg>);
+
+    /// The earliest round `>= now` at which this process may act without
+    /// first receiving a message, or `None` if it is purely reactive.
+    ///
+    /// Used only for fast-forwarding; returning `Some(now)` every time is
+    /// always correct (it merely disables the optimization for this
+    /// process).
+    fn next_wakeup(&self, now: Round) -> Option<Round>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::Pid;
+
+    #[derive(Clone, Debug)]
+    struct Tick;
+    impl Classify for Tick {}
+
+    /// A trivial protocol: sends one message to its successor at its wakeup
+    /// round, then terminates.
+    struct OneShot {
+        me: Pid,
+        t: usize,
+        fire_at: Round,
+        fired: bool,
+    }
+
+    impl Protocol for OneShot {
+        type Msg = Tick;
+
+        fn step(&mut self, round: Round, _inbox: &[Envelope<Tick>], eff: &mut Effects<Tick>) {
+            if !self.fired && round >= self.fire_at {
+                let succ = Pid::new((self.me.index() + 1) % self.t);
+                eff.send(succ, Tick);
+                eff.terminate();
+                self.fired = true;
+            }
+        }
+
+        fn next_wakeup(&self, now: Round) -> Option<Round> {
+            if self.fired {
+                None
+            } else {
+                Some(self.fire_at.max(now))
+            }
+        }
+    }
+
+    #[test]
+    fn one_shot_is_quiescent_before_wakeup() {
+        let mut p = OneShot { me: Pid::new(0), t: 2, fire_at: 10, fired: false };
+        let mut eff = Effects::new();
+        p.step(5, &[], &mut eff);
+        assert!(eff.is_idle());
+        assert_eq!(p.next_wakeup(6), Some(10));
+    }
+
+    #[test]
+    fn one_shot_fires_at_wakeup() {
+        let mut p = OneShot { me: Pid::new(1), t: 2, fire_at: 10, fired: false };
+        let mut eff = Effects::new();
+        p.step(10, &[], &mut eff);
+        assert_eq!(eff.sends().len(), 1);
+        assert!(eff.is_terminated());
+        assert_eq!(p.next_wakeup(11), None);
+    }
+}

@@ -1,0 +1,162 @@
+//! Execution traces: the raw material for invariant checking.
+
+use serde::Serialize;
+
+use crate::ids::{Pid, Round, Unit};
+
+/// One observable event of an execution.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub enum Event {
+    /// A process performed a unit of work.
+    Work {
+        /// Round of the event.
+        round: Round,
+        /// Acting process.
+        pid: Pid,
+        /// The unit performed.
+        unit: Unit,
+    },
+    /// A message left a process (post-adversary: suppressed sends of a
+    /// crashing process are not traced).
+    Send {
+        /// Round of the event.
+        round: Round,
+        /// Sender.
+        from: Pid,
+        /// Recipient.
+        to: Pid,
+        /// Message class (see [`Classify`](crate::Classify)).
+        class: &'static str,
+    },
+    /// A process crashed.
+    Crash {
+        /// Round of the event.
+        round: Round,
+        /// The victim.
+        pid: Pid,
+    },
+    /// A process terminated voluntarily.
+    Terminate {
+        /// Round of the event.
+        round: Round,
+        /// The terminating process.
+        pid: Pid,
+    },
+    /// A protocol-internal annotation (see
+    /// [`Effects::note`](crate::Effects::note)), e.g. `"activate"`.
+    Note {
+        /// Round of the event.
+        round: Round,
+        /// The annotating process.
+        pid: Pid,
+        /// The annotation tag.
+        tag: &'static str,
+    },
+}
+
+impl Event {
+    /// The round at which the event occurred.
+    pub fn round(&self) -> Round {
+        match self {
+            Event::Work { round, .. }
+            | Event::Send { round, .. }
+            | Event::Crash { round, .. }
+            | Event::Terminate { round, .. }
+            | Event::Note { round, .. } => *round,
+        }
+    }
+}
+
+/// An ordered log of [`Event`]s.
+///
+/// Recording is optional (see
+/// [`RunConfig::record_trace`](crate::RunConfig::record_trace)); long
+/// experiment sweeps disable it, tests enable it and feed the trace to the
+/// checkers in [`invariants`](crate::invariants).
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize)]
+pub struct Trace {
+    events: Vec<Event>,
+}
+
+impl Trace {
+    /// An empty trace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// All events in execution order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Number of recorded events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether no events were recorded.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Iterates over events of a given note tag.
+    pub fn notes<'a>(&'a self, tag: &'a str) -> impl Iterator<Item = (Round, Pid)> + 'a {
+        self.events.iter().filter_map(move |e| match e {
+            Event::Note { round, pid, tag: t } if *t == tag => Some((*round, *pid)),
+            _ => None,
+        })
+    }
+
+    /// The round at which `pid` retired (crashed or terminated), if it did.
+    pub fn retirement_round(&self, pid: Pid) -> Option<Round> {
+        self.events.iter().find_map(|e| match e {
+            Event::Crash { round, pid: p } | Event::Terminate { round, pid: p } if *p == pid => {
+                Some(*round)
+            }
+            _ => None,
+        })
+    }
+
+    pub(crate) fn push(&mut self, event: Event) {
+        self.events.push(event);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_orders_and_filters_notes() {
+        let mut t = Trace::new();
+        t.push(Event::Note { round: 1, pid: Pid::new(0), tag: "activate" });
+        t.push(Event::Work { round: 2, pid: Pid::new(0), unit: Unit::new(1) });
+        t.push(Event::Note { round: 9, pid: Pid::new(1), tag: "activate" });
+        let activations: Vec<_> = t.notes("activate").collect();
+        assert_eq!(activations, vec![(1, Pid::new(0)), (9, Pid::new(1))]);
+        assert_eq!(t.len(), 3);
+    }
+
+    #[test]
+    fn retirement_round_finds_first_retirement_event() {
+        let mut t = Trace::new();
+        t.push(Event::Crash { round: 4, pid: Pid::new(2) });
+        t.push(Event::Terminate { round: 6, pid: Pid::new(1) });
+        assert_eq!(t.retirement_round(Pid::new(2)), Some(4));
+        assert_eq!(t.retirement_round(Pid::new(1)), Some(6));
+        assert_eq!(t.retirement_round(Pid::new(0)), None);
+    }
+
+    #[test]
+    fn event_round_accessor_covers_all_variants() {
+        let events = [
+            Event::Work { round: 1, pid: Pid::new(0), unit: Unit::new(1) },
+            Event::Send { round: 2, from: Pid::new(0), to: Pid::new(1), class: "m" },
+            Event::Crash { round: 3, pid: Pid::new(0) },
+            Event::Terminate { round: 4, pid: Pid::new(1) },
+            Event::Note { round: 5, pid: Pid::new(1), tag: "x" },
+        ];
+        let rounds: Vec<Round> = events.iter().map(Event::round).collect();
+        assert_eq!(rounds, vec![1, 2, 3, 4, 5]);
+    }
+}

@@ -1,0 +1,210 @@
+//! Named failure scenarios: the crash schedules the paper's proofs and
+//! examples revolve around, packaged for reuse by tests, examples and the
+//! experiment harness.
+
+use doall_sim::{
+    Adversary, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RandomCrashes, Trigger,
+    TriggerAdversary, TriggerRule,
+};
+
+/// A named, parameterized failure scenario.
+///
+/// Each variant builds a fresh adversary via [`Scenario::adversary`]; the
+/// same scenario value can drive any protocol (adversaries are generic in
+/// the message type).
+///
+/// # Examples
+///
+/// ```
+/// use doall_workload::Scenario;
+/// use doall_core::ProtocolB;
+/// use doall_sim::{run, RunConfig};
+///
+/// let scenario = Scenario::TakeoverCascade { victims: 15 };
+/// let report = run(
+///     ProtocolB::processes(32, 16)?,
+///     scenario.adversary::<doall_core::ab::AbMsg>(),
+///     RunConfig::new(32, 100_000),
+/// )?;
+/// assert!(report.metrics.all_work_done());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum Scenario {
+    /// No process ever fails.
+    FailureFree,
+    /// Processes `0..k` crash silently in round 1 (dead on arrival).
+    DeadOnArrival {
+        /// Number of initial victims.
+        k: u64,
+    },
+    /// Every process among the first `victims` crashes immediately after
+    /// performing its first unit of work, unreported — the scenario behind
+    /// the `n + t − 1` work lower bound.
+    TakeoverCascade {
+        /// Number of cascade victims (use `t − 1` to spare one survivor).
+        victims: u64,
+    },
+    /// Each of the first `victims` processes dies on its `nth` *sending*
+    /// round, delivering only a length-`prefix` prefix of that broadcast —
+    /// the mid-checkpoint splits of §2's analysis.
+    CheckpointSplit {
+        /// Number of victims.
+        victims: u64,
+        /// Which sending round kills each victim (1-based).
+        nth_send: u64,
+        /// How many messages of the final broadcast escape.
+        prefix: usize,
+    },
+    /// The §3 strawman cascade: process 0 dies after performing `t − 1`
+    /// units; the top half of the processes dies; each successive
+    /// most-knowledgeable survivor redoes the suffix and dies too.
+    Strawman {
+        /// System size `t` (used to derive the victim set).
+        t: u64,
+    },
+    /// Seeded random crashes with budget `max_crashes`.
+    Random {
+        /// RNG seed (runs are reproducible).
+        seed: u64,
+        /// Per-round per-process crash probability.
+        p: f64,
+        /// Total crash budget (use `t − 1` for a guaranteed survivor).
+        max_crashes: u32,
+    },
+    /// Crash `k` processes (pids `from..from+k`) at the given round — the
+    /// mass-extinction trigger for Protocol D's fallback.
+    MassExtinction {
+        /// First victim pid.
+        from: u64,
+        /// Number of victims.
+        k: u64,
+        /// Round at which they all die.
+        round: u64,
+    },
+}
+
+impl Scenario {
+    /// Builds the adversary for this scenario.
+    pub fn adversary<M>(&self) -> Box<dyn Adversary<M>>
+    where
+        M: 'static,
+    {
+        match *self {
+            Scenario::FailureFree => Box::new(NoFailures),
+            Scenario::DeadOnArrival { k } => {
+                let mut s = CrashSchedule::new();
+                for j in 0..k {
+                    s = s.crash_at(Pid::new(j as usize), 1, CrashSpec::silent());
+                }
+                Box::new(s)
+            }
+            Scenario::TakeoverCascade { victims } => {
+                let rules = (0..victims)
+                    .map(|j| TriggerRule {
+                        trigger: Trigger::NthWorkBy { pid: Pid::new(j as usize), nth: 1 },
+                        target: None,
+                        spec: CrashSpec { deliver: Deliver::None, count_work: true },
+                    })
+                    .collect();
+                Box::new(TriggerAdversary::new(rules))
+            }
+            Scenario::CheckpointSplit { victims, nth_send, prefix } => {
+                let rules = (0..victims)
+                    .map(|j| TriggerRule {
+                        trigger: Trigger::NthSendRoundBy { pid: Pid::new(j as usize), nth: nth_send },
+                        target: None,
+                        spec: CrashSpec { deliver: Deliver::Prefix(prefix), count_work: true },
+                    })
+                    .collect();
+                Box::new(TriggerAdversary::new(rules))
+            }
+            Scenario::Strawman { t } => {
+                let mut rules = vec![TriggerRule {
+                    trigger: Trigger::NthWorkBy { pid: Pid::new(0), nth: t.saturating_sub(1).max(1) },
+                    target: None,
+                    spec: CrashSpec { deliver: Deliver::All, count_work: true },
+                }];
+                for j in t / 2 + 1..t {
+                    rules.push(TriggerRule {
+                        trigger: Trigger::AtRound(2 * t),
+                        target: Some(Pid::new(j as usize)),
+                        spec: CrashSpec::silent(),
+                    });
+                }
+                for j in (2..=t / 2).rev() {
+                    let redo = t.saturating_sub(1 + j);
+                    if redo == 0 {
+                        continue;
+                    }
+                    rules.push(TriggerRule {
+                        trigger: Trigger::NthWorkBy { pid: Pid::new(j as usize), nth: redo },
+                        target: None,
+                        spec: CrashSpec { deliver: Deliver::None, count_work: true },
+                    });
+                }
+                Box::new(TriggerAdversary::new(rules))
+            }
+            Scenario::Random { seed, p, max_crashes } => {
+                Box::new(RandomCrashes::new(seed, p, max_crashes))
+            }
+            Scenario::MassExtinction { from, k, round } => {
+                let mut s = CrashSchedule::new();
+                for j in from..from + k {
+                    s = s.crash_at(Pid::new(j as usize), round, CrashSpec::silent());
+                }
+                Box::new(s)
+            }
+        }
+    }
+
+    /// A short, stable label for tables and logs.
+    pub fn label(&self) -> String {
+        match self {
+            Scenario::FailureFree => "failure-free".into(),
+            Scenario::DeadOnArrival { k } => format!("dead-on-arrival({k})"),
+            Scenario::TakeoverCascade { victims } => format!("takeover-cascade({victims})"),
+            Scenario::CheckpointSplit { victims, nth_send, prefix } => {
+                format!("checkpoint-split({victims},{nth_send},{prefix})")
+            }
+            Scenario::Strawman { t } => format!("strawman({t})"),
+            Scenario::Random { seed, p, max_crashes } => {
+                format!("random(seed={seed},p={p},f<={max_crashes})")
+            }
+            Scenario::MassExtinction { from, k, round } => {
+                format!("mass-extinction({from}..{},r={round})", from + k)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(Scenario::FailureFree.label(), "failure-free");
+        assert_eq!(Scenario::DeadOnArrival { k: 3 }.label(), "dead-on-arrival(3)");
+        assert_eq!(
+            Scenario::MassExtinction { from: 2, k: 6, round: 2 }.label(),
+            "mass-extinction(2..8,r=2)"
+        );
+    }
+
+    #[test]
+    fn adversaries_build_for_any_message_type() {
+        for s in [
+            Scenario::FailureFree,
+            Scenario::DeadOnArrival { k: 2 },
+            Scenario::TakeoverCascade { victims: 3 },
+            Scenario::CheckpointSplit { victims: 2, nth_send: 1, prefix: 1 },
+            Scenario::Strawman { t: 8 },
+            Scenario::Random { seed: 1, p: 0.1, max_crashes: 3 },
+            Scenario::MassExtinction { from: 0, k: 2, round: 5 },
+        ] {
+            let _a = s.adversary::<u32>();
+            let _b = s.adversary::<String>();
+        }
+    }
+}

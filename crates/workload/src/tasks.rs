@@ -1,0 +1,207 @@
+//! Realistic idempotent workloads.
+//!
+//! §1 of the paper defines work broadly but insists on *idempotence*:
+//! "operations that can be repeated without harm … verifying a step in a
+//! formal proof, evaluating a boolean formula at a particular assignment,
+//! sensing the status of a valve, closing a valve". These bindings give
+//! the examples something real to execute: replay a run's
+//! [`Trace`] against a task and the task's final state
+//! is identical no matter how many times units were repeated.
+//!
+//! [`Trace`]: doall_sim::Trace
+
+use doall_sim::{Event, Trace, Unit};
+
+/// An idempotent batch task: executing unit `u` twice must leave the same
+/// state as executing it once.
+pub trait IdempotentTask {
+    /// Number of units.
+    fn units(&self) -> usize;
+
+    /// Executes one unit (must be idempotent).
+    fn execute(&mut self, unit: Unit);
+
+    /// Whether every unit's effect is in place.
+    fn complete(&self) -> bool;
+
+    /// Replays every work event of a trace, in order.
+    fn replay(&mut self, trace: &Trace) -> usize
+    where
+        Self: Sized,
+    {
+        let mut executed = 0;
+        for event in trace.events() {
+            if let Event::Work { unit, .. } = event {
+                self.execute(*unit);
+                executed += 1;
+            }
+        }
+        executed
+    }
+}
+
+/// The paper's motivating example: a bank of reactor valves that must all
+/// be verified closed before fuel is added.
+///
+/// # Examples
+///
+/// ```
+/// use doall_workload::{IdempotentTask, ValveBank};
+/// use doall_sim::Unit;
+///
+/// let mut bank = ValveBank::new(3);
+/// bank.execute(Unit::new(2));
+/// bank.execute(Unit::new(2)); // repeating is harmless
+/// assert!(!bank.complete());
+/// bank.execute(Unit::new(1));
+/// bank.execute(Unit::new(3));
+/// assert!(bank.complete());
+/// assert_eq!(bank.closed_count(), 3);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ValveBank {
+    closed: Vec<bool>,
+    close_operations: u64,
+}
+
+impl ValveBank {
+    /// A bank of `n` open valves.
+    pub fn new(n: usize) -> Self {
+        ValveBank { closed: vec![false; n], close_operations: 0 }
+    }
+
+    /// Valves currently closed.
+    pub fn closed_count(&self) -> usize {
+        self.closed.iter().filter(|c| **c).count()
+    }
+
+    /// Total close operations issued (counts repeats — the "work" cost).
+    pub fn operations(&self) -> u64 {
+        self.close_operations
+    }
+}
+
+impl IdempotentTask for ValveBank {
+    fn units(&self) -> usize {
+        self.closed.len()
+    }
+
+    fn execute(&mut self, unit: Unit) {
+        self.close_operations += 1;
+        self.closed[unit.zero_based()] = true; // closing twice is harmless
+    }
+
+    fn complete(&self) -> bool {
+        self.closed.iter().all(|c| *c)
+    }
+}
+
+/// Exhaustive evaluation of a boolean formula: unit `u` evaluates the
+/// formula on the `u`-th assignment (a SAT sweep split across idle
+/// workstations — the paper's LAN motivation).
+#[derive(Clone, Debug)]
+pub struct FormulaSweep {
+    vars: u32,
+    /// CNF clauses: each literal is `(var, polarity)`.
+    clauses: Vec<Vec<(u32, bool)>>,
+    satisfying: Vec<Option<bool>>,
+}
+
+impl FormulaSweep {
+    /// Builds a sweep over all `2^vars` assignments of the given CNF.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `vars > 20` (the sweep is meant for example-sized runs).
+    pub fn new(vars: u32, clauses: Vec<Vec<(u32, bool)>>) -> Self {
+        assert!(vars <= 20, "sweep of 2^{vars} assignments is too large for an example");
+        FormulaSweep { vars, clauses, satisfying: vec![None; 1 << vars] }
+    }
+
+    /// Number of satisfying assignments found so far.
+    pub fn satisfying_count(&self) -> usize {
+        self.satisfying.iter().filter(|s| **s == Some(true)).count()
+    }
+
+    fn eval(&self, assignment: usize) -> bool {
+        self.clauses.iter().all(|clause| {
+            clause.iter().any(|&(var, polarity)| {
+                let bit = (assignment >> var) & 1 == 1;
+                bit == polarity
+            })
+        })
+    }
+}
+
+impl IdempotentTask for FormulaSweep {
+    fn units(&self) -> usize {
+        1 << self.vars
+    }
+
+    fn execute(&mut self, unit: Unit) {
+        let assignment = unit.zero_based();
+        // Re-evaluating yields the same verdict: idempotent by construction.
+        self.satisfying[assignment] = Some(self.eval(assignment));
+    }
+
+    fn complete(&self) -> bool {
+        self.satisfying.iter().all(Option::is_some)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valve_bank_is_idempotent() {
+        let mut bank = ValveBank::new(4);
+        for _ in 0..3 {
+            bank.execute(Unit::new(2));
+        }
+        assert_eq!(bank.closed_count(), 1);
+        assert_eq!(bank.operations(), 3);
+        assert!(!bank.complete());
+    }
+
+    #[test]
+    fn formula_sweep_counts_satisfying_assignments() {
+        // (x0 ∨ x1) ∧ (¬x0 ∨ ¬x1): exactly the two assignments 01 and 10.
+        let mut sweep = FormulaSweep::new(2, vec![
+            vec![(0, true), (1, true)],
+            vec![(0, false), (1, false)],
+        ]);
+        for u in 1..=4 {
+            sweep.execute(Unit::new(u));
+        }
+        assert!(sweep.complete());
+        assert_eq!(sweep.satisfying_count(), 2);
+    }
+
+    #[test]
+    fn formula_sweep_is_idempotent() {
+        let mut sweep = FormulaSweep::new(1, vec![vec![(0, true)]]);
+        sweep.execute(Unit::new(2));
+        sweep.execute(Unit::new(2));
+        assert_eq!(sweep.satisfying_count(), 1);
+        assert!(!sweep.complete());
+    }
+
+    #[test]
+    fn replay_applies_trace_work_events() {
+        use doall_core::ReplicateAll;
+        use doall_sim::{run, NoFailures, RunConfig};
+
+        let report = run(
+            ReplicateAll::processes(4, 2).unwrap(),
+            NoFailures,
+            RunConfig::new(4, 100).with_trace(),
+        )
+        .unwrap();
+        let mut bank = ValveBank::new(4);
+        let executed = bank.replay(&report.trace);
+        assert_eq!(executed, 8); // 2 processes × 4 units, all idempotent
+        assert!(bank.complete());
+        assert_eq!(bank.closed_count(), 4);
+    }
+}

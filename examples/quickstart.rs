@@ -1,0 +1,46 @@
+//! Quickstart: run Protocol B on 64 units with 16 crash-prone processes
+//! and check the Theorem 2.8 guarantees on the resulting metrics.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use doall::bounds::theorems;
+use doall::core::ab::AbMsg;
+use doall::sim::{run, RunConfig};
+use doall::workload::Scenario;
+use doall::ProtocolB;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (n, t) = (64u64, 16u64);
+
+    // A reproducible adversary: random crashes, at most t - 1 of them so
+    // the paper's "at least one survivor" premise holds.
+    let scenario = Scenario::Random { seed: 2026, p: 0.02, max_crashes: (t - 1) as u32 };
+
+    let report = run(
+        ProtocolB::processes(n, t)?,
+        scenario.adversary::<AbMsg>(),
+        RunConfig::new(n as usize, 1_000_000),
+    )?;
+
+    println!("Protocol B on n = {n} units, t = {t} processes ({})", scenario.label());
+    println!("  all work done : {}", report.metrics.all_work_done());
+    println!("  crashes       : {}", report.metrics.crashes);
+    println!("  survivors     : {}", report.survivors().len());
+    println!();
+
+    let bound = theorems::protocol_b(n, t);
+    println!("  measured                 paper bound (Theorem 2.8)");
+    println!("  work     {:>6}          {:>6}  (3n)", report.metrics.work_total, bound.work);
+    println!("  messages {:>6}          {:>6}  (10t√t)", report.metrics.messages, bound.messages);
+    println!("  rounds   {:>6}          {:>6}  (3n + 8t)", report.metrics.rounds, bound.rounds);
+    println!("  effort   {:>6}          {:>6}", report.metrics.effort(), bound.effort());
+
+    assert!(report.metrics.all_work_done(), "correctness: every unit performed");
+    assert!(report.metrics.work_total <= bound.work);
+    assert!(report.metrics.messages <= bound.messages);
+    assert!(report.metrics.rounds <= bound.rounds);
+    println!("\nAll Theorem 2.8 bounds hold.");
+    Ok(())
+}

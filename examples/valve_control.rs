@@ -1,0 +1,51 @@
+//! The paper's motivating scenario (§1): before fuel is added to a
+//! reactor, a bank of valves must all be closed — and verified closed —
+//! despite controller crashes. Closing a valve is idempotent, so the
+//! Do-All protocols apply directly.
+//!
+//! This example runs Protocol A under a takeover cascade (every controller
+//! but the last dies right after closing one unreported valve), then
+//! replays the execution trace against a real `ValveBank` to show that
+//! repeated closes are harmless and every valve ends up closed.
+//!
+//! ```sh
+//! cargo run --example valve_control
+//! ```
+
+use doall::core::ab::AbMsg;
+use doall::sim::{run, RunConfig};
+use doall::workload::{IdempotentTask, Scenario, ValveBank};
+use doall::ProtocolA;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let valves = 36u64; // n units: close valve i
+    let controllers = 9u64; // t processes
+
+    let scenario = Scenario::TakeoverCascade { victims: controllers - 1 };
+    println!("Closing {valves} reactor valves with {controllers} controllers");
+    println!("Adversary: {}", scenario.label());
+    println!();
+
+    let report = run(
+        ProtocolA::processes(valves, controllers)?,
+        scenario.adversary::<AbMsg>(),
+        RunConfig::new(valves as usize, 1_000_000).with_trace(),
+    )?;
+
+    // Replay the recorded execution against the physical valve bank.
+    let mut bank = ValveBank::new(valves as usize);
+    let operations = bank.replay(&report.trace);
+
+    println!("  controllers crashed : {}", report.metrics.crashes);
+    println!("  close operations    : {operations} (incl. repeats — idempotent)");
+    println!("  valves closed       : {}/{valves}", bank.closed_count());
+    println!("  repeated closes     : {}", report.metrics.wasted_work());
+    println!("  messages            : {}", report.metrics.messages);
+    println!("  rounds              : {}", report.metrics.rounds);
+
+    assert!(bank.complete(), "every valve must be closed before fueling");
+    // The work-optimality guarantee: at most one redone unit per takeover.
+    assert_eq!(report.metrics.work_total, valves + controllers - 1);
+    println!("\nAll valves verified closed; work stayed within n + t - 1.");
+    Ok(())
+}

@@ -1,0 +1,62 @@
+//! # doall
+//!
+//! A complete Rust implementation of Dwork, Halpern & Waarts, *Performing
+//! Work Efficiently in the Presence of Faults* (PODC 1992 / SIAM J.
+//! Computing): the Do-All problem in a synchronous, crash-prone,
+//! message-passing system.
+//!
+//! `t` processes must perform `n` independent, idempotent units of work so
+//! that in every execution with at least one survivor, all `n` units get
+//! done — while minimizing **work** (units performed, with multiplicity),
+//! **messages**, and **time** (rounds).
+//!
+//! ## The protocol suite
+//!
+//! | Protocol | Work | Messages | Rounds |
+//! |---|---|---|---|
+//! | [`ProtocolA`] | `≤ 3n` | `≤ 9t√t` | `≤ nt + 3t²` |
+//! | [`ProtocolB`] | `≤ 3n` | `≤ 10t√t` | `≤ 3n + 8t` |
+//! | [`ProtocolC`] | `≤ n + 2t` | `≤ n + 8t log t` | exponential |
+//! | [`ProtocolC`]′ (Cor. 3.9) | `O(n)` | `O(t log t)` | exponential |
+//! | [`ProtocolD`] | `≤ 2n` | `≤ (4f+2)t²` | `(f+1)n/t + 4f + 2` |
+//!
+//! plus the §1 baselines ([`ReplicateAll`], [`Lockstep`]), the §3 strawman
+//! ([`NaiveSpread`]), the asynchronous Protocol A variant
+//! ([`AsyncProtocolA`]) and the §5 Byzantine-agreement reduction
+//! ([`agreement::BaSystem`]).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use doall::{ProtocolB, sim::{run, RunConfig}, workload::Scenario};
+//!
+//! // 64 units of work, 16 processes, 8 of them doomed to crash.
+//! let procs = ProtocolB::processes(64, 16)?;
+//! let adversary = Scenario::Random { seed: 7, p: 0.01, max_crashes: 8 }
+//!     .adversary::<doall::core::ab::AbMsg>();
+//! let report = run(procs, adversary, RunConfig::new(64, 100_000))?;
+//!
+//! assert!(report.metrics.all_work_done());      // correctness
+//! assert!(report.metrics.work_total <= 3 * 64); // Theorem 2.8(a)
+//! assert!(report.metrics.rounds <= 3 * 64 + 8 * 16); // Theorem 2.8(c)
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+//!
+//! See `examples/` for runnable scenarios (reactor valves, idle
+//! workstations, Byzantine agreement) and `DESIGN.md` / `EXPERIMENTS.md`
+//! for the paper-reproduction map.
+
+#![warn(missing_docs)]
+#![warn(rust_2018_idioms)]
+#![forbid(unsafe_code)]
+
+pub use doall_agreement as agreement;
+pub use doall_bounds as bounds;
+pub use doall_core as core;
+pub use doall_sim as sim;
+pub use doall_workload as workload;
+
+pub use doall_core::{
+    AsyncProtocolA, ConfigError, Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC,
+    ProtocolD, ReplicateAll,
+};

@@ -1,0 +1,199 @@
+//! Integration tests spanning the whole workspace: every protocol against
+//! every scenario, with the paper's bounds and structural invariants
+//! checked on each run.
+
+use doall::bounds::theorems;
+use doall::sim::invariants::{
+    check_activation_order, check_no_zombie_actions, check_sequential_work, check_single_active,
+};
+use doall::sim::{run, Protocol, Report, RunConfig};
+use doall::workload::Scenario;
+use doall::{Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll};
+
+fn scenarios(t: u64) -> Vec<Scenario> {
+    vec![
+        Scenario::FailureFree,
+        Scenario::DeadOnArrival { k: 1 },
+        Scenario::DeadOnArrival { k: t / 2 },
+        Scenario::DeadOnArrival { k: t - 1 },
+        Scenario::TakeoverCascade { victims: t - 1 },
+        Scenario::CheckpointSplit { victims: t / 2, nth_send: 2, prefix: 1 },
+        Scenario::Random { seed: 1, p: 0.01, max_crashes: (t - 1) as u32 },
+        Scenario::Random { seed: 99, p: 0.05, max_crashes: (t - 1) as u32 },
+    ]
+}
+
+fn run_checked<P: Protocol>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Report
+where
+    P::Msg: 'static,
+{
+    let report = run(
+        procs,
+        scenario.adversary::<P::Msg>(),
+        RunConfig::new(n as usize, u64::MAX - 1).with_trace(),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()));
+    assert!(
+        report.metrics.all_work_done(),
+        "{}: missing units {:?}",
+        scenario.label(),
+        report.metrics.missing_units()
+    );
+    assert!(
+        check_no_zombie_actions(&report.trace).is_empty(),
+        "{}: zombie actions",
+        scenario.label()
+    );
+    report
+}
+
+#[test]
+fn protocol_a_all_scenarios() {
+    let (n, t) = (32u64, 16u64);
+    for scenario in scenarios(t) {
+        let report = run_checked(ProtocolA::processes(n, t).unwrap(), &scenario, n);
+        let b = theorems::protocol_a(n, t);
+        assert!(report.metrics.work_total <= b.work, "{}", scenario.label());
+        assert!(report.metrics.messages <= b.messages, "{}", scenario.label());
+        assert!(report.metrics.rounds <= b.rounds, "{}", scenario.label());
+        assert!(check_single_active(&report.trace).is_empty(), "{}", scenario.label());
+        assert!(check_activation_order(&report.trace).is_empty(), "{}", scenario.label());
+        assert!(check_sequential_work(&report.trace).is_empty(), "{}", scenario.label());
+    }
+}
+
+#[test]
+fn protocol_b_all_scenarios() {
+    let (n, t) = (32u64, 16u64);
+    for scenario in scenarios(t) {
+        let report = run_checked(ProtocolB::processes(n, t).unwrap(), &scenario, n);
+        let b = theorems::protocol_b(n, t);
+        assert!(report.metrics.work_total <= b.work, "{}", scenario.label());
+        assert!(report.metrics.messages <= b.messages, "{}", scenario.label());
+        assert!(report.metrics.rounds <= b.rounds, "{}", scenario.label());
+        assert!(check_single_active(&report.trace).is_empty(), "{}", scenario.label());
+        assert!(check_activation_order(&report.trace).is_empty(), "{}", scenario.label());
+    }
+}
+
+#[test]
+fn protocol_c_all_scenarios() {
+    let (n, t) = (16u64, 8u64); // exponential deadlines: keep n + t small
+    for scenario in scenarios(t) {
+        let report = run_checked(ProtocolC::processes(n, t).unwrap(), &scenario, n);
+        let b = theorems::protocol_c(n, t);
+        assert!(report.metrics.work_total <= b.work, "{}", scenario.label());
+        assert!(report.metrics.messages <= b.messages, "{}", scenario.label());
+        assert!(check_single_active(&report.trace).is_empty(), "{}", scenario.label());
+        assert!(check_sequential_work(&report.trace).is_empty(), "{}", scenario.label());
+    }
+}
+
+#[test]
+fn protocol_c_prime_all_scenarios() {
+    let (n, t) = (16u64, 8u64);
+    for scenario in scenarios(t) {
+        let report = run_checked(ProtocolC::processes_prime(n, t).unwrap(), &scenario, n);
+        let b = theorems::protocol_c_prime(n, t);
+        assert!(report.metrics.work_total <= b.work, "{}", scenario.label());
+        assert!(report.metrics.messages <= b.messages, "{}", scenario.label());
+        assert!(check_single_active(&report.trace).is_empty(), "{}", scenario.label());
+    }
+}
+
+#[test]
+fn protocol_d_all_scenarios() {
+    let (n, t) = (32u64, 16u64);
+    for scenario in scenarios(t) {
+        let report = run_checked(ProtocolD::processes(n, t).unwrap(), &scenario, n);
+        let f = u64::from(report.metrics.crashes);
+        // The fallback case is the weaker envelope; it covers both.
+        let b = theorems::protocol_d_fallback(n, t, f);
+        assert!(report.metrics.work_total <= b.work, "{}", scenario.label());
+        assert!(report.metrics.messages <= b.messages, "{}", scenario.label());
+        assert!(report.metrics.rounds <= b.rounds, "{}", scenario.label());
+    }
+}
+
+#[test]
+fn baselines_all_scenarios() {
+    let (n, t) = (32u64, 16u64);
+    for scenario in scenarios(t) {
+        run_checked(ReplicateAll::processes(n, t).unwrap(), &scenario, n);
+        run_checked(Lockstep::processes(n, t).unwrap(), &scenario, n);
+        run_checked(NaiveSpread::processes(n, t).unwrap(), &scenario, n);
+    }
+}
+
+/// §2.3's whole point: under the worst dead-on-arrival pattern, Protocol B
+/// finishes in O(n + t) rounds while Protocol A needs Θ(nt + t²).
+#[test]
+fn protocol_b_beats_a_on_takeover_latency() {
+    let (n, t) = (64u64, 64u64);
+    let scenario = Scenario::DeadOnArrival { k: t - 1 };
+    let a = run_checked(ProtocolA::processes(n, t).unwrap(), &scenario, n);
+    let b = run_checked(ProtocolB::processes(n, t).unwrap(), &scenario, n);
+    assert!(
+        b.metrics.rounds * 10 < a.metrics.rounds,
+        "B ({}) should be an order of magnitude faster than A ({})",
+        b.metrics.rounds,
+        a.metrics.rounds
+    );
+}
+
+/// §6: in the failure-free case Protocol D takes n/t + 2 rounds — the
+/// sequential protocols can never beat n rounds.
+#[test]
+fn protocol_d_is_the_time_winner_without_failures() {
+    let (n, t) = (64u64, 16u64);
+    let scenario = Scenario::FailureFree;
+    let d = run_checked(ProtocolD::processes(n, t).unwrap(), &scenario, n);
+    let b = run_checked(ProtocolB::processes(n, t).unwrap(), &scenario, n);
+    assert_eq!(d.metrics.rounds, n / t + 2);
+    assert!(d.metrics.rounds < b.metrics.rounds / 10);
+}
+
+/// Work-optimality separates the suite from replicate-all, and
+/// message-optimality from lockstep, on the same workload.
+#[test]
+fn effort_ranking_matches_section_1() {
+    let (n, t) = (64u64, 16u64);
+    let scenario = Scenario::Random { seed: 5, p: 0.02, max_crashes: (t - 1) as u32 };
+    let rep = run_checked(ReplicateAll::processes(n, t).unwrap(), &scenario, n);
+    let lock = run_checked(Lockstep::processes(n, t).unwrap(), &scenario, n);
+    let b = run_checked(ProtocolB::processes(n, t).unwrap(), &scenario, n);
+    assert!(b.metrics.effort() < rep.metrics.effort());
+    assert!(b.metrics.effort() < lock.metrics.effort());
+}
+
+/// The asynchronous Protocol A (§2.1) does the same work and sends the
+/// same messages as the synchronous one in the failure-free case,
+/// regardless of message delays.
+#[test]
+fn async_protocol_a_matches_synchronous_counts() {
+    use doall::sim::asynch::{run_async, AsyncConfig};
+    use doall::AsyncProtocolA;
+
+    let (n, t) = (32u64, 16u64);
+    let sync_report = run_checked(ProtocolA::processes(n, t).unwrap(), &Scenario::FailureFree, n);
+    for seed in 0..5 {
+        let cfg = AsyncConfig { n: n as usize, seed, max_delay: 11, max_events: 1_000_000 };
+        let async_report =
+            run_async(AsyncProtocolA::processes(n, t).unwrap(), Vec::new(), cfg).unwrap();
+        assert!(async_report.metrics.all_work_done());
+        assert_eq!(async_report.metrics.work_total, sync_report.metrics.work_total);
+        assert_eq!(async_report.metrics.messages, sync_report.metrics.messages);
+    }
+}
+
+/// Determinism: identical configurations and scenarios yield identical
+/// metrics — the property that makes every other test meaningful.
+#[test]
+fn runs_are_reproducible() {
+    let (n, t) = (32u64, 16u64);
+    let scenario = Scenario::Random { seed: 11, p: 0.03, max_crashes: (t - 1) as u32 };
+    let r1 = run_checked(ProtocolB::processes(n, t).unwrap(), &scenario, n);
+    let r2 = run_checked(ProtocolB::processes(n, t).unwrap(), &scenario, n);
+    assert_eq!(r1.metrics, r2.metrics);
+    assert_eq!(r1.trace, r2.trace);
+}

@@ -1,0 +1,235 @@
+//! Engine-level integration tests: model-rule enforcement, delivery
+//! semantics, fast-forward equivalence, adversary composition.
+
+use doall::sim::{
+    run, Classify, CrashSchedule, CrashSpec, Deliver, Effects, Envelope, NoFailures, Pid,
+    Protocol, Round, RunConfig, Unit,
+};
+
+/// Ping-pong between two processes for a configurable number of volleys,
+/// with an optional idle gap between volleys (to exercise fast-forward).
+#[derive(Clone, Debug)]
+struct Ball(u64);
+impl Classify for Ball {
+    fn class(&self) -> &'static str {
+        "ball"
+    }
+}
+
+struct Player {
+    me: usize,
+    volleys: u64,
+    gap: Round,
+    next_serve: Option<Round>,
+    hits: u64,
+}
+
+impl Player {
+    fn pair(volleys: u64, gap: Round) -> Vec<Player> {
+        vec![
+            Player { me: 0, volleys, gap, next_serve: Some(1), hits: 0 },
+            Player { me: 1, volleys, gap, next_serve: None, hits: 0 },
+        ]
+    }
+}
+
+impl Protocol for Player {
+    type Msg = Ball;
+
+    fn step(&mut self, round: Round, inbox: &[Envelope<Ball>], eff: &mut Effects<Ball>) {
+        if let Some(env) = inbox.first() {
+            self.hits += 1;
+            if env.payload.0 >= self.volleys {
+                eff.terminate();
+                // Tell the peer to stop too.
+                eff.send(env.from, Ball(env.payload.0 + 1));
+                return;
+            }
+            // Return the ball after `gap` idle rounds.
+            self.next_serve = Some(round + self.gap);
+            self.hits += 0;
+        }
+        if self.next_serve == Some(round) {
+            let n = self.hits + 1;
+            let peer = Pid::new(1 - self.me);
+            let count = if self.me == 0 { 2 * self.hits + 1 } else { 2 * self.hits };
+            eff.send(peer, Ball(count));
+            self.next_serve = None;
+            if count >= self.volleys {
+                eff.terminate();
+            }
+            let _ = n;
+        }
+    }
+
+    fn next_wakeup(&self, now: Round) -> Option<Round> {
+        self.next_serve.map(|r| r.max(now))
+    }
+}
+
+#[test]
+fn fast_forward_is_metric_equivalent_to_dense_execution() {
+    // A run with huge idle gaps must produce identical message/work counts
+    // and exactly the gap-scaled round count.
+    let small = run(Player::pair(5, 2), NoFailures, RunConfig::new(0, 10_000)).unwrap();
+    let large = run(Player::pair(5, 1_000_000), NoFailures, RunConfig::new(0, u64::MAX - 1))
+        .unwrap();
+    assert_eq!(small.metrics.messages, large.metrics.messages);
+    assert!(large.metrics.rounds > 1_000_000, "gaps must count toward time");
+}
+
+/// A protocol that tries to perform two units in one round must be caught
+/// by the model-rule assertion.
+#[test]
+#[should_panic(expected = "at most one unit of work per round")]
+fn double_work_per_round_is_rejected() {
+    struct Greedy;
+    #[derive(Clone, Debug)]
+    struct NoMsg;
+    impl Classify for NoMsg {}
+    impl Protocol for Greedy {
+        type Msg = NoMsg;
+        fn step(&mut self, _: Round, _: &[Envelope<NoMsg>], eff: &mut Effects<NoMsg>) {
+            eff.perform(Unit::new(1));
+            eff.perform(Unit::new(2));
+        }
+        fn next_wakeup(&self, now: Round) -> Option<Round> {
+            Some(now)
+        }
+    }
+    let _ = run(vec![Greedy], NoFailures, RunConfig::new(2, 10));
+}
+
+#[test]
+fn self_addressed_messages_are_delivered_next_round() {
+    struct Echoist {
+        sent: bool,
+        got: bool,
+    }
+    #[derive(Clone, Debug)]
+    struct Note;
+    impl Classify for Note {}
+    impl Protocol for Echoist {
+        type Msg = Note;
+        fn step(&mut self, _: Round, inbox: &[Envelope<Note>], eff: &mut Effects<Note>) {
+            if !self.sent {
+                eff.send(Pid::new(0), Note);
+                self.sent = true;
+            } else if !inbox.is_empty() {
+                self.got = true;
+                eff.terminate();
+            }
+        }
+        fn next_wakeup(&self, now: Round) -> Option<Round> {
+            Some(now)
+        }
+    }
+    let report = run(
+        vec![Echoist { sent: false, got: false }],
+        NoFailures,
+        RunConfig::new(0, 10),
+    )
+    .unwrap();
+    assert_eq!(report.metrics.rounds, 2);
+    assert_eq!(report.metrics.messages, 1);
+}
+
+#[test]
+fn crash_schedule_and_subset_delivery_compose() {
+    // Two schedules on the same round, one clean and one subset: the
+    // engine applies each victim's own spec.
+    struct Spammer {
+        me: usize,
+        t: usize,
+    }
+    #[derive(Clone, Debug)]
+    struct Blast;
+    impl Classify for Blast {}
+    impl Protocol for Spammer {
+        type Msg = Blast;
+        fn step(&mut self, round: Round, _: &[Envelope<Blast>], eff: &mut Effects<Blast>) {
+            let others = (0..self.t).filter(|p| *p != self.me).map(Pid::new);
+            eff.broadcast(others, Blast);
+            if round == 3 {
+                eff.terminate();
+            }
+        }
+        fn next_wakeup(&self, now: Round) -> Option<Round> {
+            Some(now)
+        }
+    }
+    let procs = (0..4).map(|me| Spammer { me, t: 4 }).collect();
+    let adv = CrashSchedule::new()
+        .crash_at(Pid::new(0), 2, CrashSpec::silent())
+        .crash_at(Pid::new(1), 2, CrashSpec { deliver: Deliver::Subset([Pid::new(3)].into()), count_work: true });
+    let report = run(procs, adv, RunConfig::new(0, 10)).unwrap();
+    // Round 1: 4 broadcasts × 3. Round 2: p0 suppressed (0), p1 subset (1),
+    // p2 + p3 full (3 each). Round 3: p2 + p3 full.
+    assert_eq!(report.metrics.messages, 12 + 7 + 6);
+    assert_eq!(report.metrics.crashes, 2);
+}
+
+#[test]
+fn round_limit_reports_partial_metrics() {
+    // A protocol that never terminates trips the round cap with its
+    // accumulated metrics intact.
+    struct Forever;
+    #[derive(Clone, Debug)]
+    struct NoMsg;
+    impl Classify for NoMsg {}
+    impl Protocol for Forever {
+        type Msg = NoMsg;
+        fn step(&mut self, round: Round, _: &[Envelope<NoMsg>], eff: &mut Effects<NoMsg>) {
+            if round <= 3 {
+                eff.perform(Unit::new(round as usize));
+            }
+        }
+        fn next_wakeup(&self, now: Round) -> Option<Round> {
+            Some(now)
+        }
+    }
+    match run(vec![Forever], NoFailures, RunConfig::new(3, 50)) {
+        Err(doall::sim::RunError::RoundLimit { limit, metrics }) => {
+            assert_eq!(limit, 50);
+            assert_eq!(metrics.work_total, 3);
+        }
+        other => panic!("expected RoundLimit, got {other:?}"),
+    }
+}
+
+#[test]
+fn terminated_processes_stop_receiving() {
+    // After termination, inbound messages become dead letters.
+    struct Quitter {
+        me: usize,
+    }
+    #[derive(Clone, Debug)]
+    struct Ping;
+    impl Classify for Ping {}
+    impl Protocol for Quitter {
+        type Msg = Ping;
+        fn step(&mut self, round: Round, _: &[Envelope<Ping>], eff: &mut Effects<Ping>) {
+            if self.me == 0 {
+                eff.terminate();
+            } else if round <= 3 {
+                eff.send(Pid::new(0), Ping);
+                if round == 3 {
+                    eff.terminate();
+                }
+            }
+        }
+        fn next_wakeup(&self, now: Round) -> Option<Round> {
+            Some(now)
+        }
+    }
+    let report = run(
+        vec![Quitter { me: 0 }, Quitter { me: 1 }],
+        NoFailures,
+        RunConfig::new(0, 10),
+    )
+    .unwrap();
+    assert_eq!(report.metrics.messages, 3);
+    // Pings 1 and 2 arrive after p0 retired; ping 3 is still in flight
+    // when the run ends (everyone has retired), so it is never delivered.
+    assert_eq!(report.metrics.dead_letters, 2);
+}

@@ -1,0 +1,156 @@
+//! Property-based tests (proptest) over randomly drawn system shapes and
+//! crash schedules: correctness ("all work done whenever one process
+//! survives"), the theorem bounds, the single-active invariants, and the
+//! deadline identities of Lemma 2.5.
+
+use doall::bounds::deadlines_ab::{ddb, tt, AbParams};
+use doall::bounds::theorems;
+use doall::sim::invariants::{check_activation_order, check_single_active};
+use doall::sim::{run, RunConfig};
+use doall::workload::Scenario;
+use doall::{ProtocolA, ProtocolB, ProtocolC, ProtocolD};
+use proptest::prelude::*;
+
+/// Valid Protocol A/B shapes: t a perfect square, t | n, n >= t.
+fn ab_shape() -> impl Strategy<Value = (u64, u64)> {
+    (1u64..=6, 1u64..=6).prop_map(|(s, k)| {
+        let t = s * s;
+        (t * k, t)
+    })
+}
+
+/// Valid Protocol C shapes, kept small (exponential deadlines).
+fn c_shape() -> impl Strategy<Value = (u64, u64)> {
+    (1u64..=3, 1u64..=3).prop_map(|(log_t, k)| {
+        let t = 1u64 << log_t;
+        (t * k, t)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 48, ..ProptestConfig::default() })]
+
+    /// Lemma 2.5(a): TT(j,k) + TT(l,j) = TT(l,k) for l > j > k.
+    #[test]
+    fn lemma_2_5_a_holds((n, t) in ab_shape(), seed in any::<u64>()) {
+        prop_assume!(t >= 3);
+        let p = AbParams::new(n, t);
+        let k = seed % (t - 2);
+        let j = k + 1 + (seed >> 8) % (t - k - 2).max(1);
+        let l = j + 1 + (seed >> 16) % (t - j - 1).max(1);
+        prop_assume!(l < t);
+        prop_assert_eq!(tt(p, j, k) + tt(p, l, j), tt(p, l, k));
+    }
+
+    /// Lemma 2.5(b): TT(j,k) + DDB(l,j) = DDB(l,k) when group(j) < group(l).
+    #[test]
+    fn lemma_2_5_b_holds((n, t) in ab_shape(), seed in any::<u64>()) {
+        prop_assume!(t >= 4);
+        let p = AbParams::new(n, t);
+        let k = seed % (t - 2);
+        let j = k + 1 + (seed >> 8) % (t - k - 2).max(1);
+        let l = j + 1 + (seed >> 16) % (t - j - 1).max(1);
+        prop_assume!(l < t && p.group_of(j) < p.group_of(l));
+        prop_assert_eq!(tt(p, j, k) + ddb(p, l, j), ddb(p, l, k));
+    }
+
+    /// Protocol A: correctness and Theorem 2.3 under random crash storms.
+    #[test]
+    fn protocol_a_random_storms((n, t) in ab_shape(), seed in any::<u64>(), p in 0.0f64..0.08) {
+        let scenario = Scenario::Random { seed, p, max_crashes: (t - 1) as u32 };
+        let report = run(
+            ProtocolA::processes(n, t).unwrap(),
+            scenario.adversary(),
+            RunConfig::new(n as usize, u64::MAX - 1).with_trace(),
+        ).unwrap();
+        prop_assert!(report.has_survivor());
+        prop_assert!(report.metrics.all_work_done());
+        let b = theorems::protocol_a(n, t);
+        prop_assert!(report.metrics.work_total <= b.work);
+        prop_assert!(report.metrics.messages <= b.messages);
+        prop_assert!(report.metrics.rounds <= b.rounds);
+        prop_assert!(check_single_active(&report.trace).is_empty());
+        prop_assert!(check_activation_order(&report.trace).is_empty());
+    }
+
+    /// Protocol B: correctness and Theorem 2.8 under random crash storms.
+    #[test]
+    fn protocol_b_random_storms((n, t) in ab_shape(), seed in any::<u64>(), p in 0.0f64..0.08) {
+        let scenario = Scenario::Random { seed, p, max_crashes: (t - 1) as u32 };
+        let report = run(
+            ProtocolB::processes(n, t).unwrap(),
+            scenario.adversary(),
+            RunConfig::new(n as usize, u64::MAX - 1).with_trace(),
+        ).unwrap();
+        prop_assert!(report.metrics.all_work_done());
+        let b = theorems::protocol_b(n, t);
+        prop_assert!(report.metrics.work_total <= b.work);
+        prop_assert!(report.metrics.messages <= b.messages);
+        prop_assert!(report.metrics.rounds <= b.rounds,
+            "rounds {} > bound {}", report.metrics.rounds, b.rounds);
+        prop_assert!(check_single_active(&report.trace).is_empty());
+        prop_assert!(check_activation_order(&report.trace).is_empty());
+    }
+
+    /// Protocol C: correctness, Theorem 3.8, and the knowledge-order
+    /// invariant (checked live by a debug assertion inside the merge).
+    #[test]
+    fn protocol_c_random_storms((n, t) in c_shape(), seed in any::<u64>(), p in 0.0f64..0.08) {
+        let scenario = Scenario::Random { seed, p, max_crashes: (t - 1) as u32 };
+        let report = run(
+            ProtocolC::processes(n, t).unwrap(),
+            scenario.adversary(),
+            RunConfig::new(n as usize, u64::MAX - 1).with_trace(),
+        ).unwrap();
+        prop_assert!(report.metrics.all_work_done());
+        let b = theorems::protocol_c(n, t);
+        prop_assert!(report.metrics.work_total <= b.work,
+            "work {} > bound {}", report.metrics.work_total, b.work);
+        prop_assert!(report.metrics.messages <= b.messages);
+        prop_assert!(check_single_active(&report.trace).is_empty());
+    }
+
+    /// Protocol D accepts arbitrary shapes (no divisibility assumptions)
+    /// and keeps Theorem 4.1's envelope under random storms.
+    #[test]
+    fn protocol_d_random_storms(n in 1u64..=60, t in 1u64..=12, seed in any::<u64>(), p in 0.0f64..0.08) {
+        let scenario = Scenario::Random { seed, p, max_crashes: t.saturating_sub(1) as u32 };
+        let report = run(
+            ProtocolD::processes(n, t).unwrap(),
+            scenario.adversary(),
+            RunConfig::new(n as usize, u64::MAX - 1).with_trace(),
+        ).unwrap();
+        prop_assert!(report.metrics.all_work_done());
+        let f = u64::from(report.metrics.crashes);
+        let b = theorems::protocol_d_fallback(n, t, f);
+        prop_assert!(report.metrics.work_total <= b.work,
+            "work {} > bound {} (f = {f})", report.metrics.work_total, b.work);
+        prop_assert!(report.metrics.messages <= b.messages);
+    }
+
+    /// Dead-on-arrival prefixes of any length leave a working system.
+    #[test]
+    fn dead_on_arrival_any_prefix((n, t) in ab_shape(), frac in 0.0f64..1.0) {
+        prop_assume!(t >= 2);
+        let k = ((t - 1) as f64 * frac) as u64;
+        let scenario = Scenario::DeadOnArrival { k };
+        let report = run(
+            ProtocolB::processes(n, t).unwrap(),
+            scenario.adversary(),
+            RunConfig::new(n as usize, u64::MAX - 1).with_trace(),
+        ).unwrap();
+        prop_assert!(report.metrics.all_work_done());
+        prop_assert_eq!(report.metrics.work_total, n, "dead processes did nothing; no rework");
+    }
+
+    /// Determinism as a property: equal inputs, equal outputs.
+    #[test]
+    fn metrics_are_deterministic((n, t) in ab_shape(), seed in any::<u64>()) {
+        let mk = || run(
+            ProtocolB::processes(n, t).unwrap(),
+            Scenario::Random { seed, p: 0.03, max_crashes: (t - 1) as u32 }.adversary(),
+            RunConfig::new(n as usize, u64::MAX - 1),
+        ).unwrap().metrics;
+        prop_assert_eq!(mk(), mk());
+    }
+}
