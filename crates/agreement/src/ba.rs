@@ -235,8 +235,7 @@ impl Translated {
         let work = eff.work();
         let terminated = eff.is_terminated();
         let notes = eff.notes().to_vec();
-        let sends =
-            eff.sends().iter().map(|(to, m)| (*to, EitherMsg::C(m.clone()))).collect();
+        let sends = eff.sends().iter().map(|(to, m)| (*to, EitherMsg::C(m.clone()))).collect();
         Translated { work, sends, notes, terminated }
     }
 }
@@ -374,15 +373,18 @@ impl BaSystem {
                 let sender = if me < t_senders {
                     Some(match self.engine {
                         Engine::A => SenderEngine::A(
-                            ProtocolA::processes(n_pad, t_senders).expect("validated")
+                            ProtocolA::processes(n_pad, t_senders)
+                                .expect("validated")
                                 .remove(me as usize),
                         ),
                         Engine::B => SenderEngine::B(
-                            ProtocolB::processes(n_pad, t_senders).expect("validated")
+                            ProtocolB::processes(n_pad, t_senders)
+                                .expect("validated")
                                 .remove(me as usize),
                         ),
                         Engine::C => SenderEngine::C(
-                            ProtocolC::processes(n_pad, t_senders).expect("validated")
+                            ProtocolC::processes(n_pad, t_senders)
+                                .expect("validated")
                                 .remove(me as usize),
                         ),
                     })
@@ -461,7 +463,7 @@ impl BaOutcome {
 
 #[cfg(test)]
 mod tests {
-    use doall_sim::{CrashSchedule, CrashSpec, NoFailures, TriggerAdversary, TriggerRule, Trigger};
+    use doall_sim::{CrashSchedule, CrashSpec, NoFailures, Trigger, TriggerAdversary, TriggerRule};
 
     use super::*;
 
@@ -478,11 +480,8 @@ mod tests {
     #[test]
     fn ba_via_a_and_c_also_work_failure_free() {
         for engine in [Engine::A, Engine::C] {
-            let outcome = BaSystem::new(16, 3, engine)
-                .unwrap()
-                .general_value(5)
-                .run(NoFailures)
-                .unwrap();
+            let outcome =
+                BaSystem::new(16, 3, engine).unwrap().general_value(5).run(NoFailures).unwrap();
             assert!(outcome.agreement(), "{engine:?}");
             assert!(outcome.decisions.iter().all(|d| *d == Some(5)), "{engine:?}");
         }
@@ -517,8 +516,7 @@ mod tests {
                 target: None,
                 spec: CrashSpec::subset([Pid::new(2)]),
             }]);
-            let outcome =
-                BaSystem::new(16, 3, engine).unwrap().general_value(9).run(adv).unwrap();
+            let outcome = BaSystem::new(16, 3, engine).unwrap().general_value(9).run(adv).unwrap();
             assert!(outcome.agreement(), "{engine:?}: {:?}", outcome.decisions);
             // Validity is vacuous (the general crashed), but agreement must
             // hold and everyone alive must decide.
@@ -551,8 +549,7 @@ mod tests {
     #[test]
     fn late_sender_crashes_after_informs_are_consistent() {
         let adv = CrashSchedule::new().crash_at(Pid::new(0), 30, CrashSpec::prefix(1));
-        let outcome =
-            BaSystem::new(24, 3, Engine::B).unwrap().general_value(11).run(adv).unwrap();
+        let outcome = BaSystem::new(24, 3, Engine::B).unwrap().general_value(11).run(adv).unwrap();
         assert!(outcome.agreement());
         assert!(outcome.decisions.iter().flatten().all(|v| *v == 11));
     }

@@ -109,13 +109,8 @@ pub fn run_bootstrap<A: Adversary<BaMsg>>(
     // the work run below.
     let ba = BaSystem::new(t, t - 1, Engine::B)?.general_value(n);
     let outcome = ba.run(ba_adversary)?;
-    let agreed_pool = outcome
-        .decisions
-        .iter()
-        .flatten()
-        .next()
-        .copied()
-        .ok_or(BootstrapError::NoAgreement)?;
+    let agreed_pool =
+        outcome.decisions.iter().flatten().next().copied().ok_or(BootstrapError::NoAgreement)?;
     debug_assert!(outcome.agreement(), "BA broke agreement");
 
     // Stage 2: the survivors perform the agreed pool with Protocol B.
@@ -145,11 +140,8 @@ pub fn run_bootstrap<A: Adversary<BaMsg>>(
 ///
 /// Same shape requirements as [`run_bootstrap`].
 pub fn direct_effort(n: u64, t: u64) -> Result<u64, BootstrapError> {
-    let report = run(
-        ProtocolB::processes(n, t)?,
-        NoFailures,
-        RunConfig::new(n as usize, 10_000_000),
-    )?;
+    let report =
+        run(ProtocolB::processes(n, t)?, NoFailures, RunConfig::new(n as usize, 10_000_000))?;
     Ok(report.metrics.effort())
 }
 
@@ -185,9 +177,11 @@ mod tests {
     fn crashes_during_agreement_carry_into_the_work_run() {
         // p1 and p2 die during the agreement; the work run must cope with
         // them dead on arrival and still finish everything.
-        let adv = CrashSchedule::new()
-            .crash_at(Pid::new(1), 2, CrashSpec::silent())
-            .crash_at(Pid::new(2), 3, CrashSpec::silent());
+        let adv = CrashSchedule::new().crash_at(Pid::new(1), 2, CrashSpec::silent()).crash_at(
+            Pid::new(2),
+            3,
+            CrashSpec::silent(),
+        );
         let outcome = run_bootstrap(32, 16, adv, &[]).unwrap();
         assert_eq!(outcome.agreed_pool, 32);
         assert!(outcome.work.all_work_done());
@@ -203,9 +197,6 @@ mod tests {
 
     #[test]
     fn rejects_non_square_t() {
-        assert!(matches!(
-            run_bootstrap(30, 15, NoFailures, &[]),
-            Err(BootstrapError::Config(_))
-        ));
+        assert!(matches!(run_bootstrap(30, 15, NoFailures, &[]), Err(BootstrapError::Config(_))));
     }
 }

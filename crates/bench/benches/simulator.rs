@@ -25,12 +25,8 @@ fn bench_engine_throughput(c: &mut Criterion) {
     // Message-heavy stepping: a broadcast every other round.
     group.bench_function(BenchmarkId::new("lockstep", "n512_t32"), |b| {
         b.iter(|| {
-            run(
-                Lockstep::processes(512, 32).unwrap(),
-                NoFailures,
-                RunConfig::new(512, 10_000_000),
-            )
-            .unwrap()
+            run(Lockstep::processes(512, 32).unwrap(), NoFailures, RunConfig::new(512, 10_000_000))
+                .unwrap()
         })
     });
     group.finish();

@@ -3,12 +3,10 @@
 //! parameters, drives the adversaries its claim is about, prints a
 //! `measured vs bound` table and returns whether every bound held.
 
-use doall_bounds::theorems::{self, Bounds};
-use doall_bounds::deadlines_ab::{ddb, tt, AbParams};
-use doall_core::{
-    Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll,
-};
 use doall_agreement::{BaSystem, Engine, FloodingBa};
+use doall_bounds::deadlines_ab::{ddb, tt, AbParams};
+use doall_bounds::theorems::{self, Bounds};
+use doall_core::{Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll};
 use doall_sim::{run, Metrics, NoFailures, Protocol, RunConfig};
 use doall_workload::Scenario;
 
@@ -31,12 +29,9 @@ fn run_protocol<P: Protocol>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Metr
 where
     P::Msg: 'static,
 {
-    let report = run(
-        procs,
-        scenario.adversary::<P::Msg>(),
-        RunConfig::new(n as usize, u64::MAX - 1),
-    )
-    .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()));
+    let report =
+        run(procs, scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, u64::MAX - 1))
+            .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()));
     assert!(report.metrics.all_work_done(), "incomplete work under {}", scenario.label());
     report.metrics
 }
@@ -60,8 +55,7 @@ fn ab_scenarios(t: u64) -> Vec<Scenario> {
 /// E1 — Theorem 2.3: Protocol A within `3n` work, `9t√t` messages,
 /// `nt + 3t²` rounds, across shapes and adversaries.
 pub fn e1() -> Outcome {
-    let mut table =
-        Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
+    let mut table = Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
     for (n, t) in [(16, 16), (32, 16), (128, 16), (64, 64), (256, 64)] {
         for scenario in ab_scenarios(t) {
@@ -80,7 +74,8 @@ pub fn e1() -> Outcome {
     }
     Outcome {
         id: "e1",
-        claim: "Theorem 2.3: Protocol A does <= 3n work, <= 9t*sqrt(t) messages, retires by nt + 3t^2",
+        claim:
+            "Theorem 2.3: Protocol A does <= 3n work, <= 9t*sqrt(t) messages, retires by nt + 3t^2",
         rendered: table.render(),
         pass,
     }
@@ -89,8 +84,7 @@ pub fn e1() -> Outcome {
 /// E2 — Theorem 2.8: Protocol B within `3n` work, `10t√t` messages,
 /// `3n + 8t` rounds.
 pub fn e2() -> Outcome {
-    let mut table =
-        Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
+    let mut table = Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
     for (n, t) in [(16, 16), (32, 16), (128, 16), (64, 64), (256, 64)] {
         for scenario in ab_scenarios(t) {
@@ -109,7 +103,8 @@ pub fn e2() -> Outcome {
     }
     Outcome {
         id: "e2",
-        claim: "Theorem 2.8: Protocol B does <= 3n work, <= 10t*sqrt(t) messages, retires by 3n + 8t",
+        claim:
+            "Theorem 2.8: Protocol B does <= 3n work, <= 10t*sqrt(t) messages, retires by 3n + 8t",
         rendered: table.render(),
         pass,
     }
@@ -118,8 +113,7 @@ pub fn e2() -> Outcome {
 /// E3 — Theorem 3.8: Protocol C within `n + 2t` real work and
 /// `n + 8t log t` messages (rounds exponential; sizes kept small).
 pub fn e3() -> Outcome {
-    let mut table =
-        Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
+    let mut table = Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
     for (n, t) in [(8, 4), (16, 8), (16, 16), (24, 8)] {
         for scenario in [
@@ -143,7 +137,8 @@ pub fn e3() -> Outcome {
     }
     Outcome {
         id: "e3",
-        claim: "Theorem 3.8: Protocol C does <= n + 2t real work and sends <= n + 8t*log(t) messages",
+        claim:
+            "Theorem 3.8: Protocol C does <= n + 2t real work and sends <= n + 8t*log(t) messages",
         rendered: table.render(),
         pass,
     }
@@ -157,8 +152,7 @@ pub fn e4() -> Outcome {
     let mut c_prime_by_n: Vec<(u64, u64)> = Vec::new();
     for (n, t) in [(16u64, 4u64), (32, 4), (64, 4), (16, 8), (32, 8), (64, 8), (32, 16)] {
         let c = run_protocol(ProtocolC::processes(n, t).unwrap(), &Scenario::FailureFree, n);
-        let cp =
-            run_protocol(ProtocolC::processes_prime(n, t).unwrap(), &Scenario::FailureFree, n);
+        let cp = run_protocol(ProtocolC::processes_prime(n, t).unwrap(), &Scenario::FailureFree, n);
         let b = theorems::protocol_c_prime(n, t);
         if cp.messages > b.messages {
             pass = false;
@@ -182,7 +176,8 @@ pub fn e4() -> Outcome {
     }
     Outcome {
         id: "e4",
-        claim: "Corollary 3.9: C' (report every n/t units) sends O(t log t) messages, independent of n",
+        claim:
+            "Corollary 3.9: C' (report every n/t units) sends O(t log t) messages, independent of n",
         rendered: table.render(),
         pass,
     }
@@ -191,8 +186,7 @@ pub fn e4() -> Outcome {
 /// E5 — Theorem 4.1(1): Protocol D with `f` spread-out failures stays
 /// within `2n` work, `(4f+2)t²` messages, `(f+1)n/t + 4f + 2` rounds.
 pub fn e5() -> Outcome {
-    let mut table =
-        Table::new(["n", "t", "f", "work/bound", "msgs/bound", "rounds/bound"]);
+    let mut table = Table::new(["n", "t", "f", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
     let (n, t) = (128u64, 8u64);
     for f in 0..=5u64 {
@@ -206,12 +200,9 @@ pub fn e5() -> Outcome {
                 doall_sim::CrashSpec::silent(),
             );
         }
-        let report = run(
-            ProtocolD::processes(n, t).unwrap(),
-            sched,
-            RunConfig::new(n as usize, 1_000_000),
-        )
-        .expect("protocol D run");
+        let report =
+            run(ProtocolD::processes(n, t).unwrap(), sched, RunConfig::new(n as usize, 1_000_000))
+                .expect("protocol D run");
         assert!(report.metrics.all_work_done());
         let m = report.metrics;
         let f_actual = u64::from(m.crashes);
@@ -296,11 +287,8 @@ pub fn e7() -> Outcome {
             vs(m.rounds, b.rounds),
         ]);
 
-        let m = run_protocol(
-            ProtocolD::processes(n, t).unwrap(),
-            &Scenario::DeadOnArrival { k: 1 },
-            n,
-        );
+        let m =
+            run_protocol(ProtocolD::processes(n, t).unwrap(), &Scenario::DeadOnArrival { k: 1 }, n);
         let b = theorems::protocol_d_one_failure(n, t);
         check(&m, &b, &mut pass);
         table.row([
@@ -324,8 +312,7 @@ pub fn e7() -> Outcome {
 /// baselines pay Θ(tn) effort; A, B, C, C′ and D stay work-optimal with
 /// small message terms.
 pub fn e8() -> Outcome {
-    let mut table =
-        Table::new(["scenario", "algorithm", "work", "messages", "rounds", "effort"]);
+    let mut table = Table::new(["scenario", "algorithm", "work", "messages", "rounds", "effort"]);
     let (n, t) = (32u64, 16u64);
     let mut pass = true;
     let mut efforts: Vec<(String, u64)> = Vec::new();
@@ -352,13 +339,8 @@ pub fn e8() -> Outcome {
     }
     // Shape check: under failures, every work-optimal protocol beats both
     // trivial baselines on effort.
-    let effort_of = |key: &str| {
-        efforts
-            .iter()
-            .find(|(k, _)| k == key)
-            .map(|(_, e)| *e)
-            .expect("row present")
-    };
+    let effort_of =
+        |key: &str| efforts.iter().find(|(k, _)| k == key).map(|(_, e)| *e).expect("row present");
     let cascade = format!("takeover-cascade({})", t - 1);
     for alg in ["protocol-A", "protocol-B", "protocol-C", "protocol-C'", "protocol-D"] {
         if effort_of(&format!("{cascade}/{alg}")) >= effort_of(&format!("{cascade}/lockstep")) {
@@ -380,10 +362,9 @@ pub fn e9() -> Outcome {
     let mut table = Table::new(["n", "t", "engine", "messages/bound", "agreement", "validity"]);
     let mut pass = true;
     for (n, t_b, t_c) in [(64u64, 8u64, 7u64), (128, 8, 7), (256, 15, 15)] {
-        for scenario in [
-            Scenario::FailureFree,
-            Scenario::Random { seed: 5, p: 0.01, max_crashes: 3 },
-        ] {
+        for scenario in
+            [Scenario::FailureFree, Scenario::Random { seed: 5, p: 0.01, max_crashes: 3 }]
+        {
             let outcome = BaSystem::new(n, t_b, Engine::B)
                 .unwrap()
                 .general_value(9)
@@ -442,8 +423,7 @@ pub fn e9() -> Outcome {
 /// cascade scenario while Protocol C (same scenario) stays `O(n + t)` —
 /// fault detection pays for itself.
 pub fn e10() -> Outcome {
-    let mut table =
-        Table::new(["t", "n", "naive wasted work", "C wasted work", "C bound (n+2t)"]);
+    let mut table = Table::new(["t", "n", "naive wasted work", "C wasted work", "C bound (n+2t)"]);
     let mut pass = true;
     let mut naive_waste = Vec::new();
     // n + t is capped at 32: the strawman's takeover deadlines are
@@ -530,9 +510,7 @@ pub fn e12() -> Outcome {
                     if tt(p, j, k) + tt(p, l, j) != tt(p, l, k) {
                         ok_a = false;
                     }
-                    if p.group_of(j) < p.group_of(l)
-                        && tt(p, j, k) + ddb(p, l, j) != ddb(p, l, k)
-                    {
+                    if p.group_of(j) < p.group_of(l) && tt(p, j, k) + ddb(p, l, j) != ddb(p, l, k) {
                         ok_b = false;
                     }
                 }
@@ -551,7 +529,8 @@ pub fn e12() -> Outcome {
     }
     Outcome {
         id: "e12",
-        claim: "Lemma 2.5: TT(j,k) + TT(l,j) = TT(l,k); TT(j,k) + DDB(l,j) = DDB(l,k) when g(j) < g(l)",
+        claim:
+            "Lemma 2.5: TT(j,k) + TT(l,j) = TT(l,k); TT(j,k) + DDB(l,j) = DDB(l,k) when g(j) < g(l)",
         rendered: table.render(),
         pass,
     }
@@ -562,14 +541,8 @@ pub fn e12() -> Outcome {
 /// `≈ 2t²` to exactly `2(t − 1)` messages, and survives coordinator
 /// crashes by reverting to the broadcast exchange.
 pub fn e13() -> Outcome {
-    let mut table = Table::new([
-        "n",
-        "t",
-        "scenario",
-        "broadcast-D msgs",
-        "coordinator-D msgs",
-        "saving",
-    ]);
+    let mut table =
+        Table::new(["n", "t", "scenario", "broadcast-D msgs", "coordinator-D msgs", "saving"]);
     let mut pass = true;
     for (n, t) in [(100u64, 10u64), (256, 16), (64, 32)] {
         for scenario in [
@@ -578,15 +551,11 @@ pub fn e13() -> Outcome {
             Scenario::MassExtinction { from: 0, k: 1, round: 2 }, // kills the coordinator
         ] {
             let b = run_protocol(ProtocolD::processes(n, t).unwrap(), &scenario, n);
-            let c = run_protocol(
-                ProtocolD::processes_with_coordinator(n, t).unwrap(),
-                &scenario,
-                n,
-            );
-            if matches!(scenario, Scenario::FailureFree)
-                && c.messages != 2 * (t - 1) {
-                    pass = false; // the claim is exact
-                }
+            let c =
+                run_protocol(ProtocolD::processes_with_coordinator(n, t).unwrap(), &scenario, n);
+            if matches!(scenario, Scenario::FailureFree) && c.messages != 2 * (t - 1) {
+                pass = false; // the claim is exact
+            }
             if c.messages > b.messages.max(2 * (t - 1)) * 2 {
                 pass = false; // never catastrophically worse
             }

@@ -176,6 +176,7 @@ mod tests {
     fn pto_and_gto_values() {
         let p = p();
         assert_eq!(pto(p), 4); // 32/16 + 2
+
         // GTO(0) = n/√t + 3√t + (√t-1)·PTO + 1 = 8 + 12 + 12 + 1 = 33.
         assert_eq!(gto(p, 0), 33);
         // GTO for the last member of a group: (√t - 3 - 1) = 0 PTO terms.

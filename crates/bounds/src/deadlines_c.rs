@@ -132,10 +132,7 @@ mod tests {
         // (D = K); the induction in Lemma 3.4(b) is vacuous there.
         for m in 1..nt - 1 {
             let suffix: u64 = (m + 1..nt).map(|m2| p.d(0, m2)).sum();
-            assert!(
-                p.d(0, m) > (nt - m) * p.k() + suffix,
-                "domination failed at m = {m}"
-            );
+            assert!(p.d(0, m) > (nt - m) * p.k() + suffix, "domination failed at m = {m}");
         }
     }
 

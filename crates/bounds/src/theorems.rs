@@ -32,22 +32,14 @@ impl Bounds {
 /// the divisibility assumption `n >= t` they coincide.
 pub fn protocol_a(n: u64, t: u64) -> Bounds {
     let n_prime = n.max(t);
-    Bounds {
-        work: 3 * n_prime,
-        messages: 9 * t * isqrt(t),
-        rounds: n * t + 3 * t * t,
-    }
+    Bounds { work: 3 * n_prime, messages: 9 * t * isqrt(t), rounds: n * t + 3 * t * t }
 }
 
 /// Theorem 2.8 (Protocol B): at most `3n` work, `10t√t` messages (the extra
 /// `t√t` over Protocol A pays for `go ahead` messages), all retired by
 /// round `3n + 8t`.
 pub fn protocol_b(n: u64, t: u64) -> Bounds {
-    Bounds {
-        work: 3 * n.max(t),
-        messages: 10 * t * isqrt(t),
-        rounds: 3 * n + 8 * t,
-    }
+    Bounds { work: 3 * n.max(t), messages: 10 * t * isqrt(t), rounds: 3 * n + 8 * t }
 }
 
 /// Theorem 3.8 (Protocol C): at most `n + 2t` units of *real* work,

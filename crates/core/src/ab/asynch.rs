@@ -20,9 +20,7 @@ use doall_bounds::AbParams;
 use doall_sim::asynch::{AsyncEffects, AsyncProtocol};
 use doall_sim::Pid;
 
-use super::{
-    compile_dowork, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op,
-};
+use super::{compile_dowork, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op};
 use crate::error::ConfigError;
 
 #[derive(Debug)]
@@ -97,14 +95,20 @@ impl AsyncProtocolA {
             match op {
                 Op::Work { u } => eff.perform(doall_sim::Unit::new(u as usize)),
                 Op::PartialCp { c } => {
-                    eff.broadcast(super::higher_own_group(self.params, self.j), AbMsg::Partial { c });
+                    eff.broadcast(
+                        super::higher_own_group(self.params, self.j),
+                        AbMsg::Partial { c },
+                    );
                 }
                 Op::FullCpGroup { c, g } => {
                     let members = self.params.group_members(g).map(|i| Pid::new(i as usize));
                     eff.broadcast(members, AbMsg::Full { c, g });
                 }
                 Op::FullCpOwn { c, g } => {
-                    eff.broadcast(super::higher_own_group(self.params, self.j), AbMsg::Full { c, g });
+                    eff.broadcast(
+                        super::higher_own_group(self.params, self.j),
+                        AbMsg::Full { c, g },
+                    );
                 }
             }
         }
@@ -168,8 +172,8 @@ mod tests {
 
     #[test]
     fn failure_free_async_run_matches_synchronous_counts() {
-        let report = run_async(AsyncProtocolA::processes(N, T).unwrap(), Vec::new(), cfg(1))
-            .unwrap();
+        let report =
+            run_async(AsyncProtocolA::processes(N, T).unwrap(), Vec::new(), cfg(1)).unwrap();
         assert!(report.metrics.all_work_done());
         assert_eq!(report.metrics.work_total, N);
         // Same message count as the synchronous failure-free run: 132.
@@ -181,12 +185,8 @@ mod tests {
     fn crash_of_active_process_hands_over_via_detector() {
         // p0 dies on its 5th handler invocation (start + 4 ticks = after 5
         // operations); p1 activates once the detector informs it.
-        let crash = AsyncCrash {
-            pid: Pid::new(0),
-            on_invocation: 5,
-            deliver_prefix: 0,
-            count_work: true,
-        };
+        let crash =
+            AsyncCrash { pid: Pid::new(0), on_invocation: 5, deliver_prefix: 0, count_work: true };
         let report =
             run_async(AsyncProtocolA::processes(N, T).unwrap(), vec![crash], cfg(2)).unwrap();
         assert!(report.metrics.all_work_done());
@@ -194,8 +194,12 @@ mod tests {
         assert!(report.metrics.work_total <= b.work);
         assert!(report.metrics.messages <= b.messages);
         // Activation order is preserved: p0 then p1.
-        let activations: Vec<Pid> =
-            report.notes.iter().filter(|(_, _, tag)| *tag == "activate").map(|(_, p, _)| *p).collect();
+        let activations: Vec<Pid> = report
+            .notes
+            .iter()
+            .filter(|(_, _, tag)| *tag == "activate")
+            .map(|(_, p, _)| *p)
+            .collect();
         assert_eq!(activations, vec![Pid::new(0), Pid::new(1)]);
     }
 
@@ -227,10 +231,8 @@ mod tests {
 
     #[test]
     fn async_runs_are_deterministic_per_seed() {
-        let run1 = run_async(AsyncProtocolA::processes(N, T).unwrap(), Vec::new(), cfg(9))
-            .unwrap();
-        let run2 = run_async(AsyncProtocolA::processes(N, T).unwrap(), Vec::new(), cfg(9))
-            .unwrap();
+        let run1 = run_async(AsyncProtocolA::processes(N, T).unwrap(), Vec::new(), cfg(9)).unwrap();
+        let run2 = run_async(AsyncProtocolA::processes(N, T).unwrap(), Vec::new(), cfg(9)).unwrap();
         assert_eq!(run1.metrics, run2.metrics);
     }
 

@@ -285,11 +285,9 @@ pub fn is_terminal_for(p: AbParams, j: u64, msg: AbMsg) -> bool {
 pub fn interpret(p: AbParams, j: u64, k: u64, msg: AbMsg) -> Option<LastOrdinary> {
     match msg {
         AbMsg::Partial { c } => Some(LastOrdinary::Partial { c }),
-        AbMsg::Full { c, g } => Some(LastOrdinary::Full {
-            c,
-            g,
-            sender_in_own_group: p.group_of(k) == p.group_of(j),
-        }),
+        AbMsg::Full { c, g } => {
+            Some(LastOrdinary::Full { c, g, sender_in_own_group: p.group_of(k) == p.group_of(j) })
+        }
         AbMsg::GoAhead => None,
     }
 }

@@ -79,7 +79,14 @@ impl PaddedA {
         }
         let params = padded_params(n, t);
         Ok((0..t)
-            .map(|j| PaddedA { params, t_real: t, n_real: n, j, state: PState::Passive, last: LastOrdinary::Fictitious })
+            .map(|j| PaddedA {
+                params,
+                t_real: t,
+                n_real: n,
+                j,
+                state: PState::Passive,
+                last: LastOrdinary::Fictitious,
+            })
             .collect())
     }
 

@@ -155,7 +155,9 @@ impl Protocol for ProtocolA {
 #[cfg(test)]
 mod tests {
     use doall_bounds::theorems;
-    use doall_sim::invariants::{check_activation_order, check_sequential_work, check_single_active};
+    use doall_sim::invariants::{
+        check_activation_order, check_sequential_work, check_single_active,
+    };
     use doall_sim::{
         run, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RunConfig, Trigger,
         TriggerAdversary, TriggerRule,

@@ -273,10 +273,12 @@ impl ProtocolB {
 #[cfg(test)]
 mod tests {
     use doall_bounds::theorems;
-    use doall_sim::invariants::{check_activation_order, check_sequential_work, check_single_active};
+    use doall_sim::invariants::{
+        check_activation_order, check_sequential_work, check_single_active,
+    };
     use doall_sim::{
-        run, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RandomCrashes, RunConfig,
-        Trigger, TriggerAdversary, TriggerRule,
+        run, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RandomCrashes, RunConfig, Trigger,
+        TriggerAdversary, TriggerRule,
     };
 
     use super::*;
@@ -324,12 +326,8 @@ mod tests {
         // Nobody ever goes preactive, so zero go_aheads...
         assert_eq!(report.metrics.messages_by_class.get("go_ahead"), None);
         // ...and the run is byte-for-byte Protocol A's failure-free run.
-        let a = run(
-            crate::ab::protocol_a::ProtocolA::processes(N, T).unwrap(),
-            NoFailures,
-            cfg(),
-        )
-        .unwrap();
+        let a = run(crate::ab::protocol_a::ProtocolA::processes(N, T).unwrap(), NoFailures, cfg())
+            .unwrap();
         assert_eq!(report.metrics.messages, a.metrics.messages);
         assert_eq!(report.metrics.rounds, a.metrics.rounds);
         bounds_hold(&report, N, T);
@@ -353,9 +351,11 @@ mod tests {
     fn go_ahead_wakes_the_lowest_alive_process() {
         // p0 and p1 die instantly; p2's self-deadline fires before p3 can
         // poll it, and every activation stays single.
-        let adv = CrashSchedule::new()
-            .crash_at(Pid::new(0), 1, CrashSpec::silent())
-            .crash_at(Pid::new(1), 1, CrashSpec::silent());
+        let adv = CrashSchedule::new().crash_at(Pid::new(0), 1, CrashSpec::silent()).crash_at(
+            Pid::new(1),
+            1,
+            CrashSpec::silent(),
+        );
         let report = run(ProtocolB::processes(N, T).unwrap(), adv, cfg()).unwrap();
         assert!(report.metrics.all_work_done());
         let activations: Vec<_> = report.trace.notes("activate").collect();
@@ -484,7 +484,12 @@ mod tests {
             let b = theorems::protocol_b(n, t);
             assert!(report.metrics.work_total <= b.work);
             assert!(report.metrics.messages <= b.messages);
-            assert!(report.metrics.rounds <= b.rounds, "seed {seed}: {} > {}", report.metrics.rounds, b.rounds);
+            assert!(
+                report.metrics.rounds <= b.rounds,
+                "seed {seed}: {} > {}",
+                report.metrics.rounds,
+                b.rounds
+            );
             invariants_hold(&report);
         }
     }

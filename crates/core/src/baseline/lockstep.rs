@@ -70,9 +70,7 @@ impl Lockstep {
         if n == 0 {
             return Err(ConfigError::NoWork);
         }
-        Ok((0..t)
-            .map(|j| Lockstep { n, t, j, known: 0, active: None, done: false })
-            .collect())
+        Ok((0..t).map(|j| Lockstep { n, t, j, known: 0, active: None, done: false }).collect())
     }
 
     /// The takeover deadline of process `j`: an active process alternates
@@ -143,7 +141,10 @@ impl Protocol for Lockstep {
 #[cfg(test)]
 mod tests {
     use doall_sim::invariants::check_single_active;
-    use doall_sim::{run, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RunConfig, Trigger, TriggerAdversary, TriggerRule};
+    use doall_sim::{
+        run, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RunConfig, Trigger,
+        TriggerAdversary, TriggerRule,
+    };
 
     use super::*;
 

@@ -169,8 +169,7 @@ impl Protocol for NaiveSpread {
             Phase::Report => {
                 if self.known == self.n {
                     // Tell everyone to stop, then retire.
-                    let others =
-                        (0..self.t).filter(|&p| p != self.j).map(|p| Pid::new(p as usize));
+                    let others = (0..self.t).filter(|&p| p != self.j).map(|p| Pid::new(p as usize));
                     eff.broadcast(others, SpreadMsg::Finished);
                     eff.terminate();
                     self.state = SState::Done;
@@ -278,8 +277,7 @@ mod tests {
     #[test]
     fn quadratic_waste_grows_with_t_unlike_protocol_c() {
         let waste = |t: u64| {
-            let report =
-                run(NaiveSpread::processes(t, t).unwrap(), cascade(t, t), cfg(t)).unwrap();
+            let report = run(NaiveSpread::processes(t, t).unwrap(), cascade(t, t), cfg(t)).unwrap();
             assert!(report.metrics.all_work_done());
             report.metrics.wasted_work()
         };

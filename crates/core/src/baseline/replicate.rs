@@ -74,11 +74,13 @@ mod tests {
 
     #[test]
     fn tolerates_any_crashes_with_one_survivor() {
-        let adv = CrashSchedule::new()
-            .crash_at(Pid::new(0), 1, CrashSpec::silent())
-            .crash_at(Pid::new(1), 3, CrashSpec::silent());
-        let report = run(ReplicateAll::processes(6, 3).unwrap(), adv, RunConfig::new(6, 100))
-            .unwrap();
+        let adv = CrashSchedule::new().crash_at(Pid::new(0), 1, CrashSpec::silent()).crash_at(
+            Pid::new(1),
+            3,
+            CrashSpec::silent(),
+        );
+        let report =
+            run(ReplicateAll::processes(6, 3).unwrap(), adv, RunConfig::new(6, 100)).unwrap();
         assert!(report.metrics.all_work_done());
         // p0 did 0 units, p1 did 2, p2 did 6.
         assert_eq!(report.metrics.work_total, 8);

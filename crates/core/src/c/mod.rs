@@ -143,9 +143,7 @@ impl Groups {
         let s = self.size(h);
         let base = block * s;
         let start = after - base;
-        (1..=s)
-            .map(|k| base + (start + k) % s)
-            .find(|&cand| cand != me && !f.contains(&cand))
+        (1..=s).map(|k| base + (start + k) % s).find(|&cand| cand != me && !f.contains(&cand))
     }
 
     /// The first eligible poll/report target at or after `point` in cyclic
@@ -334,6 +332,7 @@ mod tests {
         let f: BTreeSet<u64> = [2].into_iter().collect();
         assert_eq!(g.successor(2, 0, 0, 1, &f), Some(3));
         assert_eq!(g.successor(2, 0, 3, 1, &f), Some(0)); // wraps
+
         // Everyone else failed: no successor.
         let all: BTreeSet<u64> = [0, 2, 3].into_iter().collect();
         assert_eq!(g.successor(2, 0, 0, 1, &all), None);

@@ -67,7 +67,14 @@ impl ProtocolC {
         } else {
             CState::Passive { deadline: params.d(j, 0) }
         };
-        ProtocolC { params, groups, j, view: View::initial(groups, j), state, units_since_report: 0 }
+        ProtocolC {
+            params,
+            groups,
+            j,
+            view: View::initial(groups, j),
+            state,
+            units_since_report: 0,
+        }
     }
 
     /// Creates the `t` processes of Protocol C for `n` units of work
@@ -263,7 +270,8 @@ impl Protocol for ProtocolC {
                     return;
                 }
                 let m = self.view.reduced();
-                self.state = CState::Passive { deadline: round.saturating_add(self.params.d(self.j, m)) };
+                self.state =
+                    CState::Passive { deadline: round.saturating_add(self.params.d(self.j, m)) };
                 return;
             }
             let CState::Passive { deadline } = self.state else { unreachable!() };
@@ -393,12 +401,8 @@ mod tests {
                 spec: CrashSpec { deliver: Deliver::None, count_work: true },
             })
             .collect();
-        let report = run(
-            ProtocolC::processes(8, 8).unwrap(),
-            TriggerAdversary::new(rules),
-            cfg(8),
-        )
-        .unwrap();
+        let report =
+            run(ProtocolC::processes(8, 8).unwrap(), TriggerAdversary::new(rules), cfg(8)).unwrap();
         assert!(report.metrics.all_work_done());
         // Not every trigger fires: a process that learns all work is done
         // halts without ever working, so its crash never happens. But the
@@ -428,12 +432,8 @@ mod tests {
                 spec: CrashSpec::silent(),
             });
         }
-        let report = run(
-            ProtocolC::processes(n, t).unwrap(),
-            TriggerAdversary::new(rules),
-            cfg(n),
-        )
-        .unwrap();
+        let report =
+            run(ProtocolC::processes(n, t).unwrap(), TriggerAdversary::new(rules), cfg(n)).unwrap();
         assert!(report.metrics.all_work_done());
         bounds_hold(&report, n, t);
         invariants_hold(&report);
@@ -476,8 +476,7 @@ mod tests {
 
     #[test]
     fn c_prime_reports_once_per_stride() {
-        let report = run(ProtocolC::processes_prime(32, 4).unwrap(), NoFailures, cfg(32))
-            .unwrap();
+        let report = run(ProtocolC::processes_prime(32, 4).unwrap(), NoFailures, cfg(32)).unwrap();
         assert!(report.metrics.all_work_done());
         let b = theorems::protocol_c_prime(32, 4);
         assert!(

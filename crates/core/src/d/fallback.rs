@@ -24,9 +24,7 @@ use std::collections::VecDeque;
 use doall_bounds::deadlines_ab::{dd, AbParams};
 use doall_sim::{Effects, Pid, Round, Unit};
 
-use crate::ab::{
-    compile_dowork, interpret, is_terminal_for, AbMsg, LastOrdinary, Op,
-};
+use crate::ab::{compile_dowork, interpret, is_terminal_for, AbMsg, LastOrdinary, Op};
 
 use super::DMsg;
 
@@ -215,7 +213,7 @@ mod tests {
     }
 
     #[test]
-    fn single_survivor_pads_to_one_by_one(){
+    fn single_survivor_pads_to_one_by_one() {
         let m = FallbackMachine::new(3, vec![3], vec![9], 5);
         assert_eq!(m.params().t, 1);
         assert_eq!(m.params().n, 1);

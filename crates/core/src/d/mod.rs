@@ -94,7 +94,10 @@ impl fmt::Display for DMsg {
 enum DState {
     /// Performing this phase's share, one unit per round, then idling so
     /// every process spends exactly `⌈|S|/|T|⌉` rounds in the phase.
-    Work { queue: VecDeque<u64>, rounds_left: u64 },
+    Work {
+        queue: VecDeque<u64>,
+        rounds_left: u64,
+    },
     /// Running the Figure 4 `Agree` exchange.
     Agree {
         /// Processes not yet known faulty (`U`).
@@ -303,9 +306,9 @@ impl ProtocolD {
     fn coord_step(&mut self, round: Round, inbox: &[Envelope<DMsg>], eff: &mut Effects<DMsg>) {
         // A broadcast-mode message for our phase means somebody already
         // gave up on the coordinator: join them.
-        let saw_broadcast = inbox.iter().any(
-            |env| matches!(&env.payload, DMsg::Agree { phase, .. } if *phase == self.phase),
-        );
+        let saw_broadcast = inbox
+            .iter()
+            .any(|env| matches!(&env.payload, DMsg::Agree { phase, .. } if *phase == self.phase));
 
         match std::mem::replace(&mut self.state, DState::Done) {
             DState::CoordLeader { mut entry, t_prev, mut s_acc, mut heard } => {
@@ -334,11 +337,8 @@ impl ProtocolD {
                     // Decide: the merged view is authoritative.
                     self.s = s_acc;
                     let t_new = heard.clone();
-                    let msg = DMsg::Decision {
-                        phase: self.phase,
-                        s: self.s.clone(),
-                        t: t_new.clone(),
-                    };
+                    let msg =
+                        DMsg::Decision { phase: self.phase, s: self.s.clone(), t: t_new.clone() };
                     let recipients: Vec<Pid> = self
                         .t_set
                         .iter()
@@ -466,11 +466,8 @@ impl ProtocolD {
 
         // Line 6 / line 20: broadcast the (possibly decided) view.
         let msg = DMsg::Agree { phase: self.phase, s: self.s.clone(), t: t_new.clone(), done };
-        let recipients: Vec<Pid> = u
-            .iter()
-            .filter(|&&p| p != self.j)
-            .map(|&p| Pid::new(p as usize))
-            .collect();
+        let recipients: Vec<Pid> =
+            u.iter().filter(|&&p| p != self.j).map(|&p| Pid::new(p as usize)).collect();
         eff.broadcast(recipients, msg);
 
         if done {
@@ -531,9 +528,7 @@ impl Protocol for ProtocolD {
 mod tests {
     use doall_bounds::theorems;
     use doall_sim::invariants::check_no_zombie_actions;
-    use doall_sim::{
-        run, CrashSchedule, CrashSpec, NoFailures, Pid, RandomCrashes, RunConfig,
-    };
+    use doall_sim::{run, CrashSchedule, CrashSpec, NoFailures, Pid, RandomCrashes, RunConfig};
 
     use super::*;
 
@@ -592,8 +587,7 @@ mod tests {
         // the other processes cannot distinguish this from no work done,
         // so they must redo p0's share — the 2n work bound in action.
         let (n, t) = (100u64, 10u64);
-        let adv = CrashSchedule::new()
-            .crash_at(Pid::new(0), n / t + 1, CrashSpec::silent());
+        let adv = CrashSchedule::new().crash_at(Pid::new(0), n / t + 1, CrashSpec::silent());
         let report = run(ProtocolD::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
         assert!(report.metrics.all_work_done());
         assert_eq!(report.metrics.work_total, n + n / t, "p0's share redone");
@@ -614,7 +608,12 @@ mod tests {
         let f = u64::from(report.metrics.crashes);
         let b = theorems::protocol_d_normal(n, t, f);
         assert!(report.metrics.work_total <= b.work);
-        assert!(report.metrics.messages <= b.messages, "{} > {}", report.metrics.messages, b.messages);
+        assert!(
+            report.metrics.messages <= b.messages,
+            "{} > {}",
+            report.metrics.messages,
+            b.messages
+        );
         assert!(report.metrics.rounds <= b.rounds, "{} > {}", report.metrics.rounds, b.rounds);
     }
 
@@ -692,23 +691,20 @@ mod tests {
         // next-round-delivery model.
         let (n, t) = (100u64, 10u64);
         let report =
-            run(ProtocolD::processes_with_coordinator(n, t).unwrap(), NoFailures, cfg(n))
-                .unwrap();
+            run(ProtocolD::processes_with_coordinator(n, t).unwrap(), NoFailures, cfg(n)).unwrap();
         assert!(report.metrics.all_work_done());
         assert_eq!(report.metrics.work_total, n);
         assert_eq!(report.metrics.messages, 2 * (t - 1));
         assert_eq!(report.metrics.rounds, n / t + 3);
         // An order of magnitude below the broadcast variant.
-        let broadcast =
-            run(ProtocolD::processes(n, t).unwrap(), NoFailures, cfg(n)).unwrap();
+        let broadcast = run(ProtocolD::processes(n, t).unwrap(), NoFailures, cfg(n)).unwrap();
         assert!(report.metrics.messages * 5 <= broadcast.metrics.messages);
     }
 
     #[test]
     fn coordinator_variant_single_process() {
         let report =
-            run(ProtocolD::processes_with_coordinator(7, 1).unwrap(), NoFailures, cfg(7))
-                .unwrap();
+            run(ProtocolD::processes_with_coordinator(7, 1).unwrap(), NoFailures, cfg(7)).unwrap();
         assert!(report.metrics.all_work_done());
         assert_eq!(report.metrics.messages, 0);
     }
@@ -768,8 +764,7 @@ mod tests {
         for seed in 0..12 {
             let adv = RandomCrashes::new(seed, 0.02, (t - 1) as u32);
             let report =
-                run(ProtocolD::processes_with_coordinator(n, t).unwrap(), adv, cfg(n))
-                    .unwrap();
+                run(ProtocolD::processes_with_coordinator(n, t).unwrap(), adv, cfg(n)).unwrap();
             assert!(report.has_survivor(), "seed {seed}");
             assert!(report.metrics.all_work_done(), "seed {seed}");
             assert!(report.metrics.work_total <= 3 * n, "seed {seed}");

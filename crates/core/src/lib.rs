@@ -12,11 +12,11 @@ pub mod c;
 pub mod d;
 pub mod error;
 
-pub use ab::protocol_a::ProtocolA;
-pub use ab::protocol_b::ProtocolB;
 pub use ab::asynch::AsyncProtocolA;
 pub use ab::padded::PaddedA;
+pub use ab::protocol_a::ProtocolA;
+pub use ab::protocol_b::ProtocolB;
+pub use baseline::{Lockstep, NaiveSpread, ReplicateAll};
 pub use c::protocol_c::ProtocolC;
 pub use d::ProtocolD;
-pub use baseline::{Lockstep, NaiveSpread, ReplicateAll};
 pub use error::ConfigError;

@@ -323,8 +323,7 @@ impl<M> Adversary<M> for RandomCrashes {
         // survivor remains), no further crash can happen and idle rounds
         // may be skipped again — essential for Protocol C, whose stragglers
         // wait exponentially long deadlines.
-        if self.p_per_round > 0.0 && self.inflicted < self.max_crashes && !self.saw_lone_survivor
-        {
+        if self.p_per_round > 0.0 && self.inflicted < self.max_crashes && !self.saw_lone_survivor {
             Some(now)
         } else {
             None
@@ -456,9 +455,7 @@ impl<M> Adversary<M> for TriggerAdversary {
                 continue;
             }
             let tripped = match &rule.trigger {
-                Trigger::AtRound(r) => {
-                    *r == round && rule.target.is_none_or(|t| t == pid)
-                }
+                Trigger::AtRound(r) => *r == round && rule.target.is_none_or(|t| t == pid),
                 Trigger::NthWorkBy { pid: p, nth } => {
                     *p == pid && effects.work().is_some() && work_count == *nth
                 }
@@ -528,9 +525,11 @@ mod tests {
 
     #[test]
     fn schedule_next_event_is_first_scheduled_round() {
-        let s = CrashSchedule::new()
-            .crash_at(Pid::new(0), 30, CrashSpec::silent())
-            .crash_at(Pid::new(1), 12, CrashSpec::silent());
+        let s = CrashSchedule::new().crash_at(Pid::new(0), 30, CrashSpec::silent()).crash_at(
+            Pid::new(1),
+            12,
+            CrashSpec::silent(),
+        );
         assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, 0), Some(12));
         assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, 13), Some(30));
         assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, 31), None);
@@ -560,9 +559,7 @@ mod tests {
             let eff: Effects<()> = Effects::new();
             let alive = [true; 4];
             (1..50)
-                .map(|r| {
-                    matches!(adv.intercept(r, Pid::new(0), &eff, ctx(&alive)), Fate::Crash(_))
-                })
+                .map(|r| matches!(adv.intercept(r, Pid::new(0), &eff, ctx(&alive)), Fate::Crash(_)))
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));

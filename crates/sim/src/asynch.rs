@@ -240,10 +240,10 @@ pub fn run_async<P: AsyncProtocol>(
     let mut seq: u64 = 0;
 
     let push = |heap: &mut BinaryHeap<Reverse<(Time, u64, usize)>>,
-                    store: &mut Vec<Option<Ev<P::Msg>>>,
-                    seq: &mut u64,
-                    time: Time,
-                    ev: Ev<P::Msg>| {
+                store: &mut Vec<Option<Ev<P::Msg>>>,
+                seq: &mut u64,
+                time: Time,
+                ev: Ev<P::Msg>| {
         let idx = store.len();
         store.push(Some(ev));
         heap.push(Reverse((time, *seq, idx)));
@@ -326,7 +326,13 @@ pub fn run_async<P: AsyncProtocol>(
             }
             metrics.record_message(payload.class());
             let delay = rng.gen_range(1..=cfg.max_delay.max(1));
-            push(&mut heap, &mut store, &mut seq, now + delay, Ev::Deliver { to, from: pid, payload });
+            push(
+                &mut heap,
+                &mut store,
+                &mut seq,
+                now + delay,
+                Ev::Deliver { to, from: pid, payload },
+            );
         }
 
         if effects.tick && crash.is_none() && !effects.terminated {
@@ -367,10 +373,7 @@ pub fn run_async<P: AsyncProtocol>(
         }
     }
 
-    let alive = (0..t)
-        .filter(|&i| !crashed[i] && !terminated[i])
-        .map(Pid::new)
-        .collect::<Vec<_>>();
+    let alive = (0..t).filter(|&i| !crashed[i] && !terminated[i]).map(Pid::new).collect::<Vec<_>>();
     if alive.is_empty() {
         Ok(AsyncReport { metrics, terminated, crashed, notes })
     } else {
@@ -420,8 +423,8 @@ mod tests {
     #[test]
     fn async_round_trip_completes() {
         let procs = vec![Player { me: 0 }, Player { me: 1 }];
-        let report = run_async(procs, Vec::new(), AsyncConfig { n: 2, ..Default::default() })
-            .unwrap();
+        let report =
+            run_async(procs, Vec::new(), AsyncConfig { n: 2, ..Default::default() }).unwrap();
         assert!(report.metrics.all_work_done());
         assert_eq!(report.metrics.messages, 1);
         assert!(report.has_survivor());
@@ -430,14 +433,10 @@ mod tests {
     #[test]
     fn async_crash_suppresses_sends_and_work() {
         let procs = vec![Player { me: 0 }, Player { me: 1 }];
-        let crash = AsyncCrash {
-            pid: Pid::new(0),
-            on_invocation: 1,
-            deliver_prefix: 0,
-            count_work: false,
-        };
-        let err = run_async(procs, vec![crash], AsyncConfig { n: 2, ..Default::default() })
-            .unwrap_err();
+        let crash =
+            AsyncCrash { pid: Pid::new(0), on_invocation: 1, deliver_prefix: 0, count_work: false };
+        let err =
+            run_async(procs, vec![crash], AsyncConfig { n: 2, ..Default::default() }).unwrap_err();
         // p1 never hears anything except the retirement notice, which in
         // this toy protocol does not terminate it -> the run stalls.
         match err {

@@ -268,7 +268,12 @@ where
                     for (to, payload) in sends {
                         metrics.record_message(payload.class());
                         if cfg.record_trace {
-                            trace.push(Event::Send { round, from: pid, to, class: payload.class() });
+                            trace.push(Event::Send {
+                                round,
+                                from: pid,
+                                to,
+                                class: payload.class(),
+                            });
                         }
                         next_pending.push(Envelope { from: pid, to, sent_at: round, payload });
                     }
@@ -293,7 +298,12 @@ where
                         if spec.deliver.lets_through(i, to) {
                             metrics.record_message(payload.class());
                             if cfg.record_trace {
-                                trace.push(Event::Send { round, from: pid, to, class: payload.class() });
+                                trace.push(Event::Send {
+                                    round,
+                                    from: pid,
+                                    to,
+                                    class: payload.class(),
+                                });
                             }
                             next_pending.push(Envelope { from: pid, to, sent_at: round, payload });
                         }
@@ -377,8 +387,7 @@ mod tests {
             if self.done {
                 return;
             }
-            let triggered =
-                (self.me == 0 && round >= self.start_at) || !inbox.is_empty();
+            let triggered = (self.me == 0 && round >= self.start_at) || !inbox.is_empty();
             if triggered {
                 eff.perform(Unit::new(self.me + 1));
                 if self.me + 1 < self.t {
@@ -411,8 +420,8 @@ mod tests {
 
     #[test]
     fn fast_forward_skips_to_distant_wakeups_without_losing_time() {
-        let report = run(Ring::procs(3, 1_000_000), NoFailures, RunConfig::new(3, 2_000_000))
-            .unwrap();
+        let report =
+            run(Ring::procs(3, 1_000_000), NoFailures, RunConfig::new(3, 2_000_000)).unwrap();
         // Time reflects the skipped idle prefix...
         assert_eq!(report.metrics.rounds, 1_000_002);
         // ...but the run completes quickly (if it executed every round this
@@ -444,8 +453,7 @@ mod tests {
 
     #[test]
     fn crash_with_full_delivery_lets_the_token_escape() {
-        let schedule =
-            CrashSchedule::new().crash_at(Pid::new(1), 2, CrashSpec::after_round());
+        let schedule = CrashSchedule::new().crash_at(Pid::new(1), 2, CrashSpec::after_round());
         let report = run(Ring::procs(3, 1), schedule, RunConfig::new(3, 1000)).unwrap();
         // p1 crashed but its work and send both counted.
         assert_eq!(report.metrics.work_total, 3);
@@ -457,8 +465,11 @@ mod tests {
 
     #[test]
     fn crash_with_suppressed_work_uncounts_the_unit() {
-        let schedule = CrashSchedule::new()
-            .crash_at(Pid::new(2), 3, CrashSpec { deliver: crate::Deliver::All, count_work: false });
+        let schedule = CrashSchedule::new().crash_at(
+            Pid::new(2),
+            3,
+            CrashSpec { deliver: crate::Deliver::All, count_work: false },
+        );
         let report = run(Ring::procs(3, 1), schedule, RunConfig::new(3, 1000)).unwrap();
         assert_eq!(report.metrics.work_total, 2);
         assert!(!report.metrics.all_work_done());

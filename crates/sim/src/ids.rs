@@ -28,7 +28,9 @@ pub type Round = u64;
 /// assert_eq!(p.index(), 3);
 /// assert_eq!(format!("{p}"), "p3");
 /// ```
-#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize)]
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
 #[serde(transparent)]
 pub struct Pid(usize);
 

@@ -112,7 +112,10 @@ impl Scenario {
             Scenario::CheckpointSplit { victims, nth_send, prefix } => {
                 let rules = (0..victims)
                     .map(|j| TriggerRule {
-                        trigger: Trigger::NthSendRoundBy { pid: Pid::new(j as usize), nth: nth_send },
+                        trigger: Trigger::NthSendRoundBy {
+                            pid: Pid::new(j as usize),
+                            nth: nth_send,
+                        },
                         target: None,
                         spec: CrashSpec { deliver: Deliver::Prefix(prefix), count_work: true },
                     })
@@ -121,7 +124,10 @@ impl Scenario {
             }
             Scenario::Strawman { t } => {
                 let mut rules = vec![TriggerRule {
-                    trigger: Trigger::NthWorkBy { pid: Pid::new(0), nth: t.saturating_sub(1).max(1) },
+                    trigger: Trigger::NthWorkBy {
+                        pid: Pid::new(0),
+                        nth: t.saturating_sub(1).max(1),
+                    },
                     target: None,
                     spec: CrashSpec { deliver: Deliver::All, count_work: true },
                 }];

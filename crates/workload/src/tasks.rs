@@ -167,10 +167,8 @@ mod tests {
     #[test]
     fn formula_sweep_counts_satisfying_assignments() {
         // (x0 ∨ x1) ∧ (¬x0 ∨ ¬x1): exactly the two assignments 01 and 10.
-        let mut sweep = FormulaSweep::new(2, vec![
-            vec![(0, true), (1, true)],
-            vec![(0, false), (1, false)],
-        ]);
+        let mut sweep =
+            FormulaSweep::new(2, vec![vec![(0, true), (1, true)], vec![(0, false), (1, false)]]);
         for u in 1..=4 {
             sweep.execute(Unit::new(u));
         }

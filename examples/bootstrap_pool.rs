@@ -29,13 +29,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  agreed pool       : {} units", outcome.agreed_pool);
     println!("  agreement effort  : {}", outcome.agreement.effort());
     println!("  work effort       : {}", outcome.work.effort());
-    println!("  total             : {} (direct, common-knowledge: {direct})", outcome.total_effort());
+    println!(
+        "  total             : {} (direct, common-knowledge: {direct})",
+        outcome.total_effort()
+    );
     assert!(outcome.total_effort() <= 2 * direct, "§1: cost at most doubles");
 
     // Crashes in both stages.
-    let ba_adv = CrashSchedule::new()
-        .crash_at(Pid::new(1), 2, CrashSpec::silent())
-        .crash_at(Pid::new(2), 4, CrashSpec::prefix(1));
+    let ba_adv = CrashSchedule::new().crash_at(Pid::new(1), 2, CrashSpec::silent()).crash_at(
+        Pid::new(2),
+        4,
+        CrashSpec::prefix(1),
+    );
     let outcome = run_bootstrap(n, t, ba_adv, &[(Pid::new(3), 5), (Pid::new(4), 20)])?;
     println!();
     println!("with crashes during agreement (p1, p2) and work (p3, p4):");

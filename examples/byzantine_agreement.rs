@@ -33,8 +33,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  rounds:   {}", outcome.metrics.rounds);
 
     // --- the general crashes mid-broadcast --------------------------------
-    let adversary =
-        CrashSchedule::new().crash_at(Pid::new(0), 1, CrashSpec::subset([Pid::new(3)]));
+    let adversary = CrashSchedule::new().crash_at(Pid::new(0), 1, CrashSpec::subset([Pid::new(3)]));
     let outcome = BaSystem::new(n, t, Engine::B)?.general_value(value).run(adversary)?;
     assert!(outcome.agreement(), "agreement must survive a treacherous stage 1");
     let agreed = outcome.decisions.iter().flatten().next().copied();

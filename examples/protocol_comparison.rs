@@ -20,11 +20,8 @@ fn measure<P: Protocol>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Result<Me
 where
     P::Msg: 'static,
 {
-    let report = run(
-        procs,
-        scenario.adversary::<P::Msg>(),
-        RunConfig::new(n as usize, u64::MAX - 1),
-    )?;
+    let report =
+        run(procs, scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, u64::MAX - 1))?;
     assert!(report.metrics.all_work_done(), "work incomplete under {}", scenario.label());
     Ok(report.metrics)
 }
@@ -50,10 +47,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Scenario::DeadOnArrival { k: t / 2 },
     ] {
         println!("n = {n}, t = {t}, scenario: {}", scenario.label());
-        println!(
-            "  {:<14} {:>7} {:>9} {:>20} {:>9}",
-            "", "work", "messages", "rounds", "effort"
-        );
+        println!("  {:<14} {:>7} {:>9} {:>20} {:>9}", "", "work", "messages", "rounds", "effort");
         row("replicate-all", &measure(ReplicateAll::processes(n, t)?, &scenario, n)?);
         row("lockstep", &measure(Lockstep::processes(n, t)?, &scenario, n)?);
         row("naive-spread", &measure(NaiveSpread::processes(n, t)?, &scenario, n)?);

@@ -54,8 +54,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\ntotals: work = {} (n = {n}), messages = {}, rounds = {}",
-        report.metrics.work_total, report.metrics.messages, report.metrics.rounds);
+    println!(
+        "\ntotals: work = {} (n = {n}), messages = {}, rounds = {}",
+        report.metrics.work_total, report.metrics.messages, report.metrics.rounds
+    );
     println!("message classes: {:?}", report.metrics.messages_by_class);
     let _ = AbMsg::GoAhead; // (the class names above come from this type)
     Ok(())

@@ -57,6 +57,6 @@ pub use doall_sim as sim;
 pub use doall_workload as workload;
 
 pub use doall_core::{
-    AsyncProtocolA, ConfigError, Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC,
-    ProtocolD, ReplicateAll,
+    AsyncProtocolA, ConfigError, Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD,
+    ReplicateAll,
 };

@@ -50,11 +50,7 @@ fn ba_survives_general_crash_at_every_stage_1_prefix() {
     let (n, t) = (24u64, 3u64);
     for k in 0..=t as usize {
         let adv = CrashSchedule::new().crash_at(Pid::new(0), 1, CrashSpec::prefix(k));
-        let outcome = BaSystem::new(n, t, Engine::B)
-            .unwrap()
-            .general_value(9)
-            .run(adv)
-            .unwrap();
+        let outcome = BaSystem::new(n, t, Engine::B).unwrap().general_value(9).run(adv).unwrap();
         assert!(outcome.agreement(), "prefix {k}: {:?}", outcome.decisions);
         assert_eq!(outcome.decided_count() as u64, n - 1, "prefix {k}");
     }
@@ -71,11 +67,7 @@ fn ba_survives_active_sender_crashes_at_every_cut_point() {
                 target: None,
                 spec: CrashSpec::prefix(1),
             }]);
-            let outcome = BaSystem::new(n, t, engine)
-                .unwrap()
-                .general_value(6)
-                .run(adv)
-                .unwrap();
+            let outcome = BaSystem::new(n, t, engine).unwrap().general_value(6).run(adv).unwrap();
             assert!(outcome.agreement(), "{engine:?} cut {nth}: {:?}", outcome.decisions);
         }
     }

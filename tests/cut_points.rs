@@ -7,9 +7,7 @@
 
 use doall::bounds::theorems;
 use doall::sim::invariants::{check_activation_order, check_single_active};
-use doall::sim::{
-    run, CrashSpec, Deliver, Pid, RunConfig, Trigger, TriggerAdversary, TriggerRule,
-};
+use doall::sim::{run, CrashSpec, Deliver, Pid, RunConfig, Trigger, TriggerAdversary, TriggerRule};
 use doall::{ProtocolA, ProtocolB, ProtocolC, ProtocolD};
 
 fn cut_rule(nth_send: u64, deliver: Deliver) -> TriggerAdversary {

@@ -2,8 +2,8 @@
 //! semantics, fast-forward equivalence, adversary composition.
 
 use doall::sim::{
-    run, Classify, CrashSchedule, CrashSpec, Deliver, Effects, Envelope, NoFailures, Pid,
-    Protocol, Round, RunConfig, Unit,
+    run, Classify, CrashSchedule, CrashSpec, Deliver, Effects, Envelope, NoFailures, Pid, Protocol,
+    Round, RunConfig, Unit,
 };
 
 /// Ping-pong between two processes for a configurable number of volleys,
@@ -72,8 +72,8 @@ fn fast_forward_is_metric_equivalent_to_dense_execution() {
     // A run with huge idle gaps must produce identical message/work counts
     // and exactly the gap-scaled round count.
     let small = run(Player::pair(5, 2), NoFailures, RunConfig::new(0, 10_000)).unwrap();
-    let large = run(Player::pair(5, 1_000_000), NoFailures, RunConfig::new(0, u64::MAX - 1))
-        .unwrap();
+    let large =
+        run(Player::pair(5, 1_000_000), NoFailures, RunConfig::new(0, u64::MAX - 1)).unwrap();
     assert_eq!(small.metrics.messages, large.metrics.messages);
     assert!(large.metrics.rounds > 1_000_000, "gaps must count toward time");
 }
@@ -124,12 +124,8 @@ fn self_addressed_messages_are_delivered_next_round() {
             Some(now)
         }
     }
-    let report = run(
-        vec![Echoist { sent: false, got: false }],
-        NoFailures,
-        RunConfig::new(0, 10),
-    )
-    .unwrap();
+    let report =
+        run(vec![Echoist { sent: false, got: false }], NoFailures, RunConfig::new(0, 10)).unwrap();
     assert_eq!(report.metrics.rounds, 2);
     assert_eq!(report.metrics.messages, 1);
 }
@@ -159,9 +155,11 @@ fn crash_schedule_and_subset_delivery_compose() {
         }
     }
     let procs = (0..4).map(|me| Spammer { me, t: 4 }).collect();
-    let adv = CrashSchedule::new()
-        .crash_at(Pid::new(0), 2, CrashSpec::silent())
-        .crash_at(Pid::new(1), 2, CrashSpec { deliver: Deliver::Subset([Pid::new(3)].into()), count_work: true });
+    let adv = CrashSchedule::new().crash_at(Pid::new(0), 2, CrashSpec::silent()).crash_at(
+        Pid::new(1),
+        2,
+        CrashSpec { deliver: Deliver::Subset([Pid::new(3)].into()), count_work: true },
+    );
     let report = run(procs, adv, RunConfig::new(0, 10)).unwrap();
     // Round 1: 4 broadcasts × 3. Round 2: p0 suppressed (0), p1 subset (1),
     // p2 + p3 full (3 each). Round 3: p2 + p3 full.
@@ -222,12 +220,8 @@ fn terminated_processes_stop_receiving() {
             Some(now)
         }
     }
-    let report = run(
-        vec![Quitter { me: 0 }, Quitter { me: 1 }],
-        NoFailures,
-        RunConfig::new(0, 10),
-    )
-    .unwrap();
+    let report =
+        run(vec![Quitter { me: 0 }, Quitter { me: 1 }], NoFailures, RunConfig::new(0, 10)).unwrap();
     assert_eq!(report.metrics.messages, 3);
     // Pings 1 and 2 arrive after p0 retired; ping 3 is still in flight
     // when the run ends (everyone has retired), so it is never delivered.

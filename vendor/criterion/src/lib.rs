@@ -1,0 +1,173 @@
+//! Offline shim for `criterion`: the surface API this workspace's benches
+//! use (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher::iter`,
+//! `black_box`, `criterion_group!`, `criterion_main!`) backed by a simple
+//! warmup-then-measure wall-clock loop.
+//!
+//! No statistics, outlier rejection, or HTML reports — each benchmark
+//! prints one line with the mean iteration time. Good enough to compare
+//! runs by eye and to keep `cargo bench` compiling and runnable offline;
+//! swap the workspace dependency back to crates.io criterion for real
+//! measurements.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Identifier for one benchmark: a function name and an optional parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A benchmark id with a function name and a parameter, `name/param`.
+    pub fn new(function_name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId { id: format!("{function_name}/{parameter}") }
+    }
+
+    /// A benchmark id carrying only a parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        self.id.fmt(f)
+    }
+}
+
+/// Timing loop handed to each benchmark closure.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    measured: Option<(Duration, u64)>,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly — a short warmup, then a measured batch —
+    /// and records total time and iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        const WARMUP: Duration = Duration::from_millis(50);
+        const MEASURE: Duration = Duration::from_millis(300);
+
+        let warm_start = Instant::now();
+        let mut warm_iters: u64 = 0;
+        while warm_start.elapsed() < WARMUP {
+            black_box(routine());
+            warm_iters += 1;
+        }
+
+        // Batch size so the measured loop checks the clock rarely.
+        let per_iter = warm_start.elapsed() / (warm_iters.max(1) as u32);
+        let batch = (MEASURE.as_nanos() / per_iter.as_nanos().max(1) / 10).clamp(1, 1 << 20) as u64;
+
+        let mut iters: u64 = 0;
+        let start = Instant::now();
+        while start.elapsed() < MEASURE {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            iters += batch;
+        }
+        self.measured = Some((start.elapsed(), iters));
+    }
+}
+
+/// Top-level benchmark driver (shim for `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&id.to_string(), f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, group_name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: group_name.into(), _criterion: self }
+    }
+}
+
+/// A named group of related benchmarks (shim for criterion's group).
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    _criterion: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside this group.
+    pub fn bench_function<F>(&mut self, id: impl Display, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), f);
+        self
+    }
+
+    /// Finishes the group. (No-op in the shim; kept for API parity.)
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, mut f: F) {
+    let mut bencher = Bencher::default();
+    f(&mut bencher);
+    match bencher.measured {
+        Some((total, iters)) if iters > 0 => {
+            let mean = total / (iters as u32);
+            println!("bench: {id:<60} {mean:>12.2?}/iter ({iters} iters)");
+        }
+        _ => println!("bench: {id:<60} (no measurement recorded)"),
+    }
+}
+
+/// Collects benchmark functions into one runnable group function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Expands to a `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("f", "n8").to_string(), "f/n8");
+        assert_eq!(BenchmarkId::from_parameter(42).to_string(), "42");
+    }
+
+    #[test]
+    fn bencher_records_iterations() {
+        let mut b = Bencher::default();
+        b.iter(|| 1 + 1);
+        let (total, iters) = b.measured.expect("measured");
+        assert!(iters > 0);
+        assert!(total > Duration::ZERO);
+    }
+}

@@ -1,0 +1,31 @@
+//! Offline shim for `serde`.
+//!
+//! The workspace only *derives* `Serialize`/`Deserialize` today (to keep
+//! report types ready for a JSON/CSV export layer); nothing serializes yet,
+//! so the traits are markers with blanket impls and the derives are no-ops.
+//! When a registry becomes available, point the workspace dependency back
+//! at crates.io serde — no source changes are required anywhere else.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Mirror of `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::{Deserialize, DeserializeOwned};
+}
+
+/// Mirror of `serde::ser` far enough for `use serde::ser::Serialize`.
+pub mod ser {
+    pub use crate::Serialize;
+}

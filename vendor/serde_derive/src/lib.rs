@@ -1,0 +1,22 @@
+//! Offline shim for `serde_derive`: the derive macros parse nothing and
+//! emit nothing. The paired `serde` shim provides blanket trait impls, so
+//! an empty expansion is sufficient for `#[derive(Serialize, Deserialize)]`
+//! (including `#[serde(...)]` helper attributes) to compile.
+//!
+//! This crate exists because the build environment has no network access to
+//! a cargo registry. Swap the workspace back to the real serde once one is
+//! available; no source changes are required.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`; accepts and ignores `#[serde(...)]` attrs.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`; accepts and ignores `#[serde(...)]` attrs.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
