@@ -1,0 +1,187 @@
+//! Headless perf baseline: runs the criterion-style engine/protocol
+//! benchmarks without the bench harness and emits one JSON measurement
+//! block (see `BENCH_PR2.json` for the committed before/after pair).
+//!
+//! ```sh
+//! cargo run --release -p doall-bench --bin perf_baseline              # JSON to stdout
+//! cargo run --release -p doall-bench --bin perf_baseline -- --out f.json
+//! cargo run --release -p doall-bench --bin perf_baseline -- --smoke   # CI: tiny shapes, 1 iter
+//! ```
+
+use std::time::{Duration, Instant};
+
+use doall_core::{Lockstep, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll};
+use doall_sim::{run, Metrics, Protocol, RunConfig};
+use doall_workload::Scenario;
+
+struct Measurement {
+    id: String,
+    n: u64,
+    t: u64,
+    scenario: String,
+    iters: u64,
+    total: Duration,
+    metrics: Metrics,
+}
+
+impl Measurement {
+    /// Simulated rounds per wall-clock second (fast-forwarded rounds count;
+    /// for dense cells this equals executed rounds per second).
+    fn rounds_per_sec(&self) -> f64 {
+        let secs = self.total.as_secs_f64() / self.iters as f64;
+        self.metrics.rounds as f64 / secs
+    }
+
+    fn ns_per_round(&self) -> f64 {
+        let ns = self.total.as_nanos() as f64 / self.iters as f64;
+        ns / self.metrics.rounds as f64
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "    {{\"id\": \"{}\", \"n\": {}, \"t\": {}, \"scenario\": \"{}\", ",
+                "\"iters\": {}, \"mean_ms\": {:.3}, \"sim_rounds\": {}, ",
+                "\"ns_per_round\": {:.1}, \"rounds_per_sec\": {:.0}, ",
+                "\"work_total\": {}, \"messages\": {}}}"
+            ),
+            self.id,
+            self.n,
+            self.t,
+            self.scenario,
+            self.iters,
+            self.total.as_secs_f64() * 1e3 / self.iters as f64,
+            self.metrics.rounds,
+            self.ns_per_round(),
+            self.rounds_per_sec(),
+            self.metrics.work_total,
+            self.metrics.messages,
+        )
+    }
+}
+
+/// Warm up once, then iterate until ~300 ms or `max_iters`, whichever
+/// comes first. Returns the metrics of the last run (all runs are
+/// deterministic, so every iteration yields identical metrics).
+fn measure<P, F>(
+    id: impl Into<String>,
+    n: u64,
+    t: u64,
+    scenario: &Scenario,
+    max_iters: u64,
+    build: F,
+) -> Measurement
+where
+    P: Protocol,
+    P::Msg: 'static,
+    F: Fn() -> Vec<P>,
+{
+    let id = id.into();
+    let budget = Duration::from_millis(300);
+    let run_once = || {
+        run(build(), scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, u64::MAX - 1))
+            .expect("benchmark run must complete")
+    };
+    eprintln!("running {id} (n={n}, t={t}, {})...", scenario.label());
+    let mut metrics = run_once().metrics; // warmup
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < max_iters && (iters == 0 || start.elapsed() < budget) {
+        metrics = run_once().metrics;
+        iters += 1;
+    }
+    Measurement { id, n, t, scenario: scenario.label(), iters, total: start.elapsed(), metrics }
+}
+
+fn cells(smoke: bool) -> Vec<Measurement> {
+    let iters = if smoke { 1 } else { 200 };
+    // Smoke mode shrinks the big shape so the whole bin finishes fast.
+    // (A/B need a perfect-square t; C a power of two: 16, 64, 256, 1024
+    // satisfy both.)
+    let (t_big, t_mid) = if smoke { (64, 16) } else { (256, 16) };
+    let n_of = |t: u64| 4 * t;
+    let ff = Scenario::FailureFree;
+    let mut out = vec![
+        measure("failure_free/protocol_a", n_of(t_mid), t_mid, &ff, iters, || {
+            ProtocolA::processes(n_of(t_mid), t_mid).unwrap()
+        }),
+        measure("failure_free/protocol_b", n_of(t_mid), t_mid, &ff, iters, || {
+            ProtocolB::processes(n_of(t_mid), t_mid).unwrap()
+        }),
+        measure("failure_free/protocol_c", n_of(t_mid), t_mid, &ff, iters, || {
+            ProtocolC::processes(n_of(t_mid), t_mid).unwrap()
+        }),
+        measure("failure_free/protocol_d", n_of(t_mid), t_mid, &ff, iters, || {
+            ProtocolD::processes(n_of(t_mid), t_mid).unwrap()
+        }),
+        measure(
+            "takeover_cascade/protocol_b",
+            n_of(t_mid),
+            t_mid,
+            &Scenario::TakeoverCascade { victims: t_mid - 1 },
+            iters,
+            || ProtocolB::processes(n_of(t_mid), t_mid).unwrap(),
+        ),
+        measure("engine/replicate_all", 1_000, 16, &ff, iters, || {
+            ReplicateAll::processes(1_000, 16).unwrap()
+        }),
+        measure("engine/lockstep", 512, 32, &ff, iters, || Lockstep::processes(512, 32).unwrap()),
+        // The acceptance shape: the `protocols` bench scaling cell at
+        // t = 256 (smoke mode shrinks t, so the id is derived from it).
+        measure(
+            format!("protocol_b_scaling/t{t_big}"),
+            n_of(t_big),
+            t_big,
+            &Scenario::DeadOnArrival { k: t_big / 2 },
+            if smoke { 1 } else { 20 },
+            || ProtocolB::processes(n_of(t_big), t_big).unwrap(),
+        ),
+        measure(
+            format!("failure_free/protocol_b_t{t_big}"),
+            n_of(t_big),
+            t_big,
+            &ff,
+            if smoke { 1 } else { 20 },
+            || ProtocolB::processes(n_of(t_big), t_big).unwrap(),
+        ),
+    ];
+    if !smoke {
+        // Peak shapes: affordable only with the allocation-free hot loop.
+        out.push(measure(
+            "peak/protocol_b_t1024",
+            2_048,
+            1_024,
+            &Scenario::DeadOnArrival { k: 1_023 },
+            3,
+            || ProtocolB::processes(2_048, 1_024).unwrap(),
+        ));
+        out.push(measure("peak/protocol_a_t1024", 2_048, 1_024, &ff, 3, || {
+            ProtocolA::processes(2_048, 1_024).unwrap()
+        }));
+        // Broadcast-D's t² view-carrying messages are infeasible at t=1024;
+        // the §4 coordinator variant (2(t−1) messages per phase) scales.
+        out.push(measure("peak/protocol_d_coord_t1024", 2_048, 1_024, &ff, 3, || {
+            ProtocolD::processes_with_coordinator(2_048, 1_024).unwrap()
+        }));
+    }
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
+
+    let results = cells(smoke);
+    let body: Vec<String> = results.iter().map(Measurement::to_json).collect();
+    let json = format!(
+        "{{\n  \"suite\": \"doall perf baseline\",\n  \"mode\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}",
+        if smoke { "smoke" } else { "full" },
+        body.join(",\n"),
+    );
+    println!("{json}");
+    if let Some(path) = out_path {
+        std::fs::write(&path, format!("{json}\n")).expect("write output file");
+        eprintln!("wrote {path}");
+    }
+}

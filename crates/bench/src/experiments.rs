@@ -2,6 +2,15 @@
 //! (see DESIGN.md §4 and EXPERIMENTS.md). Each experiment sweeps
 //! parameters, drives the adversaries its claim is about, prints a
 //! `measured vs bound` table and returns whether every bound held.
+//!
+//! Grids fan their cells across threads via [`crate::sweep`] (every cell
+//! is an independent deterministic simulation), which is what makes the
+//! large shapes — `t = 1024` for Protocols A, B and coordinator-D, and
+//! `n = 10⁶` for Protocol B — affordable inside the default suite.
+//! Protocol C's grid is capped at `t = 32`: its deadlines grow as
+//! `K(n+t−m)2^{n+t−1−m}` rounds, which exceeds the 2⁶⁴-round clock beyond
+//! `n + t ≈ 80` (the protocol is *designed* to trade rounds for messages;
+//! see EXPERIMENTS.md).
 
 use doall_agreement::{BaSystem, Engine, FloodingBa};
 use doall_bounds::deadlines_ab::{ddb, tt, AbParams};
@@ -10,6 +19,7 @@ use doall_core::{Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, Protoco
 use doall_sim::{run, Metrics, NoFailures, Protocol, RunConfig};
 use doall_workload::Scenario;
 
+use crate::sweep;
 use crate::table::{vs, Table};
 
 /// One experiment's outcome.
@@ -37,19 +47,55 @@ where
 }
 
 fn check(m: &Metrics, b: &Bounds, pass: &mut bool) {
-    if m.work_total > b.work || m.messages > b.messages || m.rounds > b.rounds {
+    if !within(m, b) {
         *pass = false;
     }
 }
 
-fn ab_scenarios(t: u64) -> Vec<Scenario> {
+fn within(m: &Metrics, b: &Bounds) -> bool {
+    m.work_total <= b.work && m.messages <= b.messages && m.rounds <= b.rounds
+}
+
+/// The standard measured-vs-bound row shared by the A/B/C grids.
+fn bound_row(n: u64, t: u64, scenario: &Scenario, m: &Metrics, b: &Bounds) -> [String; 6] {
+    [
+        n.to_string(),
+        t.to_string(),
+        scenario.label(),
+        vs(m.work_total, b.work),
+        vs(m.messages, b.messages),
+        vs(m.rounds, b.rounds),
+    ]
+}
+
+fn ab_scenarios(t: u64, seed: u64) -> Vec<Scenario> {
     vec![
         Scenario::FailureFree,
         Scenario::DeadOnArrival { k: t - 1 },
         Scenario::TakeoverCascade { victims: t - 1 },
         Scenario::CheckpointSplit { victims: t / 2, nth_send: 2, prefix: 1 },
-        Scenario::Random { seed: 7, p: 0.02, max_crashes: (t - 1) as u32 },
+        Scenario::Random { seed, p: 0.02, max_crashes: (t - 1) as u32 },
     ]
+}
+
+/// The A/B grid: the classic shapes under every adversary, plus the
+/// large shapes the parallel sweep makes affordable (trigger-based
+/// adversaries scan their rule lists per step, so the t = 1024 cells
+/// stick to the schedule-driven scenarios).
+fn ab_grid(big_n: bool) -> Vec<(u64, u64, Scenario)> {
+    let mut cells = Vec::new();
+    for (i, (n, t)) in [(16, 16), (32, 16), (128, 16), (64, 64), (256, 64)].into_iter().enumerate()
+    {
+        for scenario in ab_scenarios(t, sweep::cell_seed(7, i as u64)) {
+            cells.push((n, t, scenario));
+        }
+    }
+    cells.push((2_048, 1_024, Scenario::FailureFree));
+    cells.push((2_048, 1_024, Scenario::DeadOnArrival { k: 1_023 }));
+    if big_n {
+        cells.push((1_000_000, 64, Scenario::DeadOnArrival { k: 63 }));
+    }
+    cells
 }
 
 /// E1 — Theorem 2.3: Protocol A within `3n` work, `9t√t` messages,
@@ -57,20 +103,14 @@ fn ab_scenarios(t: u64) -> Vec<Scenario> {
 pub fn e1() -> Outcome {
     let mut table = Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
-    for (n, t) in [(16, 16), (32, 16), (128, 16), (64, 64), (256, 64)] {
-        for scenario in ab_scenarios(t) {
-            let m = run_protocol(ProtocolA::processes(n, t).unwrap(), &scenario, n);
-            let b = theorems::protocol_a(n, t);
-            check(&m, &b, &mut pass);
-            table.row([
-                n.to_string(),
-                t.to_string(),
-                scenario.label(),
-                vs(m.work_total, b.work),
-                vs(m.messages, b.messages),
-                vs(m.rounds, b.rounds),
-            ]);
-        }
+    let rows = sweep::map_cells(ab_grid(false), |_, (n, t, scenario)| {
+        let m = run_protocol(ProtocolA::processes(*n, *t).unwrap(), scenario, *n);
+        let b = theorems::protocol_a(*n, *t);
+        (bound_row(*n, *t, scenario, &m, &b), within(&m, &b))
+    });
+    for (cols, ok) in rows {
+        pass &= ok;
+        table.row(cols);
     }
     Outcome {
         id: "e1",
@@ -86,20 +126,14 @@ pub fn e1() -> Outcome {
 pub fn e2() -> Outcome {
     let mut table = Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
-    for (n, t) in [(16, 16), (32, 16), (128, 16), (64, 64), (256, 64)] {
-        for scenario in ab_scenarios(t) {
-            let m = run_protocol(ProtocolB::processes(n, t).unwrap(), &scenario, n);
-            let b = theorems::protocol_b(n, t);
-            check(&m, &b, &mut pass);
-            table.row([
-                n.to_string(),
-                t.to_string(),
-                scenario.label(),
-                vs(m.work_total, b.work),
-                vs(m.messages, b.messages),
-                vs(m.rounds, b.rounds),
-            ]);
-        }
+    let rows = sweep::map_cells(ab_grid(true), |_, (n, t, scenario)| {
+        let m = run_protocol(ProtocolB::processes(*n, *t).unwrap(), scenario, *n);
+        let b = theorems::protocol_b(*n, *t);
+        (bound_row(*n, *t, scenario, &m, &b), within(&m, &b))
+    });
+    for (cols, ok) in rows {
+        pass &= ok;
+        table.row(cols);
     }
     Outcome {
         id: "e2",
@@ -111,29 +145,37 @@ pub fn e2() -> Outcome {
 }
 
 /// E3 — Theorem 3.8: Protocol C within `n + 2t` real work and
-/// `n + 8t log t` messages (rounds exponential; sizes kept small).
+/// `n + 8t log t` messages. Rounds are exponential by design — the grid
+/// tops out at `t = 32` / `n + t = 80`, beyond which the deadline tower
+/// `K(n+t−m)2^{n+t−1−m}` exceeds the 2⁶⁴-round clock.
 pub fn e3() -> Outcome {
     let mut table = Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
-    for (n, t) in [(8, 4), (16, 8), (16, 16), (24, 8)] {
+    let mut cells = Vec::new();
+    for (n, t) in [(8, 4), (16, 8), (16, 16), (24, 8), (32, 16)] {
         for scenario in [
             Scenario::FailureFree,
             Scenario::DeadOnArrival { k: t - 1 },
             Scenario::TakeoverCascade { victims: t - 1 },
             Scenario::Random { seed: 3, p: 0.02, max_crashes: (t - 1) as u32 },
         ] {
-            let m = run_protocol(ProtocolC::processes(n, t).unwrap(), &scenario, n);
-            let b = theorems::protocol_c(n, t);
-            check(&m, &b, &mut pass);
-            table.row([
-                n.to_string(),
-                t.to_string(),
-                scenario.label(),
-                vs(m.work_total, b.work),
-                vs(m.messages, b.messages),
-                vs(m.rounds, b.rounds),
-            ]);
+            cells.push((n, t, scenario));
         }
+    }
+    // The t-ceiling cells. Crash scenarios force a straggler to wait out
+    // the *zero-view* deadline K(t−i)(n+t)2^{n+t−1}, which only fits in the
+    // 64-bit round clock for n + t ≲ 48; failure-free runs retire on the
+    // much smaller informed deadlines and reach t = 32.
+    cells.push((32, 32, Scenario::FailureFree));
+    cells.push((48, 16, Scenario::FailureFree));
+    let rows = sweep::map_cells(cells, |_, (n, t, scenario)| {
+        let m = run_protocol(ProtocolC::processes(*n, *t).unwrap(), scenario, *n);
+        let b = theorems::protocol_c(*n, *t);
+        (bound_row(*n, *t, scenario, &m, &b), within(&m, &b))
+    });
+    for (cols, ok) in rows {
+        pass &= ok;
+        table.row(cols);
     }
     Outcome {
         id: "e3",
@@ -150,22 +192,27 @@ pub fn e4() -> Outcome {
     let mut table = Table::new(["n", "t", "C msgs", "C' msgs", "C' bound (3t+8t log t)"]);
     let mut pass = true;
     let mut c_prime_by_n: Vec<(u64, u64)> = Vec::new();
-    for (n, t) in [(16u64, 4u64), (32, 4), (64, 4), (16, 8), (32, 8), (64, 8), (32, 16)] {
+    let shapes: Vec<(u64, u64)> =
+        vec![(16, 4), (32, 4), (64, 4), (16, 8), (32, 8), (64, 8), (32, 16), (64, 32)];
+    let rows = sweep::map_cells(shapes, |_, &(n, t)| {
         let c = run_protocol(ProtocolC::processes(n, t).unwrap(), &Scenario::FailureFree, n);
         let cp = run_protocol(ProtocolC::processes_prime(n, t).unwrap(), &Scenario::FailureFree, n);
         let b = theorems::protocol_c_prime(n, t);
-        if cp.messages > b.messages {
+        (n, t, c.messages, cp.messages, b.messages)
+    });
+    for (n, t, c_msgs, cp_msgs, bound) in rows {
+        if cp_msgs > bound {
             pass = false;
         }
         if t == 4 {
-            c_prime_by_n.push((n, cp.messages));
+            c_prime_by_n.push((n, cp_msgs));
         }
         table.row([
             n.to_string(),
             t.to_string(),
-            c.messages.to_string(),
-            cp.messages.to_string(),
-            vs(cp.messages, b.messages),
+            c_msgs.to_string(),
+            cp_msgs.to_string(),
+            vs(cp_msgs, bound),
         ]);
     }
     // The shape claim: C' messages must not grow with n (t fixed).
@@ -189,7 +236,7 @@ pub fn e5() -> Outcome {
     let mut table = Table::new(["n", "t", "f", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
     let (n, t) = (128u64, 8u64);
-    for f in 0..=5u64 {
+    let rows = sweep::map_cells((0..=5u64).collect(), |_, &f| {
         // One crash per phase: victim j dies during work phase j+1.
         let mut sched = doall_sim::CrashSchedule::new();
         let phase_len = n / t + 4;
@@ -204,7 +251,9 @@ pub fn e5() -> Outcome {
             run(ProtocolD::processes(n, t).unwrap(), sched, RunConfig::new(n as usize, 1_000_000))
                 .expect("protocol D run");
         assert!(report.metrics.all_work_done());
-        let m = report.metrics;
+        report.metrics
+    });
+    for m in rows {
         let f_actual = u64::from(m.crashes);
         let b = theorems::protocol_d_normal(n, t, f_actual);
         check(&m, &b, &mut pass);
@@ -231,7 +280,8 @@ pub fn e6() -> Outcome {
     let mut table =
         Table::new(["n", "t", "killed", "fellback", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
-    for (n, t, kill) in [(64u64, 8u64, 6u64), (64, 8, 7), (128, 16, 12), (60, 6, 4)] {
+    let shapes: Vec<(u64, u64, u64)> = vec![(64, 8, 6), (64, 8, 7), (128, 16, 12), (60, 6, 4)];
+    let rows = sweep::map_cells(shapes, |_, &(n, t, kill)| {
         let scenario = Scenario::MassExtinction { from: t - kill, k: kill, round: 2 };
         let report = run(
             ProtocolD::processes(n, t).unwrap(),
@@ -241,7 +291,9 @@ pub fn e6() -> Outcome {
         .expect("protocol D run");
         assert!(report.metrics.all_work_done());
         let fellback = report.trace.notes("fallback").count() > 0;
-        let m = report.metrics;
+        (n, t, kill, fellback, report.metrics)
+    });
+    for (n, t, kill, fellback, m) in rows {
         let b = theorems::protocol_d_fallback(n, t, u64::from(m.crashes));
         check(&m, &b, &mut pass);
         if !fellback {
@@ -271,33 +323,37 @@ pub fn e6() -> Outcome {
 pub fn e7() -> Outcome {
     let mut table = Table::new(["n", "t", "case", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
-    for (n, t) in [(100u64, 10u64), (64, 8), (256, 16)] {
-        let m = run_protocol(ProtocolD::processes(n, t).unwrap(), &Scenario::FailureFree, n);
+    let shapes: Vec<(u64, u64)> = vec![(100, 10), (64, 8), (256, 16)];
+    let rows = sweep::map_cells(shapes, |_, &(n, t)| {
+        let ff = run_protocol(ProtocolD::processes(n, t).unwrap(), &Scenario::FailureFree, n);
+        let one =
+            run_protocol(ProtocolD::processes(n, t).unwrap(), &Scenario::DeadOnArrival { k: 1 }, n);
+        (n, t, ff, one)
+    });
+    for (n, t, m_ff, m_one) in rows {
         let b = theorems::protocol_d_failure_free(n, t);
-        check(&m, &b, &mut pass);
-        if m.rounds != b.rounds || m.work_total != n {
+        check(&m_ff, &b, &mut pass);
+        if m_ff.rounds != b.rounds || m_ff.work_total != n {
             pass = false; // the failure-free claim is exact
         }
         table.row([
             n.to_string(),
             t.to_string(),
             "failure-free".into(),
-            vs(m.work_total, b.work),
-            vs(m.messages, b.messages),
-            vs(m.rounds, b.rounds),
+            vs(m_ff.work_total, b.work),
+            vs(m_ff.messages, b.messages),
+            vs(m_ff.rounds, b.rounds),
         ]);
 
-        let m =
-            run_protocol(ProtocolD::processes(n, t).unwrap(), &Scenario::DeadOnArrival { k: 1 }, n);
         let b = theorems::protocol_d_one_failure(n, t);
-        check(&m, &b, &mut pass);
+        check(&m_one, &b, &mut pass);
         table.row([
             n.to_string(),
             t.to_string(),
             "one failure".into(),
-            vs(m.work_total, b.work),
-            vs(m.messages, b.messages),
-            vs(m.rounds, b.rounds),
+            vs(m_one.work_total, b.work),
+            vs(m_one.messages, b.messages),
+            vs(m_one.rounds, b.rounds),
         ]);
     }
     Outcome {
@@ -315,27 +371,47 @@ pub fn e8() -> Outcome {
     let mut table = Table::new(["scenario", "algorithm", "work", "messages", "rounds", "effort"]);
     let (n, t) = (32u64, 16u64);
     let mut pass = true;
-    let mut efforts: Vec<(String, u64)> = Vec::new();
+    let algs = [
+        "replicate-all",
+        "lockstep",
+        "naive-spread",
+        "protocol-A",
+        "protocol-B",
+        "protocol-C",
+        "protocol-C'",
+        "protocol-D",
+    ];
+    let mut cells: Vec<(Scenario, &str)> = Vec::new();
     for scenario in [Scenario::FailureFree, Scenario::TakeoverCascade { victims: t - 1 }] {
-        let mut add = |name: &str, m: Metrics| {
-            efforts.push((format!("{}/{name}", scenario.label()), m.effort()));
-            table.row([
-                scenario.label(),
-                name.to_string(),
-                m.work_total.to_string(),
-                m.messages.to_string(),
-                m.rounds.to_string(),
-                m.effort().to_string(),
-            ]);
+        for alg in algs {
+            cells.push((scenario.clone(), alg));
+        }
+    }
+    let rows = sweep::map_cells(cells, |_, (scenario, alg)| {
+        let m = match *alg {
+            "replicate-all" => run_protocol(ReplicateAll::processes(n, t).unwrap(), scenario, n),
+            "lockstep" => run_protocol(Lockstep::processes(n, t).unwrap(), scenario, n),
+            "naive-spread" => run_protocol(NaiveSpread::processes(n, t).unwrap(), scenario, n),
+            "protocol-A" => run_protocol(ProtocolA::processes(n, t).unwrap(), scenario, n),
+            "protocol-B" => run_protocol(ProtocolB::processes(n, t).unwrap(), scenario, n),
+            "protocol-C" => run_protocol(ProtocolC::processes(n, t).unwrap(), scenario, n),
+            "protocol-C'" => run_protocol(ProtocolC::processes_prime(n, t).unwrap(), scenario, n),
+            "protocol-D" => run_protocol(ProtocolD::processes(n, t).unwrap(), scenario, n),
+            other => unreachable!("unknown algorithm {other}"),
         };
-        add("replicate-all", run_protocol(ReplicateAll::processes(n, t).unwrap(), &scenario, n));
-        add("lockstep", run_protocol(Lockstep::processes(n, t).unwrap(), &scenario, n));
-        add("naive-spread", run_protocol(NaiveSpread::processes(n, t).unwrap(), &scenario, n));
-        add("protocol-A", run_protocol(ProtocolA::processes(n, t).unwrap(), &scenario, n));
-        add("protocol-B", run_protocol(ProtocolB::processes(n, t).unwrap(), &scenario, n));
-        add("protocol-C", run_protocol(ProtocolC::processes(n, t).unwrap(), &scenario, n));
-        add("protocol-C'", run_protocol(ProtocolC::processes_prime(n, t).unwrap(), &scenario, n));
-        add("protocol-D", run_protocol(ProtocolD::processes(n, t).unwrap(), &scenario, n));
+        (scenario.label(), *alg, m)
+    });
+    let mut efforts: Vec<(String, u64)> = Vec::new();
+    for (label, name, m) in rows {
+        efforts.push((format!("{label}/{name}"), m.effort()));
+        table.row([
+            label,
+            name.to_string(),
+            m.work_total.to_string(),
+            m.messages.to_string(),
+            m.rounds.to_string(),
+            m.effort().to_string(),
+        ]);
     }
     // Shape check: under failures, every work-optimal protocol beats both
     // trivial baselines on effort.
@@ -361,7 +437,10 @@ pub fn e8() -> Outcome {
 pub fn e9() -> Outcome {
     let mut table = Table::new(["n", "t", "engine", "messages/bound", "agreement", "validity"]);
     let mut pass = true;
-    for (n, t_b, t_c) in [(64u64, 8u64, 7u64), (128, 8, 7), (256, 15, 15)] {
+    let shapes: Vec<(u64, u64, u64)> = vec![(64, 8, 7), (128, 8, 7), (256, 15, 15)];
+    let results = sweep::map_cells(shapes, |_, &(n, t_b, t_c)| {
+        let mut rows: Vec<[String; 6]> = Vec::new();
+        let mut ok = true;
         for scenario in
             [Scenario::FailureFree, Scenario::Random { seed: 5, p: 0.01, max_crashes: 3 }]
         {
@@ -372,9 +451,9 @@ pub fn e9() -> Outcome {
                 .expect("BA run");
             let bound = theorems::ba_via_b_messages(n, t_b);
             if outcome.metrics.messages > bound || !outcome.agreement() || !outcome.validity() {
-                pass = false;
+                ok = false;
             }
-            table.row([
+            rows.push([
                 n.to_string(),
                 t_b.to_string(),
                 format!("B ({})", scenario.label()),
@@ -390,9 +469,9 @@ pub fn e9() -> Outcome {
             .expect("BA run");
         let bound = theorems::ba_via_c_messages(n, t_c);
         if outcome.metrics.messages > bound || !outcome.agreement() {
-            pass = false;
+            ok = false;
         }
-        table.row([
+        rows.push([
             n.to_string(),
             t_c.to_string(),
             "C (failure-free)".into(),
@@ -402,7 +481,7 @@ pub fn e9() -> Outcome {
         ]);
         let (decisions, m) = FloodingBa::run_system(n, t_b, 9, NoFailures).expect("flooding");
         let agreed = decisions.iter().flatten().all(|v| *v == 9);
-        table.row([
+        rows.push([
             n.to_string(),
             t_b.to_string(),
             "flooding".into(),
@@ -410,6 +489,13 @@ pub fn e9() -> Outcome {
             agreed.to_string(),
             agreed.to_string(),
         ]);
+        (rows, ok)
+    });
+    for (rows, ok) in results {
+        pass &= ok;
+        for row in rows {
+            table.row(row);
+        }
     }
     Outcome {
         id: "e9",
@@ -544,35 +630,52 @@ pub fn e13() -> Outcome {
     let mut table =
         Table::new(["n", "t", "scenario", "broadcast-D msgs", "coordinator-D msgs", "saving"]);
     let mut pass = true;
+    let mut cells: Vec<(u64, u64, Scenario, bool)> = Vec::new();
     for (n, t) in [(100u64, 10u64), (256, 16), (64, 32)] {
         for scenario in [
             Scenario::FailureFree,
             Scenario::DeadOnArrival { k: 1 },
             Scenario::MassExtinction { from: 0, k: 1, round: 2 }, // kills the coordinator
         ] {
-            let b = run_protocol(ProtocolD::processes(n, t).unwrap(), &scenario, n);
-            let c =
-                run_protocol(ProtocolD::processes_with_coordinator(n, t).unwrap(), &scenario, n);
-            if matches!(scenario, Scenario::FailureFree) && c.messages != 2 * (t - 1) {
-                pass = false; // the claim is exact
-            }
-            if c.messages > b.messages.max(2 * (t - 1)) * 2 {
-                pass = false; // never catastrophically worse
-            }
-            let saving = if c.messages == 0 {
-                "inf".to_string()
-            } else {
-                format!("{:.1}x", b.messages as f64 / c.messages as f64)
-            };
-            table.row([
-                n.to_string(),
-                t.to_string(),
-                scenario.label(),
-                b.messages.to_string(),
-                c.messages.to_string(),
-                saving,
-            ]);
+            cells.push((n, t, scenario, true));
         }
+    }
+    // The large-shape cell: broadcast-D's t² view-carrying messages are
+    // infeasible at t = 1024, which is exactly the coordinator variant's
+    // selling point — run it alone and check the exact 2(t−1) claim.
+    cells.push((2_048, 1_024, Scenario::FailureFree, false));
+    let rows = sweep::map_cells(cells, |_, (n, t, scenario, with_broadcast)| {
+        let b = with_broadcast
+            .then(|| run_protocol(ProtocolD::processes(*n, *t).unwrap(), scenario, *n));
+        let c = run_protocol(ProtocolD::processes_with_coordinator(*n, *t).unwrap(), scenario, *n);
+        (*n, *t, scenario.clone(), b, c)
+    });
+    for (n, t, scenario, b, c) in rows {
+        if matches!(scenario, Scenario::FailureFree) && c.messages != 2 * (t - 1) {
+            pass = false; // the claim is exact
+        }
+        let (b_msgs, saving) = match &b {
+            Some(b) => {
+                if c.messages > b.messages.max(2 * (t - 1)) * 2 {
+                    pass = false; // never catastrophically worse
+                }
+                let saving = if c.messages == 0 {
+                    "inf".to_string()
+                } else {
+                    format!("{:.1}x", b.messages as f64 / c.messages as f64)
+                };
+                (b.messages.to_string(), saving)
+            }
+            None => ("- (t^2 infeasible)".into(), "-".into()),
+        };
+        table.row([
+            n.to_string(),
+            t.to_string(),
+            scenario.label(),
+            b_msgs,
+            c.messages.to_string(),
+            saving,
+        ]);
     }
     Outcome {
         id: "e13",
@@ -582,7 +685,10 @@ pub fn e13() -> Outcome {
     }
 }
 
-/// Every experiment, in order.
+/// Every experiment, in order. Runs them sequentially: the grids *inside*
+/// each experiment already fan out across all sweep workers, and nesting
+/// a second level of parallelism on top would multiply the thread count
+/// past the core count instead of speeding anything up.
 pub fn all() -> Vec<Outcome> {
     vec![e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13()]
 }

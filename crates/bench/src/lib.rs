@@ -17,6 +17,7 @@
 #![forbid(unsafe_code)]
 
 pub mod experiments;
+pub mod sweep;
 pub mod table;
 
 pub use experiments::{all, by_id, Outcome};

@@ -1,0 +1,149 @@
+//! Parallel scenario-sweep runner.
+//!
+//! Experiment grids are embarrassingly parallel: every cell is an
+//! independent, deterministic simulation. This module fans a cell list
+//! across `std::thread` workers (the vendored shims have no registry
+//! access, so no rayon) while keeping the *output* fully deterministic:
+//! results come back in input order regardless of which worker ran what,
+//! and randomized cells derive their seeds from the cell index via
+//! [`cell_seed`], never from scheduling.
+//!
+//! ```
+//! use doall_bench::sweep;
+//!
+//! let squares = sweep::map_cells((0u64..16).collect(), |_, x| x * x);
+//! assert_eq!(squares[5], 25);
+//! ```
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// Number of worker threads a sweep will use: the `DOALL_SWEEP_THREADS`
+/// environment variable if set (0 or 1 disables parallelism), otherwise
+/// the machine's available parallelism.
+pub fn worker_count() -> usize {
+    if let Ok(v) = std::env::var("DOALL_SWEEP_THREADS") {
+        if let Ok(n) = v.trim().parse::<usize>() {
+            return n.max(1);
+        }
+    }
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+}
+
+/// Runs `f` over every cell of `inputs`, fanning cells across worker
+/// threads, and returns the results **in input order**.
+///
+/// `f` receives the cell index alongside the cell, so randomized cells can
+/// derive a deterministic seed with [`cell_seed`]. A panic in any cell
+/// (experiments panic on violated invariants) propagates to the caller
+/// once the scope joins.
+pub fn map_cells<I, R, F>(inputs: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send + Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    map_cells_with(worker_count(), inputs, f)
+}
+
+/// [`map_cells`] with an explicit worker count (tests and callers that
+/// manage their own parallelism budget). `workers <= 1` runs inline.
+pub fn map_cells_with<I, R, F>(workers: usize, inputs: Vec<I>, f: F) -> Vec<R>
+where
+    I: Send + Sync,
+    R: Send,
+    F: Fn(usize, &I) -> R + Sync,
+{
+    let workers = workers.min(inputs.len().max(1));
+    if workers <= 1 {
+        return inputs.iter().enumerate().map(|(i, c)| f(i, c)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<(usize, R)>> = Mutex::new(Vec::with_capacity(inputs.len()));
+    std::thread::scope(|s| {
+        for _ in 0..workers {
+            s.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= inputs.len() {
+                    break;
+                }
+                let r = f(i, &inputs[i]);
+                results.lock().expect("sweep worker poisoned the result lock").push((i, r));
+            });
+        }
+    });
+    let mut out = results.into_inner().expect("sweep result lock poisoned");
+    out.sort_unstable_by_key(|(i, _)| *i);
+    out.into_iter().map(|(_, r)| r).collect()
+}
+
+/// Derives a deterministic per-cell seed from a base seed and the cell
+/// index (SplitMix64 finalizer). Two cells never share a seed, and the
+/// seed does not depend on worker scheduling.
+pub fn cell_seed(base: u64, index: u64) -> u64 {
+    let mut z = base ^ index.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        let inputs: Vec<u64> = (0..64).collect();
+        let out = map_cells(inputs.clone(), |_, x| x * 3);
+        assert_eq!(out, inputs.iter().map(|x| x * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn threaded_path_matches_inline_path() {
+        // Force real worker threads even on a single-core machine, with
+        // uneven per-cell runtimes so cells genuinely interleave.
+        let inputs: Vec<u64> = (0..97).collect();
+        let slow_square = |_: usize, x: &u64| {
+            if x.is_multiple_of(7) {
+                std::thread::sleep(std::time::Duration::from_micros(200));
+            }
+            x * x
+        };
+        let threaded = map_cells_with(8, inputs.clone(), slow_square);
+        let inline = map_cells_with(1, inputs, slow_square);
+        assert_eq!(threaded, inline);
+    }
+
+    #[test]
+    fn index_is_passed_alongside_the_cell() {
+        let out = map_cells(vec!["a", "b", "c"], |i, s| format!("{i}{s}"));
+        assert_eq!(out, vec!["0a", "1b", "2c"]);
+    }
+
+    #[test]
+    fn empty_input_yields_empty_output() {
+        let out: Vec<u8> = map_cells(Vec::<u8>::new(), |_, _| 0);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn cell_seeds_are_distinct_and_stable() {
+        let seeds: Vec<u64> = (0..100).map(|i| cell_seed(7, i)).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "seed collision");
+        assert_eq!(cell_seed(7, 42), cell_seed(7, 42));
+        assert_ne!(cell_seed(7, 42), cell_seed(8, 42));
+    }
+
+    #[test]
+    #[should_panic(expected = "cell 3 exploded")]
+    fn worker_panics_propagate_to_the_caller() {
+        let _ = map_cells((0..8).collect::<Vec<u64>>(), |i, _| {
+            assert!(i != 3, "cell {i} exploded");
+            i
+        });
+    }
+}

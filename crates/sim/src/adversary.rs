@@ -94,20 +94,37 @@ impl Deliver {
 }
 
 /// Read-only view of the engine state an adversary may consult.
+///
+/// The engine maintains the live-set incrementally and hands out a borrowed
+/// view per intercept, so constructing a context is free and
+/// [`alive_count`](AdversaryCtx::alive_count) is O(1) — adversaries that
+/// consult it every round (e.g. [`RandomCrashes`] sparing the last
+/// survivor) add no per-round scan.
 #[derive(Clone, Copy, Debug)]
 pub struct AdversaryCtx<'a> {
     /// Number of processes in the system.
     pub t: usize,
     /// `alive[p]` is false once process `p` has crashed or terminated.
     pub alive: &'a [bool],
+    /// Number of `true` entries in `alive`, maintained incrementally by the
+    /// engine (use [`AdversaryCtx::new`] to compute it from a slice).
+    pub live: usize,
     /// Crashes inflicted so far.
     pub crashes: u32,
 }
 
-impl AdversaryCtx<'_> {
+impl<'a> AdversaryCtx<'a> {
+    /// Builds a context from an alive slice, counting the live processes.
+    ///
+    /// The engine constructs contexts directly from its incremental
+    /// counters; this constructor is for tests and standalone harnesses.
+    pub fn new(alive: &'a [bool], crashes: u32) -> Self {
+        AdversaryCtx { t: alive.len(), alive, live: alive.iter().filter(|a| **a).count(), crashes }
+    }
+
     /// Number of processes that have neither crashed nor terminated.
     pub fn alive_count(&self) -> usize {
-        self.alive.iter().filter(|a| **a).count()
+        self.live
     }
 }
 
@@ -162,7 +179,8 @@ impl<M> Adversary<M> for Box<dyn Adversary<M>> {
 /// let mut adv = NoFailures;
 /// let eff: Effects<()> = Effects::new();
 /// let alive = [true, true];
-/// let ctx = AdversaryCtx { t: 2, alive: &alive, crashes: 0 };
+/// let ctx = AdversaryCtx::new(&alive, 0);
+/// assert_eq!(ctx.alive_count(), 2);
 /// assert_eq!(adv.intercept(1, Pid::new(0), &eff, ctx), Fate::Survive);
 /// ```
 #[derive(Clone, Copy, Debug, Default)]
@@ -495,7 +513,7 @@ mod tests {
     use crate::ids::Unit;
 
     fn ctx(alive: &[bool]) -> AdversaryCtx<'_> {
-        AdversaryCtx { t: alive.len(), alive, crashes: 0 }
+        AdversaryCtx::new(alive, 0)
     }
 
     #[test]

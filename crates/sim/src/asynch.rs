@@ -60,6 +60,17 @@ impl<M> Default for AsyncEffects<M> {
 }
 
 impl<M> AsyncEffects<M> {
+    /// Clears all recorded actions while retaining the buffers, so the
+    /// engine can recycle one scratch instance across handler invocations
+    /// without allocating per event.
+    pub fn reset(&mut self) {
+        self.work.clear();
+        self.sends.clear();
+        self.notes.clear();
+        self.terminated = false;
+        self.tick = false;
+    }
+
     /// Performs a unit of work.
     pub fn perform(&mut self, unit: Unit) {
         self.work.push(unit);
@@ -215,6 +226,45 @@ enum Ev<M> {
     Tick(Pid),
 }
 
+/// Timestamp-ordered event queue with slot recycling: consumed events
+/// return their store slot to a free list, so memory is bounded by the
+/// maximum number of *in-flight* events rather than growing by one slot
+/// per event ever scheduled.
+struct EventQueue<M> {
+    heap: BinaryHeap<Reverse<(Time, u64, usize)>>,
+    store: Vec<Option<Ev<M>>>,
+    free: Vec<usize>,
+    seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), store: Vec::new(), free: Vec::new(), seq: 0 }
+    }
+
+    fn push(&mut self, time: Time, ev: Ev<M>) {
+        let idx = match self.free.pop() {
+            Some(idx) => {
+                self.store[idx] = Some(ev);
+                idx
+            }
+            None => {
+                self.store.push(Some(ev));
+                self.store.len() - 1
+            }
+        };
+        self.heap.push(Reverse((time, self.seq, idx)));
+        self.seq += 1;
+    }
+
+    fn pop(&mut self) -> Option<(Time, Ev<M>)> {
+        let Reverse((now, _, idx)) = self.heap.pop()?;
+        let ev = self.store[idx].take().expect("event consumed twice");
+        self.free.push(idx);
+        Some((now, ev))
+    }
+}
+
 /// Runs an asynchronous execution until all processes retire.
 ///
 /// Events (start signals, message deliveries, detector notices) are
@@ -235,23 +285,19 @@ pub fn run_async<P: AsyncProtocol>(
 ) -> Result<AsyncReport, AsyncRunError> {
     let t = procs.len();
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut heap: BinaryHeap<Reverse<(Time, u64, usize)>> = BinaryHeap::new();
-    let mut store: Vec<Option<Ev<P::Msg>>> = Vec::new();
-    let mut seq: u64 = 0;
-
-    let push = |heap: &mut BinaryHeap<Reverse<(Time, u64, usize)>>,
-                store: &mut Vec<Option<Ev<P::Msg>>>,
-                seq: &mut u64,
-                time: Time,
-                ev: Ev<P::Msg>| {
-        let idx = store.len();
-        store.push(Some(ev));
-        heap.push(Reverse((time, *seq, idx)));
-        *seq += 1;
-    };
+    let mut queue: EventQueue<P::Msg> = EventQueue::new();
 
     for pid in 0..t {
-        push(&mut heap, &mut store, &mut seq, 0, Ev::Start(Pid::new(pid)));
+        queue.push(0, Ev::Start(Pid::new(pid)));
+    }
+
+    // Bucket the crash instructions by victim so the per-event lookup scans
+    // only that process's entries instead of the whole list.
+    let mut crash_by_pid: Vec<Vec<AsyncCrash>> = vec![Vec::new(); t];
+    for c in crashes {
+        if c.pid.index() < t {
+            crash_by_pid[c.pid.index()].push(c);
+        }
     }
 
     let mut metrics = Metrics::new(cfg.n);
@@ -260,42 +306,40 @@ pub fn run_async<P: AsyncProtocol>(
     let mut invocations = vec![0u64; t];
     let mut notes: Vec<(Time, Pid, &'static str)> = Vec::new();
     let mut handled: u64 = 0;
+    // One scratch effects instance, recycled across every handler call.
+    let mut eff: AsyncEffects<P::Msg> = AsyncEffects::default();
 
-    while let Some(Reverse((now, _, idx))) = heap.pop() {
-        let ev = store[idx].take().expect("event consumed twice");
-        let (pid, effects) = match ev {
+    while let Some((now, ev)) = queue.pop() {
+        eff.reset();
+        let pid = match ev {
             Ev::Start(pid) => {
                 if crashed[pid.index()] || terminated[pid.index()] {
                     continue;
                 }
-                let mut eff = AsyncEffects::default();
                 procs[pid.index()].on_start(&mut eff);
-                (pid, eff)
+                pid
             }
             Ev::Deliver { to, from, payload } => {
                 if crashed[to.index()] || terminated[to.index()] {
                     metrics.dead_letters += 1;
                     continue;
                 }
-                let mut eff = AsyncEffects::default();
                 procs[to.index()].on_message(from, &payload, &mut eff);
-                (to, eff)
+                to
             }
             Ev::Notice { observer, retired } => {
                 if crashed[observer.index()] || terminated[observer.index()] {
                     continue;
                 }
-                let mut eff = AsyncEffects::default();
                 procs[observer.index()].on_retirement(retired, &mut eff);
-                (observer, eff)
+                observer
             }
             Ev::Tick(pid) => {
                 if crashed[pid.index()] || terminated[pid.index()] {
                     continue;
                 }
-                let mut eff = AsyncEffects::default();
                 procs[pid.index()].on_tick(&mut eff);
-                (pid, eff)
+                pid
             }
         };
 
@@ -305,45 +349,38 @@ pub fn run_async<P: AsyncProtocol>(
         }
         invocations[pid.index()] += 1;
 
-        let crash = crashes
-            .iter()
-            .find(|c| c.pid == pid && c.on_invocation == invocations[pid.index()])
-            .cloned();
+        let crash =
+            crash_by_pid[pid.index()].iter().find(|c| c.on_invocation == invocations[pid.index()]);
 
-        for tag in &effects.notes {
+        for tag in eff.notes.drain(..) {
             notes.push((now, pid, tag));
         }
-        let count_work = crash.as_ref().is_none_or(|c| c.count_work);
+        let count_work = crash.is_none_or(|c| c.count_work);
         if count_work {
-            for unit in &effects.work {
+            for unit in &eff.work {
                 metrics.record_work(*unit);
             }
         }
-        let deliver_upto = crash.as_ref().map_or(usize::MAX, |c| c.deliver_prefix);
-        for (i, (to, payload)) in effects.sends.into_iter().enumerate() {
+        let deliver_upto = crash.map_or(usize::MAX, |c| c.deliver_prefix);
+        let crashed_now = crash.is_some();
+        for (i, (to, payload)) in eff.sends.drain(..).enumerate() {
             if i >= deliver_upto {
                 break;
             }
             metrics.record_message(payload.class());
             let delay = rng.gen_range(1..=cfg.max_delay.max(1));
-            push(
-                &mut heap,
-                &mut store,
-                &mut seq,
-                now + delay,
-                Ev::Deliver { to, from: pid, payload },
-            );
+            queue.push(now + delay, Ev::Deliver { to, from: pid, payload });
         }
 
-        if effects.tick && crash.is_none() && !effects.terminated {
-            push(&mut heap, &mut store, &mut seq, now + 1, Ev::Tick(pid));
+        if eff.tick && !crashed_now && !eff.terminated {
+            queue.push(now + 1, Ev::Tick(pid));
         }
 
-        let retired_now = if crash.is_some() {
+        let retired_now = if crashed_now {
             crashed[pid.index()] = true;
             metrics.crashes += 1;
             true
-        } else if effects.terminated {
+        } else if eff.terminated {
             terminated[pid.index()] = true;
             metrics.terminations += 1;
             true
@@ -356,13 +393,7 @@ pub fn run_async<P: AsyncProtocol>(
             for obs in 0..t {
                 if obs != pid.index() && !crashed[obs] && !terminated[obs] {
                     let delay = rng.gen_range(1..=cfg.max_delay.max(1));
-                    push(
-                        &mut heap,
-                        &mut store,
-                        &mut seq,
-                        now + delay,
-                        Ev::Notice { observer: Pid::new(obs), retired: pid },
-                    );
+                    queue.push(now + delay, Ev::Notice { observer: Pid::new(obs), retired: pid });
                 }
             }
         }

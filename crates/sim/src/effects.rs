@@ -4,11 +4,16 @@ use crate::ids::{Pid, Unit};
 
 /// Everything a process decided to do during one round.
 ///
-/// The engine hands a fresh `Effects` to [`Protocol::step`] each round; the
+/// The engine hands an empty `Effects` to [`Protocol::step`] each round; the
 /// protocol records its actions on it. The synchronous model of the paper
 /// allows, per round, **at most one unit of work** plus **one round of
 /// communication** (any number of messages, e.g. a broadcast to a whole
 /// group); [`Effects::perform`] enforces the work rule.
+///
+/// The engine recycles a single scratch instance across all processes and
+/// rounds ([`Effects::reset`] clears it while keeping its buffers), so the
+/// steady-state hot loop performs no allocation beyond what the protocol's
+/// own sends require the first time a high-water mark is reached.
 ///
 /// [`Protocol::step`]: crate::Protocol::step
 #[derive(Debug)]
@@ -29,6 +34,16 @@ impl<M> Effects<M> {
     /// Creates an empty set of effects (the idle round).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Clears all recorded actions while retaining the send/note buffers,
+    /// so one scratch instance can be recycled round after round without
+    /// reallocating.
+    pub fn reset(&mut self) {
+        self.work = None;
+        self.sends.clear();
+        self.notes.clear();
+        self.terminated = false;
     }
 
     /// Performs one unit of work this round.
@@ -107,9 +122,10 @@ impl<M> Effects<M> {
         self.work.is_none() && self.sends.is_empty() && !self.terminated
     }
 
-    #[allow(clippy::type_complexity)] // crate-internal destructuring helper
-    pub(crate) fn into_parts(self) -> (Option<Unit>, Vec<(Pid, M)>, Vec<&'static str>, bool) {
-        (self.work, self.sends, self.notes, self.terminated)
+    /// Moves this round's sends out, leaving the buffer's capacity in place
+    /// for the next round.
+    pub(crate) fn drain_sends(&mut self) -> std::vec::Drain<'_, (Pid, M)> {
+        self.sends.drain(..)
     }
 }
 
@@ -155,6 +171,22 @@ mod tests {
         eff.terminate();
         assert!(!eff.is_idle());
         assert!(eff.is_terminated());
+    }
+
+    #[test]
+    fn reset_clears_every_recorded_action() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.perform(Unit::new(1));
+        eff.send(Pid::new(1), 7);
+        eff.note("x");
+        eff.terminate();
+        eff.reset();
+        assert!(eff.is_idle());
+        assert!(eff.notes().is_empty());
+        assert!(!eff.is_terminated());
+        // The one-unit-per-round rule restarts after a reset.
+        eff.perform(Unit::new(2));
+        assert_eq!(eff.work(), Some(Unit::new(2)));
     }
 
     #[test]

@@ -88,13 +88,27 @@ pub struct Report {
 
 impl Report {
     /// Processes that terminated normally (the survivors).
+    ///
+    /// Allocates; hot callers that only iterate or count should use
+    /// [`survivors_iter`](Report::survivors_iter) or
+    /// [`survivor_count`](Report::survivor_count).
     pub fn survivors(&self) -> Vec<Pid> {
+        self.survivors_iter().collect()
+    }
+
+    /// Iterates over the processes that terminated normally, in pid order,
+    /// without building an intermediate `Vec`.
+    pub fn survivors_iter(&self) -> impl Iterator<Item = Pid> + '_ {
         self.statuses
             .iter()
             .enumerate()
             .filter(|(_, s)| s.is_terminated())
             .map(|(i, _)| Pid::new(i))
-            .collect()
+    }
+
+    /// Number of processes that terminated normally.
+    pub fn survivor_count(&self) -> usize {
+        self.statuses.iter().filter(|s| s.is_terminated()).count()
     }
 
     /// Whether at least one process survived — the premise of the paper's
@@ -213,10 +227,26 @@ where
 {
     let t = procs.len();
     let mut statuses = vec![Status::Alive; t];
+    // The live-set, maintained incrementally as processes retire: `alive`
+    // mirrors `statuses` and `live` counts its `true` entries, so neither
+    // the adversary context nor the retirement check rescans statuses.
+    let mut alive = vec![true; t];
+    let mut live = t;
     let mut metrics = Metrics::new(cfg.n);
     let mut trace = Trace::new();
+    let record = cfg.record_trace;
+
+    // Scratch buffers, allocated once and recycled every round. In steady
+    // state the loop below performs no allocation: `eff` is reset (not
+    // rebuilt), the two message buffers swap roles each round, and the
+    // bucketing scratch grows only to the high-water mark of in-flight
+    // messages.
+    let mut eff: Effects<P::Msg> = Effects::new();
     let mut pending: Vec<Envelope<P::Msg>> = Vec::new();
-    let mut inboxes: Vec<Vec<Envelope<P::Msg>>> = (0..t).map(|_| Vec::new()).collect();
+    let mut next_pending: Vec<Envelope<P::Msg>> = Vec::new();
+    let mut starts: Vec<usize> = vec![0; t + 2];
+    let mut slot: Vec<usize> = Vec::new();
+    let mut cursor: Vec<usize> = Vec::new();
     let mut round: Round = 1;
 
     loop {
@@ -224,50 +254,43 @@ where
             return Err(RunError::RoundLimit { limit: cfg.max_rounds, metrics: Box::new(metrics) });
         }
 
-        // 1. Deliver last round's messages.
-        for inbox in &mut inboxes {
-            inbox.clear();
-        }
-        for env in pending.drain(..) {
-            if matches!(statuses[env.to.index()], Status::Alive) {
-                inboxes[env.to.index()].push(env);
-            } else {
-                metrics.dead_letters += 1;
-            }
-        }
+        // 1. Deliver last round's messages: reorder `pending` in place so
+        //    that pid `p`'s inbox is the slice `starts[p]..starts[p+1]`,
+        //    with messages to retired recipients in a trailing dead-letter
+        //    bucket.
+        bucket_by_recipient(&mut pending, &alive, &mut starts, &mut slot, &mut cursor);
+        metrics.dead_letters += (starts[t + 1] - starts[t]) as u64;
 
         // 2 & 3. Step every alive process; let the adversary rule on it.
-        let mut next_pending: Vec<Envelope<P::Msg>> = Vec::new();
         for idx in 0..t {
-            if !matches!(statuses[idx], Status::Alive) {
+            if !alive[idx] {
                 continue;
             }
             let pid = Pid::new(idx);
-            let mut eff = Effects::new();
-            procs[idx].step(round, &inboxes[idx], &mut eff);
+            eff.reset();
+            procs[idx].step(round, &pending[starts[idx]..starts[idx + 1]], &mut eff);
 
-            let alive: Vec<bool> = statuses.iter().map(|s| !s.is_retired()).collect();
-            let ctx = AdversaryCtx { t, alive: &alive, crashes: metrics.crashes };
+            let ctx = AdversaryCtx { t, alive: &alive, live, crashes: metrics.crashes };
             let fate = adversary.intercept(round, pid, &eff, ctx);
 
-            if cfg.record_trace {
+            if record {
                 for tag in eff.notes() {
                     trace.push(Event::Note { round, pid, tag });
                 }
             }
 
-            let (work, sends, _notes, terminated) = eff.into_parts();
             match fate {
                 Fate::Survive => {
-                    if let Some(unit) = work {
+                    if let Some(unit) = eff.work() {
                         metrics.record_work(unit);
-                        if cfg.record_trace {
+                        if record {
                             trace.push(Event::Work { round, pid, unit });
                         }
                     }
-                    for (to, payload) in sends {
+                    let terminated = eff.is_terminated();
+                    for (to, payload) in eff.drain_sends() {
                         metrics.record_message(payload.class());
-                        if cfg.record_trace {
+                        if record {
                             trace.push(Event::Send {
                                 round,
                                 from: pid,
@@ -279,25 +302,27 @@ where
                     }
                     if terminated {
                         statuses[idx] = Status::Terminated(round);
+                        alive[idx] = false;
+                        live -= 1;
                         metrics.terminations += 1;
-                        if cfg.record_trace {
+                        if record {
                             trace.push(Event::Terminate { round, pid });
                         }
                     }
                 }
                 Fate::Crash(spec) => {
                     if spec.count_work {
-                        if let Some(unit) = work {
+                        if let Some(unit) = eff.work() {
                             metrics.record_work(unit);
-                            if cfg.record_trace {
+                            if record {
                                 trace.push(Event::Work { round, pid, unit });
                             }
                         }
                     }
-                    for (i, (to, payload)) in sends.into_iter().enumerate() {
+                    for (i, (to, payload)) in eff.drain_sends().enumerate() {
                         if spec.deliver.lets_through(i, to) {
                             metrics.record_message(payload.class());
-                            if cfg.record_trace {
+                            if record {
                                 trace.push(Event::Send {
                                     round,
                                     from: pid,
@@ -309,8 +334,10 @@ where
                         }
                     }
                     statuses[idx] = Status::Crashed(round);
+                    alive[idx] = false;
+                    live -= 1;
                     metrics.crashes += 1;
-                    if cfg.record_trace {
+                    if record {
                         trace.push(Event::Crash { round, pid });
                     }
                 }
@@ -318,17 +345,20 @@ where
         }
 
         // Did everyone retire?
-        if statuses.iter().all(Status::is_retired) {
+        if live == 0 {
             metrics.rounds = round;
             return Ok((Report { metrics, trace, statuses }, procs));
         }
 
-        pending = next_pending;
+        // Swap the message buffers: last round's deliveries become the new
+        // scratch, this round's sends become the in-flight set.
+        std::mem::swap(&mut pending, &mut next_pending);
+        next_pending.clear();
 
         // Fast-forward through provably idle rounds.
         if pending.is_empty() {
             let wake = (0..t)
-                .filter(|&i| matches!(statuses[i], Status::Alive))
+                .filter(|&i| alive[i])
                 .filter_map(|i| procs[i].next_wakeup(round + 1))
                 .map(|w| w.max(round + 1))
                 .min();
@@ -338,15 +368,66 @@ where
                 (Some(w), None) => w,
                 (None, Some(a)) => a,
                 (None, None) => {
-                    let alive = (0..t)
-                        .filter(|&i| matches!(statuses[i], Status::Alive))
-                        .map(Pid::new)
+                    let alive = alive
+                        .iter()
+                        .enumerate()
+                        .filter(|(_, a)| **a)
+                        .map(|(i, _)| Pid::new(i))
                         .collect();
                     return Err(RunError::Deadlock { round, alive, metrics: Box::new(metrics) });
                 }
             };
         } else {
             round += 1;
+        }
+    }
+}
+
+/// Reorders `pending` in place so that the messages addressed to the alive
+/// pid `p` occupy `starts[p]..starts[p+1]` (in arrival order — the order
+/// they were sent, which is sender-pid order) and messages to retired
+/// recipients occupy the trailing dead-letter bucket
+/// `starts[t]..starts[t+1]`.
+///
+/// This is a stable counting sort over recipient buckets followed by an
+/// in-place cycle permutation: O(len + t) time, zero allocation once the
+/// scratch vectors have reached their high-water marks.
+fn bucket_by_recipient<M>(
+    pending: &mut [Envelope<M>],
+    alive: &[bool],
+    starts: &mut Vec<usize>,
+    slot: &mut Vec<usize>,
+    cursor: &mut Vec<usize>,
+) {
+    let t = alive.len();
+    starts.clear();
+    starts.resize(t + 2, 0);
+    if pending.is_empty() {
+        return;
+    }
+    let bucket_of = |env: &Envelope<M>| if alive[env.to.index()] { env.to.index() } else { t };
+    for env in pending.iter() {
+        starts[bucket_of(env) + 1] += 1;
+    }
+    for b in 0..=t {
+        starts[b + 1] += starts[b];
+    }
+    // Assign each envelope its destination slot, stably in scan order.
+    cursor.clear();
+    cursor.extend_from_slice(&starts[..=t]);
+    slot.clear();
+    for env in pending.iter() {
+        let b = bucket_of(env);
+        slot.push(cursor[b]);
+        cursor[b] += 1;
+    }
+    // Apply the permutation with swap cycles: each swap parks one envelope
+    // in its final slot, so the loop is linear despite the inner while.
+    for i in 0..pending.len() {
+        while slot[i] != i {
+            let j = slot[i];
+            pending.swap(i, j);
+            slot.swap(i, j);
         }
     }
 }
@@ -414,7 +495,9 @@ mod tests {
         assert_eq!(report.metrics.messages, 3);
         assert_eq!(report.metrics.rounds, 4);
         assert!(report.metrics.all_work_done());
-        assert_eq!(report.survivors().len(), 4);
+        assert_eq!(report.survivor_count(), 4);
+        assert_eq!(report.survivors(), vec![Pid::new(0), Pid::new(1), Pid::new(2), Pid::new(3)]);
+        assert_eq!(report.survivors_iter().count(), report.survivor_count());
         assert_eq!(report.metrics.messages_by_class["token"], 3);
     }
 

@@ -27,7 +27,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Protocol B on n = {n} units, t = {t} processes ({})", scenario.label());
     println!("  all work done : {}", report.metrics.all_work_done());
     println!("  crashes       : {}", report.metrics.crashes);
-    println!("  survivors     : {}", report.survivors().len());
+    println!("  survivors     : {}", report.survivor_count());
     println!();
 
     let bound = theorems::protocol_b(n, t);

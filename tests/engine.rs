@@ -130,6 +130,107 @@ fn self_addressed_messages_are_delivered_next_round() {
     assert_eq!(report.metrics.messages, 1);
 }
 
+/// A purely reactive protocol: never wakes on its own, acts only on
+/// messages. Used to pin down fast-forward × adversary interactions.
+struct Reactive;
+#[derive(Clone, Debug)]
+struct Nudge;
+impl Classify for Nudge {}
+impl Protocol for Reactive {
+    type Msg = Nudge;
+    fn step(&mut self, _: Round, _: &[Envelope<Nudge>], _: &mut Effects<Nudge>) {}
+    fn next_wakeup(&self, _: Round) -> Option<Round> {
+        None
+    }
+}
+
+/// Sleeps until `fire_at`, then performs one unit and terminates — the
+/// minimal protocol for exercising fast-forward against round caps and
+/// adversary schedules.
+struct FireAt {
+    fire_at: Round,
+    done: bool,
+}
+
+impl FireAt {
+    fn new(fire_at: Round) -> Self {
+        FireAt { fire_at, done: false }
+    }
+}
+
+impl Protocol for FireAt {
+    type Msg = Nudge;
+    fn step(&mut self, round: Round, _: &[Envelope<Nudge>], eff: &mut Effects<Nudge>) {
+        if round >= self.fire_at && !self.done {
+            eff.perform(Unit::new(1));
+            eff.terminate();
+            self.done = true;
+        }
+    }
+    fn next_wakeup(&self, now: Round) -> Option<Round> {
+        if self.done {
+            None
+        } else {
+            Some(self.fire_at.max(now))
+        }
+    }
+}
+
+#[test]
+fn adversary_event_fires_on_a_round_where_no_process_wakes() {
+    // No process ever wakes; the only future activity is the adversary's.
+    // The engine must fast-forward *to the adversary's scheduled rounds*
+    // (not deadlock, not execute 59 idle rounds) and let it crash both
+    // processes at exactly the scheduled times.
+    let adv = CrashSchedule::new().crash_at(Pid::new(0), 50, CrashSpec::silent()).crash_at(
+        Pid::new(1),
+        60,
+        CrashSpec::silent(),
+    );
+    let report = run(vec![Reactive, Reactive], adv, RunConfig::new(0, 1_000)).unwrap();
+    assert_eq!(report.metrics.rounds, 60);
+    assert_eq!(report.metrics.crashes, 2);
+    assert_eq!(report.statuses[0], doall::sim::Status::Crashed(50));
+    assert_eq!(report.statuses[1], doall::sim::Status::Crashed(60));
+    assert_eq!(report.survivor_count(), 0);
+}
+
+#[test]
+fn wakeup_exactly_at_max_rounds_is_not_a_round_limit_error() {
+    // A process whose only action is at round == max_rounds must still get
+    // that round: the cap is inclusive.
+    let report = run(vec![FireAt::new(500)], NoFailures, RunConfig::new(1, 500)).unwrap();
+    assert_eq!(report.metrics.rounds, 500);
+    assert_eq!(report.survivor_count(), 1);
+    assert!(report.metrics.all_work_done());
+
+    // One round later is out of budget.
+    let err = run(vec![FireAt::new(501)], NoFailures, RunConfig::new(1, 500)).unwrap_err();
+    assert!(matches!(err, doall::sim::RunError::RoundLimit { limit: 500, .. }));
+}
+
+#[test]
+fn fast_forward_resumes_after_all_but_one_process_retires() {
+    // Kill everyone but a distant-deadline straggler in round 1: the engine
+    // must skip ~10^6 idle rounds in O(1) once the crashes have happened,
+    // and the straggler must still act at its deadline.
+    let t = 8;
+    let mut adv = CrashSchedule::new();
+    for p in 0..t - 1 {
+        adv = adv.crash_at(Pid::new(p), 1, CrashSpec::silent());
+    }
+    let mut procs: Vec<FireAt> = (0..t - 1).map(|_| FireAt::new(1)).collect();
+    procs.push(FireAt::new(1_000_000));
+    let report = run(procs, adv, RunConfig::new(1, 2_000_000)).unwrap();
+    assert_eq!(report.metrics.rounds, 1_000_000);
+    assert_eq!(report.metrics.crashes, (t - 1) as u32);
+    assert_eq!(report.survivor_count(), 1);
+    assert_eq!(report.survivors_iter().next(), Some(Pid::new(t - 1)));
+    // Only the straggler's unit was performed: the victims died in round 1
+    // before acting (silent crash), so exactly one unit total.
+    assert_eq!(report.metrics.work_total, 1);
+}
+
 #[test]
 fn crash_schedule_and_subset_delivery_compose() {
     // Two schedules on the same round, one clean and one subset: the
