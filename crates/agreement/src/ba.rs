@@ -26,8 +26,8 @@ use doall_core::ab::AbMsg;
 use doall_core::c::CMsg;
 use doall_core::{ConfigError, ProtocolA, ProtocolB, ProtocolC};
 use doall_sim::{
-    run_returning, Adversary, Classify, Effects, Envelope, Metrics, Pid, Protocol, Round,
-    RunConfig, RunError, Unit,
+    run_returning, Adversary, Classify, Effects, Inbox, Metrics, Pid, Protocol, Recipients, Round,
+    RunConfig, RunError, SendOp, Unit,
 };
 
 /// The agreement value (the paper's `V` is abstract; 64 bits cover the
@@ -128,60 +128,47 @@ impl BaProcess {
     }
 
     /// Runs one inner work-protocol round (inner rounds are offset by the
-    /// stage-1 round).
-    fn sender_step(&mut self, round: Round, inbox: &[Envelope<BaMsg>], eff: &mut Effects<BaMsg>) {
+    /// stage-1 round). Inner sends come back as ops, so a checkpoint span
+    /// stays a single span after wrapping — the reduction preserves the
+    /// O(1)-per-broadcast representation end to end.
+    fn sender_step(&mut self, round: Round, inbox: Inbox<'_, BaMsg>, eff: &mut Effects<BaMsg>) {
         let inner_round = round - 1;
         let mut ieff;
         match self.sender.as_mut().expect("sender_step on a non-sender") {
             SenderEngine::A(inner) => {
-                let tin: Vec<Envelope<AbMsg>> = inbox
+                let tin: Vec<(Pid, AbMsg)> = inbox
                     .iter()
-                    .filter_map(|e| match &e.payload {
-                        BaMsg::Ab(m) => Some(Envelope {
-                            from: e.from,
-                            to: e.to,
-                            sent_at: e.sent_at - 1,
-                            payload: *m,
-                        }),
+                    .filter_map(|(from, msg)| match msg {
+                        BaMsg::Ab(m) => Some((from, *m)),
                         _ => None,
                     })
                     .collect();
                 let mut inner_eff = Effects::new();
-                inner.step(inner_round, &tin, &mut inner_eff);
+                inner.step(inner_round, Inbox::from_pairs(&tin), &mut inner_eff);
                 ieff = Translated::from_ab(inner_eff);
             }
             SenderEngine::B(inner) => {
-                let tin: Vec<Envelope<AbMsg>> = inbox
+                let tin: Vec<(Pid, AbMsg)> = inbox
                     .iter()
-                    .filter_map(|e| match &e.payload {
-                        BaMsg::Ab(m) => Some(Envelope {
-                            from: e.from,
-                            to: e.to,
-                            sent_at: e.sent_at - 1,
-                            payload: *m,
-                        }),
+                    .filter_map(|(from, msg)| match msg {
+                        BaMsg::Ab(m) => Some((from, *m)),
                         _ => None,
                     })
                     .collect();
                 let mut inner_eff = Effects::new();
-                inner.step(inner_round, &tin, &mut inner_eff);
+                inner.step(inner_round, Inbox::from_pairs(&tin), &mut inner_eff);
                 ieff = Translated::from_ab(inner_eff);
             }
             SenderEngine::C(inner) => {
-                let tin: Vec<Envelope<CMsg>> = inbox
+                let tin: Vec<(Pid, CMsg)> = inbox
                     .iter()
-                    .filter_map(|e| match &e.payload {
-                        BaMsg::C { inner: m, .. } => Some(Envelope {
-                            from: e.from,
-                            to: e.to,
-                            sent_at: e.sent_at - 1,
-                            payload: m.clone(),
-                        }),
+                    .filter_map(|(from, msg)| match msg {
+                        BaMsg::C { inner: m, .. } => Some((from, m.clone())),
                         _ => None,
                     })
                     .collect();
                 let mut inner_eff = Effects::new();
-                inner.step(inner_round, &tin, &mut inner_eff);
+                inner.step(inner_round, Inbox::from_pairs(&tin), &mut inner_eff);
                 ieff = Translated::from_c(inner_eff);
             }
         }
@@ -194,12 +181,15 @@ impl BaProcess {
             }
             // Units beyond n are divisibility padding: silently consumed.
         }
-        for (to, m) in ieff.sends.drain(..) {
-            let wrapped = match m {
+        for op in ieff.sends.drain(..) {
+            let wrapped = match op.payload {
                 EitherMsg::Ab(m) => BaMsg::Ab(m),
                 EitherMsg::C(m) => BaMsg::C { inner: m, v: self.value },
             };
-            eff.send(to, wrapped);
+            match op.to {
+                Recipients::One(to) => eff.send(to, wrapped),
+                Recipients::Span { lo, hi } => eff.multicast(lo..hi, wrapped),
+            }
         }
         for note in ieff.notes.drain(..) {
             eff.note(note);
@@ -217,7 +207,7 @@ enum EitherMsg {
 
 struct Translated {
     work: Option<Unit>,
-    sends: Vec<(Pid, EitherMsg)>,
+    sends: Vec<SendOp<EitherMsg>>,
     notes: Vec<&'static str>,
     terminated: bool,
 }
@@ -227,7 +217,11 @@ impl Translated {
         let work = eff.work();
         let terminated = eff.is_terminated();
         let notes = eff.notes().to_vec();
-        let sends = eff.sends().iter().map(|(to, m)| (*to, EitherMsg::Ab(*m))).collect();
+        let sends = eff
+            .sends()
+            .iter()
+            .map(|op| SendOp { to: op.to, payload: EitherMsg::Ab(op.payload) })
+            .collect();
         Translated { work, sends, notes, terminated }
     }
 
@@ -235,7 +229,11 @@ impl Translated {
         let work = eff.work();
         let terminated = eff.is_terminated();
         let notes = eff.notes().to_vec();
-        let sends = eff.sends().iter().map(|(to, m)| (*to, EitherMsg::C(m.clone()))).collect();
+        let sends = eff
+            .sends()
+            .iter()
+            .map(|op| SendOp { to: op.to, payload: EitherMsg::C(op.payload.clone()) })
+            .collect();
         Translated { work, sends, notes, terminated }
     }
 }
@@ -243,10 +241,10 @@ impl Translated {
 impl Protocol for BaProcess {
     type Msg = BaMsg;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<BaMsg>], eff: &mut Effects<BaMsg>) {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, BaMsg>, eff: &mut Effects<BaMsg>) {
         // Value adoption comes first, from any message kind that carries one.
-        for env in inbox {
-            match &env.payload {
+        for (_, msg) in inbox.iter() {
+            match msg {
                 BaMsg::GeneralsValue { v } | BaMsg::Inform { v } | BaMsg::C { v, .. } => {
                     self.adopt(*v);
                 }
@@ -262,9 +260,8 @@ impl Protocol for BaProcess {
 
         if round == 1 {
             if self.me == 0 {
-                // Stage 1: the general tells the senders.
-                let senders = (1..=self.t).map(|p| Pid::new(p as usize));
-                eff.broadcast(senders, BaMsg::GeneralsValue { v: self.value });
+                // Stage 1: the general tells the senders — one span op.
+                eff.multicast(1..self.t as usize + 1, BaMsg::GeneralsValue { v: self.value });
             }
             return;
         }

@@ -6,8 +6,8 @@
 //! the end. Tolerates `t` crashes but costs `Θ(n²t)` messages.
 
 use doall_sim::{
-    run_returning, Adversary, Classify, Effects, Envelope, Metrics, Pid, Protocol, Round,
-    RunConfig, RunError,
+    run_returning, Adversary, Classify, Effects, Inbox, Metrics, Protocol, Round, RunConfig,
+    RunError,
 };
 
 use crate::ba::Value;
@@ -83,20 +83,21 @@ impl FloodingBa {
         Ok((procs.iter().map(|p| p.decision).collect(), report.metrics))
     }
 
-    fn others(&self) -> impl Iterator<Item = Pid> + '_ {
-        (0..self.n).filter(move |&p| p != self.me).map(|p| Pid::new(p as usize))
+    /// Everyone but `self.me`, as at most two O(1) spans.
+    fn echo_others(&self, v: Value, eff: &mut Effects<Echo>) {
+        eff.multicast_except(0..self.n as usize, self.me as usize, Echo { v });
     }
 }
 
 impl Protocol for FloodingBa {
     type Msg = Echo;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<Echo>], eff: &mut Effects<Echo>) {
-        for env in inbox {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, Echo>, eff: &mut Effects<Echo>) {
+        for (_, msg) in inbox.iter() {
             // First value wins; uninformed processes stay silent below, so
             // only the general's value ever circulates.
             if self.value.is_none() {
-                self.value = Some(env.payload.v);
+                self.value = Some(msg.v);
             }
         }
         if round >= self.decide_at {
@@ -108,10 +109,10 @@ impl Protocol for FloodingBa {
             // Stage 1 is the general's broadcast; rounds 2..=t+2 are the
             // t + 1 echo rounds of every *informed* process.
             Some(v) if round == 1 && self.me == 0 => {
-                eff.broadcast(self.others(), Echo { v });
+                self.echo_others(v, eff);
             }
             Some(v) if round >= 2 => {
-                eff.broadcast(self.others(), Echo { v });
+                self.echo_others(v, eff);
             }
             _ => {}
         }

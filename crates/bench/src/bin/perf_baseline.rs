@@ -5,12 +5,21 @@
 //! ```sh
 //! cargo run --release -p doall-bench --bin perf_baseline              # JSON to stdout
 //! cargo run --release -p doall-bench --bin perf_baseline -- --out f.json
-//! cargo run --release -p doall-bench --bin perf_baseline -- --smoke   # CI: tiny shapes, 1 iter
+//! cargo run --release -p doall-bench --bin perf_baseline -- --smoke   # CI: tiny shapes
+//! cargo run --release -p doall-bench --bin perf_baseline -- --smoke --compare BENCH_PR2.json
 //! ```
+//!
+//! `--compare FILE` is the CI regression guard: every measured cell whose
+//! id also appears in the baseline file must (a) report **identical
+//! message counts** (the simulator is deterministic, so any drift is a
+//! correctness bug) and (b) be no more than 30% slower in mean wall-clock
+//! per iteration (`mean_ms`).
+//! Any violation exits non-zero. Cells absent from the baseline (new
+//! cells, or smoke-shrunk shapes with different ids) are skipped.
 
 use std::time::{Duration, Instant};
 
-use doall_core::{Lockstep, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll};
+use doall_core::{Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll};
 use doall_sim::{run, Metrics, Protocol, RunConfig};
 use doall_workload::Scenario;
 
@@ -35,6 +44,13 @@ impl Measurement {
     fn ns_per_round(&self) -> f64 {
         let ns = self.total.as_nanos() as f64 / self.iters as f64;
         ns / self.metrics.rounds as f64
+    }
+
+    /// Mean wall-clock per iteration, in milliseconds — the quantity the
+    /// `--compare` regression guard checks (meaningful even for
+    /// fast-forward-dominated cells whose ns_per_round rounds to 0).
+    fn mean_ms(&self) -> f64 {
+        self.total.as_secs_f64() * 1e3 / self.iters as f64
     }
 
     fn to_json(&self) -> String {
@@ -94,7 +110,10 @@ where
 }
 
 fn cells(smoke: bool) -> Vec<Measurement> {
-    let iters = if smoke { 1 } else { 200 };
+    // Smoke mode still iterates (bounded by the 300 ms per-cell budget in
+    // `measure`): single-shot timings are far too noisy for the --compare
+    // regression guard's 30% threshold.
+    let iters = if smoke { 50 } else { 200 };
     // Smoke mode shrinks the big shape so the whole bin finishes fast.
     // (A/B need a perfect-square t; C a power of two: 16, 64, 256, 1024
     // satisfy both.)
@@ -133,7 +152,7 @@ fn cells(smoke: bool) -> Vec<Measurement> {
             n_of(t_big),
             t_big,
             &Scenario::DeadOnArrival { k: t_big / 2 },
-            if smoke { 1 } else { 20 },
+            if smoke { 50 } else { 20 },
             || ProtocolB::processes(n_of(t_big), t_big).unwrap(),
         ),
         measure(
@@ -141,7 +160,7 @@ fn cells(smoke: bool) -> Vec<Measurement> {
             n_of(t_big),
             t_big,
             &ff,
-            if smoke { 1 } else { 20 },
+            if smoke { 50 } else { 20 },
             || ProtocolB::processes(n_of(t_big), t_big).unwrap(),
         ),
     ];
@@ -163,14 +182,112 @@ fn cells(smoke: bool) -> Vec<Measurement> {
         out.push(measure("peak/protocol_d_coord_t1024", 2_048, 1_024, &ff, 3, || {
             ProtocolD::processes_with_coordinator(2_048, 1_024).unwrap()
         }));
+        // Message-storm cells: runs whose cost is dominated by the message
+        // plane rather than by protocol stepping. Protocol B with only the
+        // last group alive spends its rounds on span broadcasts to its own
+        // group (one partial checkpoint per subchunk, 31 recipients each);
+        // lockstep broadcasts to everyone after every unit; naive-spread
+        // fires a unicast per unit plus one final t-wide broadcast.
+        out.push(measure(
+            "storm/protocol_b_t1024",
+            4_096,
+            1_024,
+            &Scenario::DeadOnArrival { k: 992 },
+            20,
+            || ProtocolB::processes(4_096, 1_024).unwrap(),
+        ));
+        out.push(measure("storm/naive_spread_t1024", 4_096, 1_024, &ff, 20, || {
+            NaiveSpread::processes(4_096, 1_024).unwrap()
+        }));
+        out.push(measure("storm/lockstep_t512", 2_048, 512, &ff, 20, || {
+            Lockstep::processes(2_048, 512).unwrap()
+        }));
     }
     out
+}
+
+/// One baseline entry scraped from a committed BENCH_*.json file.
+struct BaselineEntry {
+    id: String,
+    mean_ms: f64,
+    messages: u64,
+}
+
+/// Extracts `{"id": ..., "mean_ms": ..., "messages": ...}` result objects
+/// from one of this binary's own output files (or a committed before/after
+/// bundle that embeds them). No vendored JSON parser exists in this offline
+/// workspace, so this scrapes the known flat-object format; when an id
+/// occurs several times (a bundle's `before` and `after` blocks), the
+/// **last** occurrence wins — the bundles list `after` last.
+fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
+    let mut by_id: Vec<BaselineEntry> = Vec::new();
+    for obj in text.split('{').filter(|o| o.contains("\"ns_per_round\"")) {
+        let field = |key: &str| -> Option<&str> {
+            let at = obj.find(&format!("\"{key}\":"))?;
+            let rest = obj[at..].split(':').nth(1)?;
+            Some(rest.split([',', '}']).next()?.trim())
+        };
+        let (Some(id), Some(ms), Some(msgs)) = (field("id"), field("mean_ms"), field("messages"))
+        else {
+            continue;
+        };
+        let id = id.trim_matches('"').to_string();
+        let (Ok(mean_ms), Ok(messages)) = (ms.parse::<f64>(), msgs.parse::<u64>()) else {
+            continue;
+        };
+        if let Some(e) = by_id.iter_mut().find(|e| e.id == id) {
+            e.mean_ms = mean_ms;
+            e.messages = messages;
+        } else {
+            by_id.push(BaselineEntry { id, mean_ms, messages });
+        }
+    }
+    by_id
+}
+
+/// Checks measurements against a baseline file; returns the number of
+/// violations (regressions > 30% or message-count drift).
+fn compare(results: &[Measurement], baseline_path: &str) -> usize {
+    let text = std::fs::read_to_string(baseline_path)
+        .unwrap_or_else(|e| panic!("cannot read baseline {baseline_path}: {e}"));
+    let baseline = parse_baseline(&text);
+    assert!(!baseline.is_empty(), "no result entries found in {baseline_path}");
+    let mut violations = 0;
+    for m in results {
+        let Some(b) = baseline.iter().find(|b| b.id == m.id) else {
+            eprintln!("compare: {id}: not in baseline, skipped", id = m.id);
+            continue;
+        };
+        if m.metrics.messages != b.messages {
+            eprintln!(
+                "compare: {}: FAIL message count drifted ({} != baseline {})",
+                m.id, m.metrics.messages, b.messages
+            );
+            violations += 1;
+            continue;
+        }
+        let ratio = m.mean_ms() / b.mean_ms;
+        if ratio > 1.30 {
+            eprintln!(
+                "compare: {}: FAIL {:.3} ms vs baseline {:.3} ms ({ratio:.2}x > 1.30x)",
+                m.id,
+                m.mean_ms(),
+                b.mean_ms
+            );
+            violations += 1;
+        } else {
+            eprintln!("compare: {}: ok ({:.2}x of baseline {:.3} ms)", m.id, ratio, b.mean_ms);
+        }
+    }
+    violations
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let smoke = args.iter().any(|a| a == "--smoke");
     let out_path = args.iter().position(|a| a == "--out").and_then(|i| args.get(i + 1)).cloned();
+    let baseline =
+        args.iter().position(|a| a == "--compare").and_then(|i| args.get(i + 1)).cloned();
 
     let results = cells(smoke);
     let body: Vec<String> = results.iter().map(Measurement::to_json).collect();
@@ -183,5 +300,13 @@ fn main() {
     if let Some(path) = out_path {
         std::fs::write(&path, format!("{json}\n")).expect("write output file");
         eprintln!("wrote {path}");
+    }
+    if let Some(path) = baseline {
+        let violations = compare(&results, &path);
+        if violations > 0 {
+            eprintln!("compare: {violations} cell(s) regressed vs {path}");
+            std::process::exit(1);
+        }
+        eprintln!("compare: all measured cells within 30% of {path}");
     }
 }

@@ -135,6 +135,26 @@ pub fn e2() -> Outcome {
         pass &= ok;
         table.row(cols);
     }
+    // Peak multicast-pressure cell (PR 3): n = 2^20 ≈ 10^6 units on
+    // t = 1024 processes with every group but the last dead on arrival.
+    // The lone live group's active process fires one 31-recipient partial
+    // checkpoint per subchunk (1024 of them), and its 31 live peers each
+    // poll it once with a `go ahead` — so the exact expected traffic is
+    // t(√t − 1) = 31744 ordinary messages plus 31 go_aheads (derivation in
+    // EXPERIMENTS.md §e2).
+    {
+        let (n, t) = (1u64 << 20, 1_024u64);
+        let scenario = Scenario::DeadOnArrival { k: 992 };
+        let m = run_protocol(ProtocolB::processes(n, t).unwrap(), &scenario, n);
+        let b = theorems::protocol_b(n, t);
+        table.row(bound_row(n, t, &scenario, &m, &b));
+        let ordinary = m.messages_by_class.get("ordinary").copied().unwrap_or(0);
+        let go_aheads = m.messages_by_class.get("go_ahead").copied().unwrap_or(0);
+        pass &= within(&m, &b)
+            && ordinary == t * 31
+            && go_aheads == 31
+            && m.messages == ordinary + go_aheads;
+    }
     Outcome {
         id: "e2",
         claim:
@@ -422,6 +442,26 @@ pub fn e8() -> Outcome {
         if effort_of(&format!("{cascade}/{alg}")) >= effort_of(&format!("{cascade}/lockstep")) {
             pass = false;
         }
+    }
+    // Message-storm cell (PR 3): the strawman at t = 1024 — one unicast
+    // report per unit except the three self-addressed ones (known ≡ 0 mod
+    // t while p0 is active), plus the final (t − 1)-wide `Finished` span:
+    // (n − 1 − 3) + (t − 1) = 5115 messages exactly (EXPERIMENTS.md §e8).
+    {
+        let (n, t) = (4_096u64, 1_024u64);
+        let m = run_protocol(NaiveSpread::processes(n, t).unwrap(), &Scenario::FailureFree, n);
+        let expected = (n - 1 - 3) + (t - 1);
+        if m.messages != expected {
+            pass = false;
+        }
+        table.row([
+            "failure-free".into(),
+            format!("naive-spread (t={t})"),
+            m.work_total.to_string(),
+            format!("{} (expect {expected})", m.messages),
+            m.rounds.to_string(),
+            m.effort().to_string(),
+        ]);
     }
     Outcome {
         id: "e8",

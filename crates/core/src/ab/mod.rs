@@ -27,7 +27,7 @@ use std::collections::VecDeque;
 use std::fmt;
 
 use doall_bounds::AbParams;
-use doall_sim::{Classify, Effects, Pid, Unit};
+use doall_sim::{Classify, Effects, Unit};
 
 use crate::error::ConfigError;
 
@@ -246,28 +246,37 @@ fn push_full_checkpoint(ops: &mut VecDeque<Op>, p: AbParams, c: u64, from_group:
     }
 }
 
-/// Executes one compiled operation, emitting its work or broadcast.
+/// Executes one compiled operation, emitting its work or broadcast. Every
+/// broadcast here targets a contiguous pid range, so each is recorded as a
+/// single O(1) span multicast — the payload is stored once regardless of
+/// the group width.
 pub fn exec_op(op: Op, p: AbParams, j: u64, eff: &mut Effects<AbMsg>) {
     match op {
         Op::Work { u } => eff.perform(Unit::new(u as usize)),
         Op::PartialCp { c } => {
-            eff.broadcast(higher_own_group(p, j), AbMsg::Partial { c });
+            eff.multicast(higher_own_group(p, j), AbMsg::Partial { c });
         }
         Op::FullCpGroup { c, g } => {
-            let members = p.group_members(g).map(|i| Pid::new(i as usize));
-            eff.broadcast(members, AbMsg::Full { c, g });
+            eff.multicast(group_span(p, g), AbMsg::Full { c, g });
         }
         Op::FullCpOwn { c, g } => {
-            eff.broadcast(higher_own_group(p, j), AbMsg::Full { c, g });
+            eff.multicast(higher_own_group(p, j), AbMsg::Full { c, g });
         }
     }
 }
 
 /// The recipients of an own-group broadcast: processes `j+1 ..= g_j·√t − 1`
-/// (all lower-numbered members are known to have retired).
-pub fn higher_own_group(p: AbParams, j: u64) -> impl Iterator<Item = Pid> {
+/// (all lower-numbered members are known to have retired), as a contiguous
+/// pid range.
+pub fn higher_own_group(p: AbParams, j: u64) -> std::ops::Range<usize> {
     let end = p.group_of(j) * p.sqrt_t();
-    (j + 1..end).map(|i| Pid::new(i as usize))
+    j as usize + 1..end as usize
+}
+
+/// The pids of group `g` as a contiguous range.
+pub fn group_span(p: AbParams, g: u64) -> std::ops::Range<usize> {
+    let members = p.group_members(g);
+    members.start as usize..members.end as usize
 }
 
 /// Whether an incoming ordinary message tells `j` to terminate: `(t)` from
@@ -407,21 +416,26 @@ mod tests {
     }
 
     #[test]
-    fn exec_partial_cp_broadcasts_to_higher_own_group_only() {
+    fn exec_partial_cp_broadcasts_to_higher_own_group_as_one_span() {
         let mut eff = Effects::new();
         exec_op(Op::PartialCp { c: 2 }, p(), 5, &mut eff);
-        let to: Vec<usize> = eff.sends().iter().map(|(pid, _)| pid.index()).collect();
-        // Group 2 is processes 4..=7; j = 5 informs 6, 7.
+        // Group 2 is processes 4..=7; j = 5 informs 6, 7 — one op, the
+        // payload stored once.
+        assert_eq!(eff.sends().len(), 1);
+        let to: Vec<usize> = eff.sends()[0].to.iter().map(doall_sim::Pid::index).collect();
         assert_eq!(to, vec![6, 7]);
-        assert!(eff.sends().iter().all(|(_, m)| *m == AbMsg::Partial { c: 2 }));
+        assert_eq!(eff.sends()[0].payload, AbMsg::Partial { c: 2 });
+        assert_eq!(eff.send_count(), 2, "message counts stay per-recipient");
     }
 
     #[test]
-    fn exec_full_cp_group_broadcasts_to_whole_target_group() {
+    fn exec_full_cp_group_broadcasts_to_whole_target_group_as_one_span() {
         let mut eff = Effects::new();
         exec_op(Op::FullCpGroup { c: 4, g: 3 }, p(), 0, &mut eff);
-        let to: Vec<usize> = eff.sends().iter().map(|(pid, _)| pid.index()).collect();
+        assert_eq!(eff.sends().len(), 1);
+        let to: Vec<usize> = eff.sends()[0].to.iter().map(doall_sim::Pid::index).collect();
         assert_eq!(to, vec![8, 9, 10, 11]);
+        assert_eq!(eff.send_count(), 4);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::collections::VecDeque;
 
 use doall_bounds::deadlines_ab::{dd, AbParams};
-use doall_sim::{Effects, Envelope, Pid, Protocol, Round, Unit};
+use doall_sim::{Effects, Inbox, Protocol, Round, Unit};
 
 use super::{compile_dowork, interpret, is_terminal_for, AbMsg, LastOrdinary, Op};
 use crate::error::ConfigError;
@@ -90,16 +90,14 @@ impl PaddedA {
             .collect())
     }
 
-    fn broadcast_real<I: Iterator<Item = u64>>(
-        &self,
-        targets: I,
-        msg: AbMsg,
-        eff: &mut Effects<AbMsg>,
-    ) {
-        for r in targets {
-            if r < self.t_real {
-                eff.send(Pid::new(r as usize), msg);
-            }
+    /// Multicasts to the real prefix of a padded pid range: virtual
+    /// processes hold the highest ids, so clipping the span at `t_real`
+    /// drops exactly the messages that must never be sent — still one
+    /// O(1) span op.
+    fn multicast_real(&self, targets: std::ops::Range<u64>, msg: AbMsg, eff: &mut Effects<AbMsg>) {
+        let hi = targets.end.min(self.t_real);
+        if targets.start < hi {
+            eff.multicast(targets.start as usize..hi as usize, msg);
         }
     }
 
@@ -113,14 +111,14 @@ impl PaddedA {
             }
             Op::PartialCp { c } => {
                 let end = p.group_of(self.j) * p.sqrt_t();
-                self.broadcast_real(self.j + 1..end, AbMsg::Partial { c }, eff);
+                self.multicast_real(self.j + 1..end, AbMsg::Partial { c }, eff);
             }
             Op::FullCpGroup { c, g } => {
-                self.broadcast_real(p.group_members(g), AbMsg::Full { c, g }, eff);
+                self.multicast_real(p.group_members(g), AbMsg::Full { c, g }, eff);
             }
             Op::FullCpOwn { c, g } => {
                 let end = p.group_of(self.j) * p.sqrt_t();
-                self.broadcast_real(self.j + 1..end, AbMsg::Full { c, g }, eff);
+                self.multicast_real(self.j + 1..end, AbMsg::Full { c, g }, eff);
             }
         }
     }
@@ -157,7 +155,7 @@ pub fn padded_params(n: u64, t: u64) -> AbParams {
 impl Protocol for PaddedA {
     type Msg = AbMsg;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<AbMsg>], eff: &mut Effects<AbMsg>) {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, AbMsg>, eff: &mut Effects<AbMsg>) {
         match &mut self.state {
             PState::Done => {}
             PState::Active { ops } => {
@@ -174,13 +172,13 @@ impl Protocol for PaddedA {
             PState::Passive => {
                 let mut terminal = false;
                 let mut updated = false;
-                for env in inbox {
-                    if is_terminal_for(self.params, self.j, env.payload) {
+                for (from, msg) in inbox.iter() {
+                    if is_terminal_for(self.params, self.j, *msg) {
                         terminal = true;
                     }
                     if !updated {
                         if let Some(last) =
-                            interpret(self.params, self.j, env.from.index() as u64, env.payload)
+                            interpret(self.params, self.j, from.index() as u64, *msg)
                         {
                             self.last = last;
                             updated = true;

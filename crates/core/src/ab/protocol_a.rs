@@ -8,7 +8,7 @@
 use std::collections::VecDeque;
 
 use doall_bounds::deadlines_ab::{dd, AbParams};
-use doall_sim::{Effects, Envelope, Protocol, Round};
+use doall_sim::{Effects, Inbox, Protocol, Round};
 
 use super::{
     compile_dowork, exec_op, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op,
@@ -86,23 +86,21 @@ impl ProtocolA {
     }
 
     /// Digests the inbox: returns `true` if a terminal message arrived.
-    fn ingest(&mut self, inbox: &[Envelope<AbMsg>]) -> bool {
+    fn ingest(&mut self, inbox: Inbox<'_, AbMsg>) -> bool {
         let mut terminal = false;
         // Per the paper's convention, if several ordinary messages arrive in
         // one round (impossible in a clean execution), the lowest-numbered
         // sender wins; iterating in pid order and keeping the first does it.
         let mut updated = false;
-        for env in inbox {
-            if !env.payload.is_ordinary() {
+        for (from, msg) in inbox.iter() {
+            if !msg.is_ordinary() {
                 continue;
             }
-            if is_terminal_for(self.params, self.j, env.payload) {
+            if is_terminal_for(self.params, self.j, *msg) {
                 terminal = true;
             }
             if !updated {
-                if let Some(last) =
-                    interpret(self.params, self.j, env.from.index() as u64, env.payload)
-                {
+                if let Some(last) = interpret(self.params, self.j, from.index() as u64, *msg) {
                     self.last = last;
                     updated = true;
                 }
@@ -115,7 +113,7 @@ impl ProtocolA {
 impl Protocol for ProtocolA {
     type Msg = AbMsg;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<AbMsg>], eff: &mut Effects<AbMsg>) {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, AbMsg>, eff: &mut Effects<AbMsg>) {
         match &mut self.state {
             AState::Done => {}
             AState::Active { ops } => {

@@ -19,7 +19,7 @@
 use std::collections::VecDeque;
 
 use doall_bounds::deadlines_ab::{ddb, pto, AbParams};
-use doall_sim::{Effects, Envelope, Pid, Protocol, Round};
+use doall_sim::{Effects, Inbox, Pid, Protocol, Round};
 
 use super::{
     compile_dowork, exec_op, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op,
@@ -133,23 +133,22 @@ impl ProtocolB {
     }
 
     /// Digests the inbox. Returns `(terminal, got_ordinary, got_go_ahead)`.
-    fn ingest(&mut self, round: Round, inbox: &[Envelope<AbMsg>]) -> (bool, bool, bool) {
+    fn ingest(&mut self, round: Round, inbox: Inbox<'_, AbMsg>) -> (bool, bool, bool) {
         let mut terminal = false;
         let mut got_ordinary = false;
         let mut got_go_ahead = false;
-        for env in inbox {
-            match env.payload {
+        for (from, msg) in inbox.iter() {
+            match *msg {
                 AbMsg::GoAhead => got_go_ahead = true,
                 msg => {
                     if is_terminal_for(self.params, self.j, msg) {
                         terminal = true;
                     }
                     if !got_ordinary {
-                        if let Some(last) =
-                            interpret(self.params, self.j, env.from.index() as u64, msg)
+                        if let Some(last) = interpret(self.params, self.j, from.index() as u64, msg)
                         {
                             self.last = last;
-                            self.last_sender = env.from.index() as u64;
+                            self.last_sender = from.index() as u64;
                             self.last_round = round;
                             got_ordinary = true;
                         }
@@ -164,7 +163,7 @@ impl ProtocolB {
 impl Protocol for ProtocolB {
     type Msg = AbMsg;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<AbMsg>], eff: &mut Effects<AbMsg>) {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, AbMsg>, eff: &mut Effects<AbMsg>) {
         if matches!(self.state, BState::Done) {
             return;
         }

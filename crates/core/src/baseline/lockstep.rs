@@ -1,6 +1,6 @@
 //! The "one worker, checkpoint everything to everyone" baseline (§1).
 
-use doall_sim::{Classify, Effects, Envelope, Pid, Protocol, Round, Unit};
+use doall_sim::{Classify, Effects, Inbox, Protocol, Round, Unit};
 
 use crate::error::ConfigError;
 
@@ -79,21 +79,17 @@ impl Lockstep {
     fn deadline(&self) -> Round {
         self.j * (2 * self.n + 2)
     }
-
-    fn others(&self) -> impl Iterator<Item = Pid> + '_ {
-        (0..self.t).filter(move |&p| p != self.j).map(|p| Pid::new(p as usize))
-    }
 }
 
 impl Protocol for Lockstep {
     type Msg = LockMsg;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<LockMsg>], eff: &mut Effects<LockMsg>) {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, LockMsg>, eff: &mut Effects<LockMsg>) {
         if self.done {
             return;
         }
-        for env in inbox {
-            let LockMsg::Done { c } = env.payload;
+        for (_, msg) in inbox.iter() {
+            let LockMsg::Done { c } = *msg;
             self.known = self.known.max(c);
         }
         if self.active.is_none() {
@@ -116,7 +112,11 @@ impl Protocol for Lockstep {
                 self.active = Some(ActivePhase::Checkpoint);
             }
             ActivePhase::Checkpoint => {
-                eff.broadcast(self.others(), LockMsg::Done { c: self.known });
+                eff.multicast_except(
+                    0..self.t as usize,
+                    self.j as usize,
+                    LockMsg::Done { c: self.known },
+                );
                 if self.known == self.n {
                     eff.terminate();
                     self.done = true;

@@ -14,7 +14,7 @@
 //! itself as work.
 
 use doall_bounds::{mul_saturating, pow2_saturating};
-use doall_sim::{Classify, Effects, Envelope, Pid, Protocol, Round, Unit};
+use doall_sim::{Classify, Effects, Inbox, Pid, Protocol, Round, Unit};
 
 use crate::error::ConfigError;
 
@@ -126,14 +126,14 @@ fn deadline_d(n: u64, t: u64, i: u64, m: u64) -> u64 {
 impl Protocol for NaiveSpread {
     type Msg = SpreadMsg;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<SpreadMsg>], eff: &mut Effects<SpreadMsg>) {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, SpreadMsg>, eff: &mut Effects<SpreadMsg>) {
         if matches!(self.state, SState::Done) {
             return;
         }
         if let SState::Passive { .. } = self.state {
             let mut heard = false;
-            for env in inbox {
-                match env.payload {
+            for (_, msg) in inbox.iter() {
+                match *msg {
                     SpreadMsg::Finished => {
                         eff.terminate();
                         self.state = SState::Done;
@@ -169,8 +169,7 @@ impl Protocol for NaiveSpread {
             Phase::Report => {
                 if self.known == self.n {
                     // Tell everyone to stop, then retire.
-                    let others = (0..self.t).filter(|&p| p != self.j).map(|p| Pid::new(p as usize));
-                    eff.broadcast(others, SpreadMsg::Finished);
+                    eff.multicast_except(0..self.t as usize, self.j as usize, SpreadMsg::Finished);
                     eff.terminate();
                     self.state = SState::Done;
                 } else {

@@ -1,6 +1,6 @@
 //! The "everyone does everything" baseline (§1).
 
-use doall_sim::{Classify, Effects, Envelope, Protocol, Round, Unit};
+use doall_sim::{Classify, Effects, Inbox, Protocol, Round, Unit};
 
 use crate::error::ConfigError;
 
@@ -52,7 +52,7 @@ impl ReplicateAll {
 impl Protocol for ReplicateAll {
     type Msg = NoMsg;
 
-    fn step(&mut self, _round: Round, _inbox: &[Envelope<NoMsg>], eff: &mut Effects<NoMsg>) {
+    fn step(&mut self, _round: Round, _inbox: Inbox<'_, NoMsg>, eff: &mut Effects<NoMsg>) {
         eff.perform(Unit::new(self.next as usize));
         if self.next == self.n {
             eff.terminate();

@@ -2,7 +2,7 @@
 //! deadline rules of §3.1).
 
 use doall_bounds::CParams;
-use doall_sim::{Effects, Envelope, Pid, Protocol, Round, Unit};
+use doall_sim::{Effects, Inbox, Pid, Protocol, Round, Unit};
 
 use super::{validate_c, CMsg, Groups, View};
 use crate::error::ConfigError;
@@ -138,7 +138,7 @@ impl ProtocolC {
     /// Drives the active state machine for this round. May consume the
     /// round with a send/work op, or fall through several bookkeeping-only
     /// transitions first.
-    fn dispatch(&mut self, round: Round, inbox: &[Envelope<CMsg>], eff: &mut Effects<CMsg>) {
+    fn dispatch(&mut self, round: Round, inbox: Inbox<'_, CMsg>, eff: &mut Effects<CMsg>) {
         loop {
             match self.state.clone() {
                 CState::DetectSend { h: 0 } => {
@@ -163,8 +163,8 @@ impl ProtocolC {
                     if round < sent_at + 2 {
                         return; // the response round
                     }
-                    let responded = inbox.iter().any(|env| {
-                        env.from.index() as u64 == target && matches!(env.payload, CMsg::Alive)
+                    let responded = inbox.iter().any(|(from, msg)| {
+                        from.index() as u64 == target && matches!(msg, CMsg::Alive)
                     });
                     if responded {
                         // Someone in G^i_h is alive: this level is covered.
@@ -235,7 +235,7 @@ impl ProtocolC {
 impl Protocol for ProtocolC {
     type Msg = CMsg;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<CMsg>], eff: &mut Effects<CMsg>) {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, CMsg>, eff: &mut Effects<CMsg>) {
         if matches!(self.state, CState::Done) {
             return;
         }
@@ -243,20 +243,20 @@ impl Protocol for ProtocolC {
         let passive = matches!(self.state, CState::Passive { .. });
         if passive {
             // Inactive non-retired processes answer polls...
-            for env in inbox {
-                if matches!(env.payload, CMsg::AreYouAlive) {
-                    eff.send(env.from, CMsg::Alive);
+            for (from, msg) in inbox.iter() {
+                if matches!(msg, CMsg::AreYouAlive) {
+                    eff.send(from, CMsg::Alive);
                 }
             }
             // ...and merge ordinary messages, resetting their deadline.
             let mut got_ordinary = false;
-            for env in inbox {
-                if let CMsg::Ordinary(view) = &env.payload {
+            for (from, msg) in inbox.iter() {
+                if let CMsg::Ordinary(view) = msg {
                     debug_assert!(
                         view.dominates(&self.view) || self.view.dominates(view),
                         "Lemma 3.4(c) violated: incomparable views at {} (from {})",
                         self.j,
-                        env.from,
+                        from,
                     );
                     self.view.merge(view);
                     got_ordinary = true;

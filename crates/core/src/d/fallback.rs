@@ -259,9 +259,11 @@ mod tests {
         for r in 1..200 {
             let mut eff = Effects::new();
             m.step(r, &[], &mut eff);
-            for (to, _) in eff.sends() {
-                assert!(to.index() == 9, "only the real survivor may be addressed");
-                total_sends += 1;
+            for op in eff.sends() {
+                for to in op.to.iter() {
+                    assert!(to.index() == 9, "only the real survivor may be addressed");
+                    total_sends += 1;
+                }
             }
             if m.is_done() {
                 break;

@@ -16,7 +16,7 @@ pub mod fallback;
 use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
-use doall_sim::{Classify, Effects, Envelope, Pid, Protocol, Round, Unit};
+use doall_sim::{Classify, Effects, Inbox, Pid, Protocol, Round, Unit};
 
 use crate::ab::AbMsg;
 use crate::error::ConfigError;
@@ -303,12 +303,12 @@ impl ProtocolD {
     }
 
     /// One round of the coordinator-variant agreement.
-    fn coord_step(&mut self, round: Round, inbox: &[Envelope<DMsg>], eff: &mut Effects<DMsg>) {
+    fn coord_step(&mut self, round: Round, inbox: Inbox<'_, DMsg>, eff: &mut Effects<DMsg>) {
         // A broadcast-mode message for our phase means somebody already
         // gave up on the coordinator: join them.
         let saw_broadcast = inbox
             .iter()
-            .any(|env| matches!(&env.payload, DMsg::Agree { phase, .. } if *phase == self.phase));
+            .any(|(_, msg)| matches!(msg, DMsg::Agree { phase, .. } if *phase == self.phase));
 
         match std::mem::replace(&mut self.state, DState::Done) {
             DState::CoordLeader { mut entry, t_prev, mut s_acc, mut heard } => {
@@ -320,12 +320,12 @@ impl ProtocolD {
                     self.agree_step(round, inbox, eff);
                     return;
                 }
-                for env in inbox {
-                    if let DMsg::Report { phase, s, t } = &env.payload {
+                for (from, msg) in inbox.iter() {
+                    if let DMsg::Report { phase, s, t } = msg {
                         if *phase == self.phase {
                             let _ = t; // liveness knowledge comes from who reported
                             s_acc = s_acc.intersection(s).copied().collect();
-                            heard.insert(env.from.index() as u64);
+                            heard.insert(from.index() as u64);
                         }
                     }
                 }
@@ -339,13 +339,14 @@ impl ProtocolD {
                     let t_new = heard.clone();
                     let msg =
                         DMsg::Decision { phase: self.phase, s: self.s.clone(), t: t_new.clone() };
-                    let recipients: Vec<Pid> = self
-                        .t_set
-                        .iter()
-                        .filter(|&&p| p != self.j)
-                        .map(|&p| Pid::new(p as usize))
-                        .collect();
-                    eff.broadcast(recipients, msg);
+                    // The live set is sorted, so this coalesces into at
+                    // most two spans around `j` — no per-recipient clones,
+                    // no scratch Vec.
+                    let me = self.j;
+                    eff.broadcast(
+                        self.t_set.iter().filter(|&&p| p != me).map(|&p| Pid::new(p as usize)),
+                        msg,
+                    );
                     self.t_set = t_new;
                     self.finish_phase(round, t_prev, eff);
                 } else {
@@ -367,10 +368,10 @@ impl ProtocolD {
                     self.state = DState::CoordFollower { entry, t_prev };
                     return;
                 }
-                if let Some(env) = inbox.iter().find(
-                    |env| matches!(&env.payload, DMsg::Decision { phase, .. } if *phase == self.phase),
+                if let Some((_, msg)) = inbox.iter().find(
+                    |(_, msg)| matches!(msg, DMsg::Decision { phase, .. } if *phase == self.phase),
                 ) {
-                    let DMsg::Decision { s, t, .. } = &env.payload else { unreachable!() };
+                    let DMsg::Decision { s, t, .. } = msg else { unreachable!() };
                     self.s = s.clone();
                     self.t_set = t.clone();
                     self.finish_phase(round, t_prev, eff);
@@ -415,7 +416,7 @@ impl ProtocolD {
     }
 
     /// One iteration of the Figure 4 `Agree` loop, driven once per round.
-    fn agree_step(&mut self, round: Round, inbox: &[Envelope<DMsg>], eff: &mut Effects<DMsg>) {
+    fn agree_step(&mut self, round: Round, inbox: Inbox<'_, DMsg>, eff: &mut Effects<DMsg>) {
         let DState::Agree { mut u, mut t_new, t_prev, iter, enable_iter } =
             std::mem::replace(&mut self.state, DState::Done)
         else {
@@ -427,8 +428,8 @@ impl ProtocolD {
             // Messages broadcast during the previous round are in.
             let u_before = u.clone();
             let mut adopted = false;
-            for env in inbox {
-                let DMsg::Agree { phase, s, t, done: their_done } = &env.payload else {
+            for (_, msg) in inbox.iter() {
+                let DMsg::Agree { phase, s, t, done: their_done } = msg else {
                     continue;
                 };
                 if *phase != self.phase {
@@ -450,9 +451,9 @@ impl ProtocolD {
                     if *i == self.j {
                         continue;
                     }
-                    let heard = inbox.iter().any(|env| {
-                        env.from.index() as u64 == *i
-                            && matches!(&env.payload, DMsg::Agree { phase, .. } if *phase == self.phase)
+                    let heard = inbox.iter().any(|(from, msg)| {
+                        from.index() as u64 == *i
+                            && matches!(msg, DMsg::Agree { phase, .. } if *phase == self.phase)
                     });
                     if !heard {
                         u.remove(i);
@@ -464,11 +465,12 @@ impl ProtocolD {
             }
         }
 
-        // Line 6 / line 20: broadcast the (possibly decided) view.
+        // Line 6 / line 20: broadcast the (possibly decided) view. `u` is
+        // sorted, so the recipients coalesce into at most two spans around
+        // `j` — no scratch Vec, no per-recipient view clones.
         let msg = DMsg::Agree { phase: self.phase, s: self.s.clone(), t: t_new.clone(), done };
-        let recipients: Vec<Pid> =
-            u.iter().filter(|&&p| p != self.j).map(|&p| Pid::new(p as usize)).collect();
-        eff.broadcast(recipients, msg);
+        let me = self.j;
+        eff.broadcast(u.iter().filter(|&&p| p != me).map(|&p| Pid::new(p as usize)), msg);
 
         if done {
             self.t_set = t_new;
@@ -482,7 +484,7 @@ impl ProtocolD {
 impl Protocol for ProtocolD {
     type Msg = DMsg;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<DMsg>], eff: &mut Effects<DMsg>) {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, DMsg>, eff: &mut Effects<DMsg>) {
         match &mut self.state {
             DState::Done => {}
             DState::Work { queue, rounds_left } => {
@@ -502,8 +504,8 @@ impl Protocol for ProtocolD {
             DState::Fallback(machine) => {
                 let translated: Vec<(u64, AbMsg)> = inbox
                     .iter()
-                    .filter_map(|env| match &env.payload {
-                        DMsg::Fallback(m) => Some((env.from.index() as u64, *m)),
+                    .filter_map(|(from, msg)| match msg {
+                        DMsg::Fallback(m) => Some((from.index() as u64, *m)),
                         _ => None,
                     })
                     .collect();

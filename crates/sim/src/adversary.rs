@@ -322,8 +322,11 @@ impl<M> Adversary<M> for RandomCrashes {
             return Fate::Survive;
         }
         if self.rng.gen_bool(self.p_per_round) {
-            let spec = if self.partial_delivery && !effects.sends().is_empty() {
-                let k = self.rng.gen_range(0..=effects.sends().len());
+            // `send_count` counts per-recipient messages (a span op counts
+            // its width), so the prefix distribution is identical to the
+            // old per-recipient representation.
+            let spec = if self.partial_delivery && effects.send_count() > 0 {
+                let k = self.rng.gen_range(0..=effects.send_count());
                 CrashSpec { deliver: Deliver::Prefix(k), count_work: self.rng.gen_bool(0.5) }
             } else {
                 CrashSpec::silent()

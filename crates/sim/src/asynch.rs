@@ -26,6 +26,7 @@ use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 
+use crate::effects::{coalesce_runs, Recipients, SendOp};
 use crate::ids::{Pid, Unit};
 use crate::message::Classify;
 use crate::metrics::Metrics;
@@ -41,7 +42,11 @@ pub type Time = u64;
 #[derive(Debug)]
 pub struct AsyncEffects<M> {
     work: Vec<Unit>,
-    sends: Vec<(Pid, M)>,
+    /// Send ops, payload stored once per op (see [`SendOp`]); the engine
+    /// expands recipients only when scheduling the per-recipient delivery
+    /// events (each of which owns its payload, since they fire at
+    /// independent times).
+    sends: Vec<SendOp<M>>,
     notes: Vec<&'static str>,
     terminated: bool,
     tick: bool,
@@ -78,18 +83,35 @@ impl<M> AsyncEffects<M> {
 
     /// Sends `payload` to `to` (delivery is delayed by the scheduler).
     pub fn send(&mut self, to: Pid, payload: M) {
-        self.sends.push((to, payload));
+        self.sends.push(SendOp { to: Recipients::One(to), payload });
     }
 
-    /// Broadcasts `payload` to every recipient.
+    /// Broadcasts `payload` to the contiguous pid range `to` in O(1) —
+    /// the payload is stored once. Empty ranges record nothing.
+    pub fn multicast(&mut self, to: std::ops::Range<usize>, payload: M) {
+        if to.is_empty() {
+            return;
+        }
+        self.sends.push(SendOp { to: Recipients::Span { lo: to.start, hi: to.end }, payload });
+    }
+
+    /// Broadcasts `payload` to every recipient, coalescing consecutive
+    /// ascending runs into spans (same coalescer as
+    /// [`Effects::broadcast`](crate::Effects::broadcast)).
     pub fn broadcast<I>(&mut self, to: I, payload: M)
     where
         I: IntoIterator<Item = Pid>,
         M: Clone,
     {
-        for pid in to {
-            self.sends.push((pid, payload.clone()));
-        }
+        let mut payload = Some(payload);
+        coalesce_runs(to, |run, last| {
+            let m = if last {
+                payload.take().expect("taken only on the final run")
+            } else {
+                payload.as_ref().expect("present until the final run").clone()
+            };
+            self.multicast(run, m);
+        });
     }
 
     /// Terminates this process after the handler returns.
@@ -363,13 +385,30 @@ pub fn run_async<P: AsyncProtocol>(
         }
         let deliver_upto = crash.map_or(usize::MAX, |c| c.deliver_prefix);
         let crashed_now = crash.is_some();
-        for (i, (to, payload)) in eff.sends.drain(..).enumerate() {
-            if i >= deliver_upto {
-                break;
+        // Expand ops into per-recipient delivery events; `i` indexes
+        // messages in send order (spans expand ascending), so the crash
+        // prefix semantics match the synchronous engine's. Each event owns
+        // its payload (they fire at independent times): a k-recipient op
+        // costs k − 1 clones plus one move, like the per-recipient
+        // representation did.
+        let mut i = 0usize;
+        'ops: for op in eff.sends.drain(..) {
+            let len = op.to.len();
+            let mut payload = Some(op.payload);
+            for (j, to) in op.to.iter().enumerate() {
+                if i >= deliver_upto {
+                    break 'ops;
+                }
+                let m = if j + 1 == len {
+                    payload.take().expect("taken only for the final recipient")
+                } else {
+                    payload.as_ref().expect("present until the final recipient").clone()
+                };
+                metrics.record_message(m.class());
+                let delay = rng.gen_range(1..=cfg.max_delay.max(1));
+                queue.push(now + delay, Ev::Deliver { to, from: pid, payload: m });
+                i += 1;
             }
-            metrics.record_message(payload.class());
-            let delay = rng.gen_range(1..=cfg.max_delay.max(1));
-            queue.push(now + delay, Ev::Deliver { to, from: pid, payload });
         }
 
         if eff.tick && !crashed_now && !eff.terminated {

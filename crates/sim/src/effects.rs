@@ -1,6 +1,75 @@
 //! The per-round output of a protocol step.
 
+use std::ops::Range;
+
 use crate::ids::{Pid, Unit};
+
+/// The recipient set of one send operation.
+///
+/// The paper's protocols are broadcast-dominated, and every broadcast they
+/// perform targets a *contiguous* pid range (a group, the higher-numbered
+/// members of a group, "everyone else"). Storing the range instead of one
+/// address per recipient is what makes a `k`-recipient broadcast cost O(1)
+/// to record, store and deliver — the payload is never cloned per
+/// recipient.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Recipients {
+    /// A single process.
+    One(Pid),
+    /// The contiguous zero-based pid span `lo..hi` (half-open, non-empty).
+    Span {
+        /// First recipient index.
+        lo: usize,
+        /// One past the last recipient index.
+        hi: usize,
+    },
+}
+
+impl Recipients {
+    /// Number of recipients.
+    pub fn len(self) -> usize {
+        match self {
+            Recipients::One(_) => 1,
+            Recipients::Span { lo, hi } => hi - lo,
+        }
+    }
+
+    /// Whether the set is empty (never true for ops recorded by
+    /// [`Effects`]; [`Effects::multicast`] drops empty ranges).
+    pub fn is_empty(self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether `p` is a recipient.
+    pub fn contains(self, p: Pid) -> bool {
+        match self {
+            Recipients::One(q) => q == p,
+            Recipients::Span { lo, hi } => (lo..hi).contains(&p.index()),
+        }
+    }
+
+    /// Iterates over the recipients in ascending pid order (for `One`, the
+    /// single recipient).
+    pub fn iter(self) -> impl DoubleEndedIterator<Item = Pid> + Clone {
+        let (lo, hi) = match self {
+            Recipients::One(p) => (p.index(), p.index() + 1),
+            Recipients::Span { lo, hi } => (lo, hi),
+        };
+        (lo..hi).map(Pid::new)
+    }
+}
+
+/// One recorded send operation: a payload stored **once**, plus its
+/// recipient set. A broadcast to `k` recipients is one `SendOp`, not `k`
+/// queued messages — message *counts* stay per-recipient (the paper's
+/// measure), storage and delivery are per-op.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SendOp<M> {
+    /// Who receives the payload.
+    pub to: Recipients,
+    /// The payload, shared by every recipient of this op.
+    pub payload: M,
+}
 
 /// Everything a process decided to do during one round.
 ///
@@ -9,6 +78,12 @@ use crate::ids::{Pid, Unit};
 /// allows, per round, **at most one unit of work** plus **one round of
 /// communication** (any number of messages, e.g. a broadcast to a whole
 /// group); [`Effects::perform`] enforces the work rule.
+///
+/// Sends are recorded as [`SendOp`]s: [`Effects::send`] queues a unicast,
+/// [`Effects::multicast`] a contiguous-range broadcast in O(1), and
+/// [`Effects::broadcast`] accepts an arbitrary pid iterator, coalescing
+/// consecutive runs into spans (a contiguous iterator costs one op and zero
+/// payload clones).
 ///
 /// The engine recycles a single scratch instance across all processes and
 /// rounds ([`Effects::reset`] clears it while keeping its buffers), so the
@@ -19,14 +94,17 @@ use crate::ids::{Pid, Unit};
 #[derive(Debug)]
 pub struct Effects<M> {
     work: Option<Unit>,
-    sends: Vec<(Pid, M)>,
+    sends: Vec<SendOp<M>>,
+    /// Total number of point-to-point messages across `sends` (the sum of
+    /// the ops' recipient counts), maintained incrementally.
+    sent: usize,
     notes: Vec<&'static str>,
     terminated: bool,
 }
 
 impl<M> Default for Effects<M> {
     fn default() -> Self {
-        Effects { work: None, sends: Vec::new(), notes: Vec::new(), terminated: false }
+        Effects { work: None, sends: Vec::new(), sent: 0, notes: Vec::new(), terminated: false }
     }
 }
 
@@ -42,6 +120,7 @@ impl<M> Effects<M> {
     pub fn reset(&mut self) {
         self.work = None;
         self.sends.clear();
+        self.sent = 0;
         self.notes.clear();
         self.terminated = false;
     }
@@ -63,21 +142,65 @@ impl<M> Effects<M> {
 
     /// Sends `payload` to a single recipient.
     pub fn send(&mut self, to: Pid, payload: M) {
-        self.sends.push((to, payload));
+        self.sent += 1;
+        self.sends.push(SendOp { to: Recipients::One(to), payload });
+    }
+
+    /// Broadcasts `payload` to the contiguous pid range `to` — one payload,
+    /// one op, O(1) regardless of the range's width. Empty ranges record
+    /// nothing.
+    ///
+    /// This is the paper's broadcast primitive: checkpoints go to groups
+    /// and group suffixes, which are contiguous by construction. Recipients
+    /// equal to the sender are the caller's responsibility to exclude; the
+    /// engine delivers self-addressed messages like any other.
+    pub fn multicast(&mut self, to: Range<usize>, payload: M) {
+        if to.is_empty() {
+            return;
+        }
+        self.sent += to.len();
+        self.sends.push(SendOp { to: Recipients::Span { lo: to.start, hi: to.end }, payload });
     }
 
     /// Broadcasts `payload` to every listed recipient (one round, many
-    /// messages — the paper's broadcast primitive).
+    /// messages), coalescing consecutive ascending runs into spans: a
+    /// contiguous iterator records a single op without cloning the payload;
+    /// an arbitrary one costs one op (and one clone) per contiguous run.
     ///
-    /// Recipients equal to the sender are the caller's responsibility to
-    /// exclude; the engine delivers self-addressed messages like any other.
+    /// Prefer [`Effects::multicast`] when the recipient set is already a
+    /// range.
     pub fn broadcast<I>(&mut self, to: I, payload: M)
     where
         I: IntoIterator<Item = Pid>,
         M: Clone,
     {
-        for pid in to {
-            self.sends.push((pid, payload.clone()));
+        let mut payload = Some(payload);
+        coalesce_runs(to, |run, last| {
+            let m = if last {
+                payload.take().expect("taken only on the final run")
+            } else {
+                payload.as_ref().expect("present until the final run").clone()
+            };
+            self.multicast(run, m);
+        });
+    }
+
+    /// Broadcasts `payload` to every pid of `to` except `skip` — the
+    /// "everyone but me" pattern — as at most two span ops (one payload
+    /// clone only when `skip` actually splits the range).
+    pub fn multicast_except(&mut self, to: Range<usize>, skip: usize, payload: M)
+    where
+        M: Clone,
+    {
+        let left = to.start..skip.min(to.end);
+        let right = (skip + 1).max(to.start)..to.end;
+        if left.is_empty() {
+            self.multicast(right, payload);
+        } else if right.is_empty() {
+            self.multicast(left, payload);
+        } else {
+            self.multicast(left, payload.clone());
+            self.multicast(right, payload);
         }
     }
 
@@ -102,9 +225,15 @@ impl<M> Effects<M> {
         self.work
     }
 
-    /// The messages queued for sending this round, in send order.
-    pub fn sends(&self) -> &[(Pid, M)] {
+    /// The send operations queued this round, in send order.
+    pub fn sends(&self) -> &[SendOp<M>] {
         &self.sends
+    }
+
+    /// Total number of point-to-point messages queued this round (a
+    /// `k`-recipient op counts `k`) — O(1), maintained incrementally.
+    pub fn send_count(&self) -> usize {
+        self.sent
     }
 
     /// The trace annotations recorded this round.
@@ -122,11 +251,36 @@ impl<M> Effects<M> {
         self.work.is_none() && self.sends.is_empty() && !self.terminated
     }
 
-    /// Moves this round's sends out, leaving the buffer's capacity in place
-    /// for the next round.
-    pub(crate) fn drain_sends(&mut self) -> std::vec::Drain<'_, (Pid, M)> {
+    /// Moves this round's send ops out, leaving the buffer's capacity in
+    /// place for the next round.
+    pub(crate) fn drain_sends(&mut self) -> std::vec::Drain<'_, SendOp<M>> {
+        self.sent = 0;
         self.sends.drain(..)
     }
+}
+
+/// Splits a pid iterator into maximal consecutive ascending runs, calling
+/// `emit(run, is_last)` for each — the shared coalescing behind
+/// [`Effects::broadcast`] and its asynchronous counterpart
+/// [`AsyncEffects::broadcast`](crate::asynch::AsyncEffects::broadcast).
+pub(crate) fn coalesce_runs<I, F>(to: I, mut emit: F)
+where
+    I: IntoIterator<Item = Pid>,
+    F: FnMut(Range<usize>, bool),
+{
+    let mut it = to.into_iter();
+    let Some(first) = it.next() else { return };
+    let (mut lo, mut hi) = (first.index(), first.index() + 1);
+    for p in it {
+        if p.index() == hi {
+            hi += 1;
+        } else {
+            emit(lo..hi, false);
+            lo = p.index();
+            hi = lo + 1;
+        }
+    }
+    emit(lo..hi, true);
 }
 
 #[cfg(test)]
@@ -139,6 +293,7 @@ mod tests {
         assert!(eff.is_idle());
         assert!(eff.work().is_none());
         assert!(eff.sends().is_empty());
+        assert_eq!(eff.send_count(), 0);
     }
 
     #[test]
@@ -158,11 +313,67 @@ mod tests {
     }
 
     #[test]
-    fn broadcast_fans_out_in_order() {
+    fn multicast_stores_one_op_counting_every_recipient() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.multicast(1..4, 9);
+        assert_eq!(eff.sends().len(), 1, "one op, not one per recipient");
+        assert_eq!(eff.send_count(), 3, "counts stay per-recipient");
+        assert_eq!(eff.sends()[0].to, Recipients::Span { lo: 1, hi: 4 });
+        let to: Vec<usize> = eff.sends()[0].to.iter().map(Pid::index).collect();
+        assert_eq!(to, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn empty_multicast_records_nothing() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.multicast(4..4, 1);
+        assert!(eff.is_idle());
+        assert_eq!(eff.send_count(), 0);
+    }
+
+    #[test]
+    fn broadcast_coalesces_a_contiguous_iterator_into_one_span() {
         let mut eff: Effects<u8> = Effects::new();
         eff.broadcast(Pid::range(1, 4), 9);
-        let to: Vec<usize> = eff.sends().iter().map(|(p, _)| p.index()).collect();
-        assert_eq!(to, vec![1, 2, 3]);
+        assert_eq!(eff.sends().len(), 1);
+        assert_eq!(eff.sends()[0].to, Recipients::Span { lo: 1, hi: 4 });
+        assert_eq!(eff.send_count(), 3);
+    }
+
+    #[test]
+    fn broadcast_splits_noncontiguous_recipients_into_runs() {
+        // 0, 1, then a gap, then 5, 6, 7 — two spans.
+        let pids = [0, 1, 5, 6, 7].into_iter().map(Pid::new);
+        let mut eff: Effects<u8> = Effects::new();
+        eff.broadcast(pids, 3);
+        assert_eq!(eff.sends().len(), 2);
+        assert_eq!(eff.sends()[0].to, Recipients::Span { lo: 0, hi: 2 });
+        assert_eq!(eff.sends()[1].to, Recipients::Span { lo: 5, hi: 8 });
+        assert_eq!(eff.send_count(), 5);
+    }
+
+    #[test]
+    fn broadcast_of_nothing_is_idle() {
+        let mut eff: Effects<u8> = Effects::new();
+        eff.broadcast(Pid::range(3, 3), 1);
+        assert!(eff.is_idle());
+    }
+
+    #[test]
+    fn recipients_len_contains_and_iter_agree() {
+        let one = Recipients::One(Pid::new(7));
+        assert_eq!(one.len(), 1);
+        assert!(!one.is_empty());
+        assert!(one.contains(Pid::new(7)));
+        assert!(!one.contains(Pid::new(8)));
+        assert_eq!(one.iter().collect::<Vec<_>>(), vec![Pid::new(7)]);
+
+        let span = Recipients::Span { lo: 2, hi: 5 };
+        assert_eq!(span.len(), 3);
+        assert!(span.contains(Pid::new(2)));
+        assert!(span.contains(Pid::new(4)));
+        assert!(!span.contains(Pid::new(5)));
+        assert_eq!(span.iter().count(), 3);
     }
 
     #[test]
@@ -182,6 +393,7 @@ mod tests {
         eff.terminate();
         eff.reset();
         assert!(eff.is_idle());
+        assert_eq!(eff.send_count(), 0);
         assert!(eff.notes().is_empty());
         assert!(!eff.is_terminated());
         // The one-unit-per-round rule restarts after a reset.

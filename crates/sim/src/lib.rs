@@ -24,7 +24,7 @@
 //! * call [`run`] and inspect the [`Report`].
 //!
 //! ```
-//! use doall_sim::{run, NoFailures, RunConfig, Protocol, Effects, Envelope, Classify, Round, Unit};
+//! use doall_sim::{run, NoFailures, RunConfig, Protocol, Effects, Inbox, Classify, Round, Unit};
 //!
 //! /// Every process performs one unit and stops.
 //! struct OneUnit(usize);
@@ -35,7 +35,7 @@
 //!
 //! impl Protocol for OneUnit {
 //!     type Msg = NoMsg;
-//!     fn step(&mut self, _: Round, _: &[Envelope<NoMsg>], eff: &mut Effects<NoMsg>) {
+//!     fn step(&mut self, _: Round, _: Inbox<'_, NoMsg>, eff: &mut Effects<NoMsg>) {
 //!         eff.perform(Unit::new(self.0 + 1));
 //!         eff.terminate();
 //!     }
@@ -73,10 +73,10 @@ pub use adversary::{
     Adversary, AdversaryCtx, CrashSchedule, CrashSpec, Deliver, Fate, NoFailures, RandomCrashes,
     Trigger, TriggerAdversary, TriggerRule,
 };
-pub use effects::Effects;
+pub use effects::{Effects, Recipients, SendOp};
 pub use engine::{run, run_returning, Report, RunConfig, RunError, Status};
 pub use ids::{Pid, Round, Unit};
-pub use message::{Classify, Envelope};
+pub use message::{Classify, Inbox, InboxIter};
 pub use metrics::Metrics;
 pub use protocol::Protocol;
 pub use trace::{Event, Trace};

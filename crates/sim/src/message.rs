@@ -1,31 +1,168 @@
-//! Message envelopes and classification.
+//! Message classification and the borrowing per-round inbox view.
 
-use std::fmt;
+use crate::effects::Recipients;
+use crate::ids::Pid;
 
-use crate::ids::{Pid, Round};
-
-/// A message in flight, with its routing metadata.
-///
-/// Messages sent during round `r` are delivered at the start of round
-/// `r + 1` — the standard synchronous model used by the paper ("in one
-/// time unit a process can ... perform one round of communication").
-#[derive(Clone, Debug, PartialEq, Eq)]
-pub struct Envelope<M> {
-    /// Sender of the message.
-    pub from: Pid,
-    /// Recipient of the message.
-    pub to: Pid,
-    /// The round during which the message was sent.
-    pub sent_at: Round,
-    /// The protocol-level payload.
-    pub payload: M,
+/// One send operation in flight between rounds: the sender, the recipient
+/// set, and the payload stored **once** for the whole set. This is the
+/// engine's in-flight representation — a `k`-recipient broadcast occupies
+/// one `FlightOp`, not `k` expanded envelopes.
+#[derive(Clone, Debug)]
+pub(crate) struct FlightOp<M> {
+    /// Sender of the operation.
+    pub(crate) from: Pid,
+    /// Recipient set.
+    pub(crate) to: Recipients,
+    /// The payload, shared by every recipient.
+    pub(crate) payload: M,
 }
 
-impl<M: fmt::Display> fmt::Display for Envelope<M> {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{} -> {} @r{}: {}", self.from, self.to, self.sent_at, self.payload)
+#[derive(Debug)]
+enum Repr<'a, M> {
+    /// The engine's CSR-style per-round index: `ids` are indices into
+    /// `ops` — the operations addressed to one recipient, in delivery
+    /// order (which is send order, which is sender-pid order).
+    Csr { ids: &'a [u32], ops: &'a [FlightOp<M>] },
+    /// Explicit `(sender, payload)` pairs — the constructor used by tests
+    /// and by protocols that embed another protocol (e.g. the §5
+    /// Byzantine-agreement reduction translating its inbox for an inner
+    /// work protocol).
+    Pairs(&'a [(Pid, M)]),
+}
+
+/// A process's inbox for one round: a borrowed view over the engine's
+/// in-flight operations, iterated as `(sender, &payload)` pairs in sender
+/// order. The payload is **never cloned per recipient** — every recipient
+/// of a broadcast reads the same stored payload.
+///
+/// `Inbox` is `Copy`, so it can be passed down through helper methods
+/// freely.
+///
+/// # Examples
+///
+/// ```
+/// use doall_sim::{Inbox, Pid};
+///
+/// let pairs = [(Pid::new(2), "hello"), (Pid::new(5), "world")];
+/// let inbox = Inbox::from_pairs(&pairs);
+/// assert_eq!(inbox.len(), 2);
+/// let froms: Vec<usize> = inbox.iter().map(|(from, _)| from.index()).collect();
+/// assert_eq!(froms, vec![2, 5]);
+/// assert_eq!(inbox.iter().next(), Some((Pid::new(2), &"hello")));
+/// ```
+#[derive(Debug)]
+pub struct Inbox<'a, M> {
+    repr: Repr<'a, M>,
+}
+
+impl<M> Clone for Inbox<'_, M> {
+    fn clone(&self) -> Self {
+        *self
     }
 }
+
+impl<M> Copy for Inbox<'_, M> {}
+
+impl<M> Clone for Repr<'_, M> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<M> Copy for Repr<'_, M> {}
+
+impl<'a, M> Inbox<'a, M> {
+    /// The empty inbox.
+    pub fn empty() -> Self {
+        Inbox { repr: Repr::Pairs(&[]) }
+    }
+
+    /// An inbox over explicit `(sender, payload)` pairs, delivered in the
+    /// given order.
+    pub fn from_pairs(pairs: &'a [(Pid, M)]) -> Self {
+        Inbox { repr: Repr::Pairs(pairs) }
+    }
+
+    /// The engine's view: op ids into the round's in-flight table.
+    pub(crate) fn csr(ids: &'a [u32], ops: &'a [FlightOp<M>]) -> Self {
+        Inbox { repr: Repr::Csr { ids, ops } }
+    }
+
+    /// Number of messages delivered this round.
+    pub fn len(&self) -> usize {
+        match self.repr {
+            Repr::Csr { ids, .. } => ids.len(),
+            Repr::Pairs(pairs) => pairs.len(),
+        }
+    }
+
+    /// Whether no message was delivered this round.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Iterates over the delivered messages as `(sender, &payload)`, in
+    /// delivery order (sender-pid order, then send order within a sender).
+    pub fn iter(&self) -> InboxIter<'a, M> {
+        InboxIter {
+            repr: match self.repr {
+                Repr::Csr { ids, ops } => IterRepr::Csr { ids: ids.iter(), ops },
+                Repr::Pairs(pairs) => IterRepr::Pairs(pairs.iter()),
+            },
+        }
+    }
+}
+
+impl<'a, M> IntoIterator for Inbox<'a, M> {
+    type Item = (Pid, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+impl<'a, M> IntoIterator for &Inbox<'a, M> {
+    type Item = (Pid, &'a M);
+    type IntoIter = InboxIter<'a, M>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
+    }
+}
+
+enum IterRepr<'a, M> {
+    Csr { ids: std::slice::Iter<'a, u32>, ops: &'a [FlightOp<M>] },
+    Pairs(std::slice::Iter<'a, (Pid, M)>),
+}
+
+/// Iterator over an [`Inbox`], yielding `(sender, &payload)`.
+pub struct InboxIter<'a, M> {
+    repr: IterRepr<'a, M>,
+}
+
+impl<'a, M> Iterator for InboxIter<'a, M> {
+    type Item = (Pid, &'a M);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match &mut self.repr {
+            IterRepr::Csr { ids, ops } => ids.next().map(|&id| {
+                let op = &ops[id as usize];
+                (op.from, &op.payload)
+            }),
+            IterRepr::Pairs(pairs) => pairs.next().map(|(from, payload)| (*from, payload)),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match &self.repr {
+            IterRepr::Csr { ids, .. } => ids.size_hint(),
+            IterRepr::Pairs(pairs) => pairs.size_hint(),
+        }
+    }
+}
+
+impl<M> ExactSizeIterator for InboxIter<'_, M> {}
 
 /// Classification of protocol messages for per-kind metrics.
 ///
@@ -64,26 +201,54 @@ pub trait Classify {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::effects::Recipients;
 
     #[derive(Clone, Debug, PartialEq, Eq)]
-    struct Ping;
-
-    impl fmt::Display for Ping {
-        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-            write!(f, "ping")
-        }
-    }
+    struct Ping(u8);
 
     impl Classify for Ping {}
 
     #[test]
     fn default_class_is_msg() {
-        assert_eq!(Ping.class(), "msg");
+        assert_eq!(Ping(0).class(), "msg");
     }
 
     #[test]
-    fn envelope_display_mentions_route_and_round() {
-        let env = Envelope { from: Pid::new(1), to: Pid::new(2), sent_at: 7, payload: Ping };
-        assert_eq!(env.to_string(), "p1 -> p2 @r7: ping");
+    fn empty_inbox_is_empty() {
+        let inbox: Inbox<'_, Ping> = Inbox::empty();
+        assert!(inbox.is_empty());
+        assert_eq!(inbox.len(), 0);
+        assert_eq!(inbox.iter().count(), 0);
+    }
+
+    #[test]
+    fn csr_inbox_resolves_ops_without_cloning_payloads() {
+        // Two ops: a unicast from p0 and a 3-wide span from p2; the inbox
+        // of a recipient of both lists them in op order.
+        let ops = vec![
+            FlightOp { from: Pid::new(0), to: Recipients::One(Pid::new(4)), payload: Ping(1) },
+            FlightOp { from: Pid::new(2), to: Recipients::Span { lo: 3, hi: 6 }, payload: Ping(2) },
+        ];
+        let ids = [0u32, 1u32];
+        let inbox = Inbox::csr(&ids, &ops);
+        assert_eq!(inbox.len(), 2);
+        let got: Vec<(usize, u8)> = inbox.iter().map(|(from, m)| (from.index(), m.0)).collect();
+        assert_eq!(got, vec![(0, 1), (2, 2)]);
+        // The payload references point into the op table itself.
+        let (_, payload) = inbox.iter().nth(1).unwrap();
+        assert!(std::ptr::eq(payload, &ops[1].payload));
+    }
+
+    #[test]
+    fn inbox_is_copy_and_reiterable() {
+        let pairs = [(Pid::new(1), Ping(9))];
+        let inbox = Inbox::from_pairs(&pairs);
+        let copy = inbox;
+        assert_eq!(inbox.iter().count(), 1);
+        assert_eq!(copy.iter().count(), 1);
+        for (from, m) in &copy {
+            assert_eq!(from, Pid::new(1));
+            assert_eq!(*m, Ping(9));
+        }
     }
 }

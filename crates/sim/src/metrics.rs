@@ -89,8 +89,18 @@ impl Metrics {
     }
 
     pub(crate) fn record_message(&mut self, class: &'static str) {
-        self.messages += 1;
-        *self.messages_by_class.entry(class).or_insert(0) += 1;
+        self.record_messages(class, 1);
+    }
+
+    /// Bulk counter for span sends: one map lookup per *op*, not per
+    /// recipient, while the counted values stay per-recipient (a
+    /// `k`-recipient broadcast still counts `k`).
+    pub(crate) fn record_messages(&mut self, class: &'static str, k: u64) {
+        if k == 0 {
+            return;
+        }
+        self.messages += k;
+        *self.messages_by_class.entry(class).or_insert(0) += k;
     }
 }
 
@@ -143,6 +153,25 @@ mod tests {
         assert_eq!(m.messages_by_class["go_ahead"], 1);
         let sum: u64 = m.messages_by_class.values().sum();
         assert_eq!(sum, m.messages);
+    }
+
+    #[test]
+    fn bulk_recording_matches_per_message_recording() {
+        let mut bulk = Metrics::new(0);
+        bulk.record_messages("ordinary", 5);
+        bulk.record_messages("go_ahead", 2);
+        let mut one_by_one = Metrics::new(0);
+        for _ in 0..5 {
+            one_by_one.record_message("ordinary");
+        }
+        for _ in 0..2 {
+            one_by_one.record_message("go_ahead");
+        }
+        assert_eq!(bulk, one_by_one);
+        // A zero-recipient record must not create a map entry.
+        bulk.record_messages("phantom", 0);
+        assert!(!bulk.messages_by_class.contains_key("phantom"));
+        assert_eq!(bulk.messages, 7);
     }
 
     #[test]

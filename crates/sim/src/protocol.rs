@@ -4,14 +4,14 @@ use std::fmt;
 
 use crate::effects::Effects;
 use crate::ids::Round;
-use crate::message::{Classify, Envelope};
+use crate::message::{Classify, Inbox};
 
 /// A per-process protocol state machine driven by the synchronous engine.
 ///
 /// One value of the implementing type exists per process. Each *executed*
 /// round, the engine calls [`step`](Protocol::step) on every process that is
 /// still alive and unterminated, passing the messages delivered this round
-/// (those sent during the previous round).
+/// (those sent during the previous round) as a borrowing [`Inbox`] view.
 ///
 /// # Quiescence contract
 ///
@@ -31,9 +31,9 @@ pub trait Protocol {
     /// Executes one synchronous round.
     ///
     /// `inbox` holds the messages delivered at the start of this round,
-    /// ordered by sender identifier (deterministic). Record all actions on
-    /// `eff`.
-    fn step(&mut self, round: Round, inbox: &[Envelope<Self::Msg>], eff: &mut Effects<Self::Msg>);
+    /// iterated as `(sender, &payload)` in sender order (deterministic).
+    /// Record all actions on `eff`.
+    fn step(&mut self, round: Round, inbox: Inbox<'_, Self::Msg>, eff: &mut Effects<Self::Msg>);
 
     /// The earliest round `>= now` at which this process may act without
     /// first receiving a message, or `None` if it is purely reactive.
@@ -65,7 +65,7 @@ mod tests {
     impl Protocol for OneShot {
         type Msg = Tick;
 
-        fn step(&mut self, round: Round, _inbox: &[Envelope<Tick>], eff: &mut Effects<Tick>) {
+        fn step(&mut self, round: Round, _inbox: Inbox<'_, Tick>, eff: &mut Effects<Tick>) {
             if !self.fired && round >= self.fire_at {
                 let succ = Pid::new((self.me.index() + 1) % self.t);
                 eff.send(succ, Tick);
@@ -87,7 +87,7 @@ mod tests {
     fn one_shot_is_quiescent_before_wakeup() {
         let mut p = OneShot { me: Pid::new(0), t: 2, fire_at: 10, fired: false };
         let mut eff = Effects::new();
-        p.step(5, &[], &mut eff);
+        p.step(5, Inbox::empty(), &mut eff);
         assert!(eff.is_idle());
         assert_eq!(p.next_wakeup(6), Some(10));
     }
@@ -96,8 +96,8 @@ mod tests {
     fn one_shot_fires_at_wakeup() {
         let mut p = OneShot { me: Pid::new(1), t: 2, fire_at: 10, fired: false };
         let mut eff = Effects::new();
-        p.step(10, &[], &mut eff);
-        assert_eq!(eff.sends().len(), 1);
+        p.step(10, Inbox::empty(), &mut eff);
+        assert_eq!(eff.send_count(), 1);
         assert!(eff.is_terminated());
         assert_eq!(p.next_wakeup(11), None);
     }

@@ -28,6 +28,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("  all work done : {}", report.metrics.all_work_done());
     println!("  crashes       : {}", report.metrics.crashes);
     println!("  survivors     : {}", report.survivor_count());
+    // Message counts are per-recipient (a k-wide checkpoint span counts k),
+    // even though the engine stores and delivers each broadcast as one op.
+    for (class, count) in &report.metrics.messages_by_class {
+        println!("  {class:<14}: {count}");
+    }
     println!();
 
     let bound = theorems::protocol_b(n, t);

@@ -2,7 +2,7 @@
 //! semantics, fast-forward equivalence, adversary composition.
 
 use doall::sim::{
-    run, Classify, CrashSchedule, CrashSpec, Deliver, Effects, Envelope, NoFailures, Pid, Protocol,
+    run, Classify, CrashSchedule, CrashSpec, Deliver, Effects, Inbox, NoFailures, Pid, Protocol,
     Round, RunConfig, Unit,
 };
 
@@ -36,13 +36,13 @@ impl Player {
 impl Protocol for Player {
     type Msg = Ball;
 
-    fn step(&mut self, round: Round, inbox: &[Envelope<Ball>], eff: &mut Effects<Ball>) {
-        if let Some(env) = inbox.first() {
+    fn step(&mut self, round: Round, inbox: Inbox<'_, Ball>, eff: &mut Effects<Ball>) {
+        if let Some((from, ball)) = inbox.iter().next() {
             self.hits += 1;
-            if env.payload.0 >= self.volleys {
+            if ball.0 >= self.volleys {
                 eff.terminate();
                 // Tell the peer to stop too.
-                eff.send(env.from, Ball(env.payload.0 + 1));
+                eff.send(from, Ball(ball.0 + 1));
                 return;
             }
             // Return the ball after `gap` idle rounds.
@@ -89,7 +89,7 @@ fn double_work_per_round_is_rejected() {
     impl Classify for NoMsg {}
     impl Protocol for Greedy {
         type Msg = NoMsg;
-        fn step(&mut self, _: Round, _: &[Envelope<NoMsg>], eff: &mut Effects<NoMsg>) {
+        fn step(&mut self, _: Round, _: Inbox<'_, NoMsg>, eff: &mut Effects<NoMsg>) {
             eff.perform(Unit::new(1));
             eff.perform(Unit::new(2));
         }
@@ -111,7 +111,7 @@ fn self_addressed_messages_are_delivered_next_round() {
     impl Classify for Note {}
     impl Protocol for Echoist {
         type Msg = Note;
-        fn step(&mut self, _: Round, inbox: &[Envelope<Note>], eff: &mut Effects<Note>) {
+        fn step(&mut self, _: Round, inbox: Inbox<'_, Note>, eff: &mut Effects<Note>) {
             if !self.sent {
                 eff.send(Pid::new(0), Note);
                 self.sent = true;
@@ -138,7 +138,7 @@ struct Nudge;
 impl Classify for Nudge {}
 impl Protocol for Reactive {
     type Msg = Nudge;
-    fn step(&mut self, _: Round, _: &[Envelope<Nudge>], _: &mut Effects<Nudge>) {}
+    fn step(&mut self, _: Round, _: Inbox<'_, Nudge>, _: &mut Effects<Nudge>) {}
     fn next_wakeup(&self, _: Round) -> Option<Round> {
         None
     }
@@ -160,7 +160,7 @@ impl FireAt {
 
 impl Protocol for FireAt {
     type Msg = Nudge;
-    fn step(&mut self, round: Round, _: &[Envelope<Nudge>], eff: &mut Effects<Nudge>) {
+    fn step(&mut self, round: Round, _: Inbox<'_, Nudge>, eff: &mut Effects<Nudge>) {
         if round >= self.fire_at && !self.done {
             eff.perform(Unit::new(1));
             eff.terminate();
@@ -244,7 +244,7 @@ fn crash_schedule_and_subset_delivery_compose() {
     impl Classify for Blast {}
     impl Protocol for Spammer {
         type Msg = Blast;
-        fn step(&mut self, round: Round, _: &[Envelope<Blast>], eff: &mut Effects<Blast>) {
+        fn step(&mut self, round: Round, _: Inbox<'_, Blast>, eff: &mut Effects<Blast>) {
             let others = (0..self.t).filter(|p| *p != self.me).map(Pid::new);
             eff.broadcast(others, Blast);
             if round == 3 {
@@ -278,7 +278,7 @@ fn round_limit_reports_partial_metrics() {
     impl Classify for NoMsg {}
     impl Protocol for Forever {
         type Msg = NoMsg;
-        fn step(&mut self, round: Round, _: &[Envelope<NoMsg>], eff: &mut Effects<NoMsg>) {
+        fn step(&mut self, round: Round, _: Inbox<'_, NoMsg>, eff: &mut Effects<NoMsg>) {
             if round <= 3 {
                 eff.perform(Unit::new(round as usize));
             }
@@ -307,7 +307,7 @@ fn terminated_processes_stop_receiving() {
     impl Classify for Ping {}
     impl Protocol for Quitter {
         type Msg = Ping;
-        fn step(&mut self, round: Round, _: &[Envelope<Ping>], eff: &mut Effects<Ping>) {
+        fn step(&mut self, round: Round, _: Inbox<'_, Ping>, eff: &mut Effects<Ping>) {
             if self.me == 0 {
                 eff.terminate();
             } else if round <= 3 {
