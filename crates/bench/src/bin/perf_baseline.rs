@@ -19,9 +19,13 @@
 
 use std::time::{Duration, Instant};
 
-use doall_core::{Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll};
+use doall_core::{
+    AsyncProtocolA, AsyncProtocolB, Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC,
+    ProtocolD, ReplicateAll,
+};
+use doall_sim::asynch::{reference, run_async, AsyncConfig, AsyncProtocol, DelayDist};
 use doall_sim::{run, Metrics, Protocol, RunConfig};
-use doall_workload::Scenario;
+use doall_workload::{AsyncScenario, Scenario};
 
 struct Measurement {
     id: String,
@@ -79,6 +83,26 @@ impl Measurement {
 /// Warm up once, then iterate until ~300 ms or `max_iters`, whichever
 /// comes first. Returns the metrics of the last run (all runs are
 /// deterministic, so every iteration yields identical metrics).
+fn measure_with(
+    id: String,
+    n: u64,
+    t: u64,
+    label: String,
+    max_iters: u64,
+    run_once: impl Fn() -> Metrics,
+) -> Measurement {
+    let budget = Duration::from_millis(300);
+    eprintln!("running {id} (n={n}, t={t}, {label})...");
+    let mut metrics = run_once(); // warmup
+    let start = Instant::now();
+    let mut iters = 0u64;
+    while iters < max_iters && (iters == 0 || start.elapsed() < budget) {
+        metrics = run_once();
+        iters += 1;
+    }
+    Measurement { id, n, t, scenario: label, iters, total: start.elapsed(), metrics }
+}
+
 fn measure<P, F>(
     id: impl Into<String>,
     n: u64,
@@ -92,21 +116,90 @@ where
     P::Msg: 'static,
     F: Fn() -> Vec<P>,
 {
-    let id = id.into();
-    let budget = Duration::from_millis(300);
-    let run_once = || {
+    measure_with(id.into(), n, t, scenario.label(), max_iters, || {
         run(build(), scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, u64::MAX - 1))
             .expect("benchmark run must complete")
-    };
-    eprintln!("running {id} (n={n}, t={t}, {})...", scenario.label());
-    let mut metrics = run_once().metrics; // warmup
-    let start = Instant::now();
-    let mut iters = 0u64;
-    while iters < max_iters && (iters == 0 || start.elapsed() < budget) {
-        metrics = run_once().metrics;
-        iters += 1;
+            .metrics
+    })
+}
+
+/// [`measure`] for the asynchronous plane: `arena` picks the production
+/// op-arena engine or the per-recipient-clone reference scheduler (the
+/// `async_storm_ref/*` "before" cells).
+#[allow(clippy::too_many_arguments)] // mirrors `measure` plus the cfg + engine pick
+fn measure_async<P, F>(
+    id: impl Into<String>,
+    n: u64,
+    t: u64,
+    scenario: &AsyncScenario,
+    cfg: AsyncConfig,
+    max_iters: u64,
+    arena: bool,
+    build: F,
+) -> Measurement
+where
+    P: AsyncProtocol,
+    P::Msg: 'static,
+    F: Fn() -> Vec<P>,
+{
+    measure_with(id.into(), n, t, scenario.label(), max_iters, || {
+        let adversary = scenario.adversary::<P::Msg>();
+        let report = if arena {
+            run_async(build(), adversary, cfg.clone())
+        } else {
+            reference::run_async_reference(build(), adversary, cfg.clone())
+        };
+        report.expect("benchmark run must complete").metrics
+    })
+}
+
+/// The asynchronous cells: a small always-on pair (smoke + full share the
+/// shape, so the CI `--compare` gate covers the async plane too) and, in
+/// full mode, the broadcast-heavy t = 1024 storm cells measured on both
+/// the op-arena engine (`async_storm/*`) and the per-recipient-clone
+/// reference scheduler (`async_storm_ref/*` — the "before"). Message
+/// counts between each twin pair are asserted bit-identical in `main`.
+fn async_cells(smoke: bool) -> Vec<Measurement> {
+    let iters = if smoke { 50 } else { 200 };
+    let cfg = |n: u64| AsyncConfig::new(n as usize, 7).with_delay(DelayDist::Uniform, 4);
+    let ff = AsyncScenario::FailureFree;
+    let mut out = vec![
+        measure_async("async/protocol_a", 64, 16, &ff, cfg(64), iters, true, || {
+            AsyncProtocolA::processes(64, 16).unwrap()
+        }),
+        measure_async("async/protocol_b", 64, 16, &ff, cfg(64), iters, true, || {
+            AsyncProtocolB::processes(64, 16).unwrap()
+        }),
+    ];
+    if !smoke {
+        // Storm shapes: one active process span-broadcasting its way
+        // through t = 1024 (31- and 32-wide checkpoint multicasts), plus
+        // the detector's O(t²) notice traffic after 992 crashes.
+        let doa = AsyncScenario::DeadOnArrival { k: 992 };
+        for (arena, prefix) in [(true, "async_storm"), (false, "async_storm_ref")] {
+            out.push(measure_async(
+                format!("{prefix}/protocol_a_t1024"),
+                2_048,
+                1_024,
+                &ff,
+                cfg(2_048),
+                10,
+                arena,
+                || AsyncProtocolA::processes(2_048, 1_024).unwrap(),
+            ));
+            out.push(measure_async(
+                format!("{prefix}/protocol_b_t1024"),
+                2_048,
+                1_024,
+                &doa,
+                cfg(2_048),
+                10,
+                arena,
+                || AsyncProtocolB::processes(2_048, 1_024).unwrap(),
+            ));
+        }
     }
-    Measurement { id, n, t, scenario: scenario.label(), iters, total: start.elapsed(), metrics }
+    out
 }
 
 fn cells(smoke: bool) -> Vec<Measurement> {
@@ -203,7 +296,36 @@ fn cells(smoke: bool) -> Vec<Measurement> {
             Lockstep::processes(2_048, 512).unwrap()
         }));
     }
+    out.extend(async_cells(smoke));
     out
+}
+
+/// Every `async_storm/*` arena cell must report exactly the messages of
+/// its `async_storm_ref/*` per-recipient twin: the arena changes the
+/// representation, never the semantics. Returns the number of mismatches.
+fn check_async_twins(results: &[Measurement]) -> usize {
+    let mut mismatches = 0;
+    for m in results {
+        let Some(suffix) = m.id.strip_prefix("async_storm/") else { continue };
+        let Some(twin) = results.iter().find(|r| r.id == format!("async_storm_ref/{suffix}"))
+        else {
+            continue;
+        };
+        // Full-struct equality: totals, per-class counts, dead letters,
+        // per-unit multiplicities, final timestamp — anything less would
+        // let a misclassifying arena path slip past the gate at storm
+        // scale (the differential proptest only covers small t).
+        if m.metrics != twin.metrics {
+            eprintln!(
+                "twin check: {}: FAIL arena metrics diverged from reference\n  arena:     {:?}\n  reference: {:?}",
+                m.id, m.metrics, twin.metrics,
+            );
+            mismatches += 1;
+        } else {
+            eprintln!("twin check: {}: ok (all metrics bit-identical to reference)", m.id);
+        }
+    }
+    mismatches
 }
 
 /// One baseline entry scraped from a committed BENCH_*.json file.
@@ -290,6 +412,11 @@ fn main() {
         args.iter().position(|a| a == "--compare").and_then(|i| args.get(i + 1)).cloned();
 
     let results = cells(smoke);
+    let twin_mismatches = check_async_twins(&results);
+    if twin_mismatches > 0 {
+        eprintln!("twin check: {twin_mismatches} async arena/reference cell(s) drifted");
+        std::process::exit(1);
+    }
     let body: Vec<String> = results.iter().map(Measurement::to_json).collect();
     let json = format!(
         "{{\n  \"suite\": \"doall perf baseline\",\n  \"mode\": \"{}\",\n  \"results\": [\n{}\n  ]\n}}",

@@ -15,9 +15,13 @@
 use doall_agreement::{BaSystem, Engine, FloodingBa};
 use doall_bounds::deadlines_ab::{ddb, tt, AbParams};
 use doall_bounds::theorems::{self, Bounds};
-use doall_core::{Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll};
+use doall_core::{
+    AsyncProtocolA, AsyncProtocolB, AsyncReplicate, Lockstep, NaiveSpread, ProtocolA, ProtocolB,
+    ProtocolC, ProtocolD, ReplicateAll,
+};
+use doall_sim::asynch::{run_async, AsyncConfig, AsyncProtocol, DelayDist};
 use doall_sim::{run, Metrics, NoFailures, Protocol, RunConfig};
-use doall_workload::Scenario;
+use doall_workload::{AsyncScenario, Scenario};
 
 use crate::sweep;
 use crate::table::{vs, Table};
@@ -725,12 +729,191 @@ pub fn e13() -> Outcome {
     }
 }
 
+/// Runs one asynchronous-plane protocol cell and returns its metrics.
+fn run_async_protocol<P: AsyncProtocol>(
+    procs: Vec<P>,
+    scenario: &AsyncScenario,
+    cfg: AsyncConfig,
+) -> Metrics
+where
+    P::Msg: 'static,
+{
+    let report = run_async(procs, scenario.adversary::<P::Msg>(), cfg)
+        .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()));
+    assert!(report.metrics.all_work_done(), "incomplete work under {}", scenario.label());
+    assert!(report.has_survivor(), "no survivor under {}", scenario.label());
+    report.metrics
+}
+
+/// E14 — §2.1's asynchronous remark, promoted to a full plane: Protocol A,
+/// the detector-driven Protocol B analogue (labeled extension, like e13),
+/// and the replicate baseline, swept across delay distributions ×
+/// adversaries. The work/message bounds of Theorem 2.3 carry over (for B
+/// with **zero** `go ahead`s — the detector replaced the polling phase);
+/// under a fixed delay the failure-free counts equal the synchronous ones
+/// exactly; and the baselines still pay the Θ(tn) effort the protocols
+/// avoid.
+pub fn e14() -> Outcome {
+    let mut table =
+        Table::new(["n", "t", "protocol", "delay", "scenario", "work/bound", "msgs/bound"]);
+    let mut pass = true;
+
+    let dists: [(DelayDist, u64); 4] = [
+        (DelayDist::Uniform, 4),
+        (DelayDist::Fixed, 1),
+        (DelayDist::Uniform, 32),
+        (DelayDist::Bimodal, 16),
+    ];
+    let protocols = ["async-A", "async-B", "async-replicate"];
+    let mut cells: Vec<(u64, u64, &str, DelayDist, u64, AsyncScenario)> = Vec::new();
+    for (si, (n, t)) in [(32u64, 16u64), (256, 64)].into_iter().enumerate() {
+        for (dist, max_delay) in dists {
+            for scenario in [
+                AsyncScenario::FailureFree,
+                AsyncScenario::DeadOnArrival { k: t - 1 },
+                AsyncScenario::Random {
+                    seed: sweep::cell_seed(14, si as u64),
+                    p: 0.002,
+                    max_crashes: (t - 1) as u32,
+                },
+                AsyncScenario::KillNthActivation { nth: 1 },
+            ] {
+                for proto in protocols {
+                    cells.push((n, t, proto, dist, max_delay, scenario.clone()));
+                }
+            }
+        }
+    }
+    // The broadcast-heavy big shapes (affordable thanks to the op arena):
+    // failure-free A at t = 1024, and B with all but the last group dead.
+    cells.push((2_048, 1_024, "async-A", DelayDist::Uniform, 4, AsyncScenario::FailureFree));
+    cells.push((
+        2_048,
+        1_024,
+        "async-B",
+        DelayDist::Uniform,
+        4,
+        AsyncScenario::DeadOnArrival { k: 992 },
+    ));
+
+    let rows = sweep::map_cells(cells, |i, (n, t, proto, dist, max_delay, scenario)| {
+        let cfg = AsyncConfig::new(*n as usize, sweep::cell_seed(41, i as u64))
+            .with_delay(*dist, *max_delay);
+        let m = match *proto {
+            "async-A" => {
+                run_async_protocol(AsyncProtocolA::processes(*n, *t).unwrap(), scenario, cfg)
+            }
+            "async-B" => {
+                run_async_protocol(AsyncProtocolB::processes(*n, *t).unwrap(), scenario, cfg)
+            }
+            "async-replicate" => {
+                run_async_protocol(AsyncReplicate::processes(*n, *t).unwrap(), scenario, cfg)
+            }
+            other => unreachable!("unknown protocol {other}"),
+        };
+        // Work/message envelopes per protocol: A and B inherit Theorem
+        // 2.3's 3n / 9t√t (B sends no go_aheads, so its ordinary bound is
+        // the whole story); replicate is bounded by t·n work and silence.
+        let (work_bound, msg_bound) = match *proto {
+            "async-replicate" => (n * t, 0),
+            _ => {
+                let b = theorems::protocol_a(*n, *t);
+                (b.work, b.messages)
+            }
+        };
+        let mut ok = m.work_total <= work_bound && m.messages <= msg_bound;
+        if *proto == "async-B" && m.messages_by_class.contains_key("go_ahead") {
+            ok = false;
+        }
+        let row = [
+            n.to_string(),
+            t.to_string(),
+            proto.to_string(),
+            dist.label(*max_delay),
+            scenario.label(),
+            vs(m.work_total, work_bound),
+            vs(m.messages, msg_bound),
+        ];
+        (row, ok, m)
+    });
+    for (row, ok, _m) in rows {
+        pass &= ok;
+        table.row(row);
+    }
+
+    // The exact cell (derived in EXPERIMENTS.md §e14): under a fixed delay
+    // the failure-free asynchronous A and B report exactly the synchronous
+    // counts — 32 work and 132 messages at (n, t) = (32, 16).
+    {
+        let (n, t) = (32u64, 16u64);
+        let sync_a = run_protocol(ProtocolA::processes(n, t).unwrap(), &Scenario::FailureFree, n);
+        let cfg = || AsyncConfig::new(n as usize, 0).with_delay(DelayDist::Fixed, 1);
+        let a = run_async_protocol(
+            AsyncProtocolA::processes(n, t).unwrap(),
+            &AsyncScenario::FailureFree,
+            cfg(),
+        );
+        let b = run_async_protocol(
+            AsyncProtocolB::processes(n, t).unwrap(),
+            &AsyncScenario::FailureFree,
+            cfg(),
+        );
+        pass &= a.work_total == n && a.messages == 132 && a.messages == sync_a.messages;
+        pass &= b.work_total == n && b.messages == 132;
+        table.row([
+            n.to_string(),
+            t.to_string(),
+            "A/B async==sync".into(),
+            "fixed(1)".into(),
+            "failure-free".into(),
+            format!("{} (expect {n})", a.work_total),
+            format!("{} (expect 132)", a.messages),
+        ]);
+    }
+
+    // The effort story carries over: the replicate baseline pays Θ(tn)
+    // where the checkpointing protocols pay n + O(t√t).
+    {
+        let (n, t) = (256u64, 64u64);
+        let cfg = || AsyncConfig::new(n as usize, 7).with_delay(DelayDist::Uniform, 4);
+        let rep = run_async_protocol(
+            AsyncReplicate::processes(n, t).unwrap(),
+            &AsyncScenario::FailureFree,
+            cfg(),
+        );
+        let a = run_async_protocol(
+            AsyncProtocolA::processes(n, t).unwrap(),
+            &AsyncScenario::FailureFree,
+            cfg(),
+        );
+        if rep.effort() < 4 * a.effort() {
+            pass = false; // tn = 16384 must dwarf n + O(t√t) ≈ 2900
+        }
+        table.row([
+            n.to_string(),
+            t.to_string(),
+            "effort: replicate vs A".into(),
+            "uniform(1..=4)".into(),
+            "failure-free".into(),
+            format!("{} vs {}", rep.effort(), a.effort()),
+            format!("{:.1}x", rep.effort() as f64 / a.effort() as f64),
+        ]);
+    }
+
+    Outcome {
+        id: "e14",
+        claim: "§2.1 async plane: A and B-analogue keep <= 3n work and <= 9t*sqrt(t) messages (B with zero go_aheads) across delay distributions x adversaries; fixed-delay failure-free counts equal the synchronous ones exactly",
+        rendered: table.render(),
+        pass,
+    }
+}
+
 /// Every experiment, in order. Runs them sequentially: the grids *inside*
 /// each experiment already fan out across all sweep workers, and nesting
 /// a second level of parallelism on top would multiply the thread count
 /// past the core count instead of speeding anything up.
 pub fn all() -> Vec<Outcome> {
-    vec![e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13()]
+    vec![e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13(), e14()]
 }
 
 /// Runs one experiment by id.
@@ -749,6 +932,7 @@ pub fn by_id(id: &str) -> Option<Outcome> {
         "e11" => Some(e11()),
         "e12" => Some(e12()),
         "e13" => Some(e13()),
+        "e14" => Some(e14()),
         _ => None,
     }
 }

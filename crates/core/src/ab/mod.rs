@@ -19,6 +19,7 @@
 //! the last ordinary message received.
 
 pub mod asynch;
+pub mod asynch_b;
 pub mod padded;
 pub mod protocol_a;
 pub mod protocol_b;

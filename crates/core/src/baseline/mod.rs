@@ -8,11 +8,15 @@
 //! * [`NaiveSpread`] — the §3 strawman: spread knowledge round-robin with
 //!   no fault detection. `Θ(n + t²)` work and messages in the worst case —
 //!   the motivation for Protocol C's recursive fault detection.
+//! * [`AsyncReplicate`] — `ReplicateAll` on the asynchronous plane: the
+//!   `Θ(tn)` effort floor for experiment `e14`.
 
+pub mod asynch;
 pub mod lockstep;
 pub mod naive_spread;
 pub mod replicate;
 
+pub use asynch::AsyncReplicate;
 pub use lockstep::Lockstep;
 pub use naive_spread::NaiveSpread;
 pub use replicate::ReplicateAll;

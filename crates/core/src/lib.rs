@@ -13,10 +13,11 @@ pub mod d;
 pub mod error;
 
 pub use ab::asynch::AsyncProtocolA;
+pub use ab::asynch_b::AsyncProtocolB;
 pub use ab::padded::PaddedA;
 pub use ab::protocol_a::ProtocolA;
 pub use ab::protocol_b::ProtocolB;
-pub use baseline::{Lockstep, NaiveSpread, ReplicateAll};
+pub use baseline::{AsyncReplicate, Lockstep, NaiveSpread, ReplicateAll};
 pub use c::protocol_c::ProtocolC;
 pub use d::ProtocolD;
 pub use error::ConfigError;

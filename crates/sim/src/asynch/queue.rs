@@ -1,0 +1,239 @@
+//! The asynchronous plane's timestamp-ordered event queue.
+//!
+//! Events are *small and payload-free*: a delivery references its
+//! [`SendOp`](crate::SendOp) in the op arena by id, so a `k`-recipient
+//! broadcast schedules `k` copies of a 16-byte event rather than `k`
+//! payload clones.
+//!
+//! Two implementations sit behind one API:
+//!
+//! * a **delay-bucketed calendar queue** — every event is scheduled at most
+//!   `max_delay` ahead of the drain cursor, so a ring of `max_delay + 1`
+//!   buckets holds at most one timestamp per bucket and push/drain are
+//!   O(1) amortized with no comparisons at all;
+//! * a **binary-heap fallback** for large delay horizons, keyed by
+//!   `(time, seq)` like the pre-PR-4 engine.
+//!
+//! Both produce identical orderings: all events of the earliest pending
+//! timestamp, in global schedule (`seq`) order — which is exactly what the
+//! engine's per-timestamp batching consumes.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use super::Time;
+use crate::ids::Pid;
+
+/// Delay horizon up to which the calendar representation is used. Above
+/// it, ring memory (one bucket per time slot) stops being worth it and the
+/// heap takes over.
+const CALENDAR_HORIZON: u64 = 64;
+
+/// One scheduled occurrence. No payload lives here — deliveries carry an
+/// op-arena id.
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum Ev {
+    /// Process `pid`'s initial activation signal.
+    Start(Pid),
+    /// One recipient's share of an in-flight send op.
+    Deliver {
+        /// Arena id of the op being delivered.
+        op: u32,
+        /// The recipient.
+        to: Pid,
+    },
+    /// A retirement-detector report.
+    Notice {
+        /// The process being informed.
+        observer: Pid,
+        /// The process reported retired.
+        retired: Pid,
+    },
+    /// A self-scheduled continuation (see
+    /// [`AsyncEffects::continue_later`](super::AsyncEffects::continue_later)).
+    Tick(Pid),
+    /// Tombstone left in a drained batch once the engine has folded the
+    /// event into an earlier handler invocation of the same timestamp.
+    Consumed,
+}
+
+/// Heap entry ordered by `(time, seq)`; the event itself does not
+/// participate in the ordering.
+struct Entry {
+    time: Time,
+    seq: u64,
+    ev: Ev,
+}
+
+impl PartialEq for Entry {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl Eq for Entry {}
+impl PartialOrd for Entry {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Entry {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+enum Imp {
+    /// `buckets[time % buckets.len()]` holds the events of exactly one
+    /// timestamp at a time: pushes land at most `max_delay` past the drain
+    /// cursor and the cursor's own bucket is drained before it advances,
+    /// so slots are never shared. Push order within a bucket *is* global
+    /// schedule order — the `(time, seq)` order the heap would produce —
+    /// because `seq` only ever increases.
+    Calendar {
+        buckets: Vec<Vec<Ev>>,
+        cursor: Time,
+    },
+    Heap(BinaryHeap<Reverse<Entry>>),
+}
+
+/// Timestamp-ordered queue over [`Ev`]s; see the module docs.
+pub(crate) struct EventQueue {
+    imp: Imp,
+    len: usize,
+    seq: u64,
+}
+
+impl EventQueue {
+    /// Creates a queue for events scheduled at most `max_delay` past the
+    /// most recently drained timestamp (plus the initial burst at time 0).
+    pub(crate) fn with_horizon(max_delay: u64) -> Self {
+        let imp = if max_delay <= CALENDAR_HORIZON {
+            Imp::Calendar { buckets: (0..=max_delay).map(|_| Vec::new()).collect(), cursor: 0 }
+        } else {
+            Imp::Heap(BinaryHeap::new())
+        };
+        EventQueue { imp, len: 0, seq: 0 }
+    }
+
+    /// Schedules `ev` at `time`. For the calendar representation `time`
+    /// must lie within the horizon of the drain cursor (the engine always
+    /// schedules in `now + 1 ..= now + max_delay`, plus the time-0 starts).
+    pub(crate) fn push(&mut self, time: Time, ev: Ev) {
+        match &mut self.imp {
+            Imp::Calendar { buckets, cursor } => {
+                let m = buckets.len() as u64;
+                debug_assert!(
+                    time >= *cursor && time - *cursor < m,
+                    "calendar push outside horizon: time {time}, cursor {cursor}"
+                );
+                buckets[(time % m) as usize].push(ev);
+            }
+            Imp::Heap(heap) => heap.push(Reverse(Entry { time, seq: self.seq, ev })),
+        }
+        self.seq += 1;
+        self.len += 1;
+    }
+
+    /// Drains every event of the earliest pending timestamp into `out`
+    /// (which must be empty), in schedule order, and returns that
+    /// timestamp. Returns `None` when the queue is empty.
+    pub(crate) fn drain_next(&mut self, out: &mut Vec<Ev>) -> Option<Time> {
+        debug_assert!(out.is_empty(), "drain_next requires an empty batch buffer");
+        if self.len == 0 {
+            return None;
+        }
+        let now = match &mut self.imp {
+            Imp::Calendar { buckets, cursor } => {
+                let m = buckets.len() as u64;
+                while buckets[(*cursor % m) as usize].is_empty() {
+                    *cursor += 1;
+                }
+                // Swap the bucket out wholesale: `out` gets the events,
+                // the bucket inherits `out`'s (cleared) capacity.
+                std::mem::swap(&mut buckets[(*cursor % m) as usize], out);
+                *cursor
+            }
+            Imp::Heap(heap) => {
+                let Reverse(first) = heap.pop().expect("len > 0");
+                let now = first.time;
+                out.push(first.ev);
+                while heap.peek().is_some_and(|Reverse(e)| e.time == now) {
+                    out.push(heap.pop().expect("peeked").0.ev);
+                }
+                now
+            }
+        };
+        self.len -= out.len();
+        Some(now)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid_of(ev: Ev) -> usize {
+        match ev {
+            Ev::Start(p) | Ev::Tick(p) => p.index(),
+            Ev::Deliver { to, .. } => to.index(),
+            Ev::Notice { observer, .. } => observer.index(),
+            Ev::Consumed => usize::MAX,
+        }
+    }
+
+    /// Pushes the same schedule through both representations and checks
+    /// identical (time, order) drains.
+    #[test]
+    fn calendar_and_heap_agree_on_order() {
+        let schedule: &[(Time, usize)] = &[(3, 0), (1, 1), (3, 2), (2, 3), (1, 4), (5, 5), (3, 6)];
+        let drain_all = |mut q: EventQueue| {
+            for &(t, p) in schedule {
+                q.push(t, Ev::Tick(Pid::new(p)));
+            }
+            let mut out = Vec::new();
+            let mut seen = Vec::new();
+            let mut batch = Vec::new();
+            while let Some(t) = q.drain_next(&mut batch) {
+                for ev in batch.drain(..) {
+                    seen.push((t, pid_of(ev)));
+                }
+                out.push(t);
+            }
+            (out, seen)
+        };
+        let cal = drain_all(EventQueue::with_horizon(8));
+        let heap = drain_all(EventQueue::with_horizon(CALENDAR_HORIZON + 1));
+        assert_eq!(cal, heap);
+        assert_eq!(cal.0, vec![1, 2, 3, 5]);
+        // Within a timestamp, schedule order is preserved.
+        assert_eq!(cal.1, vec![(1, 1), (1, 4), (2, 3), (3, 0), (3, 2), (3, 6), (5, 5)]);
+    }
+
+    #[test]
+    fn interleaved_pushes_respect_the_rolling_horizon() {
+        let mut q = EventQueue::with_horizon(2);
+        q.push(0, Ev::Start(Pid::new(0)));
+        let mut batch = Vec::new();
+        assert_eq!(q.drain_next(&mut batch), Some(0));
+        batch.clear();
+        // From time 0, schedule at 1 and 2 (the full horizon).
+        q.push(1, Ev::Tick(Pid::new(1)));
+        q.push(2, Ev::Tick(Pid::new(2)));
+        assert_eq!(q.drain_next(&mut batch), Some(1));
+        batch.clear();
+        q.push(3, Ev::Tick(Pid::new(3)));
+        assert_eq!(q.drain_next(&mut batch), Some(2));
+        batch.clear();
+        assert_eq!(q.drain_next(&mut batch), Some(3));
+        batch.clear();
+        assert_eq!(q.drain_next(&mut batch), None);
+    }
+
+    #[test]
+    fn empty_queue_drains_none() {
+        let mut q = EventQueue::with_horizon(4);
+        let mut batch = Vec::new();
+        assert!(q.drain_next(&mut batch).is_none());
+        assert!(batch.is_empty());
+    }
+}

@@ -1,0 +1,266 @@
+//! The per-recipient-clone reference scheduler: the representation the op
+//! arena replaced, kept as an executable specification.
+//!
+//! [`run_async_reference`] implements *exactly* the semantics of
+//! [`run_async`](super::run_async) — same batching rule, same adversary
+//! protocol, same RNG draw order — but materializes every delivery as an
+//! owned `(from, to, payload)` event: a `k`-recipient broadcast clones the
+//! payload `k` times at scheduling and the queue is a plain binary heap.
+//! The differential property test (`tests/async_differential.rs`) proves
+//! the two produce bit-identical [`AsyncReport`]s over random
+//! send/delay/crash patterns, and the perf baseline measures this engine
+//! as the "before" of the zero-clone arena path.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+use super::{
+    AsyncAdversary, AsyncConfig, AsyncEffects, AsyncProtocol, AsyncReport, AsyncRunError, Time,
+};
+use crate::adversary::{AdversaryCtx, Fate};
+use crate::ids::Pid;
+use crate::message::{Classify, Inbox};
+use crate::metrics::Metrics;
+use crate::trace::{Event, Trace};
+
+enum RefEv<M> {
+    Start(Pid),
+    Deliver { from: Pid, to: Pid, payload: M },
+    Notice { observer: Pid, retired: Pid },
+    Tick(Pid),
+    Consumed,
+}
+
+struct Entry<M> {
+    time: Time,
+    seq: u64,
+    ev: RefEv<M>,
+}
+
+impl<M> PartialEq for Entry<M> {
+    fn eq(&self, other: &Self) -> bool {
+        (self.time, self.seq) == (other.time, other.seq)
+    }
+}
+impl<M> Eq for Entry<M> {}
+impl<M> PartialOrd for Entry<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<M> Ord for Entry<M> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+/// [`run_async`](super::run_async) with the pre-arena per-recipient-clone
+/// event representation. Produces bit-identical reports; exists to be
+/// differentially tested and benchmarked against.
+///
+/// # Errors
+///
+/// As [`run_async`](super::run_async).
+pub fn run_async_reference<P, A>(
+    mut procs: Vec<P>,
+    mut adversary: A,
+    cfg: AsyncConfig,
+) -> Result<AsyncReport, AsyncRunError>
+where
+    P: AsyncProtocol,
+    A: AsyncAdversary<P::Msg>,
+{
+    let t = procs.len();
+    let max_delay = cfg.max_delay.max(1);
+    let mut rng = SmallRng::seed_from_u64(cfg.seed);
+    let mut heap: BinaryHeap<Reverse<Entry<P::Msg>>> = BinaryHeap::new();
+    let mut seq: u64 = 0;
+    let mut push =
+        |heap: &mut BinaryHeap<Reverse<Entry<P::Msg>>>, time: Time, ev: RefEv<P::Msg>| {
+            heap.push(Reverse(Entry { time, seq, ev }));
+            seq += 1;
+        };
+    for pid in 0..t {
+        push(&mut heap, 0, RefEv::Start(Pid::new(pid)));
+    }
+
+    let mut metrics = Metrics::new(cfg.n);
+    let mut trace = Trace::new();
+    let record = cfg.record_trace;
+    let mut terminated = vec![false; t];
+    let mut crashed = vec![false; t];
+    let mut alive = vec![true; t];
+    let mut live = t;
+    let mut invocations = vec![0u64; t];
+    let mut notes: Vec<(Time, Pid, &'static str)> = Vec::new();
+    let mut handled: u64 = 0;
+    let mut eff: AsyncEffects<P::Msg> = AsyncEffects::default();
+
+    while let Some(Reverse(first)) = heap.pop() {
+        let now = first.time;
+        let mut batch: Vec<RefEv<P::Msg>> = vec![first.ev];
+        while heap.peek().is_some_and(|Reverse(e)| e.time == now) {
+            batch.push(heap.pop().expect("peeked").0.ev);
+        }
+
+        for i in 0..batch.len() {
+            let ev = std::mem::replace(&mut batch[i], RefEv::Consumed);
+            let pid = match ev {
+                RefEv::Consumed => continue,
+                RefEv::Start(pid) => {
+                    if !alive[pid.index()] {
+                        continue;
+                    }
+                    eff.reset();
+                    procs[pid.index()].on_start(&mut eff);
+                    pid
+                }
+                RefEv::Tick(pid) => {
+                    if !alive[pid.index()] {
+                        continue;
+                    }
+                    eff.reset();
+                    procs[pid.index()].on_tick(&mut eff);
+                    pid
+                }
+                RefEv::Notice { observer, retired } => {
+                    if !alive[observer.index()] {
+                        continue;
+                    }
+                    if record {
+                        trace.push(Event::Notice { round: now, observer, retired });
+                    }
+                    eff.reset();
+                    procs[observer.index()].on_retirement(retired, &mut eff);
+                    observer
+                }
+                RefEv::Deliver { from, to, payload } => {
+                    if !alive[to.index()] {
+                        metrics.dead_letters += 1;
+                        continue;
+                    }
+                    let mut pairs: Vec<(Pid, P::Msg)> = vec![(from, payload)];
+                    for later in batch.iter_mut().skip(i + 1) {
+                        if matches!(later, RefEv::Deliver { to: to2, .. } if *to2 == to) {
+                            let RefEv::Deliver { from: f2, payload: p2, .. } =
+                                std::mem::replace(later, RefEv::Consumed)
+                            else {
+                                unreachable!("matched Deliver above");
+                            };
+                            pairs.push((f2, p2));
+                        }
+                    }
+                    eff.reset();
+                    procs[to.index()].on_messages(Inbox::from_pairs(&pairs), &mut eff);
+                    to
+                }
+            };
+
+            handled += 1;
+            if handled > cfg.max_events {
+                return Err(AsyncRunError::EventLimit { limit: cfg.max_events });
+            }
+            let idx = pid.index();
+            invocations[idx] += 1;
+
+            let ctx = AdversaryCtx { t, alive: &alive, live, crashes: metrics.crashes };
+            let fate = adversary.intercept(now, pid, invocations[idx], &eff, ctx);
+
+            for tag in eff.notes.drain(..) {
+                notes.push((now, pid, tag));
+                if record {
+                    trace.push(Event::Note { round: now, pid, tag });
+                }
+            }
+
+            let (count_work, deliver) = match &fate {
+                Fate::Survive => (true, None),
+                Fate::Crash(spec) => (spec.count_work, Some(spec.deliver.clone())),
+            };
+            if count_work {
+                for &unit in &eff.work {
+                    metrics.record_work(unit);
+                    if record {
+                        trace.push(Event::Work { round: now, pid, unit });
+                    }
+                }
+            }
+
+            // Per-recipient expansion: one owned, cloned payload per
+            // scheduled delivery — the representation under test.
+            let mut msg_idx = 0usize;
+            for op in eff.drain_sends() {
+                let len = op.to.len();
+                for (k, to) in op.to.iter().enumerate() {
+                    let pass = deliver
+                        .as_ref()
+                        .is_none_or(|d: &crate::Deliver| d.lets_through(msg_idx + k, to));
+                    if pass {
+                        let payload = op.payload.clone();
+                        let class = payload.class();
+                        metrics.record_messages(class, 1);
+                        let delay = cfg.delay.sample(&mut rng, max_delay);
+                        push(&mut heap, now + delay, RefEv::Deliver { from: pid, to, payload });
+                        if record {
+                            trace.push(Event::Send { round: now, from: pid, to, class });
+                        }
+                    }
+                }
+                msg_idx += len;
+            }
+
+            let crashed_now = matches!(fate, Fate::Crash(_));
+            if eff.tick && !crashed_now && !eff.terminated {
+                push(&mut heap, now + 1, RefEv::Tick(pid));
+            }
+
+            let retired_now = if crashed_now {
+                crashed[idx] = true;
+                metrics.crashes += 1;
+                if record {
+                    trace.push(Event::Crash { round: now, pid });
+                }
+                true
+            } else if eff.terminated {
+                terminated[idx] = true;
+                metrics.terminations += 1;
+                if record {
+                    trace.push(Event::Terminate { round: now, pid });
+                }
+                true
+            } else {
+                false
+            };
+
+            if retired_now {
+                alive[idx] = false;
+                live -= 1;
+                for (obs, &obs_alive) in alive.iter().enumerate() {
+                    if obs != idx && obs_alive {
+                        let delay = cfg.delay.sample(&mut rng, max_delay);
+                        push(
+                            &mut heap,
+                            now + delay,
+                            RefEv::Notice { observer: Pid::new(obs), retired: pid },
+                        );
+                    }
+                }
+            }
+
+            metrics.rounds = now;
+            if live == 0 {
+                return Ok(AsyncReport { metrics, terminated, crashed, notes, trace });
+            }
+        }
+    }
+
+    let alive_pids = (0..t).filter(|&i| alive[i]).map(Pid::new).collect::<Vec<_>>();
+    if alive_pids.is_empty() {
+        Ok(AsyncReport { metrics, terminated, crashed, notes, trace })
+    } else {
+        Err(AsyncRunError::Stalled { alive: alive_pids })
+    }
+}

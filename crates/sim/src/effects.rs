@@ -71,6 +71,91 @@ pub struct SendOp<M> {
     pub payload: M,
 }
 
+/// The shared send-op recording buffer behind both the synchronous
+/// [`Effects`] and the asynchronous
+/// [`AsyncEffects`](crate::asynch::AsyncEffects): ops store their payload
+/// once, span multicasts are recorded in O(1), and arbitrary recipient
+/// iterators are coalesced into maximal contiguous runs. The per-message
+/// count (`sent`) is maintained incrementally so both planes report
+/// per-recipient message totals in O(1).
+#[derive(Debug)]
+pub(crate) struct SendBuf<M> {
+    ops: Vec<SendOp<M>>,
+    /// Total number of point-to-point messages across `ops` (the sum of
+    /// the ops' recipient counts).
+    sent: usize,
+}
+
+impl<M> Default for SendBuf<M> {
+    fn default() -> Self {
+        SendBuf { ops: Vec::new(), sent: 0 }
+    }
+}
+
+impl<M> SendBuf<M> {
+    /// Clears the recorded ops while retaining the buffer's capacity.
+    pub(crate) fn clear(&mut self) {
+        self.ops.clear();
+        self.sent = 0;
+    }
+
+    /// Records a unicast.
+    pub(crate) fn one(&mut self, to: Pid, payload: M) {
+        self.sent += 1;
+        self.ops.push(SendOp { to: Recipients::One(to), payload });
+    }
+
+    /// Records a contiguous-range broadcast as one op (payload stored
+    /// once). Empty ranges record nothing.
+    pub(crate) fn span(&mut self, to: Range<usize>, payload: M) {
+        if to.is_empty() {
+            return;
+        }
+        self.sent += to.len();
+        self.ops.push(SendOp { to: Recipients::Span { lo: to.start, hi: to.end }, payload });
+    }
+
+    /// Records a broadcast to an arbitrary pid iterator, coalescing
+    /// consecutive ascending runs into spans (one clone per extra run).
+    pub(crate) fn coalesced<I>(&mut self, to: I, payload: M)
+    where
+        I: IntoIterator<Item = Pid>,
+        M: Clone,
+    {
+        let mut payload = Some(payload);
+        coalesce_runs(to, |run, last| {
+            let m = if last {
+                payload.take().expect("taken only on the final run")
+            } else {
+                payload.as_ref().expect("present until the final run").clone()
+            };
+            self.span(run, m);
+        });
+    }
+
+    /// The recorded ops, in send order.
+    pub(crate) fn ops(&self) -> &[SendOp<M>] {
+        &self.ops
+    }
+
+    /// Total point-to-point messages recorded (a `k`-recipient op counts
+    /// `k`) — O(1).
+    pub(crate) fn count(&self) -> usize {
+        self.sent
+    }
+
+    /// Whether nothing has been recorded.
+    pub(crate) fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Moves the recorded ops out, leaving the capacity in place.
+    pub(crate) fn drain(&mut self) -> std::vec::Drain<'_, SendOp<M>> {
+        self.sent = 0;
+        self.ops.drain(..)
+    }
+}
+
 /// Everything a process decided to do during one round.
 ///
 /// The engine hands an empty `Effects` to [`Protocol::step`] each round; the
@@ -94,17 +179,14 @@ pub struct SendOp<M> {
 #[derive(Debug)]
 pub struct Effects<M> {
     work: Option<Unit>,
-    sends: Vec<SendOp<M>>,
-    /// Total number of point-to-point messages across `sends` (the sum of
-    /// the ops' recipient counts), maintained incrementally.
-    sent: usize,
+    sends: SendBuf<M>,
     notes: Vec<&'static str>,
     terminated: bool,
 }
 
 impl<M> Default for Effects<M> {
     fn default() -> Self {
-        Effects { work: None, sends: Vec::new(), sent: 0, notes: Vec::new(), terminated: false }
+        Effects { work: None, sends: SendBuf::default(), notes: Vec::new(), terminated: false }
     }
 }
 
@@ -120,7 +202,6 @@ impl<M> Effects<M> {
     pub fn reset(&mut self) {
         self.work = None;
         self.sends.clear();
-        self.sent = 0;
         self.notes.clear();
         self.terminated = false;
     }
@@ -142,8 +223,7 @@ impl<M> Effects<M> {
 
     /// Sends `payload` to a single recipient.
     pub fn send(&mut self, to: Pid, payload: M) {
-        self.sent += 1;
-        self.sends.push(SendOp { to: Recipients::One(to), payload });
+        self.sends.one(to, payload);
     }
 
     /// Broadcasts `payload` to the contiguous pid range `to` — one payload,
@@ -155,11 +235,7 @@ impl<M> Effects<M> {
     /// equal to the sender are the caller's responsibility to exclude; the
     /// engine delivers self-addressed messages like any other.
     pub fn multicast(&mut self, to: Range<usize>, payload: M) {
-        if to.is_empty() {
-            return;
-        }
-        self.sent += to.len();
-        self.sends.push(SendOp { to: Recipients::Span { lo: to.start, hi: to.end }, payload });
+        self.sends.span(to, payload);
     }
 
     /// Broadcasts `payload` to every listed recipient (one round, many
@@ -174,15 +250,7 @@ impl<M> Effects<M> {
         I: IntoIterator<Item = Pid>,
         M: Clone,
     {
-        let mut payload = Some(payload);
-        coalesce_runs(to, |run, last| {
-            let m = if last {
-                payload.take().expect("taken only on the final run")
-            } else {
-                payload.as_ref().expect("present until the final run").clone()
-            };
-            self.multicast(run, m);
-        });
+        self.sends.coalesced(to, payload);
     }
 
     /// Broadcasts `payload` to every pid of `to` except `skip` — the
@@ -227,13 +295,13 @@ impl<M> Effects<M> {
 
     /// The send operations queued this round, in send order.
     pub fn sends(&self) -> &[SendOp<M>] {
-        &self.sends
+        self.sends.ops()
     }
 
     /// Total number of point-to-point messages queued this round (a
     /// `k`-recipient op counts `k`) — O(1), maintained incrementally.
     pub fn send_count(&self) -> usize {
-        self.sent
+        self.sends.count()
     }
 
     /// The trace annotations recorded this round.
@@ -254,14 +322,14 @@ impl<M> Effects<M> {
     /// Moves this round's send ops out, leaving the buffer's capacity in
     /// place for the next round.
     pub(crate) fn drain_sends(&mut self) -> std::vec::Drain<'_, SendOp<M>> {
-        self.sent = 0;
-        self.sends.drain(..)
+        self.sends.drain()
     }
 }
 
 /// Splits a pid iterator into maximal consecutive ascending runs, calling
-/// `emit(run, is_last)` for each — the shared coalescing behind
-/// [`Effects::broadcast`] and its asynchronous counterpart
+/// `emit(run, is_last)` for each — the coalescing behind
+/// [`SendBuf::coalesced`], which in turn backs [`Effects::broadcast`] and
+/// its asynchronous counterpart
 /// [`AsyncEffects::broadcast`](crate::asynch::AsyncEffects::broadcast).
 pub(crate) fn coalesce_runs<I, F>(to: I, mut emit: F)
 where

@@ -728,6 +728,7 @@ mod tests {
                 Event::Terminate { .. } => "terminate",
                 Event::Crash { .. } => "crash",
                 Event::Note { .. } => "note",
+                Event::Notice { .. } => "notice", // async-plane only
             })
             .collect();
         assert_eq!(kinds, vec!["work", "send", "terminate", "work", "terminate"]);

@@ -126,6 +126,9 @@ pub fn check_no_zombie_actions(trace: &Trace) -> Vec<Violation> {
             Event::Work { pid, round, .. } => (*pid, *round),
             Event::Send { from, round, .. } => (*from, *round),
             Event::Note { pid, round, .. } => (*pid, *round),
+            // A notice is the detector acting on the observer, not the
+            // observer acting; retired observers never receive one anyway.
+            Event::Notice { .. } => continue,
         };
         if let Some(&r) = retired_at.get(&pid) {
             if round > r {
@@ -134,6 +137,31 @@ pub fn check_no_zombie_actions(trace: &Trace) -> Vec<Violation> {
                     what: format!("{pid} acted at round {round} after retiring at round {r}"),
                 });
             }
+        }
+    }
+    violations
+}
+
+/// Checks the asynchronous retirement detector's *soundness* claim: a
+/// [`Notice`](Event::Notice) about process `p` must never precede `p`'s
+/// own retirement event — the detector may be arbitrarily slow, but it
+/// never accuses a live process (the property the §2.1 asynchronous
+/// variant's correctness rests on).
+pub fn check_detector_soundness(trace: &Trace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut retired: std::collections::BTreeSet<Pid> = std::collections::BTreeSet::new();
+    for event in trace.events() {
+        match event {
+            Event::Crash { pid, .. } | Event::Terminate { pid, .. } => {
+                retired.insert(*pid);
+            }
+            Event::Notice { round, observer, retired: accused } if !retired.contains(accused) => {
+                violations.push(Violation {
+                    round: *round,
+                    what: format!("detector accused live process {accused} to observer {observer}"),
+                });
+            }
+            _ => {}
         }
     }
     violations
@@ -211,6 +239,28 @@ mod tests {
         ]);
         let v = check_no_zombie_actions(&tr);
         assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn premature_notice_is_a_soundness_violation() {
+        let tr = trace(vec![
+            Event::Notice { round: 3, observer: Pid::new(1), retired: Pid::new(0) },
+            Event::Crash { round: 4, pid: Pid::new(0) },
+        ]);
+        let v = check_detector_soundness(&tr);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("accused live process p0"));
+    }
+
+    #[test]
+    fn notice_after_retirement_is_sound() {
+        let tr = trace(vec![
+            Event::Terminate { round: 2, pid: Pid::new(0) },
+            Event::Notice { round: 5, observer: Pid::new(1), retired: Pid::new(0) },
+        ]);
+        assert!(check_detector_soundness(&tr).is_empty());
+        // A notice is not a zombie action by the observer.
+        assert!(check_no_zombie_actions(&tr).is_empty());
     }
 
     #[test]

@@ -49,9 +49,13 @@
 //! # Ok::<(), doall_sim::RunError>(())
 //! ```
 //!
-//! The [`asynch`] module provides the event-driven asynchronous engine
-//! (message delays + retirement detector) used by the asynchronous variant
-//! of Protocol A (§2.1 of the paper).
+//! The [`asynch`] module provides the event-driven asynchronous engine —
+//! adversary-seeded message delays plus a retirement detector (§2.1 of the
+//! paper) — as a full peer of this round engine: in-flight payloads live
+//! once in an op arena, same-timestamp deliveries batch into the same
+//! borrowing [`Inbox`] views, and crashes come from a pluggable
+//! [`asynch::AsyncAdversary`] speaking the [`CrashSpec`]/[`Deliver`]
+//! vocabulary above.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]

@@ -19,9 +19,10 @@ pub(crate) struct FlightOp<M> {
 
 #[derive(Debug)]
 enum Repr<'a, M> {
-    /// The engine's CSR-style per-round index: `ids` are indices into
-    /// `ops` — the operations addressed to one recipient, in delivery
-    /// order (which is send order, which is sender-pid order).
+    /// The engines' CSR-style index: `ids` are indices into `ops` — the
+    /// operations addressed to one recipient, in delivery order (the
+    /// synchronous engine: send order, which is sender-pid order; the
+    /// asynchronous engine: arrival order within a timestamp).
     Csr { ids: &'a [u32], ops: &'a [FlightOp<M>] },
     /// Explicit `(sender, payload)` pairs — the constructor used by tests
     /// and by protocols that embed another protocol (e.g. the §5
@@ -102,7 +103,10 @@ impl<'a, M> Inbox<'a, M> {
     }
 
     /// Iterates over the delivered messages as `(sender, &payload)`, in
-    /// delivery order (sender-pid order, then send order within a sender).
+    /// delivery order. On the synchronous engine that is sender-pid
+    /// order, then send order within a sender; on the asynchronous
+    /// engine's batched inboxes it is arrival (schedule) order, in which
+    /// senders may interleave arbitrarily.
     pub fn iter(&self) -> InboxIter<'a, M> {
         InboxIter {
             repr: match self.repr {

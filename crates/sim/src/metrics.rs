@@ -88,13 +88,10 @@ impl Metrics {
         self.work_by_unit[idx] += 1;
     }
 
-    pub(crate) fn record_message(&mut self, class: &'static str) {
-        self.record_messages(class, 1);
-    }
-
     /// Bulk counter for span sends: one map lookup per *op*, not per
     /// recipient, while the counted values stay per-recipient (a
-    /// `k`-recipient broadcast still counts `k`).
+    /// `k`-recipient broadcast still counts `k`). Per-message call sites
+    /// (the async plane's per-recipient reference scheduler) pass `k = 1`.
     pub(crate) fn record_messages(&mut self, class: &'static str, k: u64) {
         if k == 0 {
             return;
@@ -113,7 +110,7 @@ mod tests {
         let mut m = Metrics::new(3);
         m.record_work(Unit::new(1));
         m.record_work(Unit::new(1));
-        m.record_message("ordinary");
+        m.record_messages("ordinary", 1);
         assert_eq!(m.work_total, 2);
         assert_eq!(m.messages, 1);
         assert_eq!(m.effort(), 3);
@@ -145,9 +142,9 @@ mod tests {
     #[test]
     fn class_breakdown_sums_to_total() {
         let mut m = Metrics::new(0);
-        m.record_message("ordinary");
-        m.record_message("ordinary");
-        m.record_message("go_ahead");
+        m.record_messages("ordinary", 1);
+        m.record_messages("ordinary", 1);
+        m.record_messages("go_ahead", 1);
         assert_eq!(m.messages, 3);
         assert_eq!(m.messages_by_class["ordinary"], 2);
         assert_eq!(m.messages_by_class["go_ahead"], 1);
@@ -162,10 +159,10 @@ mod tests {
         bulk.record_messages("go_ahead", 2);
         let mut one_by_one = Metrics::new(0);
         for _ in 0..5 {
-            one_by_one.record_message("ordinary");
+            one_by_one.record_messages("ordinary", 1);
         }
         for _ in 0..2 {
-            one_by_one.record_message("go_ahead");
+            one_by_one.record_messages("go_ahead", 1);
         }
         assert_eq!(bulk, one_by_one);
         // A zero-recipient record must not create a map entry.

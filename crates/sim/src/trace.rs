@@ -42,6 +42,20 @@ pub enum Event {
         /// The terminating process.
         pid: Pid,
     },
+    /// The asynchronous plane's retirement detector informed `observer`
+    /// that `retired` has crashed or terminated. Only the event-driven
+    /// engine emits this; the detector-soundness checker
+    /// ([`check_detector_soundness`](crate::invariants::check_detector_soundness))
+    /// verifies that no notice ever precedes the retirement it reports.
+    Notice {
+        /// Timestamp of the delivery (the async plane records its logical
+        /// time in the round field).
+        round: Round,
+        /// The process being informed.
+        observer: Pid,
+        /// The process reported as retired.
+        retired: Pid,
+    },
     /// A protocol-internal annotation (see
     /// [`Effects::note`](crate::Effects::note)), e.g. `"activate"`.
     Note {
@@ -62,6 +76,7 @@ impl Event {
             | Event::Send { round, .. }
             | Event::Crash { round, .. }
             | Event::Terminate { round, .. }
+            | Event::Notice { round, .. }
             | Event::Note { round, .. } => *round,
         }
     }
@@ -155,8 +170,9 @@ mod tests {
             Event::Crash { round: 3, pid: Pid::new(0) },
             Event::Terminate { round: 4, pid: Pid::new(1) },
             Event::Note { round: 5, pid: Pid::new(1), tag: "x" },
+            Event::Notice { round: 6, observer: Pid::new(1), retired: Pid::new(0) },
         ];
         let rounds: Vec<Round> = events.iter().map(Event::round).collect();
-        assert_eq!(rounds, vec![1, 2, 3, 4, 5]);
+        assert_eq!(rounds, vec![1, 2, 3, 4, 5, 6]);
     }
 }

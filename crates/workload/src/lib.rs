@@ -12,5 +12,5 @@
 pub mod scenario;
 pub mod tasks;
 
-pub use scenario::Scenario;
+pub use scenario::{AsyncScenario, Scenario};
 pub use tasks::{FormulaSweep, IdempotentTask, ValveBank};

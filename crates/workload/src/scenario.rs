@@ -2,6 +2,10 @@
 //! examples revolve around, packaged for reuse by tests, examples and the
 //! experiment harness.
 
+use doall_sim::asynch::{
+    AsyncAdversary, AsyncCrashSchedule, AsyncRandomCrashes, AsyncTrigger, AsyncTriggerAdversary,
+    AsyncTriggerRule,
+};
 use doall_sim::{
     Adversary, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RandomCrashes, Trigger,
     TriggerAdversary, TriggerRule,
@@ -184,9 +188,113 @@ impl Scenario {
     }
 }
 
+/// A named, parameterized failure scenario for the **asynchronous** plane,
+/// where crashes strike handler invocations instead of rounds. The
+/// synchronous [`Scenario`] vocabulary carries over where it translates;
+/// round-indexed scenarios do not (asynchronous time is untimed), and a
+/// note-triggered kill takes their place.
+///
+/// # Examples
+///
+/// ```
+/// use doall_workload::AsyncScenario;
+///
+/// let scenario = AsyncScenario::DeadOnArrival { k: 3 };
+/// let _adv = scenario.adversary::<u32>();
+/// assert_eq!(scenario.label(), "dead-on-arrival(3)");
+/// ```
+#[derive(Clone, Debug, PartialEq)]
+pub enum AsyncScenario {
+    /// No process ever fails.
+    FailureFree,
+    /// Processes `0..k` crash silently on their very first handler
+    /// invocation (their start signal) — dead on arrival.
+    DeadOnArrival {
+        /// Number of initial victims.
+        k: u64,
+    },
+    /// Seeded random crashes: each handler invocation of an alive process
+    /// crashes with probability `p` (random prefix of its sends escapes),
+    /// up to `max_crashes`, sparing a lone survivor.
+    Random {
+        /// RNG seed (runs are reproducible).
+        seed: u64,
+        /// Per-invocation crash probability.
+        p: f64,
+        /// Total crash budget (use `t − 1` for a guaranteed survivor).
+        max_crashes: u32,
+    },
+    /// Kills the `nth` process ever to emit the `"activate"` note, right
+    /// on its activation event with nothing delivered — the takeover
+    /// cascade driver of the asynchronous plane.
+    KillNthActivation {
+        /// Which activation to strike (1-based).
+        nth: u64,
+    },
+}
+
+impl AsyncScenario {
+    /// Builds the adversary for this scenario.
+    pub fn adversary<M>(&self) -> Box<dyn AsyncAdversary<M>>
+    where
+        M: 'static,
+    {
+        match *self {
+            AsyncScenario::FailureFree => Box::new(NoFailures),
+            AsyncScenario::DeadOnArrival { k } => {
+                let mut s = AsyncCrashSchedule::new();
+                for j in 0..k {
+                    s = s.crash_at(Pid::new(j as usize), 1, CrashSpec::silent());
+                }
+                Box::new(s)
+            }
+            AsyncScenario::Random { seed, p, max_crashes } => {
+                Box::new(AsyncRandomCrashes::new(seed, p, max_crashes))
+            }
+            AsyncScenario::KillNthActivation { nth } => {
+                Box::new(AsyncTriggerAdversary::new(vec![AsyncTriggerRule {
+                    trigger: AsyncTrigger::NthNote { tag: "activate", nth },
+                    spec: CrashSpec { deliver: Deliver::None, count_work: true },
+                }]))
+            }
+        }
+    }
+
+    /// A short, stable label for tables and logs.
+    pub fn label(&self) -> String {
+        match self {
+            AsyncScenario::FailureFree => "failure-free".into(),
+            AsyncScenario::DeadOnArrival { k } => format!("dead-on-arrival({k})"),
+            AsyncScenario::Random { seed, p, max_crashes } => {
+                format!("random(seed={seed},p={p},f<={max_crashes})")
+            }
+            AsyncScenario::KillNthActivation { nth } => format!("kill-activation({nth})"),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn async_labels_are_stable() {
+        assert_eq!(AsyncScenario::FailureFree.label(), "failure-free");
+        assert_eq!(AsyncScenario::KillNthActivation { nth: 2 }.label(), "kill-activation(2)");
+    }
+
+    #[test]
+    fn async_adversaries_build_for_any_message_type() {
+        for s in [
+            AsyncScenario::FailureFree,
+            AsyncScenario::DeadOnArrival { k: 2 },
+            AsyncScenario::Random { seed: 1, p: 0.1, max_crashes: 3 },
+            AsyncScenario::KillNthActivation { nth: 1 },
+        ] {
+            let _a = s.adversary::<u32>();
+            let _b = s.adversary::<String>();
+        }
+    }
 
     #[test]
     fn labels_are_stable() {

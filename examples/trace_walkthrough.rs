@@ -44,6 +44,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             Event::Crash { round, pid } => (*round, format!("{pid} CRASHES")),
             Event::Terminate { round, pid } => (*round, format!("{pid} terminates")),
             Event::Note { round, pid, tag } => (*round, format!("{pid} *** {tag} ***")),
+            Event::Notice { round, observer, retired } => {
+                // Only the asynchronous engine emits these; a synchronous
+                // trace never contains one.
+                (*round, format!("detector informs {observer}: {retired} retired"))
+            }
         };
         by_round.entry(round).or_default().push(line);
     }

@@ -21,9 +21,12 @@
 //! | [`ProtocolD`] | `≤ 2n` | `≤ (4f+2)t²` | `(f+1)n/t + 4f + 2` |
 //!
 //! plus the §1 baselines ([`ReplicateAll`], [`Lockstep`]), the §3 strawman
-//! ([`NaiveSpread`]), the asynchronous Protocol A variant
-//! ([`AsyncProtocolA`]) and the §5 Byzantine-agreement reduction
-//! ([`agreement::BaSystem`]).
+//! ([`NaiveSpread`]), the asynchronous plane — §2.1's Protocol A variant
+//! ([`AsyncProtocolA`]), the detector-driven Protocol B analogue
+//! ([`AsyncProtocolB`]) and the replicate baseline ([`AsyncReplicate`]),
+//! all run by [`sim::asynch::run_async`] under pluggable
+//! [`sim::asynch::AsyncAdversary`]s — and the §5 Byzantine-agreement
+//! reduction ([`agreement::BaSystem`]).
 //!
 //! ## Quickstart
 //!
@@ -57,6 +60,6 @@ pub use doall_sim as sim;
 pub use doall_workload as workload;
 
 pub use doall_core::{
-    AsyncProtocolA, ConfigError, Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD,
-    ReplicateAll,
+    AsyncProtocolA, AsyncProtocolB, AsyncReplicate, ConfigError, Lockstep, NaiveSpread, ProtocolA,
+    ProtocolB, ProtocolC, ProtocolD, ReplicateAll,
 };

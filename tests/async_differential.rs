@@ -1,0 +1,321 @@
+//! Differential property tests for the asynchronous op-arena engine.
+//!
+//! 1. [`doall::sim::asynch::run_async`] (payload stored once in the op
+//!    arena, calendar-queue scheduling, batched zero-copy inboxes) must
+//!    produce **bit-identical** [`AsyncReport`]s — metrics, statuses,
+//!    notes, and full traces — to
+//!    [`doall::sim::asynch::reference::run_async_reference`] (payload
+//!    cloned per recipient at scheduling, plain binary heap) over random
+//!    send/delay/crash patterns. Drawn `max_delay`s straddle the calendar
+//!    queue's horizon, so both queue representations are exercised.
+//! 2. Failure-free asynchronous runs of Protocols A and B must report
+//!    exactly the synchronous work and message counts over a small grid —
+//!    the §2.1 claim that the bounds carry over.
+
+use doall::sim::asynch::{
+    run_async, AsyncConfig, AsyncCrashSchedule, AsyncEffects, AsyncProtocol, DelayDist,
+};
+use doall::sim::{Classify, CrashSpec, Inbox, NoFailures, Pid, Unit};
+use doall::{AsyncProtocolA, AsyncProtocolB, ProtocolA, ProtocolB};
+use proptest::prelude::*;
+
+/// A payload with two metric classes, so `messages_by_class` is exercised.
+#[derive(Clone, Debug, PartialEq, Eq)]
+struct Chat(u64);
+
+impl Classify for Chat {
+    fn class(&self) -> &'static str {
+        if self.0.is_multiple_of(2) {
+            "even"
+        } else {
+            "odd"
+        }
+    }
+}
+
+/// SplitMix64: the per-(seed, pid, invocation) decision hash.
+fn mix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A scripted chatterbox for the event-driven plane: self-drives through
+/// `actions` tick-chained steps, each drawn from a deterministic hash —
+/// some mix of work units (possibly several per handler), a unicast, one
+/// or two span multicasts (possibly addressing retired pids, to exercise
+/// dead letters), and a note; the final action terminates. Echoes the
+/// first few received messages (reactive sends from batched inboxes) and
+/// reacts to a bounded number of retirement notices, so every handler kind
+/// feeds the comparison.
+#[derive(Clone)]
+struct AsyncChatter {
+    me: usize,
+    t: usize,
+    n: usize,
+    seed: u64,
+    actions: u64,
+    acted: u64,
+    echoes_left: u32,
+    checksum: u64,
+}
+
+impl AsyncChatter {
+    fn procs(t: usize, n: usize, seed: u64) -> Vec<AsyncChatter> {
+        (0..t)
+            .map(|me| {
+                let h = mix(seed ^ (me as u64).wrapping_mul(0xA24B_AED4_963E_E407));
+                AsyncChatter {
+                    me,
+                    t,
+                    n,
+                    seed,
+                    actions: 1 + (h >> 48) % 8,
+                    acted: 0,
+                    echoes_left: (h >> 16) as u32 % 4,
+                    checksum: 0,
+                }
+            })
+            .collect()
+    }
+
+    fn act(&mut self, eff: &mut AsyncEffects<Chat>) {
+        if self.acted >= self.actions {
+            return;
+        }
+        self.acted += 1;
+        let h = mix(self.seed ^ ((self.me as u64) << 32) ^ self.acted);
+        if h.is_multiple_of(3) {
+            eff.perform(Unit::new(1 + (h >> 8) as usize % self.n));
+            if h.is_multiple_of(9) {
+                // Asynchronous handlers may perform several units at once.
+                eff.perform(Unit::new(1 + (h >> 12) as usize % self.n));
+            }
+        }
+        match (h >> 16) % 4 {
+            0 => {
+                let to = Pid::new((h >> 24) as usize % self.t);
+                eff.send(to, Chat(h >> 40));
+            }
+            1 => {
+                let lo = (h >> 24) as usize % self.t;
+                let hi = lo + 1 + (h >> 34) as usize % (self.t - lo);
+                eff.multicast(lo..hi, Chat(h >> 40));
+            }
+            2 => {
+                // Two ops in one handler: a span and a unicast.
+                let lo = (h >> 24) as usize % self.t;
+                eff.multicast(lo..self.t, Chat(h >> 40));
+                eff.send(Pid::new((h >> 45) as usize % self.t), Chat(h >> 50));
+            }
+            _ => eff.note("mumble"),
+        }
+        if self.acted == self.actions {
+            eff.terminate();
+        } else {
+            eff.continue_later();
+        }
+    }
+}
+
+impl AsyncProtocol for AsyncChatter {
+    type Msg = Chat;
+
+    fn on_start(&mut self, eff: &mut AsyncEffects<Chat>) {
+        self.act(eff);
+    }
+
+    fn on_messages(&mut self, inbox: Inbox<'_, Chat>, eff: &mut AsyncEffects<Chat>) {
+        for (from, msg) in inbox.iter() {
+            self.checksum = mix(self.checksum ^ (from.index() as u64) ^ msg.0);
+            if self.echoes_left > 0 && self.acted < self.actions {
+                self.echoes_left -= 1;
+                eff.send(from, Chat(self.checksum));
+            }
+        }
+    }
+
+    fn on_retirement(&mut self, retired: Pid, eff: &mut AsyncEffects<Chat>) {
+        self.checksum = mix(self.checksum ^ 0xDEAD ^ retired.index() as u64);
+        if self.checksum.is_multiple_of(5) {
+            eff.note("observed_retirement");
+        }
+    }
+
+    fn on_tick(&mut self, eff: &mut AsyncEffects<Chat>) {
+        self.act(eff);
+    }
+}
+
+/// A random invocation-indexed crash schedule: up to 5 crashes with every
+/// delivery-filter shape (silent, after-round, prefix, arbitrary subset).
+fn crash_schedule(t: usize, seed: u64) -> AsyncCrashSchedule {
+    let mut sched = AsyncCrashSchedule::new();
+    let crashes = mix(seed) % 6;
+    for c in 0..crashes {
+        let h = mix(seed ^ c.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+        let pid = Pid::new(h as usize % t);
+        let invocation = 1 + (h >> 16) % 12;
+        let spec = match (h >> 32) % 4 {
+            0 => CrashSpec::silent(),
+            1 => CrashSpec::after_round(),
+            2 => CrashSpec::prefix((h >> 40) as usize % (t + 1)),
+            _ => {
+                let members = (0..t).filter(|&p| (h >> (p % 24)) & 1 == 1).map(Pid::new);
+                CrashSpec::subset(members)
+            }
+        };
+        sched = sched.crash_at(pid, invocation, spec);
+    }
+    sched
+}
+
+fn dist_of(raw: u8) -> DelayDist {
+    match raw % 3 {
+        0 => DelayDist::Uniform,
+        1 => DelayDist::Fixed,
+        _ => DelayDist::Bimodal,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 96, ..ProptestConfig::default() })]
+
+    /// The op-arena engine and the per-recipient-clone reference scheduler
+    /// agree on the complete AsyncReport: every metric (totals, per class,
+    /// dead letters, per-unit multiplicities, final timestamp), statuses,
+    /// notes, and the full recorded trace.
+    #[test]
+    fn arena_engine_matches_per_recipient_reference(
+        t in 1usize..=10,
+        n in 1usize..=12,
+        // Straddles the calendar horizon (64): small draws use the
+        // bucketed calendar, large ones the binary-heap fallback.
+        max_delay in 1u64..=96,
+        raw_dist in 0u8..=2,
+        seed in any::<u64>(),
+    ) {
+        let cfg = AsyncConfig {
+            n,
+            seed,
+            max_delay,
+            delay: dist_of(raw_dist),
+            max_events: 1_000_000,
+            record_trace: true,
+        };
+        let sched = crash_schedule(t, seed);
+        let fast = run_async(AsyncChatter::procs(t, n, seed), sched.clone(), cfg.clone())
+            .expect("chatters always retire");
+        let reference = doall::sim::asynch::reference::run_async_reference(
+            AsyncChatter::procs(t, n, seed),
+            sched,
+            cfg,
+        )
+        .expect("reference run must complete identically");
+        prop_assert_eq!(&fast.metrics, &reference.metrics);
+        prop_assert_eq!(&fast.terminated, &reference.terminated);
+        prop_assert_eq!(&fast.crashed, &reference.crashed);
+        prop_assert_eq!(&fast.notes, &reference.notes);
+        prop_assert_eq!(&fast.trace, &reference.trace);
+    }
+
+    /// Sanity on the generator itself: drawn systems really do send
+    /// messages and suffer crashes (the comparison is not vacuous).
+    #[test]
+    fn async_chatter_runs_produce_traffic(seed in any::<u64>()) {
+        let report = run_async(
+            AsyncChatter::procs(8, 8, seed),
+            crash_schedule(8, seed),
+            AsyncConfig { max_delay: 6, ..AsyncConfig::new(8, seed) },
+        ).expect("chatters always retire");
+        prop_assert_eq!(
+            u64::from(report.metrics.crashes + report.metrics.terminations),
+            8u64
+        );
+    }
+}
+
+/// §2.1's carried-over bounds, sharpened to equality where equality is a
+/// theorem: under a **fixed** delay (every hop takes the same time), a
+/// retiring process's final broadcast and the detector's notice about its
+/// retirement arrive at the same timestamp with the message batched first,
+/// so no passive process ever activates on stale knowledge — the
+/// failure-free asynchronous Protocols A and B then perform exactly the
+/// synchronous work and send exactly the synchronous messages. Under
+/// skewed delay distributions a notice *can* legitimately outrun the
+/// terminal message (the observer re-activates and redoes a tail of the
+/// schedule), so there the Theorem 2.3 bounds — not equality — are the
+/// carried-over claim.
+#[test]
+fn failure_free_async_equals_sync_for_a_and_b() {
+    let grid = [(16u64, 16u64), (32, 16), (64, 16), (36, 36)];
+    for (n, t) in grid {
+        let sync_a = doall::sim::run(
+            ProtocolA::processes(n, t).unwrap(),
+            NoFailures,
+            doall::sim::RunConfig::new(n as usize, u64::MAX - 1),
+        )
+        .unwrap();
+        let sync_b = doall::sim::run(
+            ProtocolB::processes(n, t).unwrap(),
+            NoFailures,
+            doall::sim::RunConfig::new(n as usize, u64::MAX - 1),
+        )
+        .unwrap();
+        // Exact equality under fixed delays, for several hop costs.
+        for max_delay in [1u64, 3, 11] {
+            let cfg = AsyncConfig::new(n as usize, 42).with_delay(DelayDist::Fixed, max_delay);
+            let async_a =
+                run_async(AsyncProtocolA::processes(n, t).unwrap(), NoFailures, cfg.clone())
+                    .unwrap();
+            let async_b =
+                run_async(AsyncProtocolB::processes(n, t).unwrap(), NoFailures, cfg).unwrap();
+            for (label, sync, asynch) in [("A", &sync_a, &async_a), ("B", &sync_b, &async_b)] {
+                assert!(asynch.metrics.all_work_done(), "{label}({n},{t},fixed {max_delay})");
+                assert_eq!(
+                    asynch.metrics.work_total, sync.metrics.work_total,
+                    "{label}({n},{t},fixed {max_delay}): async work drifted from sync"
+                );
+                assert_eq!(
+                    asynch.metrics.messages, sync.metrics.messages,
+                    "{label}({n},{t},fixed {max_delay}): async messages drifted from sync"
+                );
+                assert_eq!(
+                    asynch.metrics.messages_by_class, sync.metrics.messages_by_class,
+                    "{label}({n},{t},fixed {max_delay})"
+                );
+            }
+        }
+        // Carried-over bounds under adversarial delay shapes.
+        let bound = doall::bounds::theorems::protocol_a(n, t);
+        for (dist, max_delay, seed) in [
+            (DelayDist::Uniform, 7, 0u64),
+            (DelayDist::Uniform, 23, 5),
+            (DelayDist::Bimodal, 16, 1),
+            (DelayDist::Bimodal, 48, 9),
+        ] {
+            let cfg = AsyncConfig::new(n as usize, seed).with_delay(dist, max_delay);
+            let async_a =
+                run_async(AsyncProtocolA::processes(n, t).unwrap(), NoFailures, cfg.clone())
+                    .unwrap();
+            let async_b =
+                run_async(AsyncProtocolB::processes(n, t).unwrap(), NoFailures, cfg).unwrap();
+            for (label, asynch) in [("A", &async_a), ("B", &async_b)] {
+                assert!(asynch.metrics.all_work_done(), "{label}({n},{t},{dist:?})");
+                assert!(
+                    asynch.metrics.work_total <= bound.work,
+                    "{label}({n},{t},{dist:?}): work {} over 3n bound {}",
+                    asynch.metrics.work_total,
+                    bound.work
+                );
+                assert!(
+                    asynch.metrics.messages <= bound.messages,
+                    "{label}({n},{t},{dist:?}): messages {} over 9t*sqrt(t) bound {}",
+                    asynch.metrics.messages,
+                    bound.messages
+                );
+            }
+        }
+    }
+}

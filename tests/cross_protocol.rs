@@ -177,9 +177,10 @@ fn async_protocol_a_matches_synchronous_counts() {
     let (n, t) = (32u64, 16u64);
     let sync_report = run_checked(ProtocolA::processes(n, t).unwrap(), &Scenario::FailureFree, n);
     for seed in 0..5 {
-        let cfg = AsyncConfig { n: n as usize, seed, max_delay: 11, max_events: 1_000_000 };
+        let cfg = AsyncConfig { max_delay: 11, ..AsyncConfig::new(n as usize, seed) };
         let async_report =
-            run_async(AsyncProtocolA::processes(n, t).unwrap(), Vec::new(), cfg).unwrap();
+            run_async(AsyncProtocolA::processes(n, t).unwrap(), doall::sim::NoFailures, cfg)
+                .unwrap();
         assert!(async_report.metrics.all_work_done());
         assert_eq!(async_report.metrics.work_total, sync_report.metrics.work_total);
         assert_eq!(async_report.metrics.messages, sync_report.metrics.messages);

@@ -7,7 +7,8 @@
 use doall::sim::asynch::{run_async, AsyncConfig};
 use doall::sim::{run, NoFailures, Protocol, RunConfig};
 use doall::{
-    AsyncProtocolA, Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll,
+    AsyncProtocolA, AsyncProtocolB, AsyncReplicate, Lockstep, NaiveSpread, ProtocolA, ProtocolB,
+    ProtocolC, ProtocolD, ReplicateAll,
 };
 
 /// Shape valid for every protocol family: `t = 4` is a perfect square
@@ -62,10 +63,28 @@ fn baselines_construct_and_complete() {
 fn async_protocol_a_constructs_and_completes() {
     let procs = AsyncProtocolA::processes(N, T).expect("valid shape");
     assert_eq!(procs.len(), T as usize);
-    let cfg = AsyncConfig { n: N as usize, seed: 1, max_delay: 3, max_events: 1_000_000 };
-    let report = run_async(procs, Vec::new(), cfg).expect("fault-free async run");
+    let cfg = AsyncConfig { max_delay: 3, ..AsyncConfig::new(N as usize, 1) };
+    let report = run_async(procs, NoFailures, cfg).expect("fault-free async run");
     assert!(report.metrics.all_work_done(), "AsyncProtocolA: work left undone");
     assert!(report.has_survivor());
+}
+
+#[test]
+fn async_protocol_b_and_replicate_construct_and_complete() {
+    for seed in [1u64, 7] {
+        let cfg = AsyncConfig { max_delay: 3, ..AsyncConfig::new(N as usize, seed) };
+        let report = run_async(
+            AsyncProtocolB::processes(N, T).expect("valid shape"),
+            NoFailures,
+            cfg.clone(),
+        )
+        .expect("fault-free async run");
+        assert!(report.metrics.all_work_done(), "AsyncProtocolB: work left undone");
+        let report =
+            run_async(AsyncReplicate::processes(N, T).expect("valid shape"), NoFailures, cfg)
+                .expect("fault-free async run");
+        assert_eq!(report.metrics.work_total, N * T, "AsyncReplicate: everyone does everything");
+    }
 }
 
 #[test]
