@@ -132,7 +132,7 @@ impl BaProcess {
     /// stays a single span after wrapping — the reduction preserves the
     /// O(1)-per-broadcast representation end to end.
     fn sender_step(&mut self, round: Round, inbox: Inbox<'_, BaMsg>, eff: &mut Effects<BaMsg>) {
-        let inner_round = round - 1;
+        let inner_round = Round::new(round - Round::ONE);
         let mut ieff;
         match self.sender.as_mut().expect("sender_step on a non-sender") {
             SenderEngine::A(inner) => {
@@ -258,7 +258,7 @@ impl Protocol for BaProcess {
             return;
         }
 
-        if round == 1 {
+        if round == Round::ONE {
             if self.me == 0 {
                 // Stage 1: the general tells the senders — one span op.
                 eff.multicast(1..self.t as usize + 1, BaMsg::GeneralsValue { v: self.value });
@@ -277,9 +277,9 @@ impl Protocol for BaProcess {
         }
         if let (Some(engine), false) = (&self.sender, self.sender_done) {
             let inner = match engine {
-                SenderEngine::A(p) => p.next_wakeup(now.saturating_sub(1)),
-                SenderEngine::B(p) => p.next_wakeup(now.saturating_sub(1)),
-                SenderEngine::C(p) => p.next_wakeup(now.saturating_sub(1)),
+                SenderEngine::A(p) => p.next_wakeup(Round::new(now.saturating_sub(Round::ONE))),
+                SenderEngine::B(p) => p.next_wakeup(Round::new(now.saturating_sub(Round::ONE))),
+                SenderEngine::C(p) => p.next_wakeup(Round::new(now.saturating_sub(Round::ONE))),
             };
             if let Some(w) = inner {
                 return Some(w.saturating_add(1).max(now).min(self.decide_at));
@@ -358,7 +358,7 @@ impl BaSystem {
             Engine::B => theorems::protocol_b(n_pad, t_senders).rounds,
             Engine::C => theorems::protocol_c(n_pad, t_senders).rounds,
         };
-        inner.saturating_add(3)
+        Round::new(inner).saturating_add(3)
     }
 
     /// Instantiates the processes.

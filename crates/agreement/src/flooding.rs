@@ -60,7 +60,7 @@ impl FloodingBa {
                 me,
                 n,
                 value: if me == 0 { Some(general_value) } else { None },
-                decide_at: t + 3,
+                decide_at: Round::from(t + 3),
                 decision: None,
             })
             .collect()
@@ -78,7 +78,7 @@ impl FloodingBa {
         general_value: Value,
         adversary: A,
     ) -> Result<(Vec<Option<Value>>, Metrics), RunError> {
-        let cfg = RunConfig { n: 0, max_rounds: t + 10, record_trace: false };
+        let cfg = RunConfig { n: 0, max_rounds: Round::from(t + 10), record_trace: false };
         let (report, procs) = run_returning(Self::processes(n, t, general_value), adversary, cfg)?;
         Ok((procs.iter().map(|p| p.decision).collect(), report.metrics))
     }
@@ -108,10 +108,10 @@ impl Protocol for FloodingBa {
         match self.value {
             // Stage 1 is the general's broadcast; rounds 2..=t+2 are the
             // t + 1 echo rounds of every *informed* process.
-            Some(v) if round == 1 && self.me == 0 => {
+            Some(v) if round == Round::ONE && self.me == 0 => {
                 self.echo_others(v, eff);
             }
-            Some(v) if round >= 2 => {
+            Some(v) if round >= 2u64 => {
                 self.echo_others(v, eff);
             }
             _ => {}

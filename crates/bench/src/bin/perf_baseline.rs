@@ -24,7 +24,7 @@ use doall_core::{
     ProtocolD, ReplicateAll,
 };
 use doall_sim::asynch::{reference, run_async, AsyncConfig, AsyncProtocol, DelayDist};
-use doall_sim::{run, Metrics, Protocol, RunConfig};
+use doall_sim::{run, Metrics, Protocol, Round, RunConfig};
 use doall_workload::{AsyncScenario, Scenario};
 
 struct Measurement {
@@ -42,12 +42,12 @@ impl Measurement {
     /// for dense cells this equals executed rounds per second).
     fn rounds_per_sec(&self) -> f64 {
         let secs = self.total.as_secs_f64() / self.iters as f64;
-        self.metrics.rounds as f64 / secs
+        self.metrics.rounds.as_f64() / secs
     }
 
     fn ns_per_round(&self) -> f64 {
         let ns = self.total.as_nanos() as f64 / self.iters as f64;
-        ns / self.metrics.rounds as f64
+        ns / self.metrics.rounds.as_f64()
     }
 
     /// Mean wall-clock per iteration, in milliseconds — the quantity the
@@ -117,7 +117,7 @@ where
     F: Fn() -> Vec<P>,
 {
     measure_with(id.into(), n, t, scenario.label(), max_iters, || {
-        run(build(), scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, u64::MAX - 1))
+        run(build(), scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, Round::MAX))
             .expect("benchmark run must complete")
             .metrics
     })
@@ -257,7 +257,37 @@ fn cells(smoke: bool) -> Vec<Measurement> {
             || ProtocolB::processes(n_of(t_big), t_big).unwrap(),
         ),
     ];
+    // Sparse-jump cells (PR 5): the wide virtual-time clock under load.
+    // The deep-idle cell simulates a run that *ends at round 2^100* —
+    // ~10^30 rounds crossed in a single O(1) fast-forward jump after the
+    // active process finishes (mean_ms measures the dense prefix; the
+    // jump itself is free). The t = 64 cell runs honest Protocol C with a
+    // straggler parked on its exact ~5.6×10^25-round zero-view deadline.
+    out.push(measure(
+        "deep_idle/protocol_c_t256",
+        256,
+        256,
+        &Scenario::DeepIdle { k: 255, round: Round::new(1 << 100) },
+        iters,
+        || ProtocolC::processes(256, 256).unwrap(),
+    ));
+    out.push(measure(
+        "wide_clock/protocol_c_doa_t64",
+        8,
+        64,
+        &Scenario::DeadOnArrival { k: 63 },
+        iters,
+        || ProtocolC::processes(8, 64).unwrap(),
+    ));
     if !smoke {
+        out.push(measure(
+            "deep_idle/protocol_c_t1024",
+            1_024,
+            1_024,
+            &Scenario::DeepIdle { k: 1_023, round: Round::new(1 << 100) },
+            20,
+            || ProtocolC::processes(1_024, 1_024).unwrap(),
+        ));
         // Peak shapes: affordable only with the allocation-free hot loop.
         out.push(measure(
             "peak/protocol_b_t1024",

@@ -5,12 +5,14 @@
 //!
 //! Grids fan their cells across threads via [`crate::sweep`] (every cell
 //! is an independent deterministic simulation), which is what makes the
-//! large shapes — `t = 1024` for Protocols A, B and coordinator-D, and
-//! `n = 10⁶` for Protocol B — affordable inside the default suite.
-//! Protocol C's grid is capped at `t = 32`: its deadlines grow as
-//! `K(n+t−m)2^{n+t−1−m}` rounds, which exceeds the 2⁶⁴-round clock beyond
-//! `n + t ≈ 80` (the protocol is *designed* to trade rounds for messages;
-//! see EXPERIMENTS.md).
+//! large shapes — `t = 1024` for Protocols A, B, C, C′ and coordinator-D,
+//! and `n = 10⁶` for Protocol B — affordable inside the default suite.
+//! Protocol C's deadlines grow as `K(n+t−m)2^{n+t−1−m}` rounds; on the
+//! 128-bit virtual-time clock the tower is exact up to `n + t ≈ 128`
+//! (honest `t = 64` grids, ~10²⁵-round waits crossed in one sparse
+//! fast-forward jump each), and the *deep idle* scenario carries C and
+//! C′ to `t = 256` and `t = 1024` with exactly derivable counts (see
+//! EXPERIMENTS.md §e3/§e4).
 
 use doall_agreement::{BaSystem, Engine, FloodingBa};
 use doall_bounds::deadlines_ab::{ddb, tt, AbParams};
@@ -20,7 +22,7 @@ use doall_core::{
     ProtocolC, ProtocolD, ReplicateAll,
 };
 use doall_sim::asynch::{run_async, AsyncConfig, AsyncProtocol, DelayDist};
-use doall_sim::{run, Metrics, NoFailures, Protocol, RunConfig};
+use doall_sim::{run, Metrics, NoFailures, Protocol, Round, RunConfig};
 use doall_workload::{AsyncScenario, Scenario};
 
 use crate::sweep;
@@ -43,9 +45,8 @@ fn run_protocol<P: Protocol>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Metr
 where
     P::Msg: 'static,
 {
-    let report =
-        run(procs, scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, u64::MAX - 1))
-            .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()));
+    let report = run(procs, scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, Round::MAX))
+        .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()));
     assert!(report.metrics.all_work_done(), "incomplete work under {}", scenario.label());
     report.metrics
 }
@@ -169,9 +170,10 @@ pub fn e2() -> Outcome {
 }
 
 /// E3 — Theorem 3.8: Protocol C within `n + 2t` real work and
-/// `n + 8t log t` messages. Rounds are exponential by design — the grid
-/// tops out at `t = 32` / `n + t = 80`, beyond which the deadline tower
-/// `K(n+t−m)2^{n+t−1−m}` exceeds the 2⁶⁴-round clock.
+/// `n + 8t log t` messages. Rounds are exponential by design; the wide
+/// clock runs honest grids to `t = 64` (`n + t ≤ 128` keeps the tower
+/// exact) and the deep-idle scenario carries C — with a coordinator-D
+/// companion — to `t = 256` and `t = 1024` with exact counts.
 pub fn e3() -> Outcome {
     let mut table = Table::new(["n", "t", "scenario", "work/bound", "msgs/bound", "rounds/bound"]);
     let mut pass = true;
@@ -186,12 +188,23 @@ pub fn e3() -> Outcome {
             cells.push((n, t, scenario));
         }
     }
-    // The t-ceiling cells. Crash scenarios force a straggler to wait out
-    // the *zero-view* deadline K(t−i)(n+t)2^{n+t−1}, which only fits in the
-    // 64-bit round clock for n + t ≲ 48; failure-free runs retire on the
-    // much smaller informed deadlines and reach t = 32.
+    // The old 64-bit ceiling cells. Crash scenarios force a straggler to
+    // wait out the *zero-view* deadline K(t−i)(n+t)2^{n+t−1}, which only
+    // fits 64 bits for n + t ≲ 48; failure-free runs retire on the much
+    // smaller informed deadlines and reached t = 32.
     cells.push((32, 32, Scenario::FailureFree));
     cells.push((48, 16, Scenario::FailureFree));
+    // Honest t = 64 grids, newly reachable on the 128-bit clock: the
+    // whole tower is exact while K·t·(n+t)·2^{n+t−1} fits 128 bits
+    // (n + t ≲ 107 at t = 64; these shapes stay at n + t ≤ 96), so the
+    // scenarios
+    // that park a straggler on the ~10²⁵-round zero-view deadline run to
+    // completion — each silent stretch is one sparse fast-forward jump.
+    cells.push((8, 64, Scenario::FailureFree));
+    cells.push((8, 64, Scenario::DeadOnArrival { k: 63 }));
+    cells.push((8, 64, Scenario::TakeoverCascade { victims: 63 }));
+    cells.push((16, 64, Scenario::DeadOnArrival { k: 63 }));
+    cells.push((32, 64, Scenario::FailureFree));
     let rows = sweep::map_cells(cells, |_, (n, t, scenario)| {
         let m = run_protocol(ProtocolC::processes(*n, *t).unwrap(), scenario, *n);
         let b = theorems::protocol_c(*n, *t);
@@ -201,17 +214,59 @@ pub fn e3() -> Outcome {
         pass &= ok;
         table.row(cols);
     }
+    // Deep-idle exact cells: every passive process vanishes at round 2¹⁰⁰
+    // (representable only on the wide clock) long after p0 has finished
+    // everything. The counts are exactly derivable (EXPERIMENTS.md §e3):
+    // 2 log t fault-detection messages plus n reports, exactly n units of
+    // work, zero dead letters, and the run ends at exactly round 2¹⁰⁰ —
+    // the post-completion silence is one O(1) sparse jump over ~10³⁰
+    // rounds.
+    for (n, t) in [(256u64, 256u64), (1_024, 1_024)] {
+        let log_t = u64::from(t.trailing_zeros());
+        let scenario = Scenario::DeepIdle { k: t - 1, round: Round::new(1 << 100) };
+        let m = run_protocol(ProtocolC::processes(n, t).unwrap(), &scenario, n);
+        let b = theorems::protocol_c(n, t);
+        table.row(bound_row(n, t, &scenario, &m, &b));
+        pass &= within(&m, &b)
+            && m.work_total == n
+            && m.messages == n + 2 * log_t
+            && m.rounds == Round::new(1 << 100)
+            && m.dead_letters == 0;
+    }
+    // Coordinator-D companions at the same scale: the §4 closing-remark
+    // variant is the only D flavour whose message complexity survives
+    // t = 1024, and its failure-free counts are exact — n units, one
+    // agreement phase of 2(t − 1) messages, n/t + 3 rounds.
+    for (n, t) in [(1_024u64, 256u64), (4_096, 1_024)] {
+        let scenario = Scenario::FailureFree;
+        let m = run_protocol(ProtocolD::processes_with_coordinator(n, t).unwrap(), &scenario, n);
+        let b = theorems::protocol_d_failure_free(n, t);
+        pass &= m.work_total == n
+            && m.messages == 2 * (t - 1)
+            && m.rounds == n / t + 3
+            && m.messages <= b.messages;
+        table.row([
+            n.to_string(),
+            t.to_string(),
+            "coordinator-D failure-free".into(),
+            vs(m.work_total, b.work),
+            vs(m.messages, b.messages),
+            format!("{} (expect {})", m.rounds, n / t + 3),
+        ]);
+    }
     Outcome {
         id: "e3",
         claim:
-            "Theorem 3.8: Protocol C does <= n + 2t real work and sends <= n + 8t*log(t) messages",
+            "Theorem 3.8: Protocol C does <= n + 2t real work and sends <= n + 8t*log(t) messages (honest t = 64; deep-idle + coordinator-D to t = 1024, exact counts)",
         rendered: table.render(),
         pass,
     }
 }
 
 /// E4 — Corollary 3.9: C′ sends `O(t log t)` messages — flat in `n`,
-/// near-linear in `t` — while Protocol C's messages grow with `n`.
+/// near-linear in `t` — while Protocol C's messages grow with `n`. The
+/// deep-idle scenario extends the comparison to `t = 256` and `t = 1024`
+/// with exact counts: C sends `n + 2 log t`, C′ exactly `t + 2 log t`.
 pub fn e4() -> Outcome {
     let mut table = Table::new(["n", "t", "C msgs", "C' msgs", "C' bound (3t+8t log t)"]);
     let mut pass = true;
@@ -244,6 +299,28 @@ pub fn e4() -> Outcome {
         if last.1 > first.1 + 8 {
             pass = false;
         }
+    }
+    // Wide-clock cells: under the deep-idle scenario the failure-free
+    // message counts are exact at t = 256 and t = 1024 (EXPERIMENTS.md
+    // §e4) — C pays one report per unit (n + 2 log t total), C′ one per
+    // n/t-stride (t + 2 log t total, flat in n), far below the
+    // 3t + 8t log t bound.
+    for (n, t) in [(512u64, 256u64), (2_048, 1_024)] {
+        let log_t = u64::from(t.trailing_zeros());
+        let scenario = Scenario::DeepIdle { k: t - 1, round: Round::new(1 << 100) };
+        let c = run_protocol(ProtocolC::processes(n, t).unwrap(), &scenario, n);
+        let cp = run_protocol(ProtocolC::processes_prime(n, t).unwrap(), &scenario, n);
+        let b = theorems::protocol_c_prime(n, t);
+        pass &= c.messages == n + 2 * log_t
+            && cp.messages == t + 2 * log_t
+            && cp.messages <= b.messages;
+        table.row([
+            n.to_string(),
+            t.to_string(),
+            format!("{} (expect {})", c.messages, n + 2 * log_t),
+            format!("{} (expect {})", cp.messages, t + 2 * log_t),
+            vs(cp.messages, b.messages),
+        ]);
     }
     Outcome {
         id: "e4",
@@ -600,7 +677,7 @@ pub fn e11() -> Outcome {
         let scenario = Scenario::DeadOnArrival { k: t - 1 };
         let a = run_protocol(ProtocolA::processes(n, t).unwrap(), &scenario, n);
         let b = run_protocol(ProtocolB::processes(n, t).unwrap(), &scenario, n);
-        let ratio = a.rounds as f64 / b.rounds as f64;
+        let ratio = a.rounds.as_f64() / b.rounds.as_f64();
         ratios.push(ratio);
         if b.rounds > 3 * n + 8 * t {
             pass = false;

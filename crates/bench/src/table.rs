@@ -61,12 +61,16 @@ impl Table {
     }
 }
 
-/// Formats a measured/bound pair with its tightness ratio.
-pub fn vs(measured: u64, bound: u64) -> String {
+/// Formats a measured/bound pair with its tightness ratio. Accepts any
+/// mix of `u64`, `u128` and [`Round`](doall_sim::Round)-backed values so
+/// wide-clock round counts render alongside 64-bit work/message counts;
+/// a saturated (`u128::MAX`) bound prints as `inf`.
+pub fn vs(measured: impl Into<u128>, bound: impl Into<u128>) -> String {
+    let (measured, bound) = (measured.into(), bound.into());
     if bound == 0 {
         return format!("{measured}/0");
     }
-    if bound == u64::MAX {
+    if bound == u128::MAX {
         return format!("{measured}/inf");
     }
     format!("{measured}/{bound} ({:.0}%)", measured as f64 * 100.0 / bound as f64)
@@ -95,7 +99,12 @@ mod tests {
 
     #[test]
     fn vs_formats_ratio() {
-        assert_eq!(vs(50, 100), "50/100 (50%)");
-        assert_eq!(vs(3, u64::MAX), "3/inf");
+        assert_eq!(vs(50u64, 100u64), "50/100 (50%)");
+        assert_eq!(vs(3u64, u128::MAX), "3/inf");
+        // Wide-clock round counts mix freely with 64-bit counters.
+        assert_eq!(
+            vs(doall_sim::Round::new(1 << 70), 1u128 << 71),
+            format!("{}/{} (50%)", 1u128 << 70, 1u128 << 71)
+        );
     }
 }

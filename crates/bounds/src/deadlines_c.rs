@@ -1,6 +1,13 @@
-//! Deadline functions for Protocol C (§3 of the paper).
+//! Deadline functions for Protocol C (§3 of the paper), computed on the
+//! wide (128-bit) clock. Each deadline is exact — overflow-free — while
+//! its value fits 128 bits and saturates to `u128::MAX` beyond, which the
+//! engine's sparse fast-forward treats as "past the representable
+//! horizon". The binding cell is the zero-view deadline
+//! `K(t−i)(n+t)2^{n+t−1}`: at `t = 64` (`K = 332`) the **entire** tower
+//! is exact for `n + t ≲ 107`, i.e. the honest `t = 64, n ≤ 32` grids —
+//! where the 64-bit clock capped out near `n + t ≈ 80` / `t = 32`.
 
-use crate::util::{log2_exact, mul_saturating, pow2_saturating};
+use crate::util::{log2_exact, mul_saturating_u128, pow2_saturating_u128};
 
 /// Parameters for the Protocol C formulas.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -46,7 +53,7 @@ impl CParams {
     /// Size of a level-`h` group, `2^(log t − h + 1)`, for `1 <= h <= log t`.
     pub fn group_size(self, h: u32) -> u64 {
         assert!((1..=self.levels()).contains(&h), "level {h} out of range");
-        pow2_saturating(u64::from(self.levels() - h + 1))
+        1u64 << (self.levels() - h + 1)
     }
 
     /// The constant `K`: an upper bound on the rounds a process can wait,
@@ -73,15 +80,31 @@ impl CParams {
     ///           K (t − i) (n + t) 2^{n+t−1}      if m = 0
     /// ```
     ///
-    /// Saturates at `u64::MAX` (for experiments keep `n + t` small; the
-    /// protocol's running time is genuinely exponential).
-    pub fn d(self, i: u64, m: u64) -> u64 {
+    /// Computed on the wide clock: exact wherever the product fits 128
+    /// bits — in particular for every cell of the tower when
+    /// `K·t·(n+t)·2^{n+t−1} < 2¹²⁸` (`n + t ≲ 107` at `t = 64`), where
+    /// every Lemma 3.4 domination and distinctness property holds by
+    /// literal arithmetic — and saturating at `u128::MAX` beyond (several
+    /// low-`m` cells may then share the saturated value; the protocol's
+    /// running time is genuinely exponential, and a saturated deadline
+    /// only ever fires if nothing representable — a scheduled crash, an
+    /// informed deadline — happens first).
+    pub fn d(self, i: u64, m: u64) -> u128 {
         let nt = self.n + self.t;
         debug_assert!(m < nt, "reduced view m = {m} out of range (n+t = {nt})");
         if m >= 1 {
-            mul_saturating(&[self.k(), nt - m, pow2_saturating(nt - 1 - m)])
+            mul_saturating_u128(&[
+                u128::from(self.k()),
+                u128::from(nt - m),
+                pow2_saturating_u128(nt - 1 - m),
+            ])
         } else {
-            mul_saturating(&[self.k(), self.t - i, nt, pow2_saturating(nt - 1)])
+            mul_saturating_u128(&[
+                u128::from(self.k()),
+                u128::from(self.t - i),
+                u128::from(nt),
+                pow2_saturating_u128(nt - 1),
+            ])
         }
     }
 }
@@ -114,7 +137,7 @@ mod tests {
     #[test]
     fn deadlines_strictly_decrease_in_m() {
         let p = CParams::protocol_c(6, 4);
-        let mut prev = u64::MAX;
+        let mut prev = u128::MAX;
         for m in 1..(p.n + p.t) {
             let d = p.d(0, m);
             assert!(d < prev, "D must strictly decrease: D(0,{m}) = {d} >= {prev}");
@@ -131,8 +154,11 @@ mod tests {
         // At m = n+t-1 the suffix is empty and the inequality is an equality
         // (D = K); the induction in Lemma 3.4(b) is vacuous there.
         for m in 1..nt - 1 {
-            let suffix: u64 = (m + 1..nt).map(|m2| p.d(0, m2)).sum();
-            assert!(p.d(0, m) > (nt - m) * p.k() + suffix, "domination failed at m = {m}");
+            let suffix: u128 = (m + 1..nt).map(|m2| p.d(0, m2)).sum();
+            assert!(
+                p.d(0, m) > u128::from((nt - m) * p.k()) + suffix,
+                "domination failed at m = {m}"
+            );
         }
     }
 
@@ -144,9 +170,9 @@ mod tests {
         let nt = p.n + p.t;
         for i in 0..p.t - 1 {
             let max_higher = (i + 1..p.t).map(|j| p.d(j, 0)).max().unwrap();
-            let suffix: u64 = (1..nt).map(|m| p.d(i, m)).sum();
+            let suffix: u128 = (1..nt).map(|m| p.d(i, m)).sum();
             assert!(
-                p.d(i, 0) > nt * p.k() + max_higher + suffix,
+                p.d(i, 0) > u128::from(nt * p.k()) + max_higher + suffix,
                 "zero-view domination failed at i = {i}"
             );
         }
@@ -155,7 +181,7 @@ mod tests {
     #[test]
     fn zero_view_deadlines_are_distinct_per_process() {
         let p = CParams::protocol_c(4, 8);
-        let ds: Vec<u64> = (0..p.t).map(|i| p.d(i, 0)).collect();
+        let ds: Vec<u128> = (0..p.t).map(|i| p.d(i, 0)).collect();
         let mut sorted = ds.clone();
         sorted.dedup();
         assert_eq!(sorted.len(), ds.len());
@@ -163,11 +189,39 @@ mod tests {
 
     #[test]
     fn saturation_instead_of_overflow() {
+        // n + t = 164: the tower exceeds even the wide clock and must pin
+        // at the horizon rather than wrap.
         let p = CParams::protocol_c(100, 64);
-        assert_eq!(p.d(0, 0), u64::MAX);
-        assert_eq!(p.d(0, 1), u64::MAX);
-        // Very knowledgeable views still fit.
-        assert!(p.d(0, 160) < u64::MAX);
+        assert_eq!(p.d(0, 0), u128::MAX);
+        assert_eq!(p.d(0, 1), u128::MAX);
+        // Very knowledgeable views still fit exactly.
+        assert!(p.d(0, 160) < u128::MAX);
+        assert_eq!(p.d(0, 163), u128::from(p.k()));
+    }
+
+    /// Regression pin for the `t = 64` tower — the shape the wide clock
+    /// newly makes exact (`n + t = 72 ≤ 128`; the old 64-bit clock
+    /// saturated every cell below `m ≈ 8`). Values are hard-coded
+    /// decimals of `K(t−i)(n+t)2^{n+t−1}` / `K(n+t−m)2^{n+t−1−m}` with
+    /// `K = 5t + 2 log t = 332`, computed independently of the
+    /// `pow2`/`mul` helpers under test.
+    #[test]
+    fn t64_tower_is_exact_on_the_wide_clock() {
+        let p = CParams::protocol_c(8, 64);
+        assert_eq!(p.k(), 332);
+        assert_eq!(p.d(0, 0), 3_612_270_349_008_511_974_022_053_888);
+        assert_eq!(p.d(63, 0), 56_441_724_203_257_999_594_094_592);
+        assert_eq!(p.d(0, 1), 27_828_905_683_550_819_244_310_528);
+        assert_eq!(p.d(0, 36), 410_667_592_974_336);
+        assert_eq!(p.d(0, 71), 332);
+        // Nothing in the t = 64 tower saturates...
+        for m in 1..(p.n + p.t) {
+            assert!(p.d(0, m) < u128::MAX, "D(0,{m}) saturated");
+        }
+        // ...and the strict Lemma 3.4 ordering holds by exact arithmetic.
+        for m in 1..(p.n + p.t - 1) {
+            assert!(p.d(0, m) > p.d(0, m + 1));
+        }
     }
 
     #[test]

@@ -5,7 +5,7 @@
 //! `measured <= bound` and report tightness ratios. Functions are named
 //! after the theorem or section they come from.
 
-use crate::util::{isqrt, log2_exact, mul_saturating, pow2_saturating};
+use crate::util::{isqrt, log2_exact, mul_saturating_u128, pow2_saturating_u128};
 
 /// Bounds from one theorem for one parameter setting.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -14,8 +14,9 @@ pub struct Bounds {
     pub work: u64,
     /// Maximum total messages.
     pub messages: u64,
-    /// Round by which all processes have retired.
-    pub rounds: u64,
+    /// Round by which all processes have retired, on the wide clock
+    /// (Protocol C's bound is exponential in `n + t` and only fits here).
+    pub rounds: u128,
 }
 
 impl Bounds {
@@ -32,14 +33,14 @@ impl Bounds {
 /// the divisibility assumption `n >= t` they coincide.
 pub fn protocol_a(n: u64, t: u64) -> Bounds {
     let n_prime = n.max(t);
-    Bounds { work: 3 * n_prime, messages: 9 * t * isqrt(t), rounds: n * t + 3 * t * t }
+    Bounds { work: 3 * n_prime, messages: 9 * t * isqrt(t), rounds: u128::from(n * t + 3 * t * t) }
 }
 
 /// Theorem 2.8 (Protocol B): at most `3n` work, `10t√t` messages (the extra
 /// `t√t` over Protocol A pays for `go ahead` messages), all retired by
 /// round `3n + 8t`.
 pub fn protocol_b(n: u64, t: u64) -> Bounds {
-    Bounds { work: 3 * n.max(t), messages: 10 * t * isqrt(t), rounds: 3 * n + 8 * t }
+    Bounds { work: 3 * n.max(t), messages: 10 * t * isqrt(t), rounds: u128::from(3 * n + 8 * t) }
 }
 
 /// Theorem 3.8 (Protocol C): at most `n + 2t` units of *real* work,
@@ -50,7 +51,12 @@ pub fn protocol_c(n: u64, t: u64) -> Bounds {
     Bounds {
         work: n + 2 * t,
         messages: n + 8 * t * log_t,
-        rounds: mul_saturating(&[t, 5 * t + 2 * log_t, n + t, pow2_saturating(n + t)]),
+        rounds: mul_saturating_u128(&[
+            u128::from(t),
+            u128::from(5 * t + 2 * log_t),
+            u128::from(n + t),
+            pow2_saturating_u128(n + t),
+        ]),
     }
 }
 
@@ -69,7 +75,12 @@ pub fn protocol_c_prime(n: u64, t: u64) -> Bounds {
         // unreported stride per process (n units) => 3n.
         work: 3 * n,
         messages: 3 * t + 8 * t * log_t,
-        rounds: mul_saturating(&[t, 2 * n + 3 * t + 2 * log_t, n + t, pow2_saturating(n + t)]),
+        rounds: mul_saturating_u128(&[
+            u128::from(t),
+            u128::from(2 * n + 3 * t + 2 * log_t),
+            u128::from(n + t),
+            pow2_saturating_u128(n + t),
+        ]),
     }
 }
 
@@ -80,7 +91,7 @@ pub fn protocol_d_normal(n: u64, t: u64, f: u64) -> Bounds {
     Bounds {
         work: 2 * n,
         messages: (4 * f + 2) * t * t,
-        rounds: (f + 1) * n.div_ceil(t) + 4 * f + 2,
+        rounds: u128::from((f + 1) * n.div_ceil(t) + 4 * f + 2),
     }
 }
 
@@ -94,14 +105,14 @@ pub fn protocol_d_fallback(n: u64, t: u64, f: u64) -> Bounds {
     Bounds {
         work: 4 * n,
         messages: (4 * f + 2) * t * t + fallback_msgs,
-        rounds: (f + 1) * n.div_ceil(t) + 4 * f + 2 + n * t / 2 + 3 * t * t / 4,
+        rounds: u128::from((f + 1) * n.div_ceil(t) + 4 * f + 2 + n * t / 2 + 3 * t * t / 4),
     }
 }
 
 /// §4 closing remarks, failure-free Protocol D: exactly `n` units of work,
 /// `n/t + 2` rounds, `2t²` messages.
 pub fn protocol_d_failure_free(n: u64, t: u64) -> Bounds {
-    Bounds { work: n, messages: 2 * t * t, rounds: n.div_ceil(t) + 2 }
+    Bounds { work: n, messages: 2 * t * t, rounds: u128::from(n.div_ceil(t) + 2) }
 }
 
 /// §4 closing remarks, Protocol D with exactly one failure: at most
@@ -110,14 +121,14 @@ pub fn protocol_d_one_failure(n: u64, t: u64) -> Bounds {
     Bounds {
         work: n + n.div_ceil(t),
         messages: 5 * t * t,
-        rounds: n.div_ceil(t) + n.div_ceil(t * (t - 1)) + 6,
+        rounds: u128::from(n.div_ceil(t) + n.div_ceil(t * (t - 1)) + 6),
     }
 }
 
 /// §1: the trivial "everyone does everything" baseline — no messages, up to
 /// `tn` work, `n` rounds.
 pub fn replicate_all(n: u64, t: u64) -> Bounds {
-    Bounds { work: t * n, messages: 0, rounds: n }
+    Bounds { work: t * n, messages: 0, rounds: u128::from(n) }
 }
 
 /// §1: the trivial "one worker, checkpoint to everyone after every unit"
@@ -125,14 +136,14 @@ pub fn replicate_all(n: u64, t: u64) -> Bounds {
 /// count for our implementation is `(n + waste)·(t−1)` messages where waste
 /// `<= t − 1`; we bound with `(n + t)·t`.
 pub fn lockstep(n: u64, t: u64) -> Bounds {
-    Bounds { work: n + t - 1, messages: (n + t) * t, rounds: 2 * (n + t) * t }
+    Bounds { work: n + t - 1, messages: (n + t) * t, rounds: u128::from(2 * (n + t) * t) }
 }
 
 /// §3: the naive spreading strawman analysed in the text — `O(n + t²)` work
 /// and messages in the worst case. Concretely the cascade scenario drives
 /// it to `n + (t/2)·(t/2)`-ish; we bound with `n + t²` each.
 pub fn naive_spread(n: u64, t: u64) -> Bounds {
-    Bounds { work: n + t * t, messages: n + t * t, rounds: mul_saturating(&[4, n + t * t]) }
+    Bounds { work: n + t * t, messages: n + t * t, rounds: 4 * u128::from(n + t * t) }
 }
 
 /// §5: Byzantine agreement built on Protocol B with `t + 1` senders
@@ -192,8 +203,8 @@ mod tests {
 
     #[test]
     fn protocol_c_rounds_are_exponential_and_saturate() {
-        assert_eq!(protocol_c(100, 64).rounds, u64::MAX);
-        assert!(protocol_c(4, 4).rounds < u64::MAX);
+        assert_eq!(protocol_c(100, 64).rounds, u128::MAX);
+        assert!(protocol_c(4, 4).rounds < u128::MAX);
     }
 
     #[test]

@@ -55,6 +55,22 @@ pub fn mul_saturating(factors: &[u64]) -> u64 {
     factors.iter().fold(1u64, |acc, &f| acc.saturating_mul(f))
 }
 
+/// Saturating `2^e` on the wide clock: exact up to `2^127`, pinned at
+/// `u128::MAX` beyond (the simulator treats that value as "past the
+/// representable horizon of the 128-bit round clock").
+pub fn pow2_saturating_u128(e: u64) -> u128 {
+    if e >= 128 {
+        u128::MAX
+    } else {
+        1u128 << e
+    }
+}
+
+/// Saturating product of wide factors (the deadline-tower primitive).
+pub fn mul_saturating_u128(factors: &[u128]) -> u128 {
+    factors.iter().fold(1u128, |acc, &f| acc.saturating_mul(f))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

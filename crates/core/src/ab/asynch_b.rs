@@ -180,7 +180,7 @@ mod tests {
         AsyncConfig { max_delay: 7, max_events: 1_000_000, ..AsyncConfig::new(N as usize, seed) }
     }
 
-    fn activation_of(report: &AsyncReport, pid: Pid) -> Option<u64> {
+    fn activation_of(report: &AsyncReport, pid: Pid) -> Option<doall_sim::asynch::Time> {
         report
             .notes
             .iter()

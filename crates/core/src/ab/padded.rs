@@ -190,7 +190,7 @@ impl Protocol for PaddedA {
                     self.state = PState::Done;
                     return;
                 }
-                if round >= dd(self.params, self.j).max(1) {
+                if round >= Round::from(dd(self.params, self.j).max(1)) {
                     self.activate(eff);
                 }
             }
@@ -201,7 +201,7 @@ impl Protocol for PaddedA {
         match self.state {
             PState::Done => None,
             PState::Active { .. } => Some(now),
-            PState::Passive => Some(dd(self.params, self.j).max(1).max(now)),
+            PState::Passive => Some(Round::from(dd(self.params, self.j).max(1)).max(now)),
         }
     }
 }

@@ -68,7 +68,7 @@ impl ProtocolA {
     /// The deadline at which this process takes over if still passive:
     /// `DD(j) = j(n + 3t)`.
     pub fn deadline(&self) -> Round {
-        dd(self.params, self.j)
+        Round::from(dd(self.params, self.j))
     }
 
     fn activate(&mut self, eff: &mut Effects<AbMsg>) {
@@ -134,7 +134,7 @@ impl Protocol for ProtocolA {
                     return;
                 }
                 // Figure 1, main protocol: take over at round DD(j).
-                if round >= self.deadline().max(1) {
+                if round >= self.deadline().max(Round::ONE) {
                     self.activate(eff);
                 }
             }
@@ -143,7 +143,7 @@ impl Protocol for ProtocolA {
 
     fn next_wakeup(&self, now: Round) -> Option<Round> {
         match self.state {
-            AState::Passive => Some(self.deadline().max(1).max(now)),
+            AState::Passive => Some(self.deadline().max(Round::ONE).max(now)),
             AState::Active { .. } => Some(now),
             AState::Done => None,
         }
@@ -233,8 +233,8 @@ mod tests {
         assert!(report.metrics.all_work_done());
         // p1 starts from scratch at DD(1) = n + 3t.
         let activations: Vec<_> = report.trace.notes("activate").collect();
-        assert_eq!(activations[0], (1, Pid::new(0)));
-        assert_eq!(activations[1], (N + 3 * T, Pid::new(1)));
+        assert_eq!(activations[0], (Round::ONE, Pid::new(0)));
+        assert_eq!(activations[1], (Round::from(N + 3 * T), Pid::new(1)));
         assert_eq!(report.metrics.work_total, N, "p0 did nothing countable");
         bounds_hold(&report, N, T);
         invariants_hold(&report);

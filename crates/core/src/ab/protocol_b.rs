@@ -53,7 +53,7 @@ enum BState {
 /// let report = run(procs, NoFailures, RunConfig::new(32, 10_000))?;
 /// assert!(report.metrics.all_work_done());
 /// // Theorem 2.8(c): everyone retires by round 3n + 8t.
-/// assert!(report.metrics.rounds <= 3 * 32 + 8 * 16);
+/// assert!(report.metrics.rounds <= 3u64 * 32 + 8 * 16);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Debug)]
@@ -80,7 +80,7 @@ impl ProtocolB {
             state: BState::Passive,
             last: LastOrdinary::Fictitious,
             last_sender: 0,
-            last_round: 0,
+            last_round: Round::ZERO,
         }
     }
 
@@ -243,6 +243,7 @@ impl Protocol for ProtocolB {
             BState::Preactive { entry, .. } => {
                 let p = pto(self.params);
                 let elapsed = now.saturating_sub(entry);
+                let p = u128::from(p);
                 Some(entry + elapsed.div_ceil(p) * p)
             }
         }
@@ -257,7 +258,7 @@ impl ProtocolB {
         let BState::Preactive { entry, next_target } = self.state else {
             unreachable!("preactive_tick outside preactive state");
         };
-        if !(round - entry).is_multiple_of(pto(self.params)) {
+        if !(round - entry).is_multiple_of(u128::from(pto(self.params))) {
             return; // between polls, waiting for a response
         }
         if next_target < self.j {
@@ -341,7 +342,7 @@ mod tests {
         let activations: Vec<_> = report.trace.notes("activate").collect();
         // p1 takes over at round PTO = n/t + 2 — vastly sooner than
         // Protocol A's DD(1) = n + 3t.
-        assert_eq!(activations[1], (N / T + 2, Pid::new(1)));
+        assert_eq!(activations[1], (Round::from(N / T + 2), Pid::new(1)));
         bounds_hold(&report, N, T);
         invariants_hold(&report);
     }

@@ -77,7 +77,7 @@ impl Lockstep {
     /// work and checkpoint rounds, so it lives at most `2n` rounds; one
     /// round of slack separates consecutive turns.
     fn deadline(&self) -> Round {
-        self.j * (2 * self.n + 2)
+        Round::from(self.j * (2 * self.n + 2))
     }
 }
 
@@ -98,7 +98,7 @@ impl Protocol for Lockstep {
                 self.done = true;
                 return;
             }
-            if round >= self.deadline().max(1) {
+            if round >= self.deadline().max(Round::ONE) {
                 self.active = Some(ActivePhase::Work);
                 eff.note("activate");
             } else {
@@ -133,7 +133,7 @@ impl Protocol for Lockstep {
         } else if self.active.is_some() {
             Some(now)
         } else {
-            Some(self.deadline().max(1).max(now))
+            Some(self.deadline().max(Round::ONE).max(now))
         }
     }
 }
@@ -162,7 +162,7 @@ mod tests {
         assert_eq!(report.metrics.messages, n * (t - 1));
         // 2n active rounds plus one round for the final checkpoint to
         // reach and retire the passive processes.
-        assert_eq!(report.metrics.rounds, 2 * n + 1);
+        assert_eq!(report.metrics.rounds, u128::from(2 * n + 1));
     }
 
     #[test]

@@ -97,7 +97,7 @@ impl NaiveSpread {
                 let state = if j == 0 {
                     SState::Active { phase: Phase::Work }
                 } else {
-                    SState::Passive { deadline: deadline_d(n, t, j, 0) }
+                    SState::Passive { deadline: Round::from(deadline_d(n, t, j, 0)) }
                 };
                 NaiveSpread { n, t, j, known: 0, state }
             })
@@ -147,7 +147,8 @@ impl Protocol for NaiveSpread {
             }
             if heard {
                 self.state = SState::Passive {
-                    deadline: round.saturating_add(deadline_d(self.n, self.t, self.j, self.known)),
+                    deadline: round
+                        .saturating_add(u128::from(deadline_d(self.n, self.t, self.j, self.known))),
                 };
                 return;
             }
@@ -217,7 +218,7 @@ mod tests {
         }];
         for j in t / 2 + 1..t {
             rules.push(TriggerRule {
-                trigger: Trigger::AtRound(2 * t),
+                trigger: Trigger::AtRound(Round::from(2 * t)),
                 target: Some(Pid::new(j as usize)),
                 spec: CrashSpec::silent(),
             });

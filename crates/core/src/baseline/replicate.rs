@@ -23,7 +23,7 @@ impl Classify for NoMsg {}
 /// let report = run(ReplicateAll::processes(10, 4)?, NoFailures, RunConfig::new(10, 100))?;
 /// assert_eq!(report.metrics.work_total, 40); // t * n
 /// assert_eq!(report.metrics.messages, 0);
-/// assert_eq!(report.metrics.rounds, 10); // n rounds
+/// assert_eq!(report.metrics.rounds, 10u64); // n rounds
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Clone, Debug)]
@@ -93,7 +93,7 @@ mod tests {
                 .unwrap();
         assert_eq!(report.metrics.work_total, 20);
         assert_eq!(report.metrics.effort(), 20);
-        assert_eq!(report.metrics.rounds, 5);
+        assert_eq!(report.metrics.rounds, 5u64);
     }
 
     #[test]

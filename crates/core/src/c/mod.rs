@@ -22,7 +22,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use doall_bounds::CParams;
-use doall_sim::Classify;
+use doall_sim::{Classify, Round};
 
 use crate::error::ConfigError;
 
@@ -171,14 +171,15 @@ pub struct View {
     pub f: BTreeSet<u64>,
     /// `point[G_0]`: the next unit of work to perform (`n + 1` = all done).
     pub point_work: u64,
-    /// Round at which the last known unit of work was performed.
-    pub round_work: u64,
+    /// Round at which the last known unit of work was performed (a wide
+    /// virtual-time stamp: honest `t = 64` runs reach rounds beyond 2⁶⁴).
+    pub round_work: Round,
     /// Per-group pointer: successor of the last member known to have
     /// received an ordinary message from a process working on the group
     /// one level down. Indexed by [`Groups::flat_index`].
     pub point: Vec<u64>,
-    /// Per-group round stamp for `point`.
-    pub round: Vec<u64>,
+    /// Per-group round stamp for `point`, on the wide clock.
+    pub round: Vec<Round>,
 }
 
 impl View {
@@ -186,7 +187,7 @@ impl View {
     /// pointer at the lowest-numbered group member other than `me`.
     pub fn initial(groups: Groups, me: u64) -> Self {
         let mut point = vec![0; groups.group_count()];
-        let round = vec![0; groups.group_count()];
+        let round = vec![Round::ZERO; groups.group_count()];
         for h in 1..=groups.levels() {
             for block in 0..(groups.t() / groups.size(h)) {
                 let lowest = groups
@@ -196,7 +197,7 @@ impl View {
                 point[groups.flat_index(h, block)] = lowest;
             }
         }
-        View { f: BTreeSet::new(), point_work: 1, round_work: 0, point, round }
+        View { f: BTreeSet::new(), point_work: 1, round_work: Round::ZERO, point, round }
     }
 
     /// The reduced view: units known done plus failures known
@@ -367,9 +368,9 @@ mod tests {
         let mut b = View::initial(g, 1);
         b.f.insert(2);
         b.point_work = 5;
-        b.round_work = 9;
+        b.round_work = Round::from(9u64);
         b.point[0] = 3;
-        b.round[0] = 9;
+        b.round[0] = Round::from(9u64);
         assert!(a.merge(&b));
         assert_eq!(a.point_work, 5);
         assert!(a.f.contains(&2));

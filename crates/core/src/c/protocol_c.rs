@@ -65,7 +65,7 @@ impl ProtocolC {
             // the deepest level in round 1.
             CState::DetectSend { h: groups.levels() }
         } else {
-            CState::Passive { deadline: params.d(j, 0) }
+            CState::Passive { deadline: Round::ZERO.saturating_add(params.d(j, 0)) }
         };
         ProtocolC {
             params,
@@ -160,7 +160,7 @@ impl ProtocolC {
                     }
                 }
                 CState::DetectWait { h, target, sent_at } => {
-                    if round < sent_at + 2 {
+                    if round < sent_at + 2u64 {
                         return; // the response round
                     }
                     let responded = inbox.iter().any(|(from, msg)| {
@@ -294,7 +294,7 @@ impl Protocol for ProtocolC {
         match self.state {
             CState::Done => None,
             CState::Passive { deadline } => Some(deadline.max(now)),
-            CState::DetectWait { sent_at, .. } => Some((sent_at + 2).max(now)),
+            CState::DetectWait { sent_at, .. } => Some((sent_at + 2u64).max(now)),
             _ => Some(now),
         }
     }
@@ -427,7 +427,7 @@ mod tests {
         }];
         for j in t / 2 + 1..t {
             rules.push(TriggerRule {
-                trigger: Trigger::AtRound(2),
+                trigger: Trigger::AtRound(Round::from(2u64)),
                 target: Some(Pid::new(j as usize)),
                 spec: CrashSpec::silent(),
             });

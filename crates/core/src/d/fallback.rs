@@ -62,7 +62,7 @@ impl FallbackMachine {
     /// Panics if `me` is not in `survivors` (only agreed-live processes
     /// run the fallback) or if `units` is empty (an empty `S` skips the
     /// fallback entirely).
-    pub fn new(me: u64, survivors: Vec<u64>, units: Vec<u64>, base: Round) -> Self {
+    pub fn new(me: u64, survivors: Vec<u64>, units: Vec<u64>, base: impl Into<Round>) -> Self {
         assert!(!units.is_empty(), "empty S never reaches the fallback");
         let rank = survivors
             .iter()
@@ -80,7 +80,7 @@ impl FallbackMachine {
         FallbackMachine {
             params,
             rank,
-            base,
+            base: base.into(),
             ranks: survivors,
             units,
             state: FState::Passive,
@@ -182,7 +182,7 @@ impl FallbackMachine {
                     }
                 }
                 let rel = round.saturating_sub(self.base);
-                if rel >= dd(self.params, self.rank) {
+                if rel >= u128::from(dd(self.params, self.rank)) {
                     self.activate(eff);
                 }
             }
@@ -206,7 +206,7 @@ mod tests {
     #[test]
     fn padding_produces_valid_protocol_a_params() {
         // 3 survivors, 5 units: pad to t = 4, n = 8.
-        let m = FallbackMachine::new(7, vec![2, 7, 9], vec![10, 11, 12, 40, 41], 100);
+        let m = FallbackMachine::new(7, vec![2, 7, 9], vec![10, 11, 12, 40, 41], 100u64);
         assert_eq!(m.params().t, 4);
         assert_eq!(m.params().n, 8);
         assert_eq!(m.rank, 1);
@@ -214,7 +214,7 @@ mod tests {
 
     #[test]
     fn single_survivor_pads_to_one_by_one() {
-        let m = FallbackMachine::new(3, vec![3], vec![9], 5);
+        let m = FallbackMachine::new(3, vec![3], vec![9], 5u64);
         assert_eq!(m.params().t, 1);
         assert_eq!(m.params().n, 1);
         assert_eq!(m.rank, 0);
@@ -222,9 +222,9 @@ mod tests {
 
     #[test]
     fn rank_zero_activates_immediately_and_performs_real_units() {
-        let mut m = FallbackMachine::new(2, vec![2, 7, 9], vec![10, 11, 12, 40, 41], 100);
+        let mut m = FallbackMachine::new(2, vec![2, 7, 9], vec![10, 11, 12, 40, 41], 100u64);
         let mut eff = Effects::new();
-        m.step(100, &[], &mut eff);
+        m.step(Round::new(100), &[], &mut eff);
         // First op is real unit 10 (relabeled unit 1).
         assert_eq!(eff.work(), Some(Unit::new(10)));
         assert_eq!(eff.notes(), ["activate"]);
@@ -234,11 +234,11 @@ mod tests {
     fn phantom_units_consume_rounds_without_work() {
         // 1 survivor, 1 real unit padded to n = 1: trivially fine; use 2
         // survivors (pad t to 4), 3 units padded to n = 4 -> 1 phantom.
-        let mut m = FallbackMachine::new(0, vec![0, 1], vec![5, 6, 7], 1);
+        let mut m = FallbackMachine::new(0, vec![0, 1], vec![5, 6, 7], 1u64);
         let mut performed = Vec::new();
-        for r in 1..200 {
+        for r in 1u64..200 {
             let mut eff = Effects::new();
-            m.step(r, &[], &mut eff);
+            m.step(Round::from(r), &[], &mut eff);
             if let Some(u) = eff.work() {
                 performed.push(u.get());
             }
@@ -254,11 +254,11 @@ mod tests {
     fn messages_to_virtual_ranks_are_dropped() {
         // 2 survivors padded to t = 4: partial checkpoints address ranks
         // 1..3 but only rank 1 exists.
-        let mut m = FallbackMachine::new(0, vec![0, 9], vec![1, 2, 3, 4], 1);
+        let mut m = FallbackMachine::new(0, vec![0, 9], vec![1, 2, 3, 4], 1u64);
         let mut total_sends = 0;
-        for r in 1..200 {
+        for r in 1u64..200 {
             let mut eff = Effects::new();
-            m.step(r, &[], &mut eff);
+            m.step(Round::from(r), &[], &mut eff);
             for op in eff.sends() {
                 for to in op.to.iter() {
                     assert!(to.index() == 9, "only the real survivor may be addressed");
@@ -274,25 +274,25 @@ mod tests {
 
     #[test]
     fn passive_rank_takes_over_after_dd() {
-        let mut m = FallbackMachine::new(9, vec![2, 9], vec![1, 2, 3, 4], 50);
+        let mut m = FallbackMachine::new(9, vec![2, 9], vec![1, 2, 3, 4], 50u64);
         let dd1 = dd(m.params(), 1);
         // Before the deadline: idle.
         let mut eff = Effects::new();
-        m.step(50, &[], &mut eff);
+        m.step(Round::new(50), &[], &mut eff);
         assert!(eff.is_idle());
-        assert_eq!(m.next_wakeup(51), Some(50 + dd1));
+        assert_eq!(m.next_wakeup(Round::new(51)), Some(Round::from(50 + dd1)));
         // At the deadline: activates from scratch.
         let mut eff = Effects::new();
-        m.step(50 + dd1, &[], &mut eff);
+        m.step(Round::from(50 + dd1), &[], &mut eff);
         assert_eq!(eff.notes(), ["activate"]);
     }
 
     #[test]
     fn terminal_fallback_message_retires_passive_rank() {
-        let mut m = FallbackMachine::new(9, vec![2, 9], vec![1, 2, 3, 4], 50);
+        let mut m = FallbackMachine::new(9, vec![2, 9], vec![1, 2, 3, 4], 50u64);
         let t_sub = m.params().t; // relabeled final subchunk id
         let mut eff = Effects::new();
-        m.step(51, &[(2, AbMsg::Partial { c: t_sub })], &mut eff);
+        m.step(Round::new(51), &[(2, AbMsg::Partial { c: t_sub })], &mut eff);
         assert!(eff.is_terminated());
         assert!(m.is_done());
     }

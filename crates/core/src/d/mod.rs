@@ -143,7 +143,7 @@ enum DState {
 /// let report = run(procs, NoFailures, RunConfig::new(100, 1000))?;
 /// assert!(report.metrics.all_work_done());
 /// // §4: failure-free Protocol D is time-optimal — n/t + 2 rounds.
-/// assert_eq!(report.metrics.rounds, 100 / 10 + 2);
+/// assert_eq!(report.metrics.rounds, 100u64 / 10 + 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 #[derive(Clone, Debug)]
@@ -263,13 +263,13 @@ impl ProtocolD {
             let t_prev = self.t_set.len();
             return if self.coordinator() == self.j {
                 DState::CoordLeader {
-                    entry: 0,
+                    entry: Round::ZERO,
                     t_prev,
                     s_acc: self.s.clone(),
                     heard: [self.j].into_iter().collect(),
                 }
             } else {
-                DState::CoordFollower { entry: 0, t_prev }
+                DState::CoordFollower { entry: Round::ZERO, t_prev }
             };
         }
         let enable_iter = if self.phase == 0 { 1 } else { 2 };
@@ -312,7 +312,7 @@ impl ProtocolD {
 
         match std::mem::replace(&mut self.state, DState::Done) {
             DState::CoordLeader { mut entry, t_prev, mut s_acc, mut heard } => {
-                if entry == 0 {
+                if entry == Round::ZERO {
                     entry = round;
                 }
                 if saw_broadcast {
@@ -332,7 +332,7 @@ impl ProtocolD {
                 // In phase 0 every report is filed at `entry` and lands
                 // at `entry + 1`; later phases carry one round of follower
                 // skew, so the window extends one round further.
-                let decide_at = entry + if self.phase == 0 { 1 } else { 2 };
+                let decide_at = entry + if self.phase == 0 { 1u64 } else { 2 };
                 if round >= decide_at {
                     // Decide: the merged view is authoritative.
                     self.s = s_acc;
@@ -354,7 +354,7 @@ impl ProtocolD {
                 }
             }
             DState::CoordFollower { mut entry, t_prev } => {
-                if entry == 0 {
+                if entry == Round::ZERO {
                     entry = round;
                     // First round of the phase: file our report.
                     eff.send(
@@ -377,7 +377,7 @@ impl ProtocolD {
                     self.finish_phase(round, t_prev, eff);
                     return;
                 }
-                if saw_broadcast || round >= entry + 6 {
+                if saw_broadcast || round >= entry + 6u64 {
                     // The coordinator is gone (directly observed or timed
                     // out): revert to the Figure 4 broadcast agreement.
                     self.state = self.revert_to_broadcast(t_prev);
@@ -409,7 +409,7 @@ impl ProtocolD {
             let survivors: Vec<u64> = self.t_set.iter().copied().collect();
             let units: Vec<u64> = self.s.iter().copied().collect();
             self.state =
-                DState::Fallback(FallbackMachine::new(self.j, survivors, units, round + 1));
+                DState::Fallback(FallbackMachine::new(self.j, survivors, units, round + 1u64));
             return;
         }
         self.state = self.build_work_phase();
@@ -558,7 +558,7 @@ mod tests {
         let report = run(ProtocolD::processes(7, 3).unwrap(), NoFailures, cfg(7)).unwrap();
         assert!(report.metrics.all_work_done());
         assert_eq!(report.metrics.work_total, 7);
-        assert_eq!(report.metrics.rounds, 3 + 2);
+        assert_eq!(report.metrics.rounds, 3u64 + 2);
     }
 
     #[test]

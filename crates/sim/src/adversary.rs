@@ -130,10 +130,22 @@ impl<'a> AdversaryCtx<'a> {
 
 /// A crash-failure adversary.
 ///
-/// Implementations decide, per process per executed round, whether the
-/// process survives. They see the process's proposed [`Effects`] — so they
-/// can crash a process precisely when it performs its `k`-th unit of work,
-/// or split a particular broadcast — and the set of still-alive processes.
+/// Implementations decide, per stepped process, whether the process
+/// survives the round. They see the process's proposed [`Effects`] — so
+/// they can crash a process precisely when it performs its `k`-th unit of
+/// work, or split a particular broadcast — and the set of still-alive
+/// processes.
+///
+/// # Interception contract
+///
+/// The sparse-stepping engine does **not** step (or intercept) a process
+/// whose round is provably a no-op: empty inbox, not yet due per its
+/// wakeup, and no adversary event scheduled. An adversary that wants to
+/// rule on *idle* processes must therefore announce its active rounds via
+/// [`next_event`](Adversary::next_event) — on any round `next_event`
+/// names, every alive process is stepped and intercepted exactly as in a
+/// dense engine. Adversaries that only react to visible activity (work,
+/// sends, notes) need nothing: a skipped step has no effects to react to.
 pub trait Adversary<M> {
     /// Decides the fate of `pid`'s round-`round` actions.
     fn intercept(
@@ -145,9 +157,15 @@ pub trait Adversary<M> {
     ) -> Fate;
 
     /// The earliest round `>= now` at which this adversary may act on an
-    /// otherwise idle system, or `None` if it only reacts to process
-    /// activity. Returning `Some(now)` unconditionally disables
-    /// fast-forwarding.
+    /// otherwise idle process or system, or `None` if it only reacts to
+    /// process activity. This is load-bearing twice: it bounds the
+    /// engine's fast-forward jumps, and it forces dense stepping (every
+    /// alive process intercepted) on the rounds it names — the default
+    /// `None` means idle processes may never face [`intercept`]
+    /// (see the trait-level interception contract).
+    /// Returning `Some(now)` unconditionally disables both optimizations.
+    ///
+    /// [`intercept`]: Adversary::intercept
     fn next_event(&self, _now: Round) -> Option<Round> {
         None
     }
@@ -174,14 +192,14 @@ impl<M> Adversary<M> for Box<dyn Adversary<M>> {
 /// # Examples
 ///
 /// ```
-/// use doall_sim::{NoFailures, Adversary, Effects, Fate, Pid, AdversaryCtx};
+/// use doall_sim::{NoFailures, Adversary, Effects, Fate, Pid, AdversaryCtx, Round};
 ///
 /// let mut adv = NoFailures;
 /// let eff: Effects<()> = Effects::new();
 /// let alive = [true, true];
 /// let ctx = AdversaryCtx::new(&alive, 0);
 /// assert_eq!(ctx.alive_count(), 2);
-/// assert_eq!(adv.intercept(1, Pid::new(0), &eff, ctx), Fate::Survive);
+/// assert_eq!(adv.intercept(Round::new(1), Pid::new(0), &eff, ctx), Fate::Survive);
 /// ```
 #[derive(Clone, Copy, Debug, Default)]
 pub struct NoFailures;
@@ -216,12 +234,14 @@ impl CrashSchedule {
         Self::default()
     }
 
-    /// Schedules `pid` to crash during round `round`.
+    /// Schedules `pid` to crash during round `round` (`u64` values and bare
+    /// literals convert; pass a [`Round`] to schedule deep-idle crashes
+    /// beyond the 64-bit horizon).
     ///
     /// If the process is already retired by then, the entry is ignored at
     /// run time.
-    pub fn crash_at(mut self, pid: Pid, round: Round, spec: CrashSpec) -> Self {
-        self.by_round.entry(round).or_default().push((pid, spec));
+    pub fn crash_at(mut self, pid: Pid, round: impl Into<Round>, spec: CrashSpec) -> Self {
+        self.by_round.entry(round.into()).or_default().push((pid, spec));
         self.count += 1;
         self
     }
@@ -539,9 +559,12 @@ mod tests {
         let mut s = CrashSchedule::new().crash_at(Pid::new(1), 5, CrashSpec::silent());
         let eff: Effects<()> = Effects::new();
         let alive = [true, true];
-        assert_eq!(s.intercept(4, Pid::new(1), &eff, ctx(&alive)), Fate::Survive);
-        assert_eq!(s.intercept(5, Pid::new(0), &eff, ctx(&alive)), Fate::Survive);
-        assert!(matches!(s.intercept(5, Pid::new(1), &eff, ctx(&alive)), Fate::Crash(_)));
+        assert_eq!(s.intercept(Round::new(4), Pid::new(1), &eff, ctx(&alive)), Fate::Survive);
+        assert_eq!(s.intercept(Round::new(5), Pid::new(0), &eff, ctx(&alive)), Fate::Survive);
+        assert!(matches!(
+            s.intercept(Round::new(5), Pid::new(1), &eff, ctx(&alive)),
+            Fate::Crash(_)
+        ));
     }
 
     #[test]
@@ -551,9 +574,15 @@ mod tests {
             12,
             CrashSpec::silent(),
         );
-        assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, 0), Some(12));
-        assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, 13), Some(30));
-        assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, 31), None);
+        assert_eq!(
+            <CrashSchedule as Adversary<()>>::next_event(&s, Round::ZERO),
+            Some(Round::new(12))
+        );
+        assert_eq!(
+            <CrashSchedule as Adversary<()>>::next_event(&s, Round::new(13)),
+            Some(Round::new(30))
+        );
+        assert_eq!(<CrashSchedule as Adversary<()>>::next_event(&s, Round::new(31)), None);
     }
 
     #[test]
@@ -562,7 +591,7 @@ mod tests {
         let eff: Effects<()> = Effects::new();
         let alive = [true, true, true];
         // p = 1.0 but budget 0: never crashes.
-        assert_eq!(adv.intercept(1, Pid::new(0), &eff, ctx(&alive)), Fate::Survive);
+        assert_eq!(adv.intercept(Round::new(1), Pid::new(0), &eff, ctx(&alive)), Fate::Survive);
     }
 
     #[test]
@@ -570,7 +599,7 @@ mod tests {
         let mut adv = RandomCrashes::new(7, 1.0, 10);
         let eff: Effects<()> = Effects::new();
         let alive = [true, false, false];
-        assert_eq!(adv.intercept(1, Pid::new(0), &eff, ctx(&alive)), Fate::Survive);
+        assert_eq!(adv.intercept(Round::new(1), Pid::new(0), &eff, ctx(&alive)), Fate::Survive);
     }
 
     #[test]
@@ -579,8 +608,11 @@ mod tests {
             let mut adv = RandomCrashes::new(seed, 0.5, 100);
             let eff: Effects<()> = Effects::new();
             let alive = [true; 4];
-            (1..50)
-                .map(|r| matches!(adv.intercept(r, Pid::new(0), &eff, ctx(&alive)), Fate::Crash(_)))
+            (1u64..50)
+                .map(|r| {
+                    let fate = adv.intercept(Round::from(r), Pid::new(0), &eff, ctx(&alive));
+                    matches!(fate, Fate::Crash(_))
+                })
                 .collect::<Vec<_>>()
         };
         assert_eq!(run(3), run(3));
@@ -597,10 +629,13 @@ mod tests {
         let alive = [true, true];
         let mut working: Effects<()> = Effects::new();
         working.perform(Unit::new(1));
-        assert_eq!(adv.intercept(1, Pid::new(0), &working, ctx(&alive)), Fate::Survive);
+        assert_eq!(adv.intercept(Round::new(1), Pid::new(0), &working, ctx(&alive)), Fate::Survive);
         let mut working2: Effects<()> = Effects::new();
         working2.perform(Unit::new(2));
-        assert!(matches!(adv.intercept(2, Pid::new(0), &working2, ctx(&alive)), Fate::Crash(_)));
+        assert!(matches!(
+            adv.intercept(Round::new(2), Pid::new(0), &working2, ctx(&alive)),
+            Fate::Crash(_)
+        ));
         assert_eq!(adv.remaining_rules(), 0);
     }
 
@@ -614,19 +649,25 @@ mod tests {
         let alive = [true, true, true];
         let mut e1: Effects<()> = Effects::new();
         e1.note("activate");
-        assert_eq!(adv.intercept(3, Pid::new(1), &e1, ctx(&alive)), Fate::Survive);
+        assert_eq!(adv.intercept(Round::new(3), Pid::new(1), &e1, ctx(&alive)), Fate::Survive);
         let mut e2: Effects<()> = Effects::new();
         e2.note("activate");
-        assert!(matches!(adv.intercept(9, Pid::new(2), &e2, ctx(&alive)), Fate::Crash(_)));
+        assert!(matches!(
+            adv.intercept(Round::new(9), Pid::new(2), &e2, ctx(&alive)),
+            Fate::Crash(_)
+        ));
     }
 
     #[test]
     fn at_round_trigger_reports_next_event() {
         let adv = TriggerAdversary::new(vec![TriggerRule {
-            trigger: Trigger::AtRound(44),
+            trigger: Trigger::AtRound(Round::new(44)),
             target: Some(Pid::new(1)),
             spec: CrashSpec::silent(),
         }]);
-        assert_eq!(<TriggerAdversary as Adversary<()>>::next_event(&adv, 10), Some(44));
+        assert_eq!(
+            <TriggerAdversary as Adversary<()>>::next_event(&adv, Round::new(10)),
+            Some(Round::new(44))
+        );
     }
 }

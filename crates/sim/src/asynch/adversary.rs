@@ -382,10 +382,10 @@ mod tests {
         }];
         let eff: AsyncEffects<()> = AsyncEffects::default();
         let alive = [true, true];
-        assert_eq!(adv.intercept(9, Pid::new(1), 1, &eff, ctx(&alive)), Fate::Survive);
-        assert_eq!(adv.intercept(9, Pid::new(0), 2, &eff, ctx(&alive)), Fate::Survive);
+        assert_eq!(adv.intercept(Time::new(9), Pid::new(1), 1, &eff, ctx(&alive)), Fate::Survive);
+        assert_eq!(adv.intercept(Time::new(9), Pid::new(0), 2, &eff, ctx(&alive)), Fate::Survive);
         assert_eq!(
-            adv.intercept(9, Pid::new(1), 2, &eff, ctx(&alive)),
+            adv.intercept(Time::new(9), Pid::new(1), 2, &eff, ctx(&alive)),
             Fate::Crash(CrashSpec { deliver: Deliver::Prefix(3), count_work: true })
         );
     }
@@ -397,8 +397,11 @@ mod tests {
         assert!(!s.is_empty());
         let eff: AsyncEffects<()> = AsyncEffects::default();
         let alive = [true, true];
-        assert_eq!(s.intercept(1, Pid::new(0), 2, &eff, ctx(&alive)), Fate::Survive);
-        assert!(matches!(s.intercept(4, Pid::new(0), 3, &eff, ctx(&alive)), Fate::Crash(_)));
+        assert_eq!(s.intercept(Time::new(1), Pid::new(0), 2, &eff, ctx(&alive)), Fate::Survive);
+        assert!(matches!(
+            s.intercept(Time::new(4), Pid::new(0), 3, &eff, ctx(&alive)),
+            Fate::Crash(_)
+        ));
     }
 
     #[test]
@@ -406,10 +409,10 @@ mod tests {
         let eff: AsyncEffects<()> = AsyncEffects::default();
         let mut broke = AsyncRandomCrashes::new(42, 1.0, 0);
         let alive = [true, true, true];
-        assert_eq!(broke.intercept(1, Pid::new(0), 1, &eff, ctx(&alive)), Fate::Survive);
+        assert_eq!(broke.intercept(Time::new(1), Pid::new(0), 1, &eff, ctx(&alive)), Fate::Survive);
         let mut spare = AsyncRandomCrashes::new(42, 1.0, 10);
         let last = [true, false, false];
-        assert_eq!(spare.intercept(1, Pid::new(0), 1, &eff, ctx(&last)), Fate::Survive);
+        assert_eq!(spare.intercept(Time::new(1), Pid::new(0), 1, &eff, ctx(&last)), Fate::Survive);
     }
 
     #[test]
@@ -424,7 +427,10 @@ mod tests {
         eff.perform(Unit::new(1));
         eff.perform(Unit::new(2));
         eff.perform(Unit::new(3));
-        assert!(matches!(adv.intercept(1, Pid::new(0), 1, &eff, ctx(&alive)), Fate::Crash(_)));
+        assert!(matches!(
+            adv.intercept(Time::new(1), Pid::new(0), 1, &eff, ctx(&alive)),
+            Fate::Crash(_)
+        ));
         assert_eq!(adv.remaining_rules(), 0);
     }
 
@@ -437,9 +443,12 @@ mod tests {
         let alive = [true, true, true];
         let mut e1: AsyncEffects<()> = AsyncEffects::default();
         e1.note("activate");
-        assert_eq!(adv.intercept(3, Pid::new(1), 1, &e1, ctx(&alive)), Fate::Survive);
+        assert_eq!(adv.intercept(Time::new(3), Pid::new(1), 1, &e1, ctx(&alive)), Fate::Survive);
         let mut e2: AsyncEffects<()> = AsyncEffects::default();
         e2.note("activate");
-        assert!(matches!(adv.intercept(9, Pid::new(2), 1, &e2, ctx(&alive)), Fate::Crash(_)));
+        assert!(matches!(
+            adv.intercept(Time::new(9), Pid::new(2), 1, &e2, ctx(&alive)),
+            Fate::Crash(_)
+        ));
     }
 }

@@ -40,7 +40,7 @@
 //! ## Fault injection
 //!
 //! Crashes come from a pluggable [`AsyncAdversary`] ruling per handler
-//! invocation with the synchronous plane's [`CrashSpec`]/
+//! invocation with the synchronous plane's [`CrashSpec`](crate::CrashSpec)/
 //! [`Deliver`](crate::Deliver) vocabulary; the legacy `Vec<AsyncCrash>`
 //! remains usable as a thin adapter. With
 //! [`AsyncConfig::record_trace`] set, runs record a [`Trace`] whose events
@@ -64,15 +64,18 @@ pub use adversary::{
 
 use crate::adversary::{AdversaryCtx, Fate};
 use crate::effects::SendBuf;
-use crate::ids::{Pid, Unit};
+use crate::ids::{Pid, Round, Unit};
 use crate::message::{Classify, FlightOp, Inbox};
 use crate::metrics::Metrics;
 use crate::trace::{Event, Trace};
 
 use queue::{Ev, EventQueue};
 
-/// Logical timestamp of the asynchronous scheduler.
-pub type Time = u64;
+/// Logical timestamp of the asynchronous scheduler — the same wide
+/// virtual-time clock as the synchronous plane's [`Round`], so traces,
+/// metrics and invariant checkers speak one time type across both engines
+/// and arbitrarily deep idle stretches stay representable.
+pub type Time = Round;
 
 /// How per-hop delays are drawn. Every distribution is bounded by
 /// [`AsyncConfig::max_delay`], which also sizes the calendar queue.
@@ -458,7 +461,7 @@ where
     let mut rng = SmallRng::seed_from_u64(cfg.seed);
     let mut queue = EventQueue::with_horizon(max_delay);
     for pid in 0..t {
-        queue.push(0, Ev::Start(Pid::new(pid)));
+        queue.push(Time::ZERO, Ev::Start(Pid::new(pid)));
     }
 
     let mut arena: OpArena<P::Msg> = OpArena::new();
@@ -640,7 +643,7 @@ where
 
             let crashed_now = matches!(fate, Fate::Crash(_));
             if eff.tick && !crashed_now && !eff.terminated {
-                queue.push(now + 1, Ev::Tick(pid));
+                queue.push(now + 1u64, Ev::Tick(pid));
             }
 
             let retired_now = if crashed_now {

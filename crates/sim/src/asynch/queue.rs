@@ -88,7 +88,13 @@ enum Imp {
     /// cursor and the cursor's own bucket is drained before it advances,
     /// so slots are never shared. Push order within a bucket *is* global
     /// schedule order — the `(time, seq)` order the heap would produce —
-    /// because `seq` only ever increases.
+    /// because `seq` only ever increases. All ring arithmetic happens on
+    /// the wide clock (`time` and `cursor` are 128-bit [`Time`]s reduced
+    /// mod the ring size), and the cursor advance is bounded by the ring:
+    /// every pending event lies within `max_delay` of the cursor, so no
+    /// sparse stretch wider than the horizon can exist here — arbitrarily
+    /// long jumps only arise in the heap fallback, which pops straight to
+    /// the next timestamp.
     Calendar {
         buckets: Vec<Vec<Ev>>,
         cursor: Time,
@@ -108,7 +114,10 @@ impl EventQueue {
     /// most recently drained timestamp (plus the initial burst at time 0).
     pub(crate) fn with_horizon(max_delay: u64) -> Self {
         let imp = if max_delay <= CALENDAR_HORIZON {
-            Imp::Calendar { buckets: (0..=max_delay).map(|_| Vec::new()).collect(), cursor: 0 }
+            Imp::Calendar {
+                buckets: (0..=max_delay).map(|_| Vec::new()).collect(),
+                cursor: Time::ZERO,
+            }
         } else {
             Imp::Heap(BinaryHeap::new())
         };
@@ -121,12 +130,12 @@ impl EventQueue {
     pub(crate) fn push(&mut self, time: Time, ev: Ev) {
         match &mut self.imp {
             Imp::Calendar { buckets, cursor } => {
-                let m = buckets.len() as u64;
+                let m = buckets.len() as u128;
                 debug_assert!(
                     time >= *cursor && time - *cursor < m,
                     "calendar push outside horizon: time {time}, cursor {cursor}"
                 );
-                buckets[(time % m) as usize].push(ev);
+                buckets[(time.get() % m) as usize].push(ev);
             }
             Imp::Heap(heap) => heap.push(Reverse(Entry { time, seq: self.seq, ev })),
         }
@@ -144,13 +153,13 @@ impl EventQueue {
         }
         let now = match &mut self.imp {
             Imp::Calendar { buckets, cursor } => {
-                let m = buckets.len() as u64;
-                while buckets[(*cursor % m) as usize].is_empty() {
+                let m = buckets.len() as u128;
+                while buckets[(cursor.get() % m) as usize].is_empty() {
                     *cursor += 1;
                 }
                 // Swap the bucket out wholesale: `out` gets the events,
                 // the bucket inherits `out`'s (cleared) capacity.
-                std::mem::swap(&mut buckets[(*cursor % m) as usize], out);
+                std::mem::swap(&mut buckets[(cursor.get() % m) as usize], out);
                 *cursor
             }
             Imp::Heap(heap) => {
@@ -185,10 +194,10 @@ mod tests {
     /// identical (time, order) drains.
     #[test]
     fn calendar_and_heap_agree_on_order() {
-        let schedule: &[(Time, usize)] = &[(3, 0), (1, 1), (3, 2), (2, 3), (1, 4), (5, 5), (3, 6)];
+        let schedule: &[(u64, usize)] = &[(3, 0), (1, 1), (3, 2), (2, 3), (1, 4), (5, 5), (3, 6)];
         let drain_all = |mut q: EventQueue| {
             for &(t, p) in schedule {
-                q.push(t, Ev::Tick(Pid::new(p)));
+                q.push(Time::from(t), Ev::Tick(Pid::new(p)));
             }
             let mut out = Vec::new();
             let mut seen = Vec::new();
@@ -204,27 +213,32 @@ mod tests {
         let cal = drain_all(EventQueue::with_horizon(8));
         let heap = drain_all(EventQueue::with_horizon(CALENDAR_HORIZON + 1));
         assert_eq!(cal, heap);
-        assert_eq!(cal.0, vec![1, 2, 3, 5]);
+        assert_eq!(cal.0, [1u64, 2, 3, 5].map(Time::from).to_vec());
         // Within a timestamp, schedule order is preserved.
-        assert_eq!(cal.1, vec![(1, 1), (1, 4), (2, 3), (3, 0), (3, 2), (3, 6), (5, 5)]);
+        assert_eq!(
+            cal.1,
+            [(1u64, 1), (1, 4), (2, 3), (3, 0), (3, 2), (3, 6), (5, 5)]
+                .map(|(t, p)| (Time::from(t), p))
+                .to_vec()
+        );
     }
 
     #[test]
     fn interleaved_pushes_respect_the_rolling_horizon() {
         let mut q = EventQueue::with_horizon(2);
-        q.push(0, Ev::Start(Pid::new(0)));
+        q.push(Time::new(0), Ev::Start(Pid::new(0)));
         let mut batch = Vec::new();
-        assert_eq!(q.drain_next(&mut batch), Some(0));
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(0)));
         batch.clear();
         // From time 0, schedule at 1 and 2 (the full horizon).
-        q.push(1, Ev::Tick(Pid::new(1)));
-        q.push(2, Ev::Tick(Pid::new(2)));
-        assert_eq!(q.drain_next(&mut batch), Some(1));
+        q.push(Time::new(1), Ev::Tick(Pid::new(1)));
+        q.push(Time::new(2), Ev::Tick(Pid::new(2)));
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(1)));
         batch.clear();
-        q.push(3, Ev::Tick(Pid::new(3)));
-        assert_eq!(q.drain_next(&mut batch), Some(2));
+        q.push(Time::new(3), Ev::Tick(Pid::new(3)));
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(2)));
         batch.clear();
-        assert_eq!(q.drain_next(&mut batch), Some(3));
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(3)));
         batch.clear();
         assert_eq!(q.drain_next(&mut batch), None);
     }

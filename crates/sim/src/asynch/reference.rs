@@ -84,7 +84,7 @@ where
             seq += 1;
         };
     for pid in 0..t {
-        push(&mut heap, 0, RefEv::Start(Pid::new(pid)));
+        push(&mut heap, Time::ZERO, RefEv::Start(Pid::new(pid)));
     }
 
     let mut metrics = Metrics::new(cfg.n);
@@ -214,7 +214,7 @@ where
 
             let crashed_now = matches!(fate, Fate::Crash(_));
             if eff.tick && !crashed_now && !eff.terminated {
-                push(&mut heap, now + 1, RefEv::Tick(pid));
+                push(&mut heap, now + 1u64, RefEv::Tick(pid));
             }
 
             let retired_now = if crashed_now {

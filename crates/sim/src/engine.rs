@@ -58,14 +58,16 @@ pub struct RunConfig {
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { n: 0, max_rounds: 10_000_000, record_trace: false }
+        RunConfig { n: 0, max_rounds: Round::new(10_000_000), record_trace: false }
     }
 }
 
 impl RunConfig {
-    /// Convenience constructor for an `n`-unit workload with a round cap.
-    pub fn new(n: usize, max_rounds: Round) -> Self {
-        RunConfig { n, max_rounds, record_trace: false }
+    /// Convenience constructor for an `n`-unit workload with a round cap
+    /// (`u64` values and bare literals convert; pass a [`Round`] for wide
+    /// caps such as [`Round::MAX`]).
+    pub fn new(n: usize, max_rounds: impl Into<Round>) -> Self {
+        RunConfig { n, max_rounds: max_rounds.into(), record_trace: false }
     }
 
     /// Enables trace recording.
@@ -197,7 +199,7 @@ impl std::error::Error for RunError {}
 /// }
 ///
 /// let report = run(vec![Quit, Quit], NoFailures, RunConfig::default())?;
-/// assert_eq!(report.metrics.rounds, 1);
+/// assert_eq!(report.metrics.rounds, 1u64);
 /// assert_eq!(report.survivors().len(), 2);
 /// # Ok::<(), doall_sim::RunError>(())
 /// ```
@@ -226,7 +228,7 @@ struct DeliveryIndex {
 impl DeliveryIndex {
     fn new(t: usize) -> Self {
         DeliveryIndex {
-            stamp: vec![0; t],
+            stamp: vec![Round::ZERO; t],
             count: vec![0; t],
             offset: vec![0; t],
             cursor: vec![0; t],
@@ -275,6 +277,11 @@ impl DeliveryIndex {
             }
         }
         dead
+    }
+
+    /// Whether recipient `i` was addressed by a live delivery this round.
+    fn has_inbox(&self, round: Round, i: usize) -> bool {
+        self.stamp[i] == round
     }
 
     /// The inbox of recipient `i` for `round` (empty if nothing was
@@ -332,7 +339,20 @@ where
     let mut pending: Vec<FlightOp<P::Msg>> = Vec::new();
     let mut next_pending: Vec<FlightOp<P::Msg>> = Vec::new();
     let mut delivery = DeliveryIndex::new(t);
-    let mut round: Round = 1;
+    let mut round: Round = Round::ONE;
+
+    // Per-process wakeup cache: the earliest round at which each process
+    // may act spontaneously (`None` = purely reactive, `Some(Round::MAX)`
+    // = a deadline saturated past the horizon, which fires *at* the
+    // horizon). A process is *stepped* only when it is due, has an inbox,
+    // or the adversary has an event scheduled this round — by the
+    // quiescence contract on [`Protocol`], the skipped invocations were
+    // provably no-ops. The cache is refreshed after every step (the only
+    // moments process state can change), so entries for untouched
+    // processes stay valid and the fast-forward jump below reads the
+    // minimum straight off this table.
+    let mut wakeup: Vec<Option<Round>> =
+        procs.iter().map(|p| p.next_wakeup(Round::ONE).map(|w| w.max(Round::ONE))).collect();
 
     loop {
         if round > cfg.max_rounds {
@@ -347,7 +367,15 @@ where
             metrics.dead_letters += delivery.build(round, &pending, &alive);
         }
 
-        // 2 & 3. Step every alive process; let the adversary rule on it.
+        // An adversary event scheduled for this very round (e.g. a crash of
+        // an otherwise idle process) disables sparse stepping for the
+        // round: every alive process must face `intercept`, exactly as in
+        // the dense engine. Adversaries that may act any round (random
+        // crashes with budget left) return `Some(now)` and keep the dense
+        // behaviour bit-for-bit.
+        let adv_due = adversary.next_event(round).is_some_and(|r| r <= round);
+
+        // 2 & 3. Step every due alive process; let the adversary rule on it.
         let mut tombstones = 0usize;
         for &oi in &order {
             let idx = oi as usize;
@@ -355,10 +383,13 @@ where
                 tombstones += 1;
                 continue;
             }
+            let due = have_inbox && delivery.has_inbox(round, idx);
+            if !adv_due && !due && wakeup[idx].is_none_or(|w| w > round) {
+                continue; // provably a no-op (quiescence contract)
+            }
             let pid = Pid::new(idx);
             eff.reset();
-            let inbox =
-                if have_inbox { delivery.inbox(round, idx, &pending) } else { Inbox::empty() };
+            let inbox = if due { delivery.inbox(round, idx, &pending) } else { Inbox::empty() };
             procs[idx].step(round, inbox, &mut eff);
 
             let ctx = AdversaryCtx { t, alive: &alive, live, crashes: metrics.crashes };
@@ -425,6 +456,12 @@ where
                     }
                 }
             }
+            // The step may have changed this process's timing state;
+            // refresh its cached wakeup (retired slots are never read).
+            if alive[idx] {
+                let next = round.saturating_add(1);
+                wakeup[idx] = procs[idx].next_wakeup(next).map(|w| w.max(next));
+            }
         }
         if tombstones * 2 > order.len() {
             order.retain(|&i| alive[i as usize]);
@@ -441,17 +478,25 @@ where
         std::mem::swap(&mut pending, &mut next_pending);
         next_pending.clear();
 
-        // Fast-forward through provably idle rounds.
-        if pending.is_empty() {
+        // Sparse fast-forward through provably idle rounds: with nothing in
+        // flight, jump the clock straight to the earliest cached wakeup or
+        // scheduled adversary event — one O(live) scan per jump, however
+        // astronomically far the target lies (Protocol C's silent waiting
+        // phases cost exactly one jump each on the 128-bit clock). A
+        // saturated wakeup (`Round::MAX`) is a legal target: a deadline
+        // past the representable horizon fires *at* the horizon, exactly
+        // as the old 64-bit clock fired saturated deadlines at `u64::MAX`.
+        let advanced = if pending.is_empty() {
+            let next = round.saturating_add(1);
             let wake = order
                 .iter()
                 .map(|&i| i as usize)
                 .filter(|&i| alive[i])
-                .filter_map(|i| procs[i].next_wakeup(round + 1))
-                .map(|w| w.max(round + 1))
+                .filter_map(|i| wakeup[i])
+                .map(|w| w.max(next))
                 .min();
-            let adv = adversary.next_event(round + 1).map(|r| r.max(round + 1));
-            round = match (wake, adv) {
+            let adv = adversary.next_event(next).map(|r| r.max(next));
+            match (wake, adv) {
                 (Some(w), Some(a)) => w.min(a),
                 (Some(w), None) => w,
                 (None, Some(a)) => a,
@@ -464,10 +509,16 @@ where
                         .collect();
                     return Err(RunError::Deadlock { round, alive, metrics: Box::new(metrics) });
                 }
-            };
+            }
         } else {
-            round += 1;
+            round.saturating_add(1)
+        };
+        if advanced == round {
+            // Live processes remain but the clock cannot advance past the
+            // horizon: report the cap rather than spinning at Round::MAX.
+            return Err(RunError::RoundLimit { limit: cfg.max_rounds, metrics: Box::new(metrics) });
         }
+        round = advanced;
     }
 }
 
@@ -597,7 +648,8 @@ mod tests {
     }
 
     impl Ring {
-        fn procs(t: usize, start_at: Round) -> Vec<Ring> {
+        fn procs(t: usize, start_at: impl Into<Round>) -> Vec<Ring> {
+            let start_at = start_at.into();
             (0..t).map(|me| Ring { me, t, start_at, done: false }).collect()
         }
     }
@@ -634,7 +686,7 @@ mod tests {
         let report = run(Ring::procs(4, 1), NoFailures, RunConfig::new(4, 100)).unwrap();
         assert_eq!(report.metrics.work_total, 4);
         assert_eq!(report.metrics.messages, 3);
-        assert_eq!(report.metrics.rounds, 4);
+        assert_eq!(report.metrics.rounds, 4u64);
         assert!(report.metrics.all_work_done());
         assert_eq!(report.survivor_count(), 4);
         assert_eq!(report.survivors(), vec![Pid::new(0), Pid::new(1), Pid::new(2), Pid::new(3)]);
@@ -647,7 +699,7 @@ mod tests {
         let report =
             run(Ring::procs(3, 1_000_000), NoFailures, RunConfig::new(3, 2_000_000)).unwrap();
         // Time reflects the skipped idle prefix...
-        assert_eq!(report.metrics.rounds, 1_000_002);
+        assert_eq!(report.metrics.rounds, 1_000_002u64);
         // ...but the run completes quickly (if it executed every round this
         // test would take far too long, so reaching here at all is the
         // point).
@@ -658,7 +710,7 @@ mod tests {
     fn round_limit_is_enforced() {
         let err = run(Ring::procs(3, 50), NoFailures, RunConfig::new(3, 10)).unwrap_err();
         match err {
-            RunError::RoundLimit { limit, .. } => assert_eq!(limit, 10),
+            RunError::RoundLimit { limit, .. } => assert_eq!(limit, 10u64),
             other => panic!("expected RoundLimit, got {other}"),
         }
     }
@@ -683,7 +735,7 @@ mod tests {
         assert_eq!(report.metrics.work_total, 3);
         assert_eq!(report.metrics.messages, 2);
         assert_eq!(report.metrics.crashes, 1);
-        assert_eq!(report.statuses[1], Status::Crashed(2));
+        assert_eq!(report.statuses[1], Status::Crashed(Round::new(2)));
         assert!(report.has_survivor());
     }
 
@@ -737,11 +789,11 @@ mod tests {
     #[test]
     fn statuses_report_rounds() {
         let report = run(Ring::procs(2, 1), NoFailures, RunConfig::new(2, 100)).unwrap();
-        assert_eq!(report.statuses[0], Status::Terminated(1));
-        assert_eq!(report.statuses[1], Status::Terminated(2));
-        assert!(Status::Crashed(3).is_retired());
+        assert_eq!(report.statuses[0], Status::Terminated(Round::new(1)));
+        assert_eq!(report.statuses[1], Status::Terminated(Round::new(2)));
+        assert!(Status::Crashed(Round::new(3)).is_retired());
         assert!(!Status::Alive.is_retired());
-        assert_eq!(Status::Terminated(2).round(), Some(2));
+        assert_eq!(Status::Terminated(Round::new(2)).round(), Some(Round::new(2)));
         assert_eq!(Status::Alive.round(), None);
     }
 
@@ -774,7 +826,7 @@ mod tests {
                 // Everyone else, as two spans around `me`.
                 eff.multicast_except(0..self.t, self.me, Blast);
             }
-            if round == self.rounds + 1 {
+            if round == self.rounds + 1u64 {
                 eff.terminate();
             }
         }
@@ -784,7 +836,8 @@ mod tests {
         }
     }
 
-    fn blasters(t: usize, rounds: Round) -> Vec<Blaster> {
+    fn blasters(t: usize, rounds: impl Into<Round>) -> Vec<Blaster> {
+        let rounds = rounds.into();
         (0..t).map(|me| Blaster { me, t, rounds, received: 0 }).collect()
     }
 

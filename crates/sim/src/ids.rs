@@ -8,14 +8,192 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
-/// A round number in the synchronous model.
+/// A round number / virtual timestamp on the simulation's wide clock.
 ///
 /// Round `1` is the first round of the execution; round `0` is reserved for
 /// the paper's fictitious "process 0 broadcast before the execution begins"
-/// convention (Protocol B, §2.3). Protocol C's deadlines are exponential in
-/// `n + t`, so rounds are 64-bit; arithmetic on deadlines saturates rather
-/// than wrapping.
-pub type Round = u64;
+/// convention (Protocol B, §2.3). Protocol C's deadline tower grows as
+/// `K(n+t−m)2^{n+t−1−m}` rounds, which overflows a 64-bit clock beyond
+/// `n + t ≈ 80`; the clock is therefore 128 bits wide behind this newtype,
+/// which carries the exactly-representable tower to `n + t ≈ 107`
+/// (honest `t = 64` grids) and lets saturated far-future deadlines
+/// coexist with scheduled adversary events without colliding.
+///
+/// All arithmetic is **checked or saturating by construction**: the `+`
+/// operators panic on overflow (an overflowing clock is always an engine
+/// or protocol bug), while [`saturating_add`](Round::saturating_add) pins
+/// deadline arithmetic at [`Round::MAX`] — a representable "never, unless
+/// something else happens first" that the engines' sparse fast-forward
+/// treats like any other wakeup.
+///
+/// Plain `u64` values convert losslessly via `From`/`Into` (the only
+/// integer `From` impl, so bare literals in `impl Into<Round>` positions
+/// infer `u64`); wider values are built with [`Round::new`]. Comparisons
+/// against both `u64` and `u128` are provided in both directions.
+///
+/// # Examples
+///
+/// ```
+/// use doall_sim::Round;
+///
+/// let r = Round::from(5u64) + 2u64;
+/// assert_eq!(r, 7u64);
+/// assert_eq!(Round::MAX.saturating_add(1), Round::MAX);
+/// assert_eq!(Round::new(1 << 100).checked_add(1), Some(Round::new((1 << 100) + 1)));
+/// assert_eq!(r - Round::from(3u64), 4u128);
+/// ```
+#[derive(
+    Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
+)]
+#[serde(transparent)]
+pub struct Round(u128);
+
+impl Round {
+    /// Round zero (pre-execution; see the type-level docs).
+    pub const ZERO: Round = Round(0);
+    /// The first round of every execution.
+    pub const ONE: Round = Round(1);
+    /// The clock's horizon: saturated deadlines pin here.
+    pub const MAX: Round = Round(u128::MAX);
+
+    /// Creates a round from a wide value.
+    pub const fn new(round: u128) -> Self {
+        Round(round)
+    }
+
+    /// The raw 128-bit value.
+    pub const fn get(self) -> u128 {
+        self.0
+    }
+
+    /// Checked round advance: `None` on clock overflow.
+    pub const fn checked_add(self, rhs: u128) -> Option<Round> {
+        match self.0.checked_add(rhs) {
+            Some(v) => Some(Round(v)),
+            None => None,
+        }
+    }
+
+    /// Saturating round advance — the deadline-arithmetic primitive:
+    /// `Round::MAX` means "not before anything representable".
+    pub const fn saturating_add(self, rhs: u128) -> Round {
+        Round(self.0.saturating_add(rhs))
+    }
+
+    /// Saturating distance to an earlier round (`0` if `other` is later).
+    pub const fn saturating_sub(self, other: Round) -> u128 {
+        self.0.saturating_sub(other.0)
+    }
+
+    /// The immediately following round.
+    ///
+    /// # Panics
+    ///
+    /// Panics on clock overflow (only reachable from `Round::MAX`).
+    pub fn next(self) -> Round {
+        self.checked_add(1).expect("round clock overflow")
+    }
+
+    /// Lossy conversion for ratio/throughput reporting.
+    pub fn as_f64(self) -> f64 {
+        self.0 as f64
+    }
+}
+
+impl From<u64> for Round {
+    fn from(round: u64) -> Self {
+        Round(u128::from(round))
+    }
+}
+
+impl From<Round> for u128 {
+    fn from(round: Round) -> u128 {
+        round.0
+    }
+}
+
+impl fmt::Display for Round {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::ops::Add<u64> for Round {
+    type Output = Round;
+    fn add(self, rhs: u64) -> Round {
+        self.checked_add(u128::from(rhs)).expect("round clock overflow")
+    }
+}
+
+impl std::ops::Add<u128> for Round {
+    type Output = Round;
+    fn add(self, rhs: u128) -> Round {
+        self.checked_add(rhs).expect("round clock overflow")
+    }
+}
+
+impl std::ops::AddAssign<u64> for Round {
+    fn add_assign(&mut self, rhs: u64) {
+        *self = *self + rhs;
+    }
+}
+
+/// Checked distance between rounds: panics on underflow (later − earlier
+/// is the only meaningful direction on a clock).
+impl std::ops::Sub<Round> for Round {
+    type Output = u128;
+    fn sub(self, rhs: Round) -> u128 {
+        self.0.checked_sub(rhs.0).expect("round clock underflow")
+    }
+}
+
+impl PartialEq<u64> for Round {
+    fn eq(&self, other: &u64) -> bool {
+        self.0 == u128::from(*other)
+    }
+}
+
+impl PartialEq<Round> for u64 {
+    fn eq(&self, other: &Round) -> bool {
+        u128::from(*self) == other.0
+    }
+}
+
+impl PartialEq<u128> for Round {
+    fn eq(&self, other: &u128) -> bool {
+        self.0 == *other
+    }
+}
+
+impl PartialEq<Round> for u128 {
+    fn eq(&self, other: &Round) -> bool {
+        *self == other.0
+    }
+}
+
+impl PartialOrd<u64> for Round {
+    fn partial_cmp(&self, other: &u64) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(&u128::from(*other))
+    }
+}
+
+impl PartialOrd<Round> for u64 {
+    fn partial_cmp(&self, other: &Round) -> Option<std::cmp::Ordering> {
+        u128::from(*self).partial_cmp(&other.0)
+    }
+}
+
+impl PartialOrd<u128> for Round {
+    fn partial_cmp(&self, other: &u128) -> Option<std::cmp::Ordering> {
+        self.0.partial_cmp(other)
+    }
+}
+
+impl PartialOrd<Round> for u128 {
+    fn partial_cmp(&self, other: &Round) -> Option<std::cmp::Ordering> {
+        self.partial_cmp(&other.0)
+    }
+}
 
 /// Identifier of a process, `0..t-1`.
 ///

@@ -190,8 +190,8 @@ mod tests {
     #[test]
     fn overlapping_activations_are_flagged() {
         let tr = trace(vec![
-            Event::Note { round: 1, pid: Pid::new(0), tag: "activate" },
-            Event::Note { round: 5, pid: Pid::new(1), tag: "activate" },
+            Event::Note { round: Round::new(1), pid: Pid::new(0), tag: "activate" },
+            Event::Note { round: Round::new(5), pid: Pid::new(1), tag: "activate" },
         ]);
         let v = check_single_active(&tr);
         assert_eq!(v.len(), 1);
@@ -201,9 +201,9 @@ mod tests {
     #[test]
     fn handoff_after_retirement_is_clean() {
         let tr = trace(vec![
-            Event::Note { round: 1, pid: Pid::new(0), tag: "activate" },
-            Event::Crash { round: 4, pid: Pid::new(0) },
-            Event::Note { round: 9, pid: Pid::new(1), tag: "activate" },
+            Event::Note { round: Round::new(1), pid: Pid::new(0), tag: "activate" },
+            Event::Crash { round: Round::new(4), pid: Pid::new(0) },
+            Event::Note { round: Round::new(9), pid: Pid::new(1), tag: "activate" },
         ]);
         assert!(check_single_active(&tr).is_empty());
         assert!(check_activation_order(&tr).is_empty());
@@ -212,10 +212,10 @@ mod tests {
     #[test]
     fn activation_order_requires_all_lower_retired() {
         let tr = trace(vec![
-            Event::Note { round: 1, pid: Pid::new(0), tag: "activate" },
-            Event::Crash { round: 4, pid: Pid::new(0) },
+            Event::Note { round: Round::new(1), pid: Pid::new(0), tag: "activate" },
+            Event::Crash { round: Round::new(4), pid: Pid::new(0) },
             // p2 activates while p1 never retired.
-            Event::Note { round: 9, pid: Pid::new(2), tag: "activate" },
+            Event::Note { round: Round::new(9), pid: Pid::new(2), tag: "activate" },
         ]);
         let v = check_activation_order(&tr);
         assert_eq!(v.len(), 1);
@@ -225,8 +225,8 @@ mod tests {
     #[test]
     fn parallel_work_in_one_round_is_flagged() {
         let tr = trace(vec![
-            Event::Work { round: 3, pid: Pid::new(0), unit: Unit::new(1) },
-            Event::Work { round: 3, pid: Pid::new(1), unit: Unit::new(2) },
+            Event::Work { round: Round::new(3), pid: Pid::new(0), unit: Unit::new(1) },
+            Event::Work { round: Round::new(3), pid: Pid::new(1), unit: Unit::new(2) },
         ]);
         assert_eq!(check_sequential_work(&tr).len(), 1);
     }
@@ -234,8 +234,8 @@ mod tests {
     #[test]
     fn zombie_actions_are_flagged() {
         let tr = trace(vec![
-            Event::Crash { round: 2, pid: Pid::new(0) },
-            Event::Work { round: 3, pid: Pid::new(0), unit: Unit::new(1) },
+            Event::Crash { round: Round::new(2), pid: Pid::new(0) },
+            Event::Work { round: Round::new(3), pid: Pid::new(0), unit: Unit::new(1) },
         ]);
         let v = check_no_zombie_actions(&tr);
         assert_eq!(v.len(), 1);
@@ -244,8 +244,8 @@ mod tests {
     #[test]
     fn premature_notice_is_a_soundness_violation() {
         let tr = trace(vec![
-            Event::Notice { round: 3, observer: Pid::new(1), retired: Pid::new(0) },
-            Event::Crash { round: 4, pid: Pid::new(0) },
+            Event::Notice { round: Round::new(3), observer: Pid::new(1), retired: Pid::new(0) },
+            Event::Crash { round: Round::new(4), pid: Pid::new(0) },
         ]);
         let v = check_detector_soundness(&tr);
         assert_eq!(v.len(), 1);
@@ -255,8 +255,8 @@ mod tests {
     #[test]
     fn notice_after_retirement_is_sound() {
         let tr = trace(vec![
-            Event::Terminate { round: 2, pid: Pid::new(0) },
-            Event::Notice { round: 5, observer: Pid::new(1), retired: Pid::new(0) },
+            Event::Terminate { round: Round::new(2), pid: Pid::new(0) },
+            Event::Notice { round: Round::new(5), observer: Pid::new(1), retired: Pid::new(0) },
         ]);
         assert!(check_detector_soundness(&tr).is_empty());
         // A notice is not a zombie action by the observer.
@@ -266,12 +266,17 @@ mod tests {
     #[test]
     fn clean_trace_passes_everything() {
         let tr = trace(vec![
-            Event::Note { round: 1, pid: Pid::new(0), tag: "activate" },
-            Event::Work { round: 1, pid: Pid::new(0), unit: Unit::new(1) },
-            Event::Send { round: 2, from: Pid::new(0), to: Pid::new(1), class: "ordinary" },
-            Event::Terminate { round: 3, pid: Pid::new(0) },
-            Event::Note { round: 8, pid: Pid::new(1), tag: "activate" },
-            Event::Terminate { round: 9, pid: Pid::new(1) },
+            Event::Note { round: Round::new(1), pid: Pid::new(0), tag: "activate" },
+            Event::Work { round: Round::new(1), pid: Pid::new(0), unit: Unit::new(1) },
+            Event::Send {
+                round: Round::new(2),
+                from: Pid::new(0),
+                to: Pid::new(1),
+                class: "ordinary",
+            },
+            Event::Terminate { round: Round::new(3), pid: Pid::new(0) },
+            Event::Note { round: Round::new(8), pid: Pid::new(1), tag: "activate" },
+            Event::Terminate { round: Round::new(9), pid: Pid::new(1) },
         ]);
         assert!(check_single_active(&tr).is_empty());
         assert!(check_activation_order(&tr).is_empty());

@@ -45,7 +45,7 @@
 //! let procs = (0..4).map(OneUnit).collect();
 //! let report = run(procs, NoFailures, RunConfig::new(4, 10))?;
 //! assert!(report.metrics.all_work_done());
-//! assert_eq!(report.metrics.rounds, 1);
+//! assert_eq!(report.metrics.rounds, 1u64);
 //! # Ok::<(), doall_sim::RunError>(())
 //! ```
 //!

@@ -15,15 +15,19 @@ use crate::message::{Classify, Inbox};
 ///
 /// # Quiescence contract
 ///
-/// The engine may **fast-forward** over rounds in which no messages are in
-/// flight, no process is due to act, and the adversary has no scheduled
-/// event. For this to be sound, `step` must be a pure no-op whenever the
-/// inbox is empty and `round` is earlier than the round most recently
-/// reported by [`next_wakeup`](Protocol::next_wakeup). All timing decisions
-/// must therefore be derived from the absolute `round` argument (deadlines),
+/// The engine may **skip** a process's step in any round where its inbox
+/// is empty, it is not yet due per [`next_wakeup`](Protocol::next_wakeup),
+/// and the adversary has no event scheduled — and may **fast-forward** the
+/// clock entirely over rounds in which this holds for every process and no
+/// messages are in flight. For this to be sound, `step` must be a pure
+/// no-op whenever the inbox is empty and `round` is earlier than the round
+/// most recently reported by `next_wakeup`, and `next_wakeup` must name the
+/// same absolute round regardless of when it is asked (the engine caches
+/// its answer until the process next steps). All timing decisions must
+/// therefore be derived from the absolute `round` argument (deadlines),
 /// never from counting `step` invocations. Protocol C relies on this: its
-/// deadlines are `Θ(K (n+t) 2^{n+t})` rounds long, and simulating them
-/// round-by-round would be infeasible.
+/// deadlines are `Θ(K (n+t) 2^{n+t})` rounds long — wide-clock territory —
+/// and simulating them round-by-round would be infeasible.
 pub trait Protocol {
     /// The message payload exchanged by this protocol.
     type Msg: Clone + fmt::Debug + Classify;
@@ -85,20 +89,20 @@ mod tests {
 
     #[test]
     fn one_shot_is_quiescent_before_wakeup() {
-        let mut p = OneShot { me: Pid::new(0), t: 2, fire_at: 10, fired: false };
+        let mut p = OneShot { me: Pid::new(0), t: 2, fire_at: Round::new(10), fired: false };
         let mut eff = Effects::new();
-        p.step(5, Inbox::empty(), &mut eff);
+        p.step(Round::new(5), Inbox::empty(), &mut eff);
         assert!(eff.is_idle());
-        assert_eq!(p.next_wakeup(6), Some(10));
+        assert_eq!(p.next_wakeup(Round::new(6)), Some(Round::new(10)));
     }
 
     #[test]
     fn one_shot_fires_at_wakeup() {
-        let mut p = OneShot { me: Pid::new(1), t: 2, fire_at: 10, fired: false };
+        let mut p = OneShot { me: Pid::new(1), t: 2, fire_at: Round::new(10), fired: false };
         let mut eff = Effects::new();
-        p.step(10, Inbox::empty(), &mut eff);
+        p.step(Round::new(10), Inbox::empty(), &mut eff);
         assert_eq!(eff.send_count(), 1);
         assert!(eff.is_terminated());
-        assert_eq!(p.next_wakeup(11), None);
+        assert_eq!(p.next_wakeup(Round::new(11)), None);
     }
 }

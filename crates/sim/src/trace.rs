@@ -144,35 +144,35 @@ mod tests {
     #[test]
     fn trace_orders_and_filters_notes() {
         let mut t = Trace::new();
-        t.push(Event::Note { round: 1, pid: Pid::new(0), tag: "activate" });
-        t.push(Event::Work { round: 2, pid: Pid::new(0), unit: Unit::new(1) });
-        t.push(Event::Note { round: 9, pid: Pid::new(1), tag: "activate" });
+        t.push(Event::Note { round: Round::new(1), pid: Pid::new(0), tag: "activate" });
+        t.push(Event::Work { round: Round::new(2), pid: Pid::new(0), unit: Unit::new(1) });
+        t.push(Event::Note { round: Round::new(9), pid: Pid::new(1), tag: "activate" });
         let activations: Vec<_> = t.notes("activate").collect();
-        assert_eq!(activations, vec![(1, Pid::new(0)), (9, Pid::new(1))]);
+        assert_eq!(activations, vec![(Round::new(1), Pid::new(0)), (Round::new(9), Pid::new(1))]);
         assert_eq!(t.len(), 3);
     }
 
     #[test]
     fn retirement_round_finds_first_retirement_event() {
         let mut t = Trace::new();
-        t.push(Event::Crash { round: 4, pid: Pid::new(2) });
-        t.push(Event::Terminate { round: 6, pid: Pid::new(1) });
-        assert_eq!(t.retirement_round(Pid::new(2)), Some(4));
-        assert_eq!(t.retirement_round(Pid::new(1)), Some(6));
+        t.push(Event::Crash { round: Round::new(4), pid: Pid::new(2) });
+        t.push(Event::Terminate { round: Round::new(6), pid: Pid::new(1) });
+        assert_eq!(t.retirement_round(Pid::new(2)), Some(Round::new(4)));
+        assert_eq!(t.retirement_round(Pid::new(1)), Some(Round::new(6)));
         assert_eq!(t.retirement_round(Pid::new(0)), None);
     }
 
     #[test]
     fn event_round_accessor_covers_all_variants() {
         let events = [
-            Event::Work { round: 1, pid: Pid::new(0), unit: Unit::new(1) },
-            Event::Send { round: 2, from: Pid::new(0), to: Pid::new(1), class: "m" },
-            Event::Crash { round: 3, pid: Pid::new(0) },
-            Event::Terminate { round: 4, pid: Pid::new(1) },
-            Event::Note { round: 5, pid: Pid::new(1), tag: "x" },
-            Event::Notice { round: 6, observer: Pid::new(1), retired: Pid::new(0) },
+            Event::Work { round: Round::new(1), pid: Pid::new(0), unit: Unit::new(1) },
+            Event::Send { round: Round::new(2), from: Pid::new(0), to: Pid::new(1), class: "m" },
+            Event::Crash { round: Round::new(3), pid: Pid::new(0) },
+            Event::Terminate { round: Round::new(4), pid: Pid::new(1) },
+            Event::Note { round: Round::new(5), pid: Pid::new(1), tag: "x" },
+            Event::Notice { round: Round::new(6), observer: Pid::new(1), retired: Pid::new(0) },
         ];
         let rounds: Vec<Round> = events.iter().map(Event::round).collect();
-        assert_eq!(rounds, vec![1, 2, 3, 4, 5, 6]);
+        assert_eq!(rounds, (1u64..=6).map(Round::from).collect::<Vec<_>>());
     }
 }

@@ -7,7 +7,7 @@ use doall_sim::asynch::{
     AsyncTriggerRule,
 };
 use doall_sim::{
-    Adversary, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RandomCrashes, Trigger,
+    Adversary, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RandomCrashes, Round, Trigger,
     TriggerAdversary, TriggerRule,
 };
 
@@ -86,6 +86,20 @@ pub enum Scenario {
         /// Round at which they all die.
         round: u64,
     },
+    /// The wide-clock *deep idle* scenario: every passive process (pids
+    /// `1..=k`) crashes silently at one far-future instant, astronomically
+    /// beyond the active process's completion round. Between completion
+    /// and the extinction the system is perfectly silent, so the engine
+    /// must cross the whole stretch in a single sparse fast-forward jump —
+    /// with instants beyond 2⁶⁴ only representable on the 128-bit clock.
+    /// Already-retired victims are ignored, so the scenario composes with
+    /// protocols that terminate some of the passive processes early.
+    DeepIdle {
+        /// Number of victims (pids `1..=k`).
+        k: u64,
+        /// The extinction instant (typically `Round::new(1 << 100)`).
+        round: Round,
+    },
 }
 
 impl Scenario {
@@ -137,7 +151,7 @@ impl Scenario {
                 }];
                 for j in t / 2 + 1..t {
                     rules.push(TriggerRule {
-                        trigger: Trigger::AtRound(2 * t),
+                        trigger: Trigger::AtRound(Round::from(2 * t)),
                         target: Some(Pid::new(j as usize)),
                         spec: CrashSpec::silent(),
                     });
@@ -165,6 +179,13 @@ impl Scenario {
                 }
                 Box::new(s)
             }
+            Scenario::DeepIdle { k, round } => {
+                let mut s = CrashSchedule::new();
+                for j in 1..=k {
+                    s = s.crash_at(Pid::new(j as usize), round, CrashSpec::silent());
+                }
+                Box::new(s)
+            }
         }
     }
 
@@ -183,6 +204,14 @@ impl Scenario {
             }
             Scenario::MassExtinction { from, k, round } => {
                 format!("mass-extinction({from}..{},r={round})", from + k)
+            }
+            Scenario::DeepIdle { k, round } => {
+                let r = round.get();
+                if r.is_power_of_two() {
+                    format!("deep-idle({k},r=2^{})", r.trailing_zeros())
+                } else {
+                    format!("deep-idle({k},r={round})")
+                }
             }
         }
     }
@@ -304,6 +333,11 @@ mod tests {
             Scenario::MassExtinction { from: 2, k: 6, round: 2 }.label(),
             "mass-extinction(2..8,r=2)"
         );
+        assert_eq!(
+            Scenario::DeepIdle { k: 255, round: Round::new(1 << 100) }.label(),
+            "deep-idle(255,r=2^100)"
+        );
+        assert_eq!(Scenario::DeepIdle { k: 3, round: Round::new(12) }.label(), "deep-idle(3,r=12)");
     }
 
     #[test]
@@ -316,6 +350,7 @@ mod tests {
             Scenario::Strawman { t: 8 },
             Scenario::Random { seed: 1, p: 0.1, max_crashes: 3 },
             Scenario::MassExtinction { from: 0, k: 2, round: 5 },
+            Scenario::DeepIdle { k: 2, round: Round::new(1 << 100) },
         ] {
             let _a = s.adversary::<u32>();
             let _b = s.adversary::<String>();

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Adversary: crash p0 during its 2nd checkpoint, delivering 1 copy.\n");
 
     // Group events by round for a readable timeline.
-    let mut by_round: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut by_round: BTreeMap<doall::sim::Round, Vec<String>> = BTreeMap::new();
     for event in report.trace.events() {
         let (round, line) = match event {
             Event::Work { round, pid, unit } => (*round, format!("{pid} performs {unit}")),

@@ -41,7 +41,7 @@
 //!
 //! assert!(report.metrics.all_work_done());      // correctness
 //! assert!(report.metrics.work_total <= 3 * 64); // Theorem 2.8(a)
-//! assert!(report.metrics.rounds <= 3 * 64 + 8 * 16); // Theorem 2.8(c)
+//! assert!(report.metrics.rounds <= 3u64 * 64 + 8 * 16); // Theorem 2.8(c)
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 //!

@@ -134,7 +134,7 @@ fn protocol_b_beats_a_on_takeover_latency() {
     let a = run_checked(ProtocolA::processes(n, t).unwrap(), &scenario, n);
     let b = run_checked(ProtocolB::processes(n, t).unwrap(), &scenario, n);
     assert!(
-        b.metrics.rounds * 10 < a.metrics.rounds,
+        b.metrics.rounds.get() * 10 < a.metrics.rounds.get(),
         "B ({}) should be an order of magnitude faster than A ({})",
         b.metrics.rounds,
         a.metrics.rounds
@@ -150,7 +150,7 @@ fn protocol_d_is_the_time_winner_without_failures() {
     let d = run_checked(ProtocolD::processes(n, t).unwrap(), &scenario, n);
     let b = run_checked(ProtocolB::processes(n, t).unwrap(), &scenario, n);
     assert_eq!(d.metrics.rounds, n / t + 2);
-    assert!(d.metrics.rounds < b.metrics.rounds / 10);
+    assert!(d.metrics.rounds.get() < b.metrics.rounds.get() / 10);
 }
 
 /// Work-optimality separates the suite from replicate-all, and

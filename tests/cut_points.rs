@@ -7,7 +7,9 @@
 
 use doall::bounds::theorems;
 use doall::sim::invariants::{check_activation_order, check_single_active};
-use doall::sim::{run, CrashSpec, Deliver, Pid, RunConfig, Trigger, TriggerAdversary, TriggerRule};
+use doall::sim::{
+    run, CrashSpec, Deliver, Pid, Round, RunConfig, Trigger, TriggerAdversary, TriggerRule,
+};
 use doall::{ProtocolA, ProtocolB, ProtocolC, ProtocolD};
 
 fn cut_rule(nth_send: u64, deliver: Deliver) -> TriggerAdversary {
@@ -152,7 +154,7 @@ fn protocol_d_every_agreement_cut_point() {
     for offset in 0..4u64 {
         for deliver in [Deliver::All, Deliver::None, Deliver::Prefix(2), Deliver::Prefix(4)] {
             let adv = TriggerAdversary::new(vec![TriggerRule {
-                trigger: Trigger::AtRound(work_rounds + 1 + offset),
+                trigger: Trigger::AtRound(Round::from(work_rounds + 1 + offset)),
                 target: Some(Pid::new(0)),
                 spec: CrashSpec { deliver: deliver.clone(), count_work: true },
             }]);
@@ -180,7 +182,7 @@ fn coordinator_d_every_phase_cut_point() {
     for round in 1..=(n / t + 4) {
         for deliver in [Deliver::All, Deliver::None, Deliver::Prefix(1)] {
             let adv = TriggerAdversary::new(vec![TriggerRule {
-                trigger: Trigger::AtRound(round),
+                trigger: Trigger::AtRound(Round::from(round)),
                 target: Some(Pid::new(0)),
                 spec: CrashSpec { deliver: deliver.clone(), count_work: true },
             }]);

@@ -48,7 +48,7 @@ struct Chatter {
     n: usize,
     seed: u64,
     start: Round,
-    stride: Round,
+    stride: u128,
     actions: u64,
     acted: u64,
     echoes_left: u32,
@@ -60,13 +60,13 @@ impl Chatter {
         (0..t)
             .map(|me| {
                 let h = mix(seed ^ (me as u64).wrapping_mul(0xA24B_AED4_963E_E407));
-                let strides = [1, 2, 3, 5, 8, 40, 1000];
+                let strides: [u128; 7] = [1, 2, 3, 5, 8, 40, 1000];
                 Chatter {
                     me,
                     t,
                     n,
                     seed,
-                    start: 1 + h % 25,
+                    start: Round::from(1 + h % 25),
                     stride: strides[(h >> 32) as usize % strides.len()],
                     actions: 1 + (h >> 48) % 10,
                     acted: 0,
@@ -99,7 +99,7 @@ impl Protocol for Chatter {
             return;
         }
         self.acted += 1;
-        let h = mix(self.seed ^ (self.me as u64) << 32 ^ round);
+        let h = mix(self.seed ^ (self.me as u64) << 32 ^ round.get() as u64);
         if h.is_multiple_of(3) {
             eff.perform(Unit::new(1 + (h >> 8) as usize % self.n));
         }
@@ -163,7 +163,7 @@ where
     let mut pending: Vec<(Pid, Pid, P::Msg)> = Vec::new();
     let mut next_pending: Vec<(Pid, Pid, P::Msg)> = Vec::new();
     let mut eff: Effects<P::Msg> = Effects::new();
-    let mut round: Round = 1;
+    let mut round: Round = Round::ONE;
 
     loop {
         if round > cfg.max_rounds {
@@ -243,12 +243,13 @@ where
         next_pending.clear();
 
         if pending.is_empty() {
+            let next = round.next();
             let wake = (0..t)
                 .filter(|&i| alive[i])
-                .filter_map(|i| procs[i].next_wakeup(round + 1))
-                .map(|w| w.max(round + 1))
+                .filter_map(|i| procs[i].next_wakeup(next))
+                .map(|w| w.max(next))
                 .min();
-            let adv = adversary.next_event(round + 1).map(|r| r.max(round + 1));
+            let adv = adversary.next_event(next).map(|r| r.max(next));
             round = match (wake, adv) {
                 (Some(w), Some(a)) => w.min(a),
                 (Some(w), None) => w,
@@ -256,7 +257,7 @@ where
                 (None, None) => return None, // deadlock: Chatters never do this
             };
         } else {
-            round += 1;
+            round = round.next();
         }
     }
 }

@@ -19,15 +19,15 @@ impl Classify for Ball {
 struct Player {
     me: usize,
     volleys: u64,
-    gap: Round,
+    gap: u64,
     next_serve: Option<Round>,
     hits: u64,
 }
 
 impl Player {
-    fn pair(volleys: u64, gap: Round) -> Vec<Player> {
+    fn pair(volleys: u64, gap: u64) -> Vec<Player> {
         vec![
-            Player { me: 0, volleys, gap, next_serve: Some(1), hits: 0 },
+            Player { me: 0, volleys, gap, next_serve: Some(Round::ONE), hits: 0 },
             Player { me: 1, volleys, gap, next_serve: None, hits: 0 },
         ]
     }
@@ -75,7 +75,7 @@ fn fast_forward_is_metric_equivalent_to_dense_execution() {
     let large =
         run(Player::pair(5, 1_000_000), NoFailures, RunConfig::new(0, u64::MAX - 1)).unwrap();
     assert_eq!(small.metrics.messages, large.metrics.messages);
-    assert!(large.metrics.rounds > 1_000_000, "gaps must count toward time");
+    assert!(large.metrics.rounds > 1_000_000u64, "gaps must count toward time");
 }
 
 /// A protocol that tries to perform two units in one round must be caught
@@ -126,7 +126,7 @@ fn self_addressed_messages_are_delivered_next_round() {
     }
     let report =
         run(vec![Echoist { sent: false, got: false }], NoFailures, RunConfig::new(0, 10)).unwrap();
-    assert_eq!(report.metrics.rounds, 2);
+    assert_eq!(report.metrics.rounds, 2u64);
     assert_eq!(report.metrics.messages, 1);
 }
 
@@ -153,8 +153,8 @@ struct FireAt {
 }
 
 impl FireAt {
-    fn new(fire_at: Round) -> Self {
-        FireAt { fire_at, done: false }
+    fn new(fire_at: impl Into<Round>) -> Self {
+        FireAt { fire_at: fire_at.into(), done: false }
     }
 }
 
@@ -188,10 +188,10 @@ fn adversary_event_fires_on_a_round_where_no_process_wakes() {
         CrashSpec::silent(),
     );
     let report = run(vec![Reactive, Reactive], adv, RunConfig::new(0, 1_000)).unwrap();
-    assert_eq!(report.metrics.rounds, 60);
+    assert_eq!(report.metrics.rounds, 60u64);
     assert_eq!(report.metrics.crashes, 2);
-    assert_eq!(report.statuses[0], doall::sim::Status::Crashed(50));
-    assert_eq!(report.statuses[1], doall::sim::Status::Crashed(60));
+    assert_eq!(report.statuses[0], doall::sim::Status::Crashed(Round::new(50)));
+    assert_eq!(report.statuses[1], doall::sim::Status::Crashed(Round::new(60)));
     assert_eq!(report.survivor_count(), 0);
 }
 
@@ -200,13 +200,13 @@ fn wakeup_exactly_at_max_rounds_is_not_a_round_limit_error() {
     // A process whose only action is at round == max_rounds must still get
     // that round: the cap is inclusive.
     let report = run(vec![FireAt::new(500)], NoFailures, RunConfig::new(1, 500)).unwrap();
-    assert_eq!(report.metrics.rounds, 500);
+    assert_eq!(report.metrics.rounds, 500u64);
     assert_eq!(report.survivor_count(), 1);
     assert!(report.metrics.all_work_done());
 
     // One round later is out of budget.
     let err = run(vec![FireAt::new(501)], NoFailures, RunConfig::new(1, 500)).unwrap_err();
-    assert!(matches!(err, doall::sim::RunError::RoundLimit { limit: 500, .. }));
+    assert!(matches!(err, doall::sim::RunError::RoundLimit { limit, .. } if limit == 500u64));
 }
 
 #[test]
@@ -222,7 +222,7 @@ fn fast_forward_resumes_after_all_but_one_process_retires() {
     let mut procs: Vec<FireAt> = (0..t - 1).map(|_| FireAt::new(1)).collect();
     procs.push(FireAt::new(1_000_000));
     let report = run(procs, adv, RunConfig::new(1, 2_000_000)).unwrap();
-    assert_eq!(report.metrics.rounds, 1_000_000);
+    assert_eq!(report.metrics.rounds, 1_000_000u64);
     assert_eq!(report.metrics.crashes, (t - 1) as u32);
     assert_eq!(report.survivor_count(), 1);
     assert_eq!(report.survivors_iter().next(), Some(Pid::new(t - 1)));
@@ -247,7 +247,7 @@ fn crash_schedule_and_subset_delivery_compose() {
         fn step(&mut self, round: Round, _: Inbox<'_, Blast>, eff: &mut Effects<Blast>) {
             let others = (0..self.t).filter(|p| *p != self.me).map(Pid::new);
             eff.broadcast(others, Blast);
-            if round == 3 {
+            if round == 3u64 {
                 eff.terminate();
             }
         }
@@ -279,8 +279,8 @@ fn round_limit_reports_partial_metrics() {
     impl Protocol for Forever {
         type Msg = NoMsg;
         fn step(&mut self, round: Round, _: Inbox<'_, NoMsg>, eff: &mut Effects<NoMsg>) {
-            if round <= 3 {
-                eff.perform(Unit::new(round as usize));
+            if round <= 3u64 {
+                eff.perform(Unit::new(round.get() as usize));
             }
         }
         fn next_wakeup(&self, now: Round) -> Option<Round> {
@@ -289,7 +289,7 @@ fn round_limit_reports_partial_metrics() {
     }
     match run(vec![Forever], NoFailures, RunConfig::new(3, 50)) {
         Err(doall::sim::RunError::RoundLimit { limit, metrics }) => {
-            assert_eq!(limit, 50);
+            assert_eq!(limit, 50u64);
             assert_eq!(metrics.work_total, 3);
         }
         other => panic!("expected RoundLimit, got {other:?}"),
@@ -310,9 +310,9 @@ fn terminated_processes_stop_receiving() {
         fn step(&mut self, round: Round, _: Inbox<'_, Ping>, eff: &mut Effects<Ping>) {
             if self.me == 0 {
                 eff.terminate();
-            } else if round <= 3 {
+            } else if round <= 3u64 {
                 eff.send(Pid::new(0), Ping);
-                if round == 3 {
+                if round == 3u64 {
                     eff.terminate();
                 }
             }

@@ -154,3 +154,102 @@ proptest! {
         prop_assert_eq!(mk(), mk());
     }
 }
+
+/// Wide-clock arithmetic properties for [`Round`](doall::sim::Round),
+/// concentrated on the `u64`/`u128` boundary the PR-5 clock widening
+/// crossed: offsets are drawn so that sums regularly straddle `2^64`
+/// (where the old clock overflowed) and the `u128` saturation horizon.
+mod round_arithmetic {
+    use doall::sim::Round;
+    use proptest::prelude::*;
+
+    /// A base value that lands below, at, or above `2^64`, or near the
+    /// very top of the wide clock — the interesting neighbourhoods.
+    fn boundary_base() -> impl Strategy<Value = u128> {
+        (any::<u64>(), 0usize..4).prop_map(|(x, zone)| {
+            let x = u128::from(x);
+            match zone {
+                0 => x,                                           // 64-bit range
+                1 => (1u128 << 64).saturating_sub(x % 1_000_000), // just below 2^64
+                2 => (1u128 << 64) + x,                           // just above 2^64
+                _ => u128::MAX - (x % 1_000_000),                 // near the horizon
+            }
+        })
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+        /// `checked_add` is exact arithmetic or `None`, and
+        /// `saturating_add` agrees with it wherever it is defined —
+        /// pinning at the horizon where it is not.
+        #[test]
+        fn checked_and_saturating_agree(base in boundary_base(), d in any::<u64>()) {
+            let r = Round::new(base);
+            let d = u128::from(d);
+            match r.checked_add(d) {
+                Some(sum) => {
+                    prop_assert_eq!(sum.get(), base + d);
+                    prop_assert_eq!(r.saturating_add(d), sum);
+                }
+                None => {
+                    prop_assert!(base > u128::MAX - d, "checked_add refused a legal sum");
+                    prop_assert_eq!(r.saturating_add(d), Round::MAX);
+                }
+            }
+        }
+
+        /// The panicking `+` operators agree with `checked_add` on every
+        /// non-overflowing sum, for both `u64` and `u128` offsets.
+        #[test]
+        fn add_operators_match_checked(base in boundary_base(), d in any::<u64>()) {
+            let r = Round::new(base);
+            if base <= u128::MAX - u128::from(d) {
+                prop_assert_eq!(r + d, Round::new(base + u128::from(d)));
+                prop_assert_eq!(r + u128::from(d), Round::new(base + u128::from(d)));
+                // Round-trip through subtraction recovers the offset.
+                prop_assert_eq!((r + d) - r, u128::from(d));
+            }
+        }
+
+        /// Crossing the old clock's edge is ordinary arithmetic now:
+        /// `u64::MAX`-anchored rounds advance into the wide range with
+        /// ordering, comparisons, and distance all consistent.
+        #[test]
+        fn u64_horizon_is_not_an_edge(d in 1u64..1_000_000) {
+            let edge = Round::from(u64::MAX);
+            let beyond = edge + d;
+            prop_assert!(beyond > edge);
+            prop_assert!(beyond > u64::MAX);
+            prop_assert_eq!(beyond - edge, u128::from(d));
+            prop_assert_eq!(beyond.get(), u128::from(u64::MAX) + u128::from(d));
+            // saturating_sub floors at zero in the other direction.
+            prop_assert_eq!(edge.saturating_sub(beyond), 0);
+        }
+
+        /// Mixed-width comparisons are coherent: `Round` vs `u64` and
+        /// `Round` vs `u128` order exactly as the underlying values.
+        #[test]
+        fn mixed_width_comparisons(base in boundary_base(), x in any::<u64>()) {
+            let r = Round::new(base);
+            prop_assert_eq!(r == x, base == u128::from(x));
+            prop_assert_eq!(r < x, base < u128::from(x));
+            prop_assert_eq!(x < r, u128::from(x) < base);
+            prop_assert_eq!(r == base, true);
+            prop_assert_eq!(r <= base, true);
+            // From<u64> is lossless and ordering-preserving.
+            prop_assert_eq!(Round::from(x).get(), u128::from(x));
+            prop_assert_eq!(Round::from(x) <= Round::from(u64::MAX), true);
+        }
+
+        /// The horizon is absorbing for saturating arithmetic and ordered
+        /// above every other round.
+        #[test]
+        fn horizon_is_absorbing(base in boundary_base(), d in any::<u64>()) {
+            prop_assert_eq!(Round::MAX.saturating_add(u128::from(d)), Round::MAX);
+            let r = Round::new(base);
+            prop_assert!(r <= Round::MAX);
+            prop_assert_eq!(r.saturating_add(u128::MAX), Round::MAX);
+        }
+    }
+}

@@ -80,5 +80,5 @@ fn message_complexity_separation_is_visible_at_scale() {
     .unwrap();
     assert!(c.metrics.all_work_done());
     assert!(c.metrics.messages <= theorems::protocol_c(n, t).messages);
-    assert!(c.metrics.rounds > 1 << 50, "the exponential wait really happened");
+    assert!(c.metrics.rounds > 1u128 << 50, "the exponential wait really happened");
 }
