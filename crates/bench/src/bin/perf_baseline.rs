@@ -170,6 +170,18 @@ fn async_cells(smoke: bool) -> Vec<Measurement> {
         measure_async("async/protocol_b", 64, 16, &ff, cfg(64), iters, true, || {
             AsyncProtocolB::processes(64, 16).unwrap()
         }),
+        // Fault-catalog cell: crash-recovery on the event-driven plane
+        // (revival scheduling, detector replay, dead-lettered downtime).
+        measure_async(
+            "fault_async/recovery_b",
+            64,
+            16,
+            &AsyncScenario::CrashRecovery { pid: 0, at: 9, downtime: 40, wipe: false },
+            cfg(64),
+            iters,
+            true,
+            || AsyncProtocolB::processes(64, 16).unwrap(),
+        ),
     ];
     if !smoke {
         // Storm shapes: one active process span-broadcasting its way
@@ -257,6 +269,22 @@ fn cells(smoke: bool) -> Vec<Measurement> {
             || ProtocolB::processes(n_of(t_big), t_big).unwrap(),
         ),
     ];
+    // Fault-catalog cells: the beyond-fail-stop models under the timer.
+    // Always on (smoke and full share the shapes), so the CI --compare
+    // gate gets a deterministic message count and a timing reference for
+    // the omission filter, the degraded wrapper, and the revival path.
+    let omit = Scenario::Omission { pid: 0, send: true, from: 1, rounds: 8 };
+    out.push(measure("fault/omit_send_b", 64, 16, &omit, iters, || {
+        ProtocolB::processes(64, 16).unwrap()
+    }));
+    let slow = Scenario::Slowdown { pid: 0, from: 2, factor: 4, rounds: 32 };
+    out.push(measure("fault/slowdown_b", 64, 16, &slow, iters, || {
+        slow.fault_plan().wrap(ProtocolB::processes(64, 16).unwrap())
+    }));
+    let recover = Scenario::CrashRecovery { pid: 0, round: 3, downtime: 16, wipe: false };
+    out.push(measure("fault/recovery_b", 64, 16, &recover, iters, || {
+        ProtocolB::processes(64, 16).unwrap()
+    }));
     // Sparse-jump cells (PR 5): the wide virtual-time clock under load.
     // The deep-idle cell simulates a run that *ends at round 2^100* —
     // ~10^30 rounds crossed in a single O(1) fast-forward jump after the

@@ -22,7 +22,8 @@ use doall_core::{
     ProtocolC, ProtocolD, ReplicateAll,
 };
 use doall_sim::asynch::{run_async, AsyncConfig, AsyncProtocol, DelayDist};
-use doall_sim::{run, Metrics, NoFailures, Protocol, Round, RunConfig};
+use doall_sim::invariants::{check_degraded_rate, check_recovery_silence};
+use doall_sim::{run, Metrics, NoFailures, Pid, Protocol, Report, Round, RunConfig};
 use doall_workload::{AsyncScenario, Scenario};
 
 use crate::sweep;
@@ -985,12 +986,174 @@ pub fn e14() -> Outcome {
     }
 }
 
+/// Runs one fault-catalog cell: wraps the processes with the scenario's
+/// [`FaultPlan`] (slowdown windows are wrapper-enforced), drives the same
+/// plan as the adversary, and returns the traced report.
+fn run_fault_cell<P: Protocol>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Report
+where
+    P::Msg: 'static,
+{
+    let plan = scenario.fault_plan();
+    run(
+        plan.wrap(procs),
+        scenario.adversary::<P::Msg>(),
+        RunConfig::new(n as usize, Round::MAX).with_trace(),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()))
+}
+
+/// The e15 fault catalog: two crash-recovery flavours (stale and wiped
+/// restart), a quarter-speed degradation window, and one omission window
+/// per direction.
+fn fault_catalog_scenarios() -> Vec<Scenario> {
+    vec![
+        Scenario::CrashRecovery { pid: 0, round: 3, downtime: 5, wipe: false },
+        Scenario::CrashRecovery { pid: 0, round: 2, downtime: 8, wipe: true },
+        Scenario::Slowdown { pid: 0, from: 2, factor: 4, rounds: 16 },
+        Scenario::Omission { pid: 0, send: true, from: 1, rounds: 6 },
+        Scenario::Omission { pid: 1, send: false, from: 2, rounds: 6 },
+    ]
+}
+
+/// The exact (32, 16) reference counts for every e15 catalog cell —
+/// `(work, msgs, rounds, omissions, recoveries)` — derived by running the
+/// cells once and transcribing the metrics (EXPERIMENTS.md §e15). The
+/// scenario index matches [`fault_catalog_scenarios`] order.
+/// One pinned e15 cell: `(protocol, scenario index, (work, msgs, rounds,
+/// omissions, recoveries))`.
+type E15Pin = (&'static str, usize, (u64, u64, u64, u64, u64));
+
+static E15_EXPECTED: &[E15Pin] = &[
+    ("A", 0, (32, 132, 76, 0, 1)),
+    ("A", 1, (34, 132, 81, 0, 1)),
+    ("A", 2, (32, 132, 84, 0, 0)),
+    ("A", 3, (32, 126, 72, 6, 0)),
+    ("A", 4, (32, 132, 72, 2, 0)),
+    ("B", 0, (62, 238, 77, 0, 1)),
+    ("B", 1, (66, 238, 81, 0, 1)),
+    ("B", 2, (64, 238, 84, 0, 0)),
+    ("B", 3, (64, 232, 75, 6, 0)),
+    ("B", 4, (64, 236, 75, 2, 0)),
+];
+
+/// E15 — beyond fail-stop: the named-fault catalog's crash-recovery,
+/// slowdown, and omission models on Protocols A and B, swept up to
+/// `t = 1024`. Every cell is invariant-checked (all `n` tasks performed,
+/// no activity during a victim's downtime, a degraded process never acts
+/// faster than its rated factor), and every `(32, 16)` cell is pinned to
+/// exact transcribed counts — recovery, degradation, and omission are
+/// deterministic, so any drift is a semantics change, not noise.
+pub fn e15() -> Outcome {
+    let mut table =
+        Table::new(["n", "t", "protocol", "scenario", "work", "msgs", "om/rec", "checks"]);
+    let mut pass = true;
+
+    let mut cells: Vec<(u64, u64, &'static str, usize, Scenario)> = Vec::new();
+    for (n, t) in [(32u64, 16u64), (256, 64), (2_048, 1_024)] {
+        for (si, scenario) in fault_catalog_scenarios().into_iter().enumerate() {
+            for proto in ["A", "B"] {
+                cells.push((n, t, proto, si, scenario.clone()));
+            }
+        }
+    }
+    let rows = sweep::map_cells(cells, |_, (n, t, proto, si, scenario)| {
+        let report = match *proto {
+            "A" => run_fault_cell(ProtocolA::processes(*n, *t).unwrap(), scenario, *n),
+            "B" => run_fault_cell(ProtocolB::processes(*n, *t).unwrap(), scenario, *n),
+            other => unreachable!("unknown protocol {other}"),
+        };
+        let m = &report.metrics;
+        let mut ok = true;
+        let mut checks: Vec<&'static str> = Vec::new();
+        if m.all_work_done() {
+            checks.push("done");
+        } else {
+            ok = false;
+            checks.push("INCOMPLETE");
+        }
+        if check_recovery_silence(&report.trace).is_empty() {
+            checks.push("silent-downtime");
+        } else {
+            ok = false;
+            checks.push("DOWNTIME-ACTIVITY");
+        }
+        if let Scenario::Slowdown { pid, from, factor, rounds } = scenario {
+            let until = Round::new(u128::from(from + rounds));
+            let rate = check_degraded_rate(
+                &report.trace,
+                Pid::new(*pid as usize),
+                Round::new(u128::from(*from)),
+                until,
+                *factor,
+            );
+            if rate.is_empty() {
+                checks.push("rate<=1/factor");
+            } else {
+                ok = false;
+                checks.push("RATE-VIOLATION");
+            }
+        }
+        if *n == 32 {
+            let (_, _, exp) = E15_EXPECTED
+                .iter()
+                .find(|(p, s, _)| p == proto && s == si)
+                .expect("every (32,16) cell is pinned");
+            let got = (m.work_total, m.messages, m.rounds, m.omissions, m.recoveries);
+            let want = (exp.0, exp.1, Round::from(exp.2), exp.3, exp.4 as u32);
+            if got == want {
+                checks.push("exact");
+            } else {
+                ok = false;
+                checks.push("DRIFTED");
+            }
+        }
+        let row = [
+            n.to_string(),
+            t.to_string(),
+            proto.to_string(),
+            scenario.label(),
+            m.work_total.to_string(),
+            m.messages.to_string(),
+            format!("{}/{}", m.omissions, m.recoveries),
+            checks.join(","),
+        ];
+        (row, ok)
+    });
+    for (row, ok) in rows {
+        pass &= ok;
+        table.row(row);
+    }
+
+    Outcome {
+        id: "e15",
+        claim: "fault catalog beyond fail-stop: crash-recovery (stale/wiped), slowdown, and omission on A and B up to t = 1024 complete all n tasks under invariant checks, with every (32,16) cell pinned to exact counts",
+        rendered: table.render(),
+        pass,
+    }
+}
+
 /// Every experiment, in order. Runs them sequentially: the grids *inside*
 /// each experiment already fan out across all sweep workers, and nesting
 /// a second level of parallelism on top would multiply the thread count
 /// past the core count instead of speeding anything up.
 pub fn all() -> Vec<Outcome> {
-    vec![e1(), e2(), e3(), e4(), e5(), e6(), e7(), e8(), e9(), e10(), e11(), e12(), e13(), e14()]
+    vec![
+        e1(),
+        e2(),
+        e3(),
+        e4(),
+        e5(),
+        e6(),
+        e7(),
+        e8(),
+        e9(),
+        e10(),
+        e11(),
+        e12(),
+        e13(),
+        e14(),
+        e15(),
+    ]
 }
 
 /// Runs one experiment by id.
@@ -1010,6 +1173,7 @@ pub fn by_id(id: &str) -> Option<Outcome> {
         "e12" => Some(e12()),
         "e13" => Some(e13()),
         "e14" => Some(e14()),
+        "e15" => Some(e15()),
         _ => None,
     }
 }

@@ -170,6 +170,36 @@ impl AsyncProtocol for AsyncProtocolA {
     fn on_tick(&mut self, eff: &mut AsyncEffects<AbMsg>) {
         advance_schedule(&mut self.state, self.params, self.j, eff);
     }
+
+    fn on_recover(&mut self, wipe: bool, eff: &mut AsyncEffects<AbMsg>) {
+        eff.note("rejoin");
+        if wipe {
+            self.state = AsyncState::Passive;
+            self.last = LastOrdinary::Fictitious;
+            self.retired.clear();
+            self.retired_below = 0;
+            if self.j == 0 {
+                self.activate(eff);
+            }
+            // j > 0 waits: the detector replays past retirements to a
+            // recovered process, so activation re-triggers via
+            // on_retirement once the replayed notices land.
+        } else {
+            match self.state {
+                // The crash severed the tick chain driving the schedule;
+                // splice it back.
+                AsyncState::Active { .. } => eff.continue_later(),
+                // The crash preempted a same-invocation termination; the
+                // work is done, so retire for real now.
+                AsyncState::Done => eff.terminate(),
+                AsyncState::Passive => {
+                    if self.all_lower_retired() {
+                        self.activate(eff);
+                    }
+                }
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -157,6 +157,30 @@ impl AsyncProtocol for AsyncProtocolB {
     fn on_tick(&mut self, eff: &mut AsyncEffects<AbMsg>) {
         advance_schedule(&mut self.state, self.params, self.j, eff);
     }
+
+    fn on_recover(&mut self, wipe: bool, eff: &mut AsyncEffects<AbMsg>) {
+        eff.note("rejoin");
+        if wipe {
+            self.state = AsyncState::Passive;
+            self.last = LastOrdinary::Fictitious;
+            self.reported.clear();
+            self.inferred_below = 0;
+            self.known_below = 0;
+            // Re-learn retirements from the detector's replay (and any
+            // later checkpoints); p0 needs no predecessors at all.
+            self.maybe_activate(eff);
+        } else {
+            match self.state {
+                // The crash severed the tick chain driving the schedule;
+                // splice it back.
+                AsyncState::Active { .. } => eff.continue_later(),
+                // The crash preempted a same-invocation termination; the
+                // work is done, so retire for real now.
+                AsyncState::Done => eff.terminate(),
+                AsyncState::Passive => self.maybe_activate(eff),
+            }
+        }
+    }
 }
 
 #[cfg(test)]

@@ -45,13 +45,23 @@ pub struct ProtocolA {
     j: u64,
     state: AState,
     last: LastOrdinary,
+    /// Set by a stale crash-recovery that found the state already
+    /// [`AState::Done`]: the crash preempted the final step's terminate,
+    /// so the next step must retire for real.
+    retire_next_step: bool,
 }
 
 impl ProtocolA {
     /// Creates process `j` of a `(n, t)` system.
     pub fn new(params: AbParams, j: u64) -> Self {
         debug_assert!(j < params.t);
-        ProtocolA { params, j, state: AState::Passive, last: LastOrdinary::Fictitious }
+        ProtocolA {
+            params,
+            j,
+            state: AState::Passive,
+            last: LastOrdinary::Fictitious,
+            retire_next_step: false,
+        }
     }
 
     /// Creates the full vector of `t` processes for `n` units of work.
@@ -114,6 +124,11 @@ impl Protocol for ProtocolA {
     type Msg = AbMsg;
 
     fn step(&mut self, round: Round, inbox: Inbox<'_, AbMsg>, eff: &mut Effects<AbMsg>) {
+        if self.retire_next_step {
+            self.retire_next_step = false;
+            eff.terminate();
+            return;
+        }
         match &mut self.state {
             AState::Done => {}
             AState::Active { ops } => {
@@ -142,11 +157,33 @@ impl Protocol for ProtocolA {
     }
 
     fn next_wakeup(&self, now: Round) -> Option<Round> {
+        if self.retire_next_step {
+            return Some(now);
+        }
         match self.state {
             AState::Passive => Some(self.deadline().max(Round::ONE).max(now)),
             AState::Active { .. } => Some(now),
             AState::Done => None,
         }
+    }
+
+    fn on_recover(&mut self, _round: Round, wipe: bool) {
+        if wipe {
+            // Back to the initial configuration: wait out DD(j) again (it
+            // has usually passed, so the next step re-activates) and redo
+            // from the fictitious view. Safe — rejoining can only repeat
+            // work, never lose a checkpointed unit.
+            self.state = AState::Passive;
+            self.last = LastOrdinary::Fictitious;
+            self.retire_next_step = false;
+        } else if matches!(self.state, AState::Done) {
+            // The crash preempted the final step's terminate: retire for
+            // real on the next step (the work really was completed).
+            self.retire_next_step = true;
+        }
+        // Other stale state needs no adjustment: a passive process re-arms
+        // its (long-past) deadline and takes over from its last checkpoint
+        // view; an active one resumes its remaining schedule.
     }
 }
 

@@ -68,6 +68,11 @@ pub struct ProtocolB {
     /// Round at which the last ordinary message was received (`r'`); 0 for
     /// the fictitious initial message.
     last_round: Round,
+    /// Set on a stale crash-recovery when this process already knows all
+    /// work is done: its terminal message may have been lost during the
+    /// downtime and no one will ever send again, so retire at the next
+    /// step instead of waiting forever.
+    retire_next_step: bool,
 }
 
 impl ProtocolB {
@@ -81,6 +86,7 @@ impl ProtocolB {
             last: LastOrdinary::Fictitious,
             last_sender: 0,
             last_round: Round::ZERO,
+            retire_next_step: false,
         }
     }
 
@@ -164,6 +170,15 @@ impl Protocol for ProtocolB {
     type Msg = AbMsg;
 
     fn step(&mut self, round: Round, inbox: Inbox<'_, AbMsg>, eff: &mut Effects<AbMsg>) {
+        if self.retire_next_step {
+            // Post-recovery retirement: all work was provably done before
+            // the crash; the terminal message may be unrepeatable (and when
+            // the crash preempted our own terminate, unrepeated by us).
+            self.retire_next_step = false;
+            eff.terminate();
+            self.state = BState::Done;
+            return;
+        }
         if matches!(self.state, BState::Done) {
             return;
         }
@@ -227,6 +242,9 @@ impl Protocol for ProtocolB {
     }
 
     fn next_wakeup(&self, now: Round) -> Option<Round> {
+        if self.retire_next_step {
+            return Some(now);
+        }
         match self.state {
             BState::Done => None,
             BState::Active { .. } => Some(now),
@@ -247,6 +265,32 @@ impl Protocol for ProtocolB {
                 Some(entry + elapsed.div_ceil(p) * p)
             }
         }
+    }
+
+    fn on_recover(&mut self, _round: Round, wipe: bool) {
+        if wipe {
+            // Full reset to the initial configuration: the fictitious
+            // message from process 0 at round 0 re-arms DDB, which has
+            // usually long passed — the next step goes preactive and the
+            // go-ahead polling re-integrates the process safely.
+            self.state = BState::Passive;
+            self.last = LastOrdinary::Fictitious;
+            self.last_sender = 0;
+            self.last_round = Round::ZERO;
+            self.retire_next_step = false;
+        } else if matches!(self.state, BState::Done) {
+            // The crash preempted the step that reached `Done`: the engine
+            // recorded the crash instead of our terminate, so retire again.
+            self.retire_next_step = true;
+        } else if self.knows_all_work_done() {
+            // Stale state already proves all n units performed; the only
+            // thing the downtime can have cost us is the terminal message,
+            // which nobody will resend. Retire instead of waiting for it.
+            self.retire_next_step = true;
+        }
+        // Other stale states need no adjustment: a passed deadline sends
+        // the process into its preactive polling phase, whose go-aheads
+        // either wake a live lower process or license a safe takeover.
     }
 }
 

@@ -136,6 +136,20 @@ impl Protocol for Lockstep {
             Some(self.deadline().max(Round::ONE).max(now))
         }
     }
+
+    fn on_recover(&mut self, _round: Round, wipe: bool) {
+        if wipe {
+            self.known = 0;
+            self.active = None;
+            self.done = false;
+        } else if self.done {
+            // The crash preempted the step that set `done`: the engine
+            // recorded the crash instead of our terminate. `known == n`
+            // still holds, so the next step re-derives the retirement.
+            self.done = false;
+            self.active = None;
+        }
+    }
 }
 
 #[cfg(test)]

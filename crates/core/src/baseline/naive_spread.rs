@@ -73,6 +73,10 @@ pub struct NaiveSpread {
     /// Highest prefix of units known complete.
     known: u64,
     state: SState,
+    /// Set by a stale crash-recovery that found the state already
+    /// [`SState::Done`]: the crash preempted the final step's terminate,
+    /// so the next step must retire for real.
+    retire_next_step: bool,
 }
 
 impl NaiveSpread {
@@ -99,7 +103,7 @@ impl NaiveSpread {
                 } else {
                     SState::Passive { deadline: Round::from(deadline_d(n, t, j, 0)) }
                 };
-                NaiveSpread { n, t, j, known: 0, state }
+                NaiveSpread { n, t, j, known: 0, state, retire_next_step: false }
             })
             .collect())
     }
@@ -127,6 +131,15 @@ impl Protocol for NaiveSpread {
     type Msg = SpreadMsg;
 
     fn step(&mut self, round: Round, inbox: Inbox<'_, SpreadMsg>, eff: &mut Effects<SpreadMsg>) {
+        if self.retire_next_step {
+            // Post-recovery retirement: the crash preempted the step that
+            // reached `Done`, so the engine never saw our terminate — and
+            // a `Finished` that triggered it will never be resent.
+            self.retire_next_step = false;
+            eff.terminate();
+            self.state = SState::Done;
+            return;
+        }
         if matches!(self.state, SState::Done) {
             return;
         }
@@ -187,10 +200,27 @@ impl Protocol for NaiveSpread {
     }
 
     fn next_wakeup(&self, now: Round) -> Option<Round> {
+        if self.retire_next_step {
+            return Some(now);
+        }
         match self.state {
             SState::Done => None,
             SState::Active { .. } => Some(now),
             SState::Passive { deadline } => Some(deadline.max(now)),
+        }
+    }
+
+    fn on_recover(&mut self, _round: Round, wipe: bool) {
+        if wipe {
+            self.known = 0;
+            self.state = if self.j == 0 {
+                SState::Active { phase: Phase::Work }
+            } else {
+                SState::Passive { deadline: Round::from(deadline_d(self.n, self.t, self.j, 0)) }
+            };
+            self.retire_next_step = false;
+        } else if matches!(self.state, SState::Done) {
+            self.retire_next_step = true;
         }
     }
 }

@@ -64,6 +64,14 @@ impl Protocol for ReplicateAll {
     fn next_wakeup(&self, now: Round) -> Option<Round> {
         Some(now)
     }
+
+    fn on_recover(&mut self, _round: Round, wipe: bool) {
+        if wipe {
+            // Start over from unit 1; stale state needs nothing — the next
+            // step re-performs `next` (and re-terminates when `next == n`).
+            self.next = 1;
+        }
+    }
 }
 
 #[cfg(test)]

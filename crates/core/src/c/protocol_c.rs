@@ -54,6 +54,10 @@ pub struct ProtocolC {
     view: View,
     state: CState,
     units_since_report: u64,
+    /// Set by a stale crash-recovery that found the state already
+    /// [`CState::Done`]: the crash preempted the final step's terminate,
+    /// so the next step must retire for real.
+    retire_next_step: bool,
 }
 
 impl ProtocolC {
@@ -74,6 +78,7 @@ impl ProtocolC {
             view: View::initial(groups, j),
             state,
             units_since_report: 0,
+            retire_next_step: false,
         }
     }
 
@@ -236,6 +241,14 @@ impl Protocol for ProtocolC {
     type Msg = CMsg;
 
     fn step(&mut self, round: Round, inbox: Inbox<'_, CMsg>, eff: &mut Effects<CMsg>) {
+        if self.retire_next_step {
+            // Post-recovery retirement: the crash preempted the step that
+            // reached `Done`, so the engine never saw our terminate.
+            self.retire_next_step = false;
+            eff.terminate();
+            self.state = CState::Done;
+            return;
+        }
         if matches!(self.state, CState::Done) {
             return;
         }
@@ -291,12 +304,31 @@ impl Protocol for ProtocolC {
     }
 
     fn next_wakeup(&self, now: Round) -> Option<Round> {
+        if self.retire_next_step {
+            return Some(now);
+        }
         match self.state {
             CState::Done => None,
             CState::Passive { deadline } => Some(deadline.max(now)),
             CState::DetectWait { sent_at, .. } => Some((sent_at + 2u64).max(now)),
             _ => Some(now),
         }
+    }
+
+    fn on_recover(&mut self, _round: Round, wipe: bool) {
+        if wipe {
+            // Full reset to the initial configuration. The initial deadline
+            // has usually long passed, so the next step goes active and the
+            // `Are you alive?` sweep re-integrates the process safely.
+            *self = ProtocolC::new(self.params, self.j);
+        } else if matches!(self.state, CState::Done) {
+            // The crash preempted the step that reached `Done`: the engine
+            // recorded the crash instead of our terminate, so retire again.
+            self.retire_next_step = true;
+        }
+        // Other stale states need no adjustment: a passed deadline simply
+        // activates the process, whose fault-detection sweep resynchronises
+        // its view before it performs any work.
     }
 }
 

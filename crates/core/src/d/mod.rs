@@ -163,6 +163,10 @@ pub struct ProtocolD {
     /// Set once a coordinator failure forces this process back to the
     /// broadcast agreement (one-way, for all later phases).
     fell_back_to_broadcast: bool,
+    /// Set by a stale crash-recovery that found the state already
+    /// [`DState::Done`]: the crash preempted the final step's terminate,
+    /// so the next step must retire for real.
+    retire_next_step: bool,
     state: DState,
 }
 
@@ -184,6 +188,7 @@ impl ProtocolD {
             phase: 0,
             coordinated: false,
             fell_back_to_broadcast: false,
+            retire_next_step: false,
             state: DState::Done,
         };
         d.state = d.build_work_phase();
@@ -485,6 +490,11 @@ impl Protocol for ProtocolD {
     type Msg = DMsg;
 
     fn step(&mut self, round: Round, inbox: Inbox<'_, DMsg>, eff: &mut Effects<DMsg>) {
+        if self.retire_next_step {
+            self.retire_next_step = false;
+            eff.terminate();
+            return;
+        }
         match &mut self.state {
             DState::Done => {}
             DState::Work { queue, rounds_left } => {
@@ -518,11 +528,29 @@ impl Protocol for ProtocolD {
     }
 
     fn next_wakeup(&self, now: Round) -> Option<Round> {
+        if self.retire_next_step {
+            return Some(now);
+        }
         match &self.state {
             DState::Done => None,
             DState::Fallback(machine) => machine.next_wakeup(now),
             _ => Some(now),
         }
+    }
+
+    fn on_recover(&mut self, _round: Round, wipe: bool) {
+        if wipe {
+            let coordinated = self.coordinated;
+            *self = ProtocolD::new(self.n, self.t, self.j);
+            self.coordinated = coordinated;
+        } else if matches!(self.state, DState::Done) {
+            // The crash preempted the final step's terminate; the decision
+            // stands (S was empty), so retire for real on the next step.
+            self.retire_next_step = true;
+        }
+        // Any other stale state just resumes: agreement re-stabilizes on
+        // whoever still answers, and a lapsed coordinator follower times
+        // out into the broadcast exchange.
     }
 }
 

@@ -1,4 +1,4 @@
-//! Crash-failure adversaries.
+//! Fault adversaries: fail-stop crashes, crash-recovery, and omission.
 //!
 //! The paper's bounds are worst-case over all crash schedules in which a
 //! process may fail at any moment — in particular *in the middle of a
@@ -7,6 +7,15 @@
 //! each executed round, after a process has chosen its actions but before
 //! they take effect, the adversary decides whether the process survives the
 //! round, and if not, which of its outgoing messages escape.
+//!
+//! Beyond the paper's fail-stop model, the same interception point carries
+//! the richer fault vocabulary of [`Fate`]: [`Fate::Omit`] suppresses a
+//! subset of one step's outgoing messages while the process lives on, and
+//! [`Fate::CrashRecover`] schedules the victim to restart after a downtime.
+//! Receive-side omission uses the separate
+//! [`omits_delivery`](Adversary::omits_delivery) hook, consulted at
+//! delivery time. The catalog layer in [`faults`](crate::faults) composes
+//! all of these from named [`FaultKind`](crate::FaultKind)s.
 
 use std::collections::BTreeMap;
 use std::collections::BTreeSet;
@@ -17,13 +26,39 @@ use rand::{Rng, SeedableRng};
 use crate::effects::Effects;
 use crate::ids::{Pid, Round};
 
-/// What happens to a process's actions in one round.
+/// What happens to a process's actions in one atomic step (a synchronous
+/// round, or one asynchronous handler invocation).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Fate {
-    /// The process survives the round; all effects are applied.
+    /// The process survives the step; all effects are applied.
     Survive,
-    /// The process crashes during this round.
+    /// The process crashes during this step and never returns.
     Crash(CrashSpec),
+    /// The process survives, but only the outgoing messages the filter
+    /// lets through actually leave; the rest are silently dropped
+    /// (send-omission). Work, notes, and termination all still apply, and
+    /// suppressed messages count toward
+    /// [`Metrics::omissions`](crate::Metrics::omissions), not
+    /// [`Metrics::messages`](crate::Metrics::messages).
+    Omit(Deliver),
+    /// The process crashes exactly as with [`Fate::Crash`], but restarts
+    /// `downtime` steps later (at least one): the engine re-marks it alive,
+    /// calls the protocol's recovery hook, and traces an
+    /// [`Event::Recover`](crate::Event::Recover). With `wipe`, the
+    /// protocol resets to its initial state; otherwise it resumes from the
+    /// state it crashed with (stale — it has seen none of the traffic
+    /// delivered while it was down).
+    CrashRecover {
+        /// How the crash itself unfolds (delivery filter + work
+        /// accounting), identical to [`Fate::Crash`]'s spec.
+        spec: CrashSpec,
+        /// Steps (rounds or time units) until the restart; clamped to a
+        /// minimum of 1 so a "recovery" can never happen within the
+        /// crashing step itself.
+        downtime: u64,
+        /// Whether the restart loses all protocol state.
+        wipe: bool,
+    },
 }
 
 /// Fine-grained description of a mid-round crash.
@@ -128,13 +163,28 @@ impl<'a> AdversaryCtx<'a> {
     }
 }
 
-/// A crash-failure adversary.
+/// A fault adversary for the synchronous plane.
 ///
 /// Implementations decide, per stepped process, whether the process
 /// survives the round. They see the process's proposed [`Effects`] — so
 /// they can crash a process precisely when it performs its `k`-th unit of
 /// work, or split a particular broadcast — and the set of still-alive
 /// processes.
+///
+/// # Shared fault contract (synchronous and asynchronous planes)
+///
+/// Both this trait and
+/// [`AsyncAdversary`](crate::asynch::AsyncAdversary) rule once per
+/// **atomic step** — a round here, a handler invocation there — and every
+/// verdict means the same thing on both planes: the [`Deliver`] filter in
+/// a [`Fate::Crash`], [`Fate::Omit`], or [`Fate::CrashRecover`] applies to
+/// *that step's* outgoing messages, indexed **in send order** (`Prefix`
+/// truncates at a message boundary, `Subset` selects recipients), and
+/// `count_work` decides whether the step's work units count. Downtimes and
+/// omission windows are measured in the plane's own clock (rounds vs.
+/// event timestamps). Receive-side omission is symmetric too:
+/// [`omits_delivery`](Adversary::omits_delivery) is consulted once per
+/// (message, recipient) at the moment of delivery.
 ///
 /// # Interception contract
 ///
@@ -169,6 +219,26 @@ pub trait Adversary<M> {
     fn next_event(&self, _now: Round) -> Option<Round> {
         None
     }
+
+    /// Whether this adversary may suppress deliveries (receive-side
+    /// omission). The engine only pays the per-delivery
+    /// [`omits_delivery`](Adversary::omits_delivery) consultation when
+    /// this returns `true`; the default `false` keeps the fault-free
+    /// delivery path untouched.
+    fn filters_deliveries(&self) -> bool {
+        false
+    }
+
+    /// Receive-side omission: whether the message from `from` to `to`,
+    /// about to be delivered at round `now`, is dropped before `to` sees
+    /// it. Consulted exactly once per (message, recipient) and only when
+    /// [`filters_deliveries`](Adversary::filters_deliveries) is `true`;
+    /// dropped messages count toward
+    /// [`Metrics::omissions`](crate::Metrics::omissions) (they were sent,
+    /// so they remain in `messages`, but they are not dead letters).
+    fn omits_delivery(&mut self, _now: Round, _from: Pid, _to: Pid) -> bool {
+        false
+    }
 }
 
 impl<M> Adversary<M> for Box<dyn Adversary<M>> {
@@ -184,6 +254,14 @@ impl<M> Adversary<M> for Box<dyn Adversary<M>> {
 
     fn next_event(&self, now: Round) -> Option<Round> {
         (**self).next_event(now)
+    }
+
+    fn filters_deliveries(&self) -> bool {
+        (**self).filters_deliveries()
+    }
+
+    fn omits_delivery(&mut self, now: Round, from: Pid, to: Pid) -> bool {
+        (**self).omits_delivery(now, from, to)
     }
 }
 

@@ -1,4 +1,5 @@
-//! Crash-failure adversaries for the asynchronous plane.
+//! Fault adversaries for the asynchronous plane: crashes, recovery, and
+//! omission.
 //!
 //! The synchronous [`Adversary`](crate::Adversary) rules on a process's
 //! fate once per *round*; its asynchronous counterpart rules once per
@@ -9,6 +10,14 @@
 //! messages in send order, exactly as the round engine applies it
 //! (`Prefix` truncates at the message boundary, `Subset` selects
 //! recipients, and suppressed work is un-counted via `count_work`).
+//! Likewise [`Fate::Omit`] filters the invocation's sends while the
+//! process survives, [`Fate::CrashRecover`] schedules a restart after
+//! its downtime, and the receive-omission hooks
+//! ([`AsyncAdversary::filters_deliveries`] /
+//! [`AsyncAdversary::omits_delivery`]) are consulted once per `(message,
+//! recipient)` at delivery time — the shared fault contract documented on
+//! [`Adversary`](crate::Adversary). A [`FaultPlan`](crate::FaultPlan)
+//! implements this trait, so one named-fault schedule drives both planes.
 
 use std::collections::BTreeMap;
 
@@ -36,6 +45,38 @@ pub trait AsyncAdversary<M> {
         effects: &AsyncEffects<M>,
         ctx: AdversaryCtx<'_>,
     ) -> Fate;
+
+    /// Timestamps at which the adversary must be given a chance to act on
+    /// a process even if no event targets it — the asynchronous analogue
+    /// of [`Adversary::next_event`](crate::Adversary::next_event).
+    ///
+    /// The engine queries this once, before the run, and schedules an
+    /// injection event per `(time, pid)` pair: if the process is alive at
+    /// that time, a handler invocation with an empty inbox is dispatched
+    /// (and intercepted as usual), so time-based faults such as a
+    /// [`FaultPlan`](crate::FaultPlan) crash at `t = 5` strike even if the
+    /// victim is quiescent. The default is no scheduled events.
+    fn scheduled_events(&self) -> Vec<(Time, Pid)> {
+        Vec::new()
+    }
+
+    /// Whether the engine must consult
+    /// [`omits_delivery`](AsyncAdversary::omits_delivery) for every
+    /// delivery. Defaults to
+    /// `false`, which keeps the zero-fault delivery path branch-free.
+    fn filters_deliveries(&self) -> bool {
+        false
+    }
+
+    /// Receive-omission hook: `true` drops the message from `from` to
+    /// `to` whose delivery event fires at `now`, counting it in
+    /// [`Metrics::omissions`](crate::Metrics::omissions). Consulted once
+    /// per `(message, recipient)`, only when
+    /// [`filters_deliveries`](AsyncAdversary::filters_deliveries) is
+    /// `true`. Defaults to dropping nothing.
+    fn omits_delivery(&mut self, _now: Time, _from: Pid, _to: Pid) -> bool {
+        false
+    }
 }
 
 impl<M> AsyncAdversary<M> for Box<dyn AsyncAdversary<M>> {
@@ -48,6 +89,18 @@ impl<M> AsyncAdversary<M> for Box<dyn AsyncAdversary<M>> {
         ctx: AdversaryCtx<'_>,
     ) -> Fate {
         (**self).intercept(time, pid, invocation, effects, ctx)
+    }
+
+    fn scheduled_events(&self) -> Vec<(Time, Pid)> {
+        (**self).scheduled_events()
+    }
+
+    fn filters_deliveries(&self) -> bool {
+        (**self).filters_deliveries()
+    }
+
+    fn omits_delivery(&mut self, now: Time, from: Pid, to: Pid) -> bool {
+        (**self).omits_delivery(now, from, to)
     }
 }
 

@@ -39,10 +39,17 @@
 //!
 //! ## Fault injection
 //!
-//! Crashes come from a pluggable [`AsyncAdversary`] ruling per handler
-//! invocation with the synchronous plane's [`CrashSpec`](crate::CrashSpec)/
-//! [`Deliver`](crate::Deliver) vocabulary; the legacy `Vec<AsyncCrash>`
-//! remains usable as a thin adapter. With
+//! Faults come from a pluggable [`AsyncAdversary`] ruling per handler
+//! invocation with the synchronous plane's [`crate::Fate`] /
+//! [`crate::CrashSpec`] / [`crate::Deliver`]
+//! vocabulary — fail-stop crashes (possibly mid-broadcast), send omission
+//! ([`crate::Fate::Omit`]), receive omission
+//! ([`AsyncAdversary::omits_delivery`]), and crash-recovery
+//! ([`crate::Fate::CrashRecover`], which restarts the
+//! victim — stale or wiped — after its downtime via
+//! [`AsyncProtocol::on_recover`]); the legacy `Vec<AsyncCrash>` remains
+//! usable as a thin adapter and a [`FaultPlan`](crate::FaultPlan) drives
+//! named-fault schedules on both planes. With
 //! [`AsyncConfig::record_trace`] set, runs record a [`Trace`] whose events
 //! feed the ported invariant checkers (including
 //! [`check_detector_soundness`](crate::invariants::check_detector_soundness)).
@@ -255,14 +262,31 @@ pub trait AsyncProtocol {
 
     /// Invoked when the retirement detector reports that `retired` has
     /// crashed or terminated. Reports are sound and eventually complete,
-    /// but arbitrarily delayed; each retirement is reported exactly once
-    /// per observer.
+    /// but arbitrarily delayed; each retirement is reported once per
+    /// observer — except that the detector replays all past retirements
+    /// to a process that recovers from a crash (see
+    /// [`on_recover`](AsyncProtocol::on_recover)), so implementations
+    /// must treat repeated reports idempotently.
     fn on_retirement(&mut self, retired: Pid, eff: &mut AsyncEffects<Self::Msg>);
 
     /// Invoked after a previous handler called
     /// [`AsyncEffects::continue_later`]. Default: no-op.
     fn on_tick(&mut self, eff: &mut AsyncEffects<Self::Msg>) {
         let _ = eff;
+    }
+
+    /// Invoked when the engine restarts this process after a
+    /// [`Fate::CrashRecover`] downtime. With
+    /// `wipe`, the process lost all state and must reset to its initial
+    /// configuration; without it, the state is exactly what it was at the
+    /// crash (stale: every message delivered during the downtime was
+    /// lost). This is a full handler invocation — record sends, work or a
+    /// [`continue_later`](AsyncEffects::continue_later) on `eff` to
+    /// re-establish any tick chain the crash severed. The default keeps
+    /// the stale state and does nothing, which is safe for protocols whose
+    /// progress claims tolerate silent periods.
+    fn on_recover(&mut self, wipe: bool, eff: &mut AsyncEffects<Self::Msg>) {
+        let _ = (wipe, eff);
     }
 }
 
@@ -319,7 +343,7 @@ impl AsyncConfig {
 }
 
 /// Result of an asynchronous run.
-#[derive(Clone, Debug)]
+#[derive(Clone, Debug, PartialEq, Eq)]
 pub struct AsyncReport {
     /// Work / message counters (rounds field holds the final timestamp).
     pub metrics: Metrics,
@@ -463,6 +487,17 @@ where
     for pid in 0..t {
         queue.push(Time::ZERO, Ev::Start(Pid::new(pid)));
     }
+    // Adversary-scheduled injection points: handler-free invocations that
+    // let time-based faults strike quiescent processes (see
+    // [`AsyncAdversary::scheduled_events`]).
+    for (time, pid) in adversary.scheduled_events() {
+        if pid.index() < t {
+            queue.push(time, Ev::Inject(pid));
+        }
+    }
+    // Whether deliveries must be checked for receive omission; queried
+    // once so the zero-fault delivery path stays branch-predictable.
+    let filters = adversary.filters_deliveries();
 
     let mut arena: OpArena<P::Msg> = OpArena::new();
     let mut metrics = Metrics::new(cfg.n);
@@ -474,6 +509,10 @@ where
     // AdversaryCtx contract): alive[p] == !crashed[p] && !terminated[p].
     let mut alive = vec![true; t];
     let mut live = t;
+    // Crashed processes with a scheduled Revive event still pending: the
+    // run must not end (nor count as stalled) while one exists.
+    let mut reviving = vec![false; t];
+    let mut pending_revivals = 0usize;
     let mut invocations = vec![0u64; t];
     let mut notes: Vec<(Time, Pid, &'static str)> = Vec::new();
     let mut handled: u64 = 0;
@@ -530,6 +569,49 @@ where
                     procs[pid.index()].on_tick(&mut eff);
                     pid
                 }
+                Ev::Inject(pid) => {
+                    // Handler-free invocation: nothing runs, but the
+                    // adversary gets its interception point below.
+                    if !alive[pid.index()] {
+                        continue;
+                    }
+                    eff.reset();
+                    pid
+                }
+                Ev::Revive { pid, wipe } => {
+                    let idx = pid.index();
+                    if alive[idx] || !reviving[idx] {
+                        continue;
+                    }
+                    reviving[idx] = false;
+                    pending_revivals -= 1;
+                    crashed[idx] = false;
+                    alive[idx] = true;
+                    live += 1;
+                    metrics.recoveries += 1;
+                    if record {
+                        trace.push(Event::Recover { round: now, pid });
+                    }
+                    eff.reset();
+                    procs[idx].on_recover(wipe, &mut eff);
+                    // Detector re-registration: replay every past
+                    // retirement to the recovered process, which may have
+                    // missed reports during its downtime (or wiped the
+                    // ones it had). Replays can duplicate reports heard
+                    // before the crash, so `on_retirement` must be
+                    // idempotent; soundness is untouched because only
+                    // permanently retired processes are replayed.
+                    for obs in 0..t {
+                        if obs != idx && !alive[obs] && !reviving[obs] {
+                            let delay = cfg.delay.sample(&mut rng, max_delay);
+                            queue.push(
+                                now + delay,
+                                Ev::Notice { observer: pid, retired: Pid::new(obs) },
+                            );
+                        }
+                    }
+                    pid
+                }
                 Ev::Notice { observer, retired } => {
                     if !alive[observer.index()] {
                         continue;
@@ -559,10 +641,27 @@ where
                     let grp = &groups[slot[to.index()] as usize];
                     debug_assert_eq!(grp.first(), Some(&(op, i as u32)));
                     for &(op2, pos) in grp {
-                        inbox_ids.push(op2);
                         if pos as usize != i {
                             batch[pos as usize] = Ev::Consumed;
                         }
+                        // Receive omission: consulted once per (message,
+                        // recipient), at delivery time — the shared fault
+                        // contract on [`Adversary`](crate::Adversary).
+                        if filters
+                            && adversary.omits_delivery(now, arena.ops()[op2 as usize].from, to)
+                        {
+                            metrics.omissions += 1;
+                            if record {
+                                trace.push(Event::Note { round: now, pid: to, tag: "fault:omit" });
+                            }
+                            arena.release(op2);
+                            continue;
+                        }
+                        inbox_ids.push(op2);
+                    }
+                    if inbox_ids.is_empty() {
+                        // The whole batch was omitted: no invocation.
+                        continue;
                     }
                     eff.reset();
                     let inbox = Inbox::csr(&inbox_ids, arena.ops());
@@ -593,7 +692,15 @@ where
 
             let (count_work, deliver) = match &fate {
                 Fate::Survive => (true, None),
-                Fate::Crash(spec) => (spec.count_work, Some(spec.deliver.clone())),
+                Fate::Crash(spec) | Fate::CrashRecover { spec, .. } => {
+                    (spec.count_work, Some(spec.deliver.clone()))
+                }
+                Fate::Omit(filter) => (true, Some(filter.clone())),
+            };
+            let is_omit = matches!(fate, Fate::Omit(_));
+            let recover_plan = match &fate {
+                Fate::CrashRecover { downtime, wipe, .. } => Some(((*downtime).max(1), *wipe)),
+                _ => None,
             };
             if count_work {
                 for &unit in &eff.work {
@@ -612,6 +719,7 @@ where
             // filtering happens at event granularity, even a fragmented
             // `Subset` costs zero payload clones here.
             let mut msg_idx = 0usize;
+            let mut omitted_now = 0u64;
             for op in eff.drain_sends() {
                 let len = op.to.len();
                 let lets_through = |k: usize, to: Pid| {
@@ -621,6 +729,11 @@ where
                 };
                 let scheduled =
                     op.to.iter().enumerate().filter(|&(k, to)| lets_through(k, to)).count();
+                if is_omit {
+                    // Send omission: the process survives, the suppressed
+                    // messages never left it.
+                    omitted_now += (len - scheduled) as u64;
+                }
                 if scheduled > 0 {
                     let class = op.payload.class();
                     metrics.record_messages(class, scheduled as u64);
@@ -641,7 +754,14 @@ where
                 msg_idx += len;
             }
 
-            let crashed_now = matches!(fate, Fate::Crash(_));
+            if omitted_now > 0 {
+                metrics.omissions += omitted_now;
+                if record {
+                    trace.push(Event::Note { round: now, pid, tag: "fault:omit" });
+                }
+            }
+
+            let crashed_now = matches!(fate, Fate::Crash(_) | Fate::CrashRecover { .. });
             if eff.tick && !crashed_now && !eff.terminated {
                 queue.push(now + 1u64, Ev::Tick(pid));
             }
@@ -667,21 +787,30 @@ where
             if retired_now {
                 alive[idx] = false;
                 live -= 1;
-                // Retirement detector: eventually (and soundly) inform
-                // everyone still alive.
-                for (obs, &obs_alive) in alive.iter().enumerate() {
-                    if obs != idx && obs_alive {
-                        let delay = cfg.delay.sample(&mut rng, max_delay);
-                        queue.push(
-                            now + delay,
-                            Ev::Notice { observer: Pid::new(obs), retired: pid },
-                        );
+                if let Some((downtime, wipe)) = recover_plan {
+                    // Recoverable crash: schedule the restart; crucially,
+                    // NO detector notices — the detector stays sound by
+                    // never accusing a process that will act again.
+                    reviving[idx] = true;
+                    pending_revivals += 1;
+                    queue.push(now + downtime, Ev::Revive { pid, wipe });
+                } else {
+                    // Retirement detector: eventually (and soundly) inform
+                    // everyone still alive.
+                    for (obs, &obs_alive) in alive.iter().enumerate() {
+                        if obs != idx && obs_alive {
+                            let delay = cfg.delay.sample(&mut rng, max_delay);
+                            queue.push(
+                                now + delay,
+                                Ev::Notice { observer: Pid::new(obs), retired: pid },
+                            );
+                        }
                     }
                 }
             }
 
             metrics.rounds = now;
-            if live == 0 {
+            if live == 0 && pending_revivals == 0 {
                 return Ok(AsyncReport { metrics, terminated, crashed, notes, trace });
             }
         }

@@ -7,10 +7,14 @@
 //!
 //! Two implementations sit behind one API:
 //!
-//! * a **delay-bucketed calendar queue** — every event is scheduled at most
-//!   `max_delay` ahead of the drain cursor, so a ring of `max_delay + 1`
-//!   buckets holds at most one timestamp per bucket and push/drain are
-//!   O(1) amortized with no comparisons at all;
+//! * a **delay-bucketed calendar queue** — every *message* event is
+//!   scheduled at most `max_delay` ahead of the drain cursor, so a ring of
+//!   `max_delay + 1` buckets holds at most one timestamp per bucket and
+//!   push/drain are O(1) amortized with no comparisons at all. Fault
+//!   events (adversary injections, crash-recovery revivals) may land
+//!   arbitrarily far ahead; they wait in a small side heap and spill into
+//!   the ring once the cursor comes within a horizon of them, preserving
+//!   global schedule order;
 //! * a **binary-heap fallback** for large delay horizons, keyed by
 //!   `(time, seq)` like the pre-PR-4 engine.
 //!
@@ -52,6 +56,19 @@ pub(crate) enum Ev {
     /// A self-scheduled continuation (see
     /// [`AsyncEffects::continue_later`](super::AsyncEffects::continue_later)).
     Tick(Pid),
+    /// An adversary-scheduled injection point (see
+    /// [`AsyncAdversary::scheduled_events`](super::AsyncAdversary::scheduled_events)):
+    /// a handler-free invocation that exists only so the adversary can act
+    /// on `pid` at this time.
+    Inject(Pid),
+    /// A crash-recovery restart of `pid` after its scheduled downtime
+    /// (see [`Fate::CrashRecover`](crate::Fate::CrashRecover)).
+    Revive {
+        /// The recovering process.
+        pid: Pid,
+        /// Whether the restart loses all protocol state.
+        wipe: bool,
+    },
     /// Tombstone left in a drained batch once the engine has folded the
     /// event into an earlier handler invocation of the same timestamp.
     Consumed,
@@ -84,20 +101,30 @@ impl Ord for Entry {
 
 enum Imp {
     /// `buckets[time % buckets.len()]` holds the events of exactly one
-    /// timestamp at a time: pushes land at most `max_delay` past the drain
-    /// cursor and the cursor's own bucket is drained before it advances,
-    /// so slots are never shared. Push order within a bucket *is* global
-    /// schedule order — the `(time, seq)` order the heap would produce —
-    /// because `seq` only ever increases. All ring arithmetic happens on
-    /// the wide clock (`time` and `cursor` are 128-bit [`Time`]s reduced
-    /// mod the ring size), and the cursor advance is bounded by the ring:
-    /// every pending event lies within `max_delay` of the cursor, so no
-    /// sparse stretch wider than the horizon can exist here — arbitrarily
-    /// long jumps only arise in the heap fallback, which pops straight to
-    /// the next timestamp.
+    /// timestamp at a time: in-horizon pushes land at most `max_delay`
+    /// past the drain cursor and the cursor's own bucket is drained before
+    /// it advances, so slots are never shared. Push order within a bucket
+    /// *is* global schedule order — the `(time, seq)` order the heap would
+    /// produce — because `seq` only ever increases. All ring arithmetic
+    /// happens on the wide clock (`time` and `cursor` are 128-bit
+    /// [`Time`]s reduced mod the ring size), and the cursor advance is
+    /// bounded by the ring: every ring event lies within `max_delay` of
+    /// the cursor, so no sparse stretch wider than the horizon can exist
+    /// here.
+    ///
+    /// Beyond-horizon pushes (fault injections, revivals) wait in
+    /// `overflow`, ordered by `(time, seq)`. Every drain spills the due
+    /// part of the overflow into the ring *before* selecting the next
+    /// timestamp; since the engine only pushes new events after a drain,
+    /// an overflow entry always reaches its bucket ahead of any
+    /// younger-`seq` event of the same timestamp, so bucket order stays
+    /// global schedule order. When the ring is empty the cursor jumps
+    /// straight to the earliest overflow time.
     Calendar {
         buckets: Vec<Vec<Ev>>,
         cursor: Time,
+        ring_len: usize,
+        overflow: BinaryHeap<Reverse<Entry>>,
     },
     Heap(BinaryHeap<Reverse<Entry>>),
 }
@@ -117,6 +144,8 @@ impl EventQueue {
             Imp::Calendar {
                 buckets: (0..=max_delay).map(|_| Vec::new()).collect(),
                 cursor: Time::ZERO,
+                ring_len: 0,
+                overflow: BinaryHeap::new(),
             }
         } else {
             Imp::Heap(BinaryHeap::new())
@@ -124,18 +153,21 @@ impl EventQueue {
         EventQueue { imp, len: 0, seq: 0 }
     }
 
-    /// Schedules `ev` at `time`. For the calendar representation `time`
-    /// must lie within the horizon of the drain cursor (the engine always
-    /// schedules in `now + 1 ..= now + max_delay`, plus the time-0 starts).
+    /// Schedules `ev` at `time` (never earlier than the drain cursor).
+    /// Message traffic always lands within `now + 1 ..= now + max_delay`
+    /// and goes straight to a calendar bucket; fault events may aim
+    /// arbitrarily far ahead and wait in the overflow heap until due.
     pub(crate) fn push(&mut self, time: Time, ev: Ev) {
         match &mut self.imp {
-            Imp::Calendar { buckets, cursor } => {
+            Imp::Calendar { buckets, cursor, ring_len, overflow } => {
                 let m = buckets.len() as u128;
-                debug_assert!(
-                    time >= *cursor && time - *cursor < m,
-                    "calendar push outside horizon: time {time}, cursor {cursor}"
-                );
-                buckets[(time.get() % m) as usize].push(ev);
+                debug_assert!(time >= *cursor, "push into the past: time {time}, cursor {cursor}");
+                if time - *cursor < m {
+                    buckets[(time.get() % m) as usize].push(ev);
+                    *ring_len += 1;
+                } else {
+                    overflow.push(Reverse(Entry { time, seq: self.seq, ev }));
+                }
             }
             Imp::Heap(heap) => heap.push(Reverse(Entry { time, seq: self.seq, ev })),
         }
@@ -152,14 +184,42 @@ impl EventQueue {
             return None;
         }
         let now = match &mut self.imp {
-            Imp::Calendar { buckets, cursor } => {
+            Imp::Calendar { buckets, cursor, ring_len, overflow } => {
                 let m = buckets.len() as u128;
+                if *ring_len == 0 {
+                    if let Some(Reverse(e)) = overflow.peek() {
+                        // Ring exhausted: jump straight to the earliest
+                        // overflow time (an arbitrarily long idle stretch).
+                        *cursor = e.time;
+                    }
+                }
+                // Spill the due part of the overflow before selecting the
+                // next timestamp: these entries may be earlier than every
+                // ring event, and their seq predates any bucket content of
+                // the same time (an in-horizon push of that time would
+                // have followed a drain that spilled them first).
+                while overflow.peek().is_some_and(|Reverse(e)| e.time - *cursor < m) {
+                    let Reverse(e) = overflow.pop().expect("peeked");
+                    buckets[(e.time.get() % m) as usize].push(e.ev);
+                    *ring_len += 1;
+                }
                 while buckets[(cursor.get() % m) as usize].is_empty() {
                     *cursor += 1;
+                }
+                // The walk advanced the horizon: spill again so every
+                // entry now within it reaches its bucket before the engine
+                // pushes younger events at the same timestamps. All such
+                // entries lie strictly past the drained time, so the
+                // current batch is unaffected.
+                while overflow.peek().is_some_and(|Reverse(e)| e.time - *cursor < m) {
+                    let Reverse(e) = overflow.pop().expect("peeked");
+                    buckets[(e.time.get() % m) as usize].push(e.ev);
+                    *ring_len += 1;
                 }
                 // Swap the bucket out wholesale: `out` gets the events,
                 // the bucket inherits `out`'s (cleared) capacity.
                 std::mem::swap(&mut buckets[(cursor.get() % m) as usize], out);
+                *ring_len -= out.len();
                 *cursor
             }
             Imp::Heap(heap) => {
@@ -183,9 +243,10 @@ mod tests {
 
     fn pid_of(ev: Ev) -> usize {
         match ev {
-            Ev::Start(p) | Ev::Tick(p) => p.index(),
+            Ev::Start(p) | Ev::Tick(p) | Ev::Inject(p) => p.index(),
             Ev::Deliver { to, .. } => to.index(),
             Ev::Notice { observer, .. } => observer.index(),
+            Ev::Revive { pid, .. } => pid.index(),
             Ev::Consumed => usize::MAX,
         }
     }
@@ -249,5 +310,86 @@ mod tests {
         let mut batch = Vec::new();
         assert!(q.drain_next(&mut batch).is_none());
         assert!(batch.is_empty());
+    }
+
+    /// Fault events exactly at, and far past, the calendar horizon take
+    /// the overflow path yet drain at the right time in the right order —
+    /// the boundary the crash-recovery revival events live on.
+    #[test]
+    fn beyond_horizon_pushes_drain_in_schedule_order() {
+        // Horizon 4 → ring of 5 buckets. From cursor 0, time 5 is the
+        // first beyond-horizon slot and time 64 is far past it.
+        let mut q = EventQueue::with_horizon(4);
+        q.push(Time::new(64), Ev::Revive { pid: Pid::new(9), wipe: false });
+        q.push(Time::new(5), Ev::Inject(Pid::new(7)));
+        q.push(Time::new(0), Ev::Start(Pid::new(0)));
+        q.push(Time::new(4), Ev::Tick(Pid::new(1)));
+        let mut batch = Vec::new();
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(0)));
+        batch.clear();
+        // In-horizon tick at 4 comes first, then the spilled inject at 5.
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(4)));
+        batch.clear();
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(5)));
+        assert_eq!(batch.len(), 1);
+        assert_eq!(pid_of(batch[0]), 7);
+        batch.clear();
+        // Ring now empty: the cursor jumps straight to the revival.
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(64)));
+        assert_eq!(pid_of(batch[0]), 9);
+        batch.clear();
+        assert_eq!(q.drain_next(&mut batch), None);
+    }
+
+    /// A spilled overflow entry keeps its global schedule order relative
+    /// to in-horizon pushes of the same timestamp made later.
+    #[test]
+    fn spilled_entries_precede_younger_pushes_of_same_time() {
+        let mut q = EventQueue::with_horizon(2);
+        // seq 0: inject at 4, beyond the horizon of cursor 0.
+        q.push(Time::new(4), Ev::Inject(Pid::new(0)));
+        q.push(Time::new(0), Ev::Start(Pid::new(1)));
+        let mut batch = Vec::new();
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(0)));
+        batch.clear();
+        // From cursor 0..2, time 4 is still out; drain advances the
+        // cursor and spills it before the same-time tick below lands.
+        q.push(Time::new(2), Ev::Tick(Pid::new(2)));
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(2)));
+        batch.clear();
+        q.push(Time::new(4), Ev::Tick(Pid::new(3)));
+        assert_eq!(q.drain_next(&mut batch), Some(Time::new(4)));
+        assert_eq!(batch.iter().map(|&e| pid_of(e)).collect::<Vec<_>>(), vec![0, 3]);
+        batch.clear();
+    }
+
+    /// Calendar-with-overflow and heap agree on a schedule that straddles
+    /// the horizon.
+    #[test]
+    fn calendar_overflow_and_heap_agree() {
+        let schedule: &[(u64, usize)] =
+            &[(0, 0), (7, 1), (3, 2), (70, 3), (7, 4), (1, 5), (130, 6)];
+        let drain_all = |mut q: EventQueue| {
+            for &(t, p) in schedule {
+                q.push(Time::from(t), Ev::Inject(Pid::new(p)));
+            }
+            let mut seen = Vec::new();
+            let mut batch = Vec::new();
+            while let Some(t) = q.drain_next(&mut batch) {
+                for ev in batch.drain(..) {
+                    seen.push((t, pid_of(ev)));
+                }
+            }
+            seen
+        };
+        let cal = drain_all(EventQueue::with_horizon(8));
+        let heap = drain_all(EventQueue::with_horizon(CALENDAR_HORIZON + 1));
+        assert_eq!(cal, heap);
+        assert_eq!(
+            cal,
+            [(0u64, 0), (1, 5), (3, 2), (7, 1), (7, 4), (70, 3), (130, 6)]
+                .map(|(t, p)| (Time::from(t), p))
+                .to_vec()
+        );
     }
 }

@@ -64,6 +64,13 @@ impl<M> Ord for Entry<M> {
 /// # Errors
 ///
 /// As [`run_async`](super::run_async).
+///
+/// # Panics
+///
+/// On a [`Fate::CrashRecover`] verdict: crash-recovery (like receive
+/// omission and adversary-scheduled injections) exists only in the arena
+/// engine; this specification covers the fail-stop and send-omission
+/// semantics the two engines share.
 pub fn run_async_reference<P, A>(
     mut procs: Vec<P>,
     mut adversary: A,
@@ -179,7 +186,13 @@ where
             let (count_work, deliver) = match &fate {
                 Fate::Survive => (true, None),
                 Fate::Crash(spec) => (spec.count_work, Some(spec.deliver.clone())),
+                Fate::Omit(filter) => (true, Some(filter.clone())),
+                Fate::CrashRecover { .. } => panic!(
+                    "crash-recovery faults are not supported by the reference scheduler; \
+                     use run_async (the arena engine) for recovery runs"
+                ),
             };
+            let is_omit = matches!(fate, Fate::Omit(_));
             if count_work {
                 for &unit in &eff.work {
                     metrics.record_work(unit);
@@ -192,12 +205,16 @@ where
             // Per-recipient expansion: one owned, cloned payload per
             // scheduled delivery — the representation under test.
             let mut msg_idx = 0usize;
+            let mut omitted_now = 0u64;
             for op in eff.drain_sends() {
                 let len = op.to.len();
                 for (k, to) in op.to.iter().enumerate() {
                     let pass = deliver
                         .as_ref()
                         .is_none_or(|d: &crate::Deliver| d.lets_through(msg_idx + k, to));
+                    if is_omit && !pass {
+                        omitted_now += 1;
+                    }
                     if pass {
                         let payload = op.payload.clone();
                         let class = payload.class();
@@ -210,6 +227,13 @@ where
                     }
                 }
                 msg_idx += len;
+            }
+
+            if omitted_now > 0 {
+                metrics.omissions += omitted_now;
+                if record {
+                    trace.push(Event::Note { round: now, pid, tag: "fault:omit" });
+                }
             }
 
             let crashed_now = matches!(fate, Fate::Crash(_));

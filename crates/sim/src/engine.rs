@@ -78,7 +78,7 @@ impl RunConfig {
 }
 
 /// Outcome of a completed run: every process retired.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
 pub struct Report {
     /// Work / message / round counters.
     pub metrics: Metrics,
@@ -223,6 +223,10 @@ struct DeliveryIndex {
     cursor: Vec<u32>,
     index: Vec<u32>,
     touched: Vec<usize>,
+    /// Per-(message, recipient) receive-omission verdicts, in pending-op
+    /// iteration order; recycled scratch for
+    /// [`build_filtered`](DeliveryIndex::build_filtered).
+    omit: Vec<bool>,
 }
 
 impl DeliveryIndex {
@@ -234,6 +238,7 @@ impl DeliveryIndex {
             cursor: vec![0; t],
             index: Vec::new(),
             touched: Vec::new(),
+            omit: Vec::new(),
         }
     }
 
@@ -295,6 +300,74 @@ impl DeliveryIndex {
             Inbox::empty()
         }
     }
+
+    /// [`build`](DeliveryIndex::build) with a receive-omission filter: the
+    /// adversary is consulted exactly once per (message, recipient) — in
+    /// the first pass, with the verdicts replayed from scratch in the
+    /// second — and suppressed deliveries never enter the index. Dead
+    /// recipients are classified first (a message to a retired process is
+    /// a dead letter, never an omission). When `trace` is given, each
+    /// suppressed delivery leaves a `"fault:omit"` note at the recipient —
+    /// the receive-omission symptom. Returns (dead letters, omitted).
+    fn build_filtered<M, A: Adversary<M>>(
+        &mut self,
+        round: Round,
+        pending: &[FlightOp<M>],
+        alive: &[bool],
+        adversary: &mut A,
+        mut trace: Option<&mut Trace>,
+    ) -> (u64, u64) {
+        self.touched.clear();
+        self.omit.clear();
+        let mut dead: u64 = 0;
+        let mut omitted: u64 = 0;
+        for op in pending {
+            for p in op.to.iter() {
+                let i = p.index();
+                if !alive[i] {
+                    dead += 1;
+                    self.omit.push(false);
+                    continue;
+                }
+                let drop = adversary.omits_delivery(round, op.from, p);
+                self.omit.push(drop);
+                if drop {
+                    omitted += 1;
+                    if let Some(t) = trace.as_deref_mut() {
+                        t.push(Event::Note { round, pid: p, tag: "fault:omit" });
+                    }
+                    continue;
+                }
+                if self.stamp[i] != round {
+                    self.stamp[i] = round;
+                    self.count[i] = 0;
+                    self.touched.push(i);
+                }
+                self.count[i] += 1;
+            }
+        }
+        let mut cum: u32 = 0;
+        for &i in &self.touched {
+            self.offset[i] = cum;
+            self.cursor[i] = cum;
+            cum += self.count[i];
+        }
+        self.index.clear();
+        self.index.resize(cum as usize, 0);
+        let mut k = 0usize;
+        for (id, op) in pending.iter().enumerate() {
+            for p in op.to.iter() {
+                let i = p.index();
+                let drop = self.omit[k];
+                k += 1;
+                if alive[i] && !drop {
+                    self.index[self.cursor[i] as usize] = id as u32;
+                    self.cursor[i] += 1;
+                }
+            }
+        }
+        (dead, omitted)
+    }
 }
 
 /// Like [`run`], but also hands back the final per-process protocol states,
@@ -354,9 +427,42 @@ where
     let mut wakeup: Vec<Option<Round>> =
         procs.iter().map(|p| p.next_wakeup(Round::ONE).map(|w| w.max(Round::ONE))).collect();
 
+    // Crash-recovery bookkeeping: `revive[p]` holds the scheduled restart
+    // round (and whether the state is wiped) for a process crashed via
+    // [`Fate::CrashRecover`]; `next_revive` caches the minimum so the
+    // common (no recoveries pending) round costs one comparison.
+    let mut revive: Vec<Option<(Round, bool)>> = vec![None; t];
+    let mut pending_revivals = 0usize;
+    let mut next_revive: Option<Round> = None;
+
     loop {
         if round > cfg.max_rounds {
             return Err(RunError::RoundLimit { limit: cfg.max_rounds, metrics: Box::new(metrics) });
+        }
+
+        // 0. Restart processes whose recovery downtime has elapsed — before
+        //    delivery, so messages arriving this very round are received.
+        if pending_revivals > 0 && next_revive.is_some_and(|r| r <= round) {
+            next_revive = None;
+            for idx in 0..t {
+                match revive[idx] {
+                    Some((at, wipe)) if at <= round => {
+                        revive[idx] = None;
+                        pending_revivals -= 1;
+                        statuses[idx] = Status::Alive;
+                        alive[idx] = true;
+                        live += 1;
+                        metrics.recoveries += 1;
+                        procs[idx].on_recover(round, wipe);
+                        wakeup[idx] = procs[idx].next_wakeup(round).map(|w| w.max(round));
+                        if record {
+                            trace.push(Event::Recover { round, pid: Pid::new(idx) });
+                        }
+                    }
+                    Some((at, _)) => next_revive = Some(next_revive.map_or(at, |r| r.min(at))),
+                    None => {}
+                }
+            }
         }
 
         // 1. Deliver last round's messages: index the in-flight ops by live
@@ -364,7 +470,19 @@ where
         //    recipients become dead letters without ever materializing.
         let have_inbox = !pending.is_empty();
         if have_inbox {
-            metrics.dead_letters += delivery.build(round, &pending, &alive);
+            if adversary.filters_deliveries() {
+                let (dead, omitted) = delivery.build_filtered(
+                    round,
+                    &pending,
+                    &alive,
+                    &mut adversary,
+                    record.then_some(&mut trace),
+                );
+                metrics.dead_letters += dead;
+                metrics.omissions += omitted;
+            } else {
+                metrics.dead_letters += delivery.build(round, &pending, &alive);
+            }
         }
 
         // An adversary event scheduled for this very round (e.g. a crash of
@@ -394,6 +512,12 @@ where
 
             let ctx = AdversaryCtx { t, alive: &alive, live, crashes: metrics.crashes };
             let fate = adversary.intercept(round, pid, &eff, ctx);
+            // Copy out the recovery schedule (if any) before the match
+            // below borrows `fate`'s crash spec.
+            let recover_plan = match fate {
+                Fate::CrashRecover { downtime, wipe, .. } => Some((downtime.max(1), wipe)),
+                _ => None,
+            };
 
             if record {
                 for tag in eff.notes() {
@@ -430,7 +554,42 @@ where
                         }
                     }
                 }
-                Fate::Crash(spec) => {
+                Fate::Omit(ref filter) => {
+                    // Send-omission: the process survives and everything
+                    // but the filtered sends applies.
+                    if let Some(unit) = eff.work() {
+                        metrics.record_work(unit);
+                        if record {
+                            trace.push(Event::Work { round, pid, unit });
+                        }
+                    }
+                    let terminated = eff.is_terminated();
+                    let total = eff.send_count() as u64;
+                    let before = metrics.messages;
+                    let mut out = Outbound {
+                        metrics: &mut metrics,
+                        trace: &mut trace,
+                        record,
+                        next_pending: &mut next_pending,
+                        round,
+                    };
+                    out.deliver_crash_subset(pid, &mut eff, filter);
+                    let suppressed = total - (metrics.messages - before);
+                    metrics.omissions += suppressed;
+                    if record && suppressed > 0 {
+                        trace.push(Event::Note { round, pid, tag: "fault:omit" });
+                    }
+                    if terminated {
+                        statuses[idx] = Status::Terminated(round);
+                        alive[idx] = false;
+                        live -= 1;
+                        metrics.terminations += 1;
+                        if record {
+                            trace.push(Event::Terminate { round, pid });
+                        }
+                    }
+                }
+                Fate::Crash(ref spec) | Fate::CrashRecover { ref spec, .. } => {
                     if spec.count_work {
                         if let Some(unit) = eff.work() {
                             metrics.record_work(unit);
@@ -454,6 +613,12 @@ where
                     if record {
                         trace.push(Event::Crash { round, pid });
                     }
+                    if let Some((downtime, wipe)) = recover_plan {
+                        let at = round.saturating_add(u128::from(downtime));
+                        revive[idx] = Some((at, wipe));
+                        pending_revivals += 1;
+                        next_revive = Some(next_revive.map_or(at, |r| r.min(at)));
+                    }
                 }
             }
             // The step may have changed this process's timing state;
@@ -464,11 +629,12 @@ where
             }
         }
         if tombstones * 2 > order.len() {
-            order.retain(|&i| alive[i as usize]);
+            // Keep slots with a scheduled revival: they will be alive again.
+            order.retain(|&i| alive[i as usize] || revive[i as usize].is_some());
         }
 
-        // Did everyone retire?
-        if live == 0 {
+        // Did everyone retire? (A scheduled revival is not retirement.)
+        if live == 0 && pending_revivals == 0 {
             metrics.rounds = round;
             return Ok((Report { metrics, trace, statuses }, procs));
         }
@@ -496,11 +662,10 @@ where
                 .map(|w| w.max(next))
                 .min();
             let adv = adversary.next_event(next).map(|r| r.max(next));
-            match (wake, adv) {
-                (Some(w), Some(a)) => w.min(a),
-                (Some(w), None) => w,
-                (None, Some(a)) => a,
-                (None, None) => {
+            let rev = if pending_revivals > 0 { next_revive.map(|r| r.max(next)) } else { None };
+            match [wake, adv, rev].into_iter().flatten().min() {
+                Some(target) => target,
+                None => {
                     let alive = alive
                         .iter()
                         .enumerate()
@@ -781,6 +946,7 @@ mod tests {
                 Event::Crash { .. } => "crash",
                 Event::Note { .. } => "note",
                 Event::Notice { .. } => "notice", // async-plane only
+                Event::Recover { .. } => "recover",
             })
             .collect();
         assert_eq!(kinds, vec!["work", "send", "terminate", "work", "terminate"]);

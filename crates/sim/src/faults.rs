@@ -1,0 +1,801 @@
+//! Named-fault catalog: composable fault kinds with injection triggers,
+//! observable symptoms, and timed-repair lifecycles.
+//!
+//! The raw adversary traits ([`Adversary`], [`AsyncAdversary`]) speak in
+//! per-step verdicts; scenarios want to speak in *faults*: "p3 omits all
+//! sends from round 5 to round 20", "p1 crashes at round 8 and restarts,
+//! wiped, 10 rounds later", "p2 runs at quarter speed". A [`FaultPlan`] is
+//! a list of such named [`Fault`]s and is itself an adversary on **both**
+//! execution planes, so one plan drives the synchronous round engine and
+//! the asynchronous event engine identically:
+//!
+//! ```
+//! use doall_sim::{FaultKind, FaultPlan, Pid, Round};
+//!
+//! let plan = FaultPlan::new(vec![
+//!     FaultKind::SlowQuarter(Pid::new(1)).at(Round::new(5)),
+//!     FaultKind::OmitSends(Pid::new(3)).at(Round::new(5)).for_rounds(20),
+//!     FaultKind::CrashRecover { pid: Pid::new(0), downtime: 10, wipe: true }
+//!         .at(Round::new(8)),
+//! ]);
+//! assert_eq!(plan.len(), 3);
+//! ```
+//!
+//! Each fault's lifecycle is observable: injection shows up as the fault's
+//! *symptom* in the [`Trace`](crate::Trace) (a `Crash`/`Recover` event
+//! pair, a `"fault:omit"` or `"fault:slow"` note), and a bounded fault
+//! repairs itself at its `until` round (`"fault:slow:repaired"`, the end
+//! of the omission window, the `Recover` event). Degraded-mode (`Slow*`)
+//! faults cannot be imposed by an adversary — slowness is a property of
+//! the process, not of its fate — so [`FaultPlan::wrap`] /
+//! [`FaultPlan::wrap_async`] wrap the affected processes in the
+//! [`Degraded`] / [`AsyncDegraded`] decorators; a plan with no `Slow*`
+//! faults wraps every process transparently.
+
+use crate::adversary::{Adversary, AdversaryCtx, CrashSpec, Deliver, Fate};
+use crate::asynch::{AsyncAdversary, AsyncEffects, AsyncProtocol, Time};
+use crate::effects::Effects;
+use crate::ids::{Pid, Round};
+use crate::message::Inbox;
+use crate::protocol::Protocol;
+
+/// A named fault from the catalog, before scheduling.
+///
+/// Combine with [`at`](FaultKind::at) (and [`Fault::until`] /
+/// [`Fault::for_rounds`]) to place it on the clock; a bare `FaultKind`
+/// converts to a [`Fault`] active from round 1 with no repair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail-stop: the process crashes silently and never returns.
+    Crash(Pid),
+    /// Crash-recovery: the process crashes silently, then restarts
+    /// `downtime` steps later — wiped to its initial state, or stale.
+    CrashRecover {
+        /// The victim.
+        pid: Pid,
+        /// Steps (rounds / time units) of downtime before the restart.
+        downtime: u64,
+        /// Whether the restart loses all protocol state.
+        wipe: bool,
+    },
+    /// Degraded mode: the process acts only every `factor`-th round of the
+    /// fault window (synchronous), or on every `factor`-th handler
+    /// invocation (asynchronous). Enforced by the [`Degraded`] /
+    /// [`AsyncDegraded`] wrappers, not by the adversary.
+    Slow {
+        /// The degraded process.
+        pid: Pid,
+        /// Slow-down factor (`1` = full speed).
+        factor: u64,
+    },
+    /// [`Slow`](FaultKind::Slow) at quarter speed — the classic
+    /// quarter-efficiency degradation.
+    SlowQuarter(Pid),
+    /// Send omission: every message the process sends during the fault
+    /// window is silently dropped (the process itself survives and its
+    /// work counts).
+    OmitSends(Pid),
+    /// Receive omission: every message addressed to the process during
+    /// the fault window is dropped before delivery.
+    OmitRecv(Pid),
+}
+
+impl FaultKind {
+    /// Schedules this fault to inject at `at` (unrepaired; chain
+    /// [`Fault::until`] or [`Fault::for_rounds`] to bound it).
+    pub fn at(self, at: impl Into<Round>) -> Fault {
+        Fault { kind: self, at: at.into(), until: None }
+    }
+
+    /// The process this fault afflicts.
+    pub fn pid(&self) -> Pid {
+        match *self {
+            FaultKind::Crash(pid)
+            | FaultKind::CrashRecover { pid, .. }
+            | FaultKind::Slow { pid, .. }
+            | FaultKind::SlowQuarter(pid)
+            | FaultKind::OmitSends(pid)
+            | FaultKind::OmitRecv(pid) => pid,
+        }
+    }
+
+    /// The slow-down factor, for the `Slow*` kinds.
+    fn slow_factor(&self) -> Option<u64> {
+        match *self {
+            FaultKind::Slow { factor, .. } => Some(factor),
+            FaultKind::SlowQuarter(_) => Some(4),
+            _ => None,
+        }
+    }
+
+    /// Whether this kind fires once (crash-like) rather than over a window.
+    fn one_shot(&self) -> bool {
+        matches!(self, FaultKind::Crash(_) | FaultKind::CrashRecover { .. })
+    }
+}
+
+impl From<FaultKind> for Fault {
+    fn from(kind: FaultKind) -> Fault {
+        Fault { kind, at: Round::ONE, until: None }
+    }
+}
+
+/// A [`FaultKind`] placed on the clock: injected at `at`, repaired at
+/// `until` (exclusive; `None` = never). Crash-like kinds ignore `until` —
+/// their repair is the [`CrashRecover`](FaultKind::CrashRecover) downtime.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Fault {
+    /// What goes wrong.
+    pub kind: FaultKind,
+    /// First round (or async timestamp) at which the fault is active.
+    pub at: Round,
+    /// First round at which the fault is repaired, if ever.
+    pub until: Option<Round>,
+}
+
+impl Fault {
+    /// Bounds the fault: repaired at `until` (exclusive).
+    pub fn until(mut self, until: impl Into<Round>) -> Fault {
+        self.until = Some(until.into());
+        self
+    }
+
+    /// Bounds the fault to `d` rounds starting at its injection round.
+    pub fn for_rounds(self, d: u64) -> Fault {
+        let until = self.at.saturating_add(u128::from(d));
+        self.until(until)
+    }
+
+    /// Whether the fault window covers `now`.
+    pub fn active(&self, now: Round) -> bool {
+        now >= self.at && self.until.is_none_or(|u| now < u)
+    }
+}
+
+/// A composable schedule of named faults, usable as an [`Adversary`] on
+/// the synchronous plane and an [`AsyncAdversary`] on the asynchronous
+/// plane. A plan with zero faults behaves bit-identically to
+/// [`NoFailures`](crate::NoFailures) on both.
+///
+/// `Slow*` faults are enforced by wrapping the processes (see
+/// [`FaultPlan::wrap`] / [`FaultPlan::wrap_async`]); all other kinds act
+/// through the adversary interception points.
+#[derive(Clone, Debug, Default)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+    spent: Vec<bool>,
+}
+
+impl FaultPlan {
+    /// Builds a plan from faults (bare [`FaultKind`]s convert, active from
+    /// round 1).
+    pub fn new<I, F>(faults: I) -> Self
+    where
+        I: IntoIterator<Item = F>,
+        F: Into<Fault>,
+    {
+        let faults: Vec<Fault> = faults.into_iter().map(Into::into).collect();
+        let spent = vec![false; faults.len()];
+        FaultPlan { faults, spent }
+    }
+
+    /// Number of faults in the plan.
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan is fault-free.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults, in insertion order.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// The `Slow*` windows afflicting `pid`, for the wrappers.
+    fn slow_windows(&self, pid: Pid) -> Vec<SlowWindow> {
+        self.faults
+            .iter()
+            .filter(|f| f.kind.pid() == pid)
+            .filter_map(|f| {
+                f.kind.slow_factor().map(|factor| SlowWindow {
+                    from: f.at,
+                    until: f.until.unwrap_or(Round::MAX),
+                    factor,
+                })
+            })
+            .collect()
+    }
+
+    /// Wraps synchronous processes in [`Degraded`] decorators carrying
+    /// this plan's `Slow*` windows (processes without one get an empty —
+    /// fully transparent — wrapper).
+    pub fn wrap<P: Protocol>(&self, procs: Vec<P>) -> Vec<Degraded<P>> {
+        procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| Degraded::new(p, self.slow_windows(Pid::new(i))))
+            .collect()
+    }
+
+    /// Wraps asynchronous processes in [`AsyncDegraded`] decorators. Since
+    /// asynchronous handlers never see the clock, a `Slow*` fault's `at` /
+    /// `until` are interpreted as **handler-invocation ordinals** here
+    /// (1-based), not timestamps; an unbounded fault degrades the process
+    /// for the whole run.
+    pub fn wrap_async<P: AsyncProtocol>(&self, procs: Vec<P>) -> Vec<AsyncDegraded<P>> {
+        procs
+            .into_iter()
+            .enumerate()
+            .map(|(i, p)| AsyncDegraded::new(p, self.slow_windows(Pid::new(i))))
+            .collect()
+    }
+
+    /// The shared verdict logic of both planes: `now` is a round or an
+    /// asynchronous timestamp.
+    fn verdict(&mut self, now: Round, pid: Pid) -> Fate {
+        for (i, f) in self.faults.iter().enumerate() {
+            if f.kind.pid() != pid || now < f.at {
+                continue;
+            }
+            if f.kind.one_shot() {
+                if self.spent[i] {
+                    continue;
+                }
+                self.spent[i] = true;
+                match f.kind {
+                    FaultKind::Crash(_) => return Fate::Crash(CrashSpec::silent()),
+                    FaultKind::CrashRecover { downtime, wipe, .. } => {
+                        // The crash lands on the step *boundary* (work
+                        // counted, messages delivered): a stale restart
+                        // must find the world consistent with its saved
+                        // state, or a unit the process believes done
+                        // could be silently lost. Mid-action recovery
+                        // crashes remain expressible through a custom
+                        // adversary returning `Fate::CrashRecover` with
+                        // a lossy spec.
+                        return Fate::CrashRecover {
+                            spec: CrashSpec::after_round(),
+                            downtime,
+                            wipe,
+                        };
+                    }
+                    _ => unreachable!("one_shot covers exactly the crash kinds"),
+                }
+            }
+            if matches!(f.kind, FaultKind::OmitSends(_)) && f.active(now) {
+                return Fate::Omit(Deliver::None);
+            }
+        }
+        Fate::Survive
+    }
+
+    fn any_recv_omission(&self) -> bool {
+        self.faults.iter().any(|f| matches!(f.kind, FaultKind::OmitRecv(_)))
+    }
+
+    fn drops_delivery(&self, now: Round, to: Pid) -> bool {
+        self.faults
+            .iter()
+            .any(|f| matches!(f.kind, FaultKind::OmitRecv(p) if p == to) && f.active(now))
+    }
+
+    /// Rounds at which crash-like faults are due — the plan's scheduled
+    /// events on either plane.
+    fn next_crash_event(&self, now: Round) -> Option<Round> {
+        self.faults
+            .iter()
+            .zip(&self.spent)
+            .filter(|(f, &spent)| f.kind.one_shot() && !spent)
+            .map(|(f, _)| f.at.max(now))
+            .min()
+    }
+}
+
+impl<M> Adversary<M> for FaultPlan {
+    fn intercept(
+        &mut self,
+        round: Round,
+        pid: Pid,
+        _effects: &Effects<M>,
+        _ctx: AdversaryCtx<'_>,
+    ) -> Fate {
+        self.verdict(round, pid)
+    }
+
+    fn next_event(&self, now: Round) -> Option<Round> {
+        self.next_crash_event(now)
+    }
+
+    fn filters_deliveries(&self) -> bool {
+        self.any_recv_omission()
+    }
+
+    fn omits_delivery(&mut self, now: Round, _from: Pid, to: Pid) -> bool {
+        self.drops_delivery(now, to)
+    }
+}
+
+impl<M> AsyncAdversary<M> for FaultPlan {
+    fn intercept(
+        &mut self,
+        time: Time,
+        pid: Pid,
+        _invocation: u64,
+        _effects: &AsyncEffects<M>,
+        _ctx: AdversaryCtx<'_>,
+    ) -> Fate {
+        self.verdict(time, pid)
+    }
+
+    fn scheduled_events(&self) -> Vec<(Time, Pid)> {
+        self.faults.iter().filter(|f| f.kind.one_shot()).map(|f| (f.at, f.kind.pid())).collect()
+    }
+
+    fn filters_deliveries(&self) -> bool {
+        self.any_recv_omission()
+    }
+
+    fn omits_delivery(&mut self, now: Time, _from: Pid, to: Pid) -> bool {
+        self.drops_delivery(now, to)
+    }
+}
+
+/// One reduced-rate window of a degraded process.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SlowWindow {
+    /// First round of the window.
+    pub from: Round,
+    /// First round past the window ([`Round::MAX`] = never repaired).
+    pub until: Round,
+    /// The process acts only at rounds `r` with
+    /// `(r - from) % factor == 0` inside the window.
+    pub factor: u64,
+}
+
+impl SlowWindow {
+    fn contains(&self, r: Round) -> bool {
+        r >= self.from && r < self.until
+    }
+
+    fn on_grid(&self, r: Round) -> bool {
+        r.saturating_sub(self.from).is_multiple_of(u128::from(self.factor.max(1)))
+    }
+}
+
+/// Wrapper-decorator imposing degraded-mode (`Slow*`) faults on a
+/// synchronous [`Protocol`]: inside a [`SlowWindow`], the inner process is
+/// stepped only at every `factor`-th round of the window; messages
+/// arriving at gated rounds are buffered and delivered — in arrival order,
+/// ahead of the current round's — at the next permitted step. Outside all
+/// windows (and for an empty window list) the wrapper is a strict
+/// pass-through: same steps, same effects, bit-identical runs.
+///
+/// Symptoms: the first gated step of a window emits a `"fault:slow"`
+/// note; the first step at or past a window's `until` emits
+/// `"fault:slow:repaired"`.
+#[derive(Debug)]
+pub struct Degraded<P: Protocol> {
+    inner: P,
+    windows: Vec<SlowWindow>,
+    buffered: Vec<(Pid, P::Msg)>,
+    noted: Vec<bool>,
+    repaired: Vec<bool>,
+}
+
+impl<P: Protocol> Degraded<P> {
+    /// Wraps `inner` with the given slow windows (sorted by start; they
+    /// must not overlap).
+    pub fn new(inner: P, mut windows: Vec<SlowWindow>) -> Self {
+        windows.sort_by_key(|w| w.from);
+        let n = windows.len();
+        Degraded {
+            inner,
+            windows,
+            buffered: Vec::new(),
+            noted: vec![false; n],
+            repaired: vec![false; n],
+        }
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps the inner process.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    fn window_at(&self, r: Round) -> Option<usize> {
+        self.windows.iter().position(|w| w.contains(r))
+    }
+
+    fn permitted(&self, r: Round) -> bool {
+        match self.window_at(r) {
+            Some(i) => self.windows[i].on_grid(r),
+            None => true,
+        }
+    }
+
+    /// Earliest permitted round `>= r`.
+    fn next_permitted(&self, r: Round) -> Round {
+        let mut r = r;
+        loop {
+            match self.window_at(r) {
+                None => return r,
+                Some(i) => {
+                    let w = self.windows[i];
+                    let f = u128::from(w.factor.max(1));
+                    let off = r.saturating_sub(w.from);
+                    let rem = off % f;
+                    if rem == 0 {
+                        return r;
+                    }
+                    let next = w.from.saturating_add(off - rem + f);
+                    if next < w.until {
+                        return next;
+                    }
+                    // Window ends before the next grid point: resume at
+                    // full speed (or in the next window) at `until`.
+                    r = w.until;
+                }
+            }
+        }
+    }
+}
+
+impl<P: Protocol> Protocol for Degraded<P> {
+    type Msg = P::Msg;
+
+    fn step(&mut self, round: Round, inbox: Inbox<'_, Self::Msg>, eff: &mut Effects<Self::Msg>) {
+        if let Some(i) = self.window_at(round) {
+            if !self.noted[i] {
+                self.noted[i] = true;
+                eff.note("fault:slow");
+            }
+        }
+        for i in 0..self.windows.len() {
+            if self.noted[i] && !self.repaired[i] && round >= self.windows[i].until {
+                self.repaired[i] = true;
+                eff.note("fault:slow:repaired");
+            }
+        }
+        if self.permitted(round) {
+            if self.buffered.is_empty() {
+                self.inner.step(round, inbox, eff);
+            } else {
+                let mut combined = std::mem::take(&mut self.buffered);
+                combined.extend(inbox.iter().map(|(p, m)| (p, m.clone())));
+                self.inner.step(round, Inbox::from_pairs(&combined), eff);
+                combined.clear();
+                self.buffered = combined;
+            }
+        } else {
+            self.buffered.extend(inbox.iter().map(|(p, m)| (p, m.clone())));
+        }
+    }
+
+    fn next_wakeup(&self, now: Round) -> Option<Round> {
+        if self.windows.is_empty() {
+            return self.inner.next_wakeup(now);
+        }
+        let buffered = if self.buffered.is_empty() { None } else { Some(self.next_permitted(now)) };
+        let inner = self.inner.next_wakeup(now).map(|w| self.next_permitted(w.max(now)));
+        match (buffered, inner) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        }
+    }
+
+    fn on_recover(&mut self, round: Round, wipe: bool) {
+        if wipe {
+            self.buffered.clear();
+        }
+        self.inner.on_recover(round, wipe);
+    }
+}
+
+/// Wrapper-decorator imposing degraded-mode faults on an
+/// [`AsyncProtocol`]: since asynchronous handlers never observe the
+/// clock, gating counts **handler invocations** (messages and ticks;
+/// `on_start` / `on_retirement` always pass through). Within an active
+/// window — whose `from`/`until` are invocation ordinals, 1-based — only
+/// every `factor`-th counted invocation reaches the inner protocol;
+/// gated message batches are buffered and a tick is requested so the
+/// deferred work is eventually driven. With no windows the wrapper is a
+/// strict pass-through.
+#[derive(Debug)]
+pub struct AsyncDegraded<P: AsyncProtocol> {
+    inner: P,
+    windows: Vec<SlowWindow>,
+    counted: u64,
+    buffered: Vec<(Pid, P::Msg)>,
+    inner_wants_tick: bool,
+    noted: Vec<bool>,
+    repaired: Vec<bool>,
+}
+
+impl<P: AsyncProtocol> AsyncDegraded<P> {
+    /// Wraps `inner` with the given slow windows, measured in counted
+    /// handler invocations.
+    pub fn new(inner: P, mut windows: Vec<SlowWindow>) -> Self {
+        windows.sort_by_key(|w| w.from);
+        let n = windows.len();
+        AsyncDegraded {
+            inner,
+            windows,
+            counted: 0,
+            buffered: Vec::new(),
+            inner_wants_tick: false,
+            noted: vec![false; n],
+            repaired: vec![false; n],
+        }
+    }
+
+    /// The wrapped process.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Unwraps the inner process.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Counts this invocation and decides whether it is gated; emits
+    /// lifecycle notes on window entry/exit.
+    fn gate(&mut self, eff: &mut AsyncEffects<P::Msg>) -> bool {
+        self.counted += 1;
+        let now = Round::new(u128::from(self.counted));
+        let mut gated = false;
+        if let Some(i) = self.windows.iter().position(|w| w.contains(now)) {
+            let w = self.windows[i];
+            gated = !w.on_grid(now);
+            if gated && !self.noted[i] {
+                self.noted[i] = true;
+                eff.note("fault:slow");
+            }
+        }
+        for i in 0..self.windows.len() {
+            if self.noted[i] && !self.repaired[i] && now >= self.windows[i].until {
+                self.repaired[i] = true;
+                eff.note("fault:slow:repaired");
+            }
+        }
+        gated
+    }
+
+    /// Runs the inner handler(s) for an ungated invocation: buffered
+    /// messages first (with `current` folded in), then a deferred tick.
+    fn flush(&mut self, current: Option<Inbox<'_, P::Msg>>, eff: &mut AsyncEffects<P::Msg>) {
+        if self.buffered.is_empty() {
+            if let Some(inbox) = current {
+                self.inner.on_messages(inbox, eff);
+            }
+        } else {
+            let mut combined = std::mem::take(&mut self.buffered);
+            if let Some(inbox) = current {
+                combined.extend(inbox.iter().map(|(p, m)| (p, m.clone())));
+            }
+            self.inner.on_messages(Inbox::from_pairs(&combined), eff);
+            combined.clear();
+            self.buffered = combined;
+        }
+        if self.inner_wants_tick {
+            self.inner_wants_tick = false;
+            self.inner.on_tick(eff);
+        }
+        // Remember whether the inner protocol (re-)requested a tick; the
+        // effects instance is shared, so the engine schedules it for us.
+        self.inner_wants_tick = eff.wants_tick();
+    }
+}
+
+impl<P: AsyncProtocol> AsyncProtocol for AsyncDegraded<P> {
+    type Msg = P::Msg;
+
+    fn on_start(&mut self, eff: &mut AsyncEffects<Self::Msg>) {
+        self.inner.on_start(eff);
+        self.inner_wants_tick = self.inner_wants_tick || eff.wants_tick();
+    }
+
+    fn on_messages(&mut self, inbox: Inbox<'_, Self::Msg>, eff: &mut AsyncEffects<Self::Msg>) {
+        if self.windows.is_empty() {
+            self.inner.on_messages(inbox, eff);
+            return;
+        }
+        if self.gate(eff) {
+            self.buffered.extend(inbox.iter().map(|(p, m)| (p, m.clone())));
+            eff.continue_later();
+        } else {
+            self.flush(Some(inbox), eff);
+        }
+    }
+
+    fn on_retirement(&mut self, retired: Pid, eff: &mut AsyncEffects<Self::Msg>) {
+        self.inner.on_retirement(retired, eff);
+        // OR, don't overwrite: a pending deferred tick desire must
+        // survive an interleaved retirement report.
+        self.inner_wants_tick = self.inner_wants_tick || eff.wants_tick();
+    }
+
+    fn on_tick(&mut self, eff: &mut AsyncEffects<Self::Msg>) {
+        if self.windows.is_empty() {
+            self.inner.on_tick(eff);
+            return;
+        }
+        if self.gate(eff) {
+            eff.continue_later();
+        } else {
+            self.flush(None, eff);
+        }
+    }
+
+    fn on_recover(&mut self, wipe: bool, eff: &mut AsyncEffects<Self::Msg>) {
+        // Control-plane invocation: never counted or gated — a degraded
+        // process still restarts on time; only its protocol work is slow.
+        if wipe {
+            self.buffered.clear();
+            self.inner_wants_tick = false;
+        }
+        self.inner.on_recover(wipe, eff);
+        self.inner_wants_tick = eff.wants_tick() || self.inner_wants_tick;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fault_builders_compose() {
+        let f = FaultKind::OmitSends(Pid::new(3)).at(Round::new(5)).for_rounds(10);
+        assert_eq!(f.until, Some(Round::new(15)));
+        assert!(!f.active(Round::new(4)));
+        assert!(f.active(Round::new(5)));
+        assert!(f.active(Round::new(14)));
+        assert!(!f.active(Round::new(15)));
+        let bare: Fault = FaultKind::Crash(Pid::new(0)).into();
+        assert_eq!(bare.at, Round::ONE);
+        assert_eq!(bare.until, None);
+    }
+
+    #[test]
+    fn empty_plan_is_no_failures() {
+        let mut plan = FaultPlan::default();
+        assert!(plan.is_empty());
+        let eff: Effects<()> = Effects::new();
+        let alive = [true, true];
+        let ctx = AdversaryCtx::new(&alive, 0);
+        assert_eq!(
+            Adversary::<()>::intercept(&mut plan, Round::ONE, Pid::new(0), &eff, ctx),
+            Fate::Survive
+        );
+        assert_eq!(Adversary::<()>::next_event(&plan, Round::ZERO), None);
+        assert!(!Adversary::<()>::filters_deliveries(&plan));
+        assert!(AsyncAdversary::<()>::scheduled_events(&plan).is_empty());
+    }
+
+    #[test]
+    fn crash_faults_fire_once_at_or_after_their_round() {
+        let mut plan = FaultPlan::new(vec![FaultKind::Crash(Pid::new(1)).at(Round::new(5))]);
+        assert_eq!(plan.verdict(Round::new(4), Pid::new(1)), Fate::Survive);
+        assert_eq!(plan.verdict(Round::new(5), Pid::new(0)), Fate::Survive);
+        assert!(matches!(plan.verdict(Round::new(6), Pid::new(1)), Fate::Crash(_)));
+        // One-shot: a second interception survives.
+        assert_eq!(plan.verdict(Round::new(7), Pid::new(1)), Fate::Survive);
+        assert_eq!(
+            <FaultPlan as Adversary<()>>::next_event(&plan, Round::ZERO),
+            None,
+            "spent crash schedules no further events"
+        );
+    }
+
+    #[test]
+    fn omit_sends_is_windowed_and_survivable() {
+        let mut plan =
+            FaultPlan::new(vec![FaultKind::OmitSends(Pid::new(2)).at(Round::new(3)).until(6u64)]);
+        assert_eq!(plan.verdict(Round::new(2), Pid::new(2)), Fate::Survive);
+        assert_eq!(plan.verdict(Round::new(3), Pid::new(2)), Fate::Omit(Deliver::None));
+        assert_eq!(plan.verdict(Round::new(5), Pid::new(2)), Fate::Omit(Deliver::None));
+        assert_eq!(plan.verdict(Round::new(6), Pid::new(2)), Fate::Survive);
+    }
+
+    #[test]
+    fn recv_omission_filters_by_recipient_and_window() {
+        let mut plan =
+            FaultPlan::new(vec![FaultKind::OmitRecv(Pid::new(1)).at(Round::new(2)).until(4u64)]);
+        assert!(Adversary::<()>::filters_deliveries(&plan));
+        assert!(!Adversary::<()>::omits_delivery(
+            &mut plan,
+            Round::new(1),
+            Pid::new(0),
+            Pid::new(1)
+        ));
+        assert!(Adversary::<()>::omits_delivery(
+            &mut plan,
+            Round::new(2),
+            Pid::new(0),
+            Pid::new(1)
+        ));
+        assert!(!Adversary::<()>::omits_delivery(
+            &mut plan,
+            Round::new(2),
+            Pid::new(0),
+            Pid::new(2)
+        ));
+        assert!(!Adversary::<()>::omits_delivery(
+            &mut plan,
+            Round::new(4),
+            Pid::new(0),
+            Pid::new(1)
+        ));
+    }
+
+    #[test]
+    fn crash_recover_verdict_carries_downtime_and_wipe() {
+        let mut plan = FaultPlan::new(vec![FaultKind::CrashRecover {
+            pid: Pid::new(0),
+            downtime: 7,
+            wipe: true,
+        }
+        .at(Round::new(2))]);
+        match plan.verdict(Round::new(2), Pid::new(0)) {
+            Fate::CrashRecover { downtime, wipe, .. } => {
+                assert_eq!(downtime, 7);
+                assert!(wipe);
+            }
+            other => panic!("expected CrashRecover, got {other:?}"),
+        }
+        assert_eq!(
+            AsyncAdversary::<()>::scheduled_events(&plan),
+            vec![(Round::new(2), Pid::new(0))]
+        );
+    }
+
+    #[test]
+    fn slow_windows_collect_per_pid() {
+        let plan = FaultPlan::new(vec![
+            FaultKind::SlowQuarter(Pid::new(1)).at(Round::new(5)).until(25u64),
+            FaultKind::Slow { pid: Pid::new(1), factor: 2 }.at(Round::new(30)),
+            FaultKind::OmitSends(Pid::new(1)).at(Round::new(2)),
+        ]);
+        let ws = plan.slow_windows(Pid::new(1));
+        assert_eq!(ws.len(), 2);
+        assert_eq!(ws[0].factor, 4);
+        assert_eq!(ws[1].until, Round::MAX);
+        assert!(plan.slow_windows(Pid::new(0)).is_empty());
+    }
+
+    #[test]
+    fn next_permitted_respects_grid_and_window_end() {
+        struct Nop;
+        #[derive(Clone, Debug)]
+        struct M;
+        impl crate::message::Classify for M {}
+        impl Protocol for Nop {
+            type Msg = M;
+            fn step(&mut self, _: Round, _: Inbox<'_, M>, _: &mut Effects<M>) {}
+            fn next_wakeup(&self, _: Round) -> Option<Round> {
+                None
+            }
+        }
+        let d = Degraded::new(
+            Nop,
+            vec![SlowWindow { from: Round::new(10), until: Round::new(20), factor: 4 }],
+        );
+        assert_eq!(d.next_permitted(Round::new(5)), Round::new(5));
+        assert_eq!(d.next_permitted(Round::new(10)), Round::new(10));
+        assert_eq!(d.next_permitted(Round::new(11)), Round::new(14));
+        assert_eq!(d.next_permitted(Round::new(15)), Round::new(18));
+        // Next grid point (22) lies past the window: resume at `until`.
+        assert_eq!(d.next_permitted(Round::new(19)), Round::new(20));
+        assert!(d.permitted(Round::new(14)));
+        assert!(!d.permitted(Round::new(13)));
+        assert!(d.permitted(Round::new(21)));
+    }
+}

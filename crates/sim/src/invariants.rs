@@ -113,7 +113,9 @@ pub fn check_sequential_work(trace: &Trace) -> Vec<Violation> {
 }
 
 /// Checks that no process acts (works, sends, or activates) after its own
-/// retirement — a sanity check on the engine itself.
+/// retirement — a sanity check on the engine itself. A
+/// [`Recover`](Event::Recover) un-retires its process: actions after the
+/// recovery are legitimate again.
 pub fn check_no_zombie_actions(trace: &Trace) -> Vec<Violation> {
     let mut violations = Vec::new();
     let mut retired_at: std::collections::BTreeMap<Pid, Round> = std::collections::BTreeMap::new();
@@ -121,6 +123,10 @@ pub fn check_no_zombie_actions(trace: &Trace) -> Vec<Violation> {
         let (pid, round) = match event {
             Event::Crash { pid, round } | Event::Terminate { pid, round } => {
                 retired_at.insert(*pid, *round);
+                continue;
+            }
+            Event::Recover { pid, .. } => {
+                retired_at.remove(pid);
                 continue;
             }
             Event::Work { pid, round, .. } => (*pid, *round),
@@ -142,6 +148,85 @@ pub fn check_no_zombie_actions(trace: &Trace) -> Vec<Violation> {
     violations
 }
 
+/// Checks the recovery-silence guarantee: a process crashed with a
+/// [`CrashRecover`](crate::Fate::CrashRecover) fate must not act — work,
+/// send, or note — strictly between its [`Crash`](Event::Crash) and the
+/// matching [`Recover`](Event::Recover). This is
+/// [`check_no_zombie_actions`] specialized to the downtime window, but it
+/// also flags a `Recover` for a process that never crashed.
+pub fn check_recovery_silence(trace: &Trace) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut down_since: std::collections::BTreeMap<Pid, Round> = std::collections::BTreeMap::new();
+    for event in trace.events() {
+        let (pid, round) = match event {
+            Event::Crash { pid, round } => {
+                down_since.insert(*pid, *round);
+                continue;
+            }
+            Event::Recover { pid, round } => {
+                if down_since.remove(pid).is_none() {
+                    violations.push(Violation {
+                        round: *round,
+                        what: format!("{pid} recovered without a preceding crash"),
+                    });
+                }
+                continue;
+            }
+            Event::Terminate { pid, .. } => {
+                down_since.remove(pid);
+                continue;
+            }
+            Event::Work { pid, round, .. } => (*pid, *round),
+            Event::Send { from, round, .. } => (*from, *round),
+            Event::Note { pid, round, .. } => (*pid, *round),
+            Event::Notice { .. } => continue,
+        };
+        if let Some(&since) = down_since.get(&pid) {
+            if round > since {
+                violations.push(Violation {
+                    round,
+                    what: format!("{pid} acted at round {round} while down since round {since}"),
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Checks that a degraded process respects its rate: within the window
+/// `[from, until)`, `pid` may act (work or send) only at rounds `r` with
+/// `(r - from) % factor == 0` — a slow-by-`factor` process never steps
+/// faster than every `factor`-th round.
+pub fn check_degraded_rate(
+    trace: &Trace,
+    pid: Pid,
+    from: Round,
+    until: Round,
+    factor: u64,
+) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    for event in trace.events() {
+        let (p, round) = match event {
+            Event::Work { pid: p, round, .. } => (*p, *round),
+            Event::Send { from: p, round, .. } => (*p, *round),
+            _ => continue,
+        };
+        if p == pid
+            && round >= from
+            && round < until
+            && round.saturating_sub(from) % u128::from(factor) != 0
+        {
+            violations.push(Violation {
+                round,
+                what: format!(
+                    "{pid} acted at round {round}, off its 1/{factor} grid anchored at {from}"
+                ),
+            });
+        }
+    }
+    violations
+}
+
 /// Checks the asynchronous retirement detector's *soundness* claim: a
 /// [`Notice`](Event::Notice) about process `p` must never precede `p`'s
 /// own retirement event — the detector may be arbitrarily slow, but it
@@ -154,6 +239,11 @@ pub fn check_detector_soundness(trace: &Trace) -> Vec<Violation> {
         match event {
             Event::Crash { pid, .. } | Event::Terminate { pid, .. } => {
                 retired.insert(*pid);
+            }
+            // A recovered process is alive again: accusing it from here on
+            // (until it re-retires) is a soundness violation.
+            Event::Recover { pid, .. } => {
+                retired.remove(pid);
             }
             Event::Notice { round, observer, retired: accused } if !retired.contains(accused) => {
                 violations.push(Violation {
@@ -261,6 +351,59 @@ mod tests {
         assert!(check_detector_soundness(&tr).is_empty());
         // A notice is not a zombie action by the observer.
         assert!(check_no_zombie_actions(&tr).is_empty());
+    }
+
+    #[test]
+    fn recovery_unretires_for_zombie_and_detector_checks() {
+        let tr = trace(vec![
+            Event::Crash { round: Round::new(2), pid: Pid::new(0) },
+            Event::Recover { round: Round::new(5), pid: Pid::new(0) },
+            Event::Work { round: Round::new(6), pid: Pid::new(0), unit: Unit::new(1) },
+            // Accusing the recovered (live-again) process is unsound.
+            Event::Notice { round: Round::new(7), observer: Pid::new(1), retired: Pid::new(0) },
+        ]);
+        assert!(check_no_zombie_actions(&tr).is_empty());
+        let v = check_detector_soundness(&tr);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("accused live process p0"));
+    }
+
+    #[test]
+    fn action_during_downtime_is_flagged() {
+        let tr = trace(vec![
+            Event::Crash { round: Round::new(2), pid: Pid::new(0) },
+            Event::Work { round: Round::new(3), pid: Pid::new(0), unit: Unit::new(1) },
+            Event::Recover { round: Round::new(5), pid: Pid::new(0) },
+            Event::Work { round: Round::new(5), pid: Pid::new(0), unit: Unit::new(2) },
+        ]);
+        let v = check_recovery_silence(&tr);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("while down since round 2"));
+    }
+
+    #[test]
+    fn recovery_without_crash_is_flagged() {
+        let tr = trace(vec![Event::Recover { round: Round::new(5), pid: Pid::new(3) }]);
+        let v = check_recovery_silence(&tr);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("without a preceding crash"));
+    }
+
+    #[test]
+    fn degraded_rate_flags_off_grid_actions_only() {
+        let tr = trace(vec![
+            // On-grid at rounds 10 and 14 (factor 4, anchored at 10).
+            Event::Work { round: Round::new(10), pid: Pid::new(0), unit: Unit::new(1) },
+            Event::Work { round: Round::new(14), pid: Pid::new(0), unit: Unit::new(2) },
+            // Off-grid at round 12.
+            Event::Send { round: Round::new(12), from: Pid::new(0), to: Pid::new(1), class: "m" },
+            // Other processes and rounds outside the window are exempt.
+            Event::Work { round: Round::new(12), pid: Pid::new(1), unit: Unit::new(3) },
+            Event::Work { round: Round::new(99), pid: Pid::new(0), unit: Unit::new(4) },
+        ]);
+        let v = check_degraded_rate(&tr, Pid::new(0), Round::new(10), Round::new(20), 4);
+        assert_eq!(v.len(), 1);
+        assert_eq!(v[0].round, Round::new(12));
     }
 
     #[test]

@@ -53,9 +53,15 @@
 //! adversary-seeded message delays plus a retirement detector (§2.1 of the
 //! paper) — as a full peer of this round engine: in-flight payloads live
 //! once in an op arena, same-timestamp deliveries batch into the same
-//! borrowing [`Inbox`] views, and crashes come from a pluggable
-//! [`asynch::AsyncAdversary`] speaking the [`CrashSpec`]/[`Deliver`]
-//! vocabulary above.
+//! borrowing [`Inbox`] views, and faults come from a pluggable
+//! [`asynch::AsyncAdversary`] speaking the [`Fate`]/[`CrashSpec`]/
+//! [`Deliver`] vocabulary above.
+//!
+//! Both planes go beyond fail-stop: adversaries can impose crash-recovery
+//! (a crashed process restarts, stale or wiped), send/receive omission,
+//! and — via the [`Degraded`]/[`AsyncDegraded`] wrappers — degraded-mode
+//! slowdown. The [`faults`] module packages all of these as a named-fault
+//! catalog ([`FaultKind`]/[`FaultPlan`]) usable on either plane.
 
 #![warn(missing_docs)]
 #![warn(rust_2018_idioms)]
@@ -71,6 +77,7 @@ mod protocol;
 mod trace;
 
 pub mod asynch;
+pub mod faults;
 pub mod invariants;
 
 pub use adversary::{
@@ -79,6 +86,7 @@ pub use adversary::{
 };
 pub use effects::{Effects, Recipients, SendOp};
 pub use engine::{run, run_returning, Report, RunConfig, RunError, Status};
+pub use faults::{AsyncDegraded, Degraded, Fault, FaultKind, FaultPlan, SlowWindow};
 pub use ids::{Pid, Round, Unit};
 pub use message::{Classify, Inbox, InboxIter};
 pub use metrics::Metrics;

@@ -33,6 +33,14 @@ pub struct Metrics {
     /// Messages that arrived at already-retired recipients (sent but never
     /// processed). Included in `messages`.
     pub dead_letters: u64,
+    /// Messages suppressed by omission faults (send- or receive-side).
+    /// These never left (or never reached) a process, so they are **not**
+    /// included in `messages`.
+    pub omissions: u64,
+    /// Number of crash-recovery restarts (a process may recover at most
+    /// once per [`Fate::CrashRecover`](crate::Fate::CrashRecover) verdict,
+    /// but may crash and recover repeatedly over a run).
+    pub recoveries: u32,
     /// Per-unit multiplicities, indexed by `unit - 1`.
     pub work_by_unit: Vec<u32>,
 }

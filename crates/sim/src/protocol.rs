@@ -46,6 +46,20 @@ pub trait Protocol {
     /// always correct (it merely disables the optimization for this
     /// process).
     fn next_wakeup(&self, now: Round) -> Option<Round>;
+
+    /// Called when the engine restarts this process after a
+    /// [`Fate::CrashRecover`](crate::Fate::CrashRecover) downtime, at
+    /// `round` — before any step. With `wipe`, the process lost all state
+    /// and must reset to its initial configuration; without it, the state
+    /// is exactly what it was at the crash (stale: everything delivered in
+    /// between was lost). Implementations must leave the process in a
+    /// configuration from which [`next_wakeup`](Protocol::next_wakeup) is
+    /// meaningful — the engine re-queries it right after this call. The
+    /// default keeps the stale state untouched, which is always safe for
+    /// protocols whose progress claims tolerate silent periods.
+    fn on_recover(&mut self, round: Round, wipe: bool) {
+        let _ = (round, wipe);
+    }
 }
 
 #[cfg(test)]

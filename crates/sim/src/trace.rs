@@ -66,6 +66,18 @@ pub enum Event {
         /// The annotation tag.
         tag: &'static str,
     },
+    /// A previously crashed process restarted after its scheduled downtime
+    /// (see [`Fate::CrashRecover`](crate::Fate::CrashRecover)). From this
+    /// event on, the process is alive again and may act; the
+    /// recovery-silence checker
+    /// ([`check_recovery_silence`](crate::invariants::check_recovery_silence))
+    /// verifies that nothing happened in between.
+    Recover {
+        /// Round (or async timestamp) of the restart.
+        round: Round,
+        /// The recovering process.
+        pid: Pid,
+    },
 }
 
 impl Event {
@@ -77,7 +89,8 @@ impl Event {
             | Event::Crash { round, .. }
             | Event::Terminate { round, .. }
             | Event::Notice { round, .. }
-            | Event::Note { round, .. } => *round,
+            | Event::Note { round, .. }
+            | Event::Recover { round, .. } => *round,
         }
     }
 }
@@ -171,8 +184,9 @@ mod tests {
             Event::Terminate { round: Round::new(4), pid: Pid::new(1) },
             Event::Note { round: Round::new(5), pid: Pid::new(1), tag: "x" },
             Event::Notice { round: Round::new(6), observer: Pid::new(1), retired: Pid::new(0) },
+            Event::Recover { round: Round::new(7), pid: Pid::new(0) },
         ];
         let rounds: Vec<Round> = events.iter().map(Event::round).collect();
-        assert_eq!(rounds, (1u64..=6).map(Round::from).collect::<Vec<_>>());
+        assert_eq!(rounds, (1u64..=7).map(Round::from).collect::<Vec<_>>());
     }
 }

@@ -7,8 +7,8 @@ use doall_sim::asynch::{
     AsyncTriggerRule,
 };
 use doall_sim::{
-    Adversary, CrashSchedule, CrashSpec, Deliver, NoFailures, Pid, RandomCrashes, Round, Trigger,
-    TriggerAdversary, TriggerRule,
+    Adversary, CrashSchedule, CrashSpec, Deliver, FaultKind, FaultPlan, NoFailures, Pid,
+    RandomCrashes, Round, Trigger, TriggerAdversary, TriggerRule,
 };
 
 /// A named, parameterized failure scenario.
@@ -100,6 +100,47 @@ pub enum Scenario {
         /// The extinction instant (typically `Round::new(1 << 100)`).
         round: Round,
     },
+    /// Beyond fail-stop: `pid` crashes silently at `round` and restarts
+    /// `downtime` rounds later — wiped to its initial state or stale —
+    /// then must rejoin without violating task-completion safety.
+    CrashRecovery {
+        /// The victim.
+        pid: u64,
+        /// The crash round.
+        round: u64,
+        /// Rounds of downtime before the restart.
+        downtime: u64,
+        /// Whether the restart loses all protocol state.
+        wipe: bool,
+    },
+    /// Beyond fail-stop: `pid` runs at `1/factor` speed for `rounds`
+    /// rounds starting at `from`. Wrapper-enforced — callers must also
+    /// wrap the processes with [`Scenario::fault_plan`]'s
+    /// [`FaultPlan::wrap`]; the adversary half of the plan is a no-op for
+    /// this kind.
+    Slowdown {
+        /// The degraded process.
+        pid: u64,
+        /// First round of the degradation window.
+        from: u64,
+        /// Slow-down factor (`4` = quarter speed).
+        factor: u64,
+        /// Length of the window in rounds.
+        rounds: u64,
+    },
+    /// Beyond fail-stop: messages sent by (`send = true`) or addressed to
+    /// (`send = false`) `pid` are silently dropped for `rounds` rounds
+    /// starting at `from`; the process itself keeps running.
+    Omission {
+        /// The afflicted process.
+        pid: u64,
+        /// Send-side (`true`) or receive-side (`false`) omission.
+        send: bool,
+        /// First round of the omission window.
+        from: u64,
+        /// Length of the window in rounds.
+        rounds: u64,
+    },
 }
 
 impl Scenario {
@@ -186,6 +227,38 @@ impl Scenario {
                 }
                 Box::new(s)
             }
+            Scenario::CrashRecovery { .. }
+            | Scenario::Slowdown { .. }
+            | Scenario::Omission { .. } => Box::new(self.fault_plan()),
+        }
+    }
+
+    /// The catalog [`FaultPlan`] behind this scenario — empty for the
+    /// fail-stop scenarios. For [`Slowdown`](Scenario::Slowdown) the plan
+    /// must *also* wrap the processes ([`FaultPlan::wrap`]); for the
+    /// other fault scenarios the plan doubles as the adversary that
+    /// [`Scenario::adversary`] already returns.
+    pub fn fault_plan(&self) -> FaultPlan {
+        match *self {
+            Scenario::CrashRecovery { pid, round, downtime, wipe } => {
+                FaultPlan::new([FaultKind::CrashRecover {
+                    pid: Pid::new(pid as usize),
+                    downtime,
+                    wipe,
+                }
+                .at(round)])
+            }
+            Scenario::Slowdown { pid, from, factor, rounds } => {
+                FaultPlan::new([FaultKind::Slow { pid: Pid::new(pid as usize), factor }
+                    .at(from)
+                    .for_rounds(rounds)])
+            }
+            Scenario::Omission { pid, send, from, rounds } => {
+                let p = Pid::new(pid as usize);
+                let kind = if send { FaultKind::OmitSends(p) } else { FaultKind::OmitRecv(p) };
+                FaultPlan::new([kind.at(from).for_rounds(rounds)])
+            }
+            _ => FaultPlan::default(),
         }
     }
 
@@ -212,6 +285,17 @@ impl Scenario {
                 } else {
                     format!("deep-idle({k},r={round})")
                 }
+            }
+            Scenario::CrashRecovery { pid, round, downtime, wipe } => {
+                let mode = if *wipe { "wipe" } else { "stale" };
+                format!("crash-recovery({pid},r={round},down={downtime},{mode})")
+            }
+            Scenario::Slowdown { pid, from, factor, rounds } => {
+                format!("slowdown({pid},x{factor},r={from}+{rounds})")
+            }
+            Scenario::Omission { pid, send, from, rounds } => {
+                let side = if *send { "send" } else { "recv" };
+                format!("omit-{side}({pid},r={from}+{rounds})")
             }
         }
     }
@@ -260,6 +344,45 @@ pub enum AsyncScenario {
         /// Which activation to strike (1-based).
         nth: u64,
     },
+    /// Beyond fail-stop: `pid` crashes silently at timestamp `at` and
+    /// restarts `downtime` time units later, wiped or stale.
+    CrashRecovery {
+        /// The victim.
+        pid: u64,
+        /// The injection timestamp.
+        at: u64,
+        /// Time units of downtime before the restart.
+        downtime: u64,
+        /// Whether the restart loses all protocol state.
+        wipe: bool,
+    },
+    /// Beyond fail-stop: `pid` handles only every `factor`-th of its
+    /// handler invocations `from..from + count` (1-based ordinals).
+    /// Wrapper-enforced — callers must also wrap the processes with
+    /// [`AsyncScenario::fault_plan`]'s [`FaultPlan::wrap_async`].
+    Slowdown {
+        /// The degraded process.
+        pid: u64,
+        /// First gated handler invocation (1-based).
+        from: u64,
+        /// Slow-down factor (`4` = quarter-rate handler scheduling).
+        factor: u64,
+        /// Length of the window in invocations.
+        count: u64,
+    },
+    /// Beyond fail-stop: messages sent by (`send = true`) or addressed to
+    /// (`send = false`) `pid` are silently dropped during the timestamp
+    /// window `at..at + duration`; the process itself keeps running.
+    Omission {
+        /// The afflicted process.
+        pid: u64,
+        /// Send-side (`true`) or receive-side (`false`) omission.
+        send: bool,
+        /// First timestamp of the omission window.
+        at: u64,
+        /// Length of the window in time units.
+        duration: u64,
+    },
 }
 
 impl AsyncScenario {
@@ -286,6 +409,38 @@ impl AsyncScenario {
                     spec: CrashSpec { deliver: Deliver::None, count_work: true },
                 }]))
             }
+            AsyncScenario::CrashRecovery { .. }
+            | AsyncScenario::Slowdown { .. }
+            | AsyncScenario::Omission { .. } => Box::new(self.fault_plan()),
+        }
+    }
+
+    /// The catalog [`FaultPlan`] behind this scenario — empty for the
+    /// fail-stop scenarios. For [`Slowdown`](AsyncScenario::Slowdown) the
+    /// plan must *also* wrap the processes ([`FaultPlan::wrap_async`]);
+    /// for the other fault scenarios the plan doubles as the adversary
+    /// that [`AsyncScenario::adversary`] already returns.
+    pub fn fault_plan(&self) -> FaultPlan {
+        match *self {
+            AsyncScenario::CrashRecovery { pid, at, downtime, wipe } => {
+                FaultPlan::new([FaultKind::CrashRecover {
+                    pid: Pid::new(pid as usize),
+                    downtime,
+                    wipe,
+                }
+                .at(at)])
+            }
+            AsyncScenario::Slowdown { pid, from, factor, count } => {
+                FaultPlan::new([FaultKind::Slow { pid: Pid::new(pid as usize), factor }
+                    .at(from)
+                    .for_rounds(count)])
+            }
+            AsyncScenario::Omission { pid, send, at, duration } => {
+                let p = Pid::new(pid as usize);
+                let kind = if send { FaultKind::OmitSends(p) } else { FaultKind::OmitRecv(p) };
+                FaultPlan::new([kind.at(at).for_rounds(duration)])
+            }
+            _ => FaultPlan::default(),
         }
     }
 
@@ -298,6 +453,17 @@ impl AsyncScenario {
                 format!("random(seed={seed},p={p},f<={max_crashes})")
             }
             AsyncScenario::KillNthActivation { nth } => format!("kill-activation({nth})"),
+            AsyncScenario::CrashRecovery { pid, at, downtime, wipe } => {
+                let mode = if *wipe { "wipe" } else { "stale" };
+                format!("crash-recovery({pid},at={at},down={downtime},{mode})")
+            }
+            AsyncScenario::Slowdown { pid, from, factor, count } => {
+                format!("slowdown({pid},x{factor},inv={from}+{count})")
+            }
+            AsyncScenario::Omission { pid, send, at, duration } => {
+                let side = if *send { "send" } else { "recv" };
+                format!("omit-{side}({pid},at={at}+{duration})")
+            }
         }
     }
 }
@@ -310,6 +476,18 @@ mod tests {
     fn async_labels_are_stable() {
         assert_eq!(AsyncScenario::FailureFree.label(), "failure-free");
         assert_eq!(AsyncScenario::KillNthActivation { nth: 2 }.label(), "kill-activation(2)");
+        assert_eq!(
+            AsyncScenario::CrashRecovery { pid: 0, at: 9, downtime: 40, wipe: true }.label(),
+            "crash-recovery(0,at=9,down=40,wipe)"
+        );
+        assert_eq!(
+            AsyncScenario::Slowdown { pid: 1, from: 3, factor: 4, count: 8 }.label(),
+            "slowdown(1,x4,inv=3+8)"
+        );
+        assert_eq!(
+            AsyncScenario::Omission { pid: 2, send: false, at: 5, duration: 20 }.label(),
+            "omit-recv(2,at=5+20)"
+        );
     }
 
     #[test]
@@ -319,6 +497,9 @@ mod tests {
             AsyncScenario::DeadOnArrival { k: 2 },
             AsyncScenario::Random { seed: 1, p: 0.1, max_crashes: 3 },
             AsyncScenario::KillNthActivation { nth: 1 },
+            AsyncScenario::CrashRecovery { pid: 0, at: 9, downtime: 40, wipe: false },
+            AsyncScenario::Slowdown { pid: 1, from: 3, factor: 4, count: 8 },
+            AsyncScenario::Omission { pid: 2, send: true, at: 5, duration: 20 },
         ] {
             let _a = s.adversary::<u32>();
             let _b = s.adversary::<String>();
@@ -338,6 +519,29 @@ mod tests {
             "deep-idle(255,r=2^100)"
         );
         assert_eq!(Scenario::DeepIdle { k: 3, round: Round::new(12) }.label(), "deep-idle(3,r=12)");
+        assert_eq!(
+            Scenario::CrashRecovery { pid: 0, round: 4, downtime: 6, wipe: false }.label(),
+            "crash-recovery(0,r=4,down=6,stale)"
+        );
+        assert_eq!(
+            Scenario::Slowdown { pid: 1, from: 2, factor: 4, rounds: 12 }.label(),
+            "slowdown(1,x4,r=2+12)"
+        );
+        assert_eq!(
+            Scenario::Omission { pid: 3, send: true, from: 1, rounds: 9 }.label(),
+            "omit-send(3,r=1+9)"
+        );
+    }
+
+    #[test]
+    fn fault_plans_match_their_scenarios() {
+        assert!(Scenario::FailureFree.fault_plan().is_empty());
+        assert!(AsyncScenario::Random { seed: 1, p: 0.1, max_crashes: 3 }.fault_plan().is_empty());
+        let plan = Scenario::Slowdown { pid: 1, from: 2, factor: 4, rounds: 12 }.fault_plan();
+        assert_eq!(plan.len(), 1);
+        let plan =
+            AsyncScenario::CrashRecovery { pid: 0, at: 9, downtime: 40, wipe: true }.fault_plan();
+        assert_eq!(plan.len(), 1);
     }
 
     #[test]
@@ -351,6 +555,9 @@ mod tests {
             Scenario::Random { seed: 1, p: 0.1, max_crashes: 3 },
             Scenario::MassExtinction { from: 0, k: 2, round: 5 },
             Scenario::DeepIdle { k: 2, round: Round::new(1 << 100) },
+            Scenario::CrashRecovery { pid: 0, round: 4, downtime: 6, wipe: true },
+            Scenario::Slowdown { pid: 1, from: 2, factor: 4, rounds: 12 },
+            Scenario::Omission { pid: 3, send: false, from: 1, rounds: 9 },
         ] {
             let _a = s.adversary::<u32>();
             let _b = s.adversary::<String>();

@@ -42,6 +42,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 (*round, format!("{from} -> {to}  [{class}]"))
             }
             Event::Crash { round, pid } => (*round, format!("{pid} CRASHES")),
+            Event::Recover { round, pid } => (*round, format!("{pid} RECOVERS")),
             Event::Terminate { round, pid } => (*round, format!("{pid} terminates")),
             Event::Note { round, pid, tag } => (*round, format!("{pid} *** {tag} ***")),
             Event::Notice { round, observer, retired } => {

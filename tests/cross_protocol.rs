@@ -4,10 +4,11 @@
 
 use doall::bounds::theorems;
 use doall::sim::invariants::{
-    check_activation_order, check_no_zombie_actions, check_sequential_work, check_single_active,
+    check_activation_order, check_degraded_rate, check_no_zombie_actions, check_recovery_silence,
+    check_sequential_work, check_single_active,
 };
-use doall::sim::{run, Protocol, Report, RunConfig};
-use doall::workload::Scenario;
+use doall::sim::{run, Event, Pid, Protocol, Report, Round, RunConfig};
+use doall::workload::{AsyncScenario, Scenario};
 use doall::{Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll};
 
 fn scenarios(t: u64) -> Vec<Scenario> {
@@ -184,6 +185,162 @@ fn async_protocol_a_matches_synchronous_counts() {
         assert!(async_report.metrics.all_work_done());
         assert_eq!(async_report.metrics.work_total, sync_report.metrics.work_total);
         assert_eq!(async_report.metrics.messages, sync_report.metrics.messages);
+    }
+}
+
+// ---- Beyond fail-stop: recovery, slowdown, and omission faults ----
+
+/// The fault scenarios every protocol must survive: crash-recovery (stale
+/// and wiped, low and mid pid), degraded mode, and both omission sides.
+fn fault_scenarios(t: u64) -> Vec<Scenario> {
+    vec![
+        Scenario::CrashRecovery { pid: 0, round: 3, downtime: 5, wipe: false },
+        Scenario::CrashRecovery { pid: 0, round: 2, downtime: 8, wipe: true },
+        Scenario::CrashRecovery { pid: t / 2, round: 4, downtime: 6, wipe: false },
+        Scenario::Slowdown { pid: 0, from: 2, factor: 4, rounds: 16 },
+        Scenario::Slowdown { pid: 1, from: 1, factor: 2, rounds: 8 },
+        Scenario::Omission { pid: 0, send: true, from: 1, rounds: 6 },
+        Scenario::Omission { pid: 1, send: false, from: 2, rounds: 6 },
+    ]
+}
+
+/// Runs a fault scenario (adversary half + wrapper half) and checks the
+/// beyond-fail-stop safety contract: every task still gets performed, no
+/// task completed before the fault is lost from the final report, a
+/// recovering process never acts during its downtime window, and a
+/// degraded process never steps faster than its rate.
+fn run_faulted<P: Protocol>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Report
+where
+    P::Msg: 'static,
+{
+    let plan = scenario.fault_plan();
+    let report = run(
+        plan.wrap(procs),
+        scenario.adversary::<P::Msg>(),
+        RunConfig::new(n as usize, u64::MAX - 1).with_trace(),
+    )
+    .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()));
+    assert!(
+        report.metrics.all_work_done(),
+        "{}: missing units {:?}",
+        scenario.label(),
+        report.metrics.missing_units()
+    );
+    // No completed task reported lost: every unit the trace shows
+    // performed — including before a crash or inside a fault window —
+    // is still present in the final coverage.
+    for event in report.trace.events() {
+        if let Event::Work { unit, .. } = event {
+            assert!(
+                report.metrics.work_by_unit[unit.get() - 1] > 0,
+                "{}: unit {unit} performed but reported lost",
+                scenario.label()
+            );
+        }
+    }
+    let silence = check_recovery_silence(&report.trace);
+    assert!(silence.is_empty(), "{}: {silence:?}", scenario.label());
+    if let Scenario::Slowdown { pid, from, factor, rounds } = *scenario {
+        let rate = check_degraded_rate(
+            &report.trace,
+            Pid::new(pid as usize),
+            Round::from(from),
+            Round::from(from + rounds),
+            factor,
+        );
+        assert!(rate.is_empty(), "{}: {rate:?}", scenario.label());
+    }
+    report
+}
+
+#[test]
+fn protocol_a_fault_scenarios() {
+    let (n, t) = (32u64, 16u64);
+    for scenario in fault_scenarios(t) {
+        run_faulted(ProtocolA::processes(n, t).unwrap(), &scenario, n);
+    }
+}
+
+#[test]
+fn protocol_b_fault_scenarios() {
+    let (n, t) = (32u64, 16u64);
+    for scenario in fault_scenarios(t) {
+        run_faulted(ProtocolB::processes(n, t).unwrap(), &scenario, n);
+    }
+}
+
+#[test]
+fn protocol_c_fault_scenarios() {
+    let (n, t) = (16u64, 8u64);
+    for scenario in fault_scenarios(t) {
+        run_faulted(ProtocolC::processes(n, t).unwrap(), &scenario, n);
+        run_faulted(ProtocolC::processes_prime(n, t).unwrap(), &scenario, n);
+    }
+}
+
+#[test]
+fn protocol_d_fault_scenarios() {
+    let (n, t) = (32u64, 16u64);
+    for scenario in fault_scenarios(t) {
+        run_faulted(ProtocolD::processes(n, t).unwrap(), &scenario, n);
+    }
+}
+
+#[test]
+fn baselines_fault_scenarios() {
+    let (n, t) = (32u64, 16u64);
+    for scenario in fault_scenarios(t) {
+        run_faulted(ReplicateAll::processes(n, t).unwrap(), &scenario, n);
+        run_faulted(Lockstep::processes(n, t).unwrap(), &scenario, n);
+        run_faulted(NaiveSpread::processes(n, t).unwrap(), &scenario, n);
+    }
+}
+
+/// The asynchronous plane under the same fault vocabulary: recovery,
+/// quarter-rate degradation, and omission windows, with the downtime
+/// silence checked on the trace.
+#[test]
+fn async_protocols_fault_scenarios() {
+    use doall::sim::asynch::{run_async, AsyncConfig};
+    use doall::{AsyncProtocolA, AsyncProtocolB};
+
+    let (n, t) = (32u64, 16u64);
+    let scenarios = vec![
+        AsyncScenario::CrashRecovery { pid: 0, at: 10, downtime: 30, wipe: false },
+        AsyncScenario::CrashRecovery { pid: 0, at: 8, downtime: 50, wipe: true },
+        AsyncScenario::Slowdown { pid: 0, from: 2, factor: 4, count: 8 },
+        AsyncScenario::Omission { pid: 0, send: true, at: 5, duration: 30 },
+        AsyncScenario::Omission { pid: 1, send: false, at: 5, duration: 30 },
+    ];
+    for scenario in scenarios {
+        for seed in 0..3 {
+            let cfg = AsyncConfig {
+                max_delay: 7,
+                max_events: 1_000_000,
+                ..AsyncConfig::new(n as usize, seed)
+            }
+            .with_trace();
+            let plan = scenario.fault_plan();
+            let label = scenario.label();
+            let report_a = run_async(
+                plan.wrap_async(AsyncProtocolA::processes(n, t).unwrap()),
+                scenario.adversary(),
+                cfg.clone(),
+            )
+            .unwrap_or_else(|e| panic!("{label} seed {seed} (A): {e}"));
+            assert!(report_a.metrics.all_work_done(), "{label} seed {seed} (A)");
+            let silence = check_recovery_silence(&report_a.trace);
+            assert!(silence.is_empty(), "{label} seed {seed} (A): {silence:?}");
+            let report_b = run_async(
+                plan.wrap_async(AsyncProtocolB::processes(n, t).unwrap()),
+                scenario.adversary(),
+                cfg,
+            )
+            .unwrap_or_else(|e| panic!("{label} seed {seed} (B): {e}"));
+            assert!(report_b.metrics.all_work_done(), "{label} seed {seed} (B)");
+            let silence = check_recovery_silence(&report_b.trace);
+            assert!(silence.is_empty(), "{label} seed {seed} (B): {silence:?}");
+        }
     }
 }
 

@@ -231,6 +231,36 @@ where
                     live -= 1;
                     metrics.crashes += 1;
                 }
+                Fate::Omit(filter) => {
+                    // Send omission: the process survives, works, and its
+                    // filtered messages count as omissions.
+                    if let Some(unit) = eff.work() {
+                        record_work(&mut metrics, unit);
+                    }
+                    let mut i = 0usize;
+                    for op in eff.sends() {
+                        for to in op.to.iter() {
+                            if filter.lets_through(i, to) {
+                                let payload = op.payload.clone();
+                                metrics.messages += 1;
+                                *metrics.messages_by_class.entry(payload.class()).or_insert(0) += 1;
+                                next_pending.push((pid, to, payload));
+                            } else {
+                                metrics.omissions += 1;
+                            }
+                            i += 1;
+                        }
+                    }
+                    if eff.is_terminated() {
+                        statuses[idx] = Status::Terminated(round);
+                        alive[idx] = false;
+                        live -= 1;
+                        metrics.terminations += 1;
+                    }
+                }
+                Fate::CrashRecover { .. } => {
+                    unreachable!("the differential fixtures use fail-stop adversaries only")
+                }
             }
         }
 
