@@ -412,7 +412,7 @@ impl BaSystem {
         let cfg = RunConfig {
             n: 0,
             max_rounds: self.decision_round().saturating_add(8),
-            record_trace: false,
+            ..RunConfig::default()
         };
         let (report, procs) = run_returning(self.processes(), adversary, cfg)?;
         let decisions = procs.iter().map(BaProcess::decision).collect();

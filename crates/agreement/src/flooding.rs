@@ -78,7 +78,7 @@ impl FloodingBa {
         general_value: Value,
         adversary: A,
     ) -> Result<(Vec<Option<Value>>, Metrics), RunError> {
-        let cfg = RunConfig { n: 0, max_rounds: Round::from(t + 10), record_trace: false };
+        let cfg = RunConfig { n: 0, max_rounds: Round::from(t + 10), ..RunConfig::default() };
         let (report, procs) = run_returning(Self::processes(n, t, general_value), adversary, cfg)?;
         Ok((procs.iter().map(|p| p.decision).collect(), report.metrics))
     }

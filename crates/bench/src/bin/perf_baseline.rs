@@ -24,7 +24,8 @@ use doall_core::{
     ProtocolD, ReplicateAll,
 };
 use doall_sim::asynch::{reference, run_async, AsyncConfig, AsyncProtocol, DelayDist};
-use doall_sim::{run, Metrics, Protocol, Round, RunConfig};
+use doall_sim::chaos::{shrink, ChaosCase, ChaosConfig};
+use doall_sim::{run, Engine, Metrics, Protocol, Round, RunConfig};
 use doall_workload::{AsyncScenario, Scenario};
 
 struct Measurement {
@@ -71,7 +72,9 @@ impl Measurement {
             self.scenario,
             self.iters,
             self.total.as_secs_f64() * 1e3 / self.iters as f64,
-            self.metrics.rounds,
+            // Raw count, not Display: the wide-clock hint (`… (2^100)`)
+            // would corrupt the JSON.
+            self.metrics.rounds.get(),
             self.ns_per_round(),
             self.rounds_per_sec(),
             self.metrics.work_total,
@@ -214,6 +217,43 @@ fn async_cells(smoke: bool) -> Vec<Measurement> {
     out
 }
 
+/// `chaos/shrink_b`: times one end-to-end shrinker pass — scan seeds for
+/// the first chaos case that crashes somebody in a Protocol B run, then
+/// greedily shrink it under that engine-backed oracle (dozens of full
+/// runs per pass). Reports the minimal case's run metrics.
+fn chaos_shrink_cell(iters: u64) -> Measurement {
+    let cfg = ChaosConfig::new(16, 64);
+    let run_case = |case: &ChaosCase| -> Option<Metrics> {
+        let plan = case.plan();
+        plan.validate(case.t).ok()?;
+        let procs = plan.wrap(ProtocolB::processes(case.n as u64, case.t as u64).ok()?);
+        run(procs, plan, RunConfig::new(case.n, Round::MAX)).ok().map(|r| r.metrics)
+    };
+    let fails = move |case: &ChaosCase| run_case(case).is_some_and(|m| m.crashes >= 1);
+    measure_with("chaos/shrink_b".into(), 64, 16, "chaos-shrink(oracle=B)".into(), iters, || {
+        let case = (1u64..).map(|s| ChaosCase::generate(s, &cfg)).find(&fails).unwrap();
+        let min = shrink(&case, &fails);
+        run_case(&min).expect("minimal case must be runnable")
+    })
+}
+
+/// `snapshot/resume_b`: times a Protocol B run that is paused at round 8,
+/// deep-copied into a snapshot, resumed from it, and run to completion —
+/// the checkpoint/restore hot path on the sync plane.
+fn snapshot_resume_cell(iters: u64) -> Measurement {
+    let plan = ChaosCase::generate(5, &ChaosConfig::new(16, 64)).plan();
+    measure_with("snapshot/resume_b".into(), 64, 16, "snapshot(pause=8)".into(), iters, || {
+        let procs = plan.wrap(ProtocolB::processes(64, 16).unwrap());
+        let cfg = RunConfig::new(64, Round::MAX);
+        let mut engine = Engine::new(procs, plan.clone(), cfg).expect("plan validates");
+        if !engine.run_until(Some(Round::new(8))).expect("run must not stall") {
+            engine = Engine::resume(engine.snapshot());
+            engine.run_until(None).expect("resumed run must complete");
+        }
+        engine.into_report().0.metrics
+    })
+}
+
 fn cells(smoke: bool) -> Vec<Measurement> {
     // Smoke mode still iterates (bounded by the 300 ms per-cell budget in
     // `measure`): single-shot timings are far too noisy for the --compare
@@ -285,6 +325,12 @@ fn cells(smoke: bool) -> Vec<Measurement> {
     out.push(measure("fault/recovery_b", 64, 16, &recover, iters, || {
         ProtocolB::processes(64, 16).unwrap()
     }));
+    // Robustness-tooling cells (PR 7), always on so the --compare gate
+    // covers them: the chaos shrinker driven by an engine-backed oracle,
+    // and a mid-run snapshot/resume round-trip. Both report the metrics of
+    // their final full run, so message counts stay comparable.
+    out.push(chaos_shrink_cell(iters));
+    out.push(snapshot_resume_cell(iters));
     // Sparse-jump cells (PR 5): the wide virtual-time clock under load.
     // The deep-idle cell simulates a run that *ends at round 2^100* —
     // ~10^30 rounds crossed in a single O(1) fast-forward jump after the

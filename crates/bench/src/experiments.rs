@@ -22,6 +22,7 @@ use doall_core::{
     ProtocolC, ProtocolD, ReplicateAll,
 };
 use doall_sim::asynch::{run_async, AsyncConfig, AsyncProtocol, DelayDist};
+use doall_sim::chaos;
 use doall_sim::invariants::{check_degraded_rate, check_recovery_silence};
 use doall_sim::{run, Metrics, NoFailures, Pid, Protocol, Report, Round, RunConfig};
 use doall_workload::{AsyncScenario, Scenario};
@@ -1132,6 +1133,121 @@ pub fn e15() -> Outcome {
     }
 }
 
+/// E16 — robustness tooling (extension; DESIGN.md §2.11): the chaos
+/// shrinker and the checkpoint layer, pinned end-to-end. Stage 1 scans
+/// chaos seeds for the first generated fault plan under which a Protocol
+/// B run records a crash, then greedily shrinks it against that
+/// engine-backed oracle; the surviving seed, the minimal case's shape,
+/// its single fault, and the minimal run's exact metrics are all pinned
+/// (the generator, the shrinker, and the engine are deterministic, so
+/// any drift is a semantics change). Stage 2 round-trips the minimal
+/// case through the `doall-chaos-repro v1` codec. Stage 3 pauses a run
+/// under the *original* (unshrunk) plan at round 8, snapshots, resumes,
+/// and requires the resumed report bit-identical to the straight run.
+pub fn e16() -> Outcome {
+    let mut table = Table::new(["stage", "t", "n", "faults", "detail", "ok"]);
+    let mut pass = true;
+    let cfg = chaos::ChaosConfig::new(16, 64);
+
+    let run_case = |case: &chaos::ChaosCase| -> Option<Metrics> {
+        let plan = case.plan();
+        plan.validate(case.t).ok()?;
+        let procs = plan.wrap(ProtocolB::processes(case.n as u64, case.t as u64).ok()?);
+        run(procs, plan, RunConfig::new(case.n, Round::MAX)).ok().map(|r| r.metrics)
+    };
+    let fails = |case: &chaos::ChaosCase| run_case(case).is_some_and(|m| m.crashes >= 1);
+
+    // Stage 1: find + shrink. Seed 1 is pinned as the first plan that
+    // crashes anybody (seed 0 is reserved for the empty plan elsewhere).
+    let case = (1u64..).map(|s| chaos::ChaosCase::generate(s, &cfg)).find(fails).unwrap();
+    let found_ok = case.seed == 1;
+    table.row([
+        "find".to_string(),
+        case.t.to_string(),
+        case.n.to_string(),
+        case.faults.len().to_string(),
+        format!("seed {}", case.seed),
+        found_ok.to_string(),
+    ]);
+    pass &= found_ok;
+
+    let min = chaos::shrink(&case, fails);
+    let metrics = run_case(&min).expect("minimal case must be runnable");
+    // Pinned minimal repro: `crash p8 @1` alone on the smallest legal
+    // Protocol B shape (t must stay a perfect square dividing n, so the
+    // halving passes stop at t = n = 16), and the survivors' takeover
+    // still performs all 16 units with the standard 132 messages.
+    let min_fault = format!("{:?}", min.faults);
+    let min_ok = min.faults.len() == 1
+        && min.t == 16
+        && min.n == 16
+        && min_fault == "[Fault { kind: Crash(Pid(8)), at: Round(1), until: None }]"
+        && fails(&min)
+        && (metrics.work_total, metrics.messages, metrics.crashes) == (16, 132, 1);
+    table.row([
+        "shrink".to_string(),
+        min.t.to_string(),
+        min.n.to_string(),
+        min.faults.len().to_string(),
+        format!(
+            "work={} msgs={} crashes={}",
+            metrics.work_total, metrics.messages, metrics.crashes
+        ),
+        min_ok.to_string(),
+    ]);
+    pass &= min_ok;
+
+    // Stage 2: the repro codec round-trips the minimal case exactly.
+    let repro =
+        chaos::Repro { protocol: "B".to_string(), plane: chaos::Plane::Sync, case: min.clone() };
+    let parsed = chaos::Repro::parse(&repro.emit()).expect("emitted repro must parse");
+    let codec_ok = parsed.case == min && parsed.protocol == "B";
+    table.row([
+        "repro".to_string(),
+        min.t.to_string(),
+        min.n.to_string(),
+        min.faults.len().to_string(),
+        "emit -> parse".to_string(),
+        codec_ok.to_string(),
+    ]);
+    pass &= codec_ok;
+
+    // Stage 3: checkpoint differential under the unshrunk plan.
+    let straight = {
+        let plan = case.plan();
+        let procs = plan.wrap(ProtocolB::processes(64, 16).unwrap());
+        run(procs, plan, RunConfig::new(64, Round::MAX)).unwrap()
+    };
+    let resumed = {
+        let plan = case.plan();
+        let procs = plan.wrap(ProtocolB::processes(64, 16).unwrap());
+        let mut engine =
+            doall_sim::Engine::new(procs, plan, RunConfig::new(64, Round::MAX)).unwrap();
+        if !engine.run_until(Some(Round::new(8))).unwrap() {
+            engine = doall_sim::Engine::resume(engine.snapshot());
+            engine.run_until(None).unwrap();
+        }
+        engine.into_report().0
+    };
+    let snap_ok = straight == resumed;
+    table.row([
+        "snapshot".to_string(),
+        "16".to_string(),
+        "64".to_string(),
+        case.faults.len().to_string(),
+        "pause@8 == straight".to_string(),
+        snap_ok.to_string(),
+    ]);
+    pass &= snap_ok;
+
+    Outcome {
+        id: "e16",
+        claim: "robustness tooling: the chaos shrinker reduces the first crashing plan to a pinned one-fault repro, the repro codec round-trips it, and snapshot/resume is bit-identical mid-fault-plan",
+        rendered: table.render(),
+        pass,
+    }
+}
+
 /// Every experiment, in order. Runs them sequentially: the grids *inside*
 /// each experiment already fan out across all sweep workers, and nesting
 /// a second level of parallelism on top would multiply the thread count
@@ -1153,6 +1269,7 @@ pub fn all() -> Vec<Outcome> {
         e13(),
         e14(),
         e15(),
+        e16(),
     ]
 }
 
@@ -1174,6 +1291,7 @@ pub fn by_id(id: &str) -> Option<Outcome> {
         "e13" => Some(e13()),
         "e14" => Some(e14()),
         "e15" => Some(e15()),
+        "e16" => Some(e16()),
         _ => None,
     }
 }

@@ -29,7 +29,7 @@ use super::{
 };
 use crate::error::ConfigError;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub(super) enum AsyncState {
     Passive,
     Active { ops: VecDeque<Op> },
@@ -84,7 +84,7 @@ pub(super) fn advance_schedule(
 /// assert!(report.metrics.all_work_done());
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AsyncProtocolA {
     params: AbParams,
     j: u64,

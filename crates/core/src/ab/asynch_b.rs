@@ -55,7 +55,7 @@ use crate::error::ConfigError;
 /// assert_eq!(report.metrics.messages_by_class.get("go_ahead"), None);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct AsyncProtocolB {
     params: AbParams,
     j: u64,

@@ -25,7 +25,7 @@ use doall_sim::{Effects, Inbox, Protocol, Round, Unit};
 use super::{compile_dowork, interpret, is_terminal_for, AbMsg, LastOrdinary, Op};
 use crate::error::ConfigError;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum PState {
     Passive,
     Active { ops: VecDeque<Op> },
@@ -47,7 +47,7 @@ enum PState {
 /// assert_eq!(report.metrics.work_total, 10); // phantoms are not counted
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct PaddedA {
     params: AbParams,
     /// Real process count (`<= params.t`).

@@ -15,7 +15,7 @@ use super::{
 };
 use crate::error::ConfigError;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum AState {
     Passive,
     Active { ops: VecDeque<Op> },
@@ -39,7 +39,7 @@ enum AState {
 /// assert_eq!(report.metrics.work_total, 32); // no failures, no rework
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ProtocolA {
     params: AbParams,
     j: u64,

@@ -26,7 +26,7 @@ use super::{
 };
 use crate::error::ConfigError;
 
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 enum BState {
     Passive,
     Preactive {
@@ -56,7 +56,7 @@ enum BState {
 /// assert!(report.metrics.rounds <= 3u64 * 32 + 8 * 16);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug)]
+#[derive(Clone, Debug)]
 pub struct ProtocolB {
     params: AbParams,
     j: u64,

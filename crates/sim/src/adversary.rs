@@ -239,6 +239,19 @@ pub trait Adversary<M> {
     fn omits_delivery(&mut self, _now: Round, _from: Pid, _to: Pid) -> bool {
         false
     }
+
+    /// Checks the adversary's schedule against a system of `t` processes,
+    /// before round 1. An `Err` aborts the run with
+    /// [`RunError::InvalidAdversary`](crate::RunError::InvalidAdversary)
+    /// instead of a mid-run panic or a silently unsatisfiable schedule.
+    /// [`FaultPlan`](crate::faults::FaultPlan) overrides this to reject
+    /// plans that permanently crash all `t` processes, target out-of-range
+    /// pids, or schedule contradictory fates (see
+    /// [`FaultPlan::validate`](crate::faults::FaultPlan::validate)); the
+    /// default accepts everything.
+    fn validate(&self, _t: usize) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 impl<M> Adversary<M> for Box<dyn Adversary<M>> {
@@ -262,6 +275,10 @@ impl<M> Adversary<M> for Box<dyn Adversary<M>> {
 
     fn omits_delivery(&mut self, now: Round, from: Pid, to: Pid) -> bool {
         (**self).omits_delivery(now, from, to)
+    }
+
+    fn validate(&self, t: usize) -> Result<(), String> {
+        (**self).validate(t)
     }
 }
 

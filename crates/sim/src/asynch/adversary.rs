@@ -77,6 +77,17 @@ pub trait AsyncAdversary<M> {
     fn omits_delivery(&mut self, _now: Time, _from: Pid, _to: Pid) -> bool {
         false
     }
+
+    /// Checks the adversary's schedule against a system of `t` processes,
+    /// before the first event. An `Err` aborts the run with
+    /// [`AsyncRunError::InvalidAdversary`](crate::asynch::AsyncRunError::InvalidAdversary)
+    /// — the asynchronous analogue of
+    /// [`Adversary::validate`](crate::Adversary::validate).
+    /// [`FaultPlan`](crate::faults::FaultPlan) overrides this; the default
+    /// accepts everything.
+    fn validate(&self, _t: usize) -> Result<(), String> {
+        Ok(())
+    }
 }
 
 impl<M> AsyncAdversary<M> for Box<dyn AsyncAdversary<M>> {
@@ -101,6 +112,10 @@ impl<M> AsyncAdversary<M> for Box<dyn AsyncAdversary<M>> {
 
     fn omits_delivery(&mut self, now: Time, from: Pid, to: Pid) -> bool {
         (**self).omits_delivery(now, from, to)
+    }
+
+    fn validate(&self, t: usize) -> Result<(), String> {
+        (**self).validate(t)
     }
 }
 

@@ -307,6 +307,14 @@ pub struct AsyncConfig {
     pub max_events: u64,
     /// Whether to record a full [`Trace`] (tests: yes; large sweeps: no).
     pub record_trace: bool,
+    /// Watchdog window in virtual time: if more than this many time-steps
+    /// elapse after the last *progress* (a delivered message batch, or any
+    /// movement of the work / crash / termination / recovery counters),
+    /// the run fails with [`AsyncRunError::Livelock`] and a diagnosis —
+    /// the asynchronous peer of
+    /// [`RunConfig::stall_window`](crate::RunConfig::stall_window).
+    /// `None` (the default) disables the watchdog.
+    pub stall_window: Option<u64>,
 }
 
 impl Default for AsyncConfig {
@@ -318,6 +326,7 @@ impl Default for AsyncConfig {
             delay: DelayDist::Uniform,
             max_events: 10_000_000,
             record_trace: false,
+            stall_window: None,
         }
     }
 }
@@ -338,6 +347,12 @@ impl AsyncConfig {
     /// Enables trace recording.
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Arms the livelock watchdog (see [`AsyncConfig::stall_window`]).
+    pub fn with_stall_window(mut self, window: u64) -> Self {
+        self.stall_window = Some(window);
         self
     }
 }
@@ -377,6 +392,53 @@ impl AsyncReport {
     }
 }
 
+/// What the asynchronous watchdog saw when it tripped — the event-plane
+/// peer of [`StallDiagnosis`](crate::StallDiagnosis). Lists the processes
+/// still alive (with their handler-invocation counts, to distinguish a
+/// never-scheduled process from a busy-looping one) plus the pending
+/// event and revival backlog.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct AsyncStallDiagnosis {
+    /// Timestamp of the batch that tripped the watchdog.
+    pub time: Time,
+    /// Timestamp of the last observed progress.
+    pub last_progress: Time,
+    /// Processes still alive and unterminated, in pid order.
+    pub stalled: Vec<Pid>,
+    /// Handler-invocation counts of the stalled processes, `(pid, count)`.
+    pub invocations: Vec<(Pid, u64)>,
+    /// Events still pending in the scheduler queue.
+    pub pending_events: usize,
+    /// Crashed processes with a scheduled revival outstanding.
+    pub pending_revivals: usize,
+}
+
+impl fmt::Display for AsyncStallDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "time {}, last progress at {}, {} stalled: ",
+            self.time,
+            self.last_progress,
+            self.stalled.len()
+        )?;
+        for (i, (pid, inv)) in self.invocations.iter().take(8).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{pid}({inv} invocations)")?;
+        }
+        if self.invocations.len() > 8 {
+            write!(f, ", +{} more", self.invocations.len() - 8)?;
+        }
+        write!(
+            f,
+            "; {} pending events, {} pending revivals",
+            self.pending_events, self.pending_revivals
+        )
+    }
+}
+
 /// Errors from the asynchronous engine.
 #[derive(Debug)]
 pub enum AsyncRunError {
@@ -390,6 +452,22 @@ pub enum AsyncRunError {
         /// Processes still alive and unterminated.
         alive: Vec<Pid>,
     },
+    /// The watchdog tripped: events kept flowing, but nothing counted as
+    /// progress for longer than [`AsyncConfig::stall_window`] virtual
+    /// time-steps (a tick-loop livelock, or an idle stretch a protocol
+    /// never escapes).
+    Livelock {
+        /// The configured window that was exceeded.
+        window: u64,
+        /// What the watchdog saw.
+        diagnosis: Box<AsyncStallDiagnosis>,
+    },
+    /// The adversary's schedule is inconsistent with the system (see
+    /// [`AsyncAdversary::validate`]); the run never started.
+    InvalidAdversary {
+        /// Why the schedule was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for AsyncRunError {
@@ -398,6 +476,12 @@ impl fmt::Display for AsyncRunError {
             AsyncRunError::EventLimit { limit } => write!(f, "event limit of {limit} exceeded"),
             AsyncRunError::Stalled { alive } => {
                 write!(f, "stalled with processes {alive:?} alive and no pending events")
+            }
+            AsyncRunError::Livelock { window, diagnosis } => {
+                write!(f, "no progress for over {window} time-steps ({diagnosis})")
+            }
+            AsyncRunError::InvalidAdversary { reason } => {
+                write!(f, "invalid adversary schedule: {reason}")
             }
         }
     }
@@ -410,6 +494,7 @@ impl std::error::Error for AsyncRunError {}
 /// outstanding and a slot returns to the free list when it hits zero (the
 /// stale value is overwritten on reuse), so memory is bounded by the
 /// in-flight high-water mark.
+#[derive(Clone)]
 struct OpArena<M> {
     slots: Vec<FlightOp<M>>,
     refs: Vec<u32>,
@@ -453,7 +538,86 @@ impl<M> OpArena<M> {
     }
 }
 
-/// Runs an asynchronous execution until all processes retire.
+/// A serializable snapshot of an [`AsyncEngine`] at a batch boundary.
+///
+/// Captures *everything* the engine needs to continue — protocol states,
+/// the op arena with its in-flight payloads, the full event schedule
+/// (including tie-breaking sequence numbers), the delay RNG mid-stream,
+/// metrics, trace and the live/reviving sets — so that
+/// [`AsyncEngine::resume`] followed by a run to completion is
+/// **bit-identical** to the uninterrupted run.
+#[derive(Serialize, Deserialize)]
+pub struct AsyncEngineSnapshot<P: AsyncProtocol, A> {
+    procs: Vec<P>,
+    adversary: A,
+    cfg: AsyncConfig,
+    rng: SmallRng,
+    queue: EventQueue,
+    arena: OpArena<P::Msg>,
+    metrics: Metrics,
+    trace: Trace,
+    terminated: Vec<bool>,
+    crashed: Vec<bool>,
+    alive: Vec<bool>,
+    live: usize,
+    reviving: Vec<bool>,
+    pending_revivals: usize,
+    invocations: Vec<u64>,
+    notes: Vec<(Time, Pid, &'static str)>,
+    handled: u64,
+    now: Time,
+    last_progress: Time,
+    finished: bool,
+}
+
+impl<P, A> AsyncEngineSnapshot<P, A>
+where
+    P: AsyncProtocol,
+{
+    /// The timestamp of the last batch processed before the snapshot.
+    pub fn time(&self) -> Time {
+        self.now
+    }
+
+    /// The metrics as of the snapshot.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+impl<P, A> Clone for AsyncEngineSnapshot<P, A>
+where
+    P: AsyncProtocol + Clone,
+    P::Msg: Clone,
+    A: Clone,
+{
+    fn clone(&self) -> Self {
+        AsyncEngineSnapshot {
+            procs: self.procs.clone(),
+            adversary: self.adversary.clone(),
+            cfg: self.cfg.clone(),
+            rng: self.rng.clone(),
+            queue: self.queue.clone(),
+            arena: self.arena.clone(),
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            terminated: self.terminated.clone(),
+            crashed: self.crashed.clone(),
+            alive: self.alive.clone(),
+            live: self.live,
+            reviving: self.reviving.clone(),
+            pending_revivals: self.pending_revivals,
+            invocations: self.invocations.clone(),
+            notes: self.notes.clone(),
+            handled: self.handled,
+            now: self.now,
+            last_progress: self.last_progress,
+            finished: self.finished,
+        }
+    }
+}
+
+/// The resumable asynchronous engine behind [`run_async`].
 ///
 /// Events (start signals, message deliveries, detector notices, ticks) are
 /// processed in timestamp order, with all deliveries to one process at one
@@ -465,135 +629,390 @@ impl<M> OpArena<M> {
 /// outgoing messages pass through its [`Deliver`](crate::Deliver) filter
 /// in send order, exactly as in the synchronous engine.
 ///
-/// # Errors
-///
-/// [`AsyncRunError::EventLimit`] if the invocation cap is exceeded;
-/// [`AsyncRunError::Stalled`] if live processes remain with nothing
-/// pending (a protocol bug — in a correct protocol some process always
-/// eventually acts).
-pub fn run_async<P, A>(
-    mut procs: Vec<P>,
-    mut adversary: A,
+/// [`run_until`](AsyncEngine::run_until) can pause the execution at any
+/// batch boundary; [`snapshot`](AsyncEngine::snapshot) /
+/// [`resume`](AsyncEngine::resume) round-trip the paused state with a
+/// bit-identical-continuation guarantee. The optional
+/// [`AsyncConfig::stall_window`] watchdog converts tick-loop livelocks
+/// into a loud [`AsyncRunError::Livelock`] with a diagnosis.
+pub struct AsyncEngine<P: AsyncProtocol, A: AsyncAdversary<P::Msg>> {
+    // ---- state: everything a snapshot captures ----
+    procs: Vec<P>,
+    adversary: A,
     cfg: AsyncConfig,
-) -> Result<AsyncReport, AsyncRunError>
-where
-    P: AsyncProtocol,
-    A: AsyncAdversary<P::Msg>,
-{
-    let t = procs.len();
-    let max_delay = cfg.max_delay.max(1);
-    let mut rng = SmallRng::seed_from_u64(cfg.seed);
-    let mut queue = EventQueue::with_horizon(max_delay);
-    for pid in 0..t {
-        queue.push(Time::ZERO, Ev::Start(Pid::new(pid)));
-    }
-    // Adversary-scheduled injection points: handler-free invocations that
-    // let time-based faults strike quiescent processes (see
-    // [`AsyncAdversary::scheduled_events`]).
-    for (time, pid) in adversary.scheduled_events() {
-        if pid.index() < t {
-            queue.push(time, Ev::Inject(pid));
-        }
-    }
-    // Whether deliveries must be checked for receive omission; queried
-    // once so the zero-fault delivery path stays branch-predictable.
-    let filters = adversary.filters_deliveries();
-
-    let mut arena: OpArena<P::Msg> = OpArena::new();
-    let mut metrics = Metrics::new(cfg.n);
-    let mut trace = Trace::new();
-    let record = cfg.record_trace;
-    let mut terminated = vec![false; t];
-    let mut crashed = vec![false; t];
+    rng: SmallRng,
+    queue: EventQueue,
+    arena: OpArena<P::Msg>,
+    metrics: Metrics,
+    trace: Trace,
+    terminated: Vec<bool>,
+    crashed: Vec<bool>,
     // The live-set, maintained incrementally (mirrors the sync engine's
     // AdversaryCtx contract): alive[p] == !crashed[p] && !terminated[p].
-    let mut alive = vec![true; t];
-    let mut live = t;
+    alive: Vec<bool>,
+    live: usize,
     // Crashed processes with a scheduled Revive event still pending: the
     // run must not end (nor count as stalled) while one exists.
-    let mut reviving = vec![false; t];
-    let mut pending_revivals = 0usize;
-    let mut invocations = vec![0u64; t];
-    let mut notes: Vec<(Time, Pid, &'static str)> = Vec::new();
-    let mut handled: u64 = 0;
-    // Scratch, recycled across every timestamp: the effects instance, the
-    // drained event batch, and the batched-inbox op-id list.
-    let mut eff: AsyncEffects<P::Msg> = AsyncEffects::default();
-    let mut batch: Vec<Ev> = Vec::new();
-    let mut inbox_ids: Vec<u32> = Vec::new();
+    reviving: Vec<bool>,
+    pending_revivals: usize,
+    invocations: Vec<u64>,
+    notes: Vec<(Time, Pid, &'static str)>,
+    handled: u64,
+    now: Time,
+    last_progress: Time,
+    finished: bool,
+    // ---- derived: recomputed from cfg / adversary on new() and resume() ----
+    max_delay: u64,
+    // Whether deliveries must be checked for receive omission; queried
+    // once so the zero-fault delivery path stays branch-predictable.
+    filters: bool,
+    record: bool,
+    // ---- scratch: rebuilt empty on resume (safe: `generation` stamps
+    // only ever match groups built within one batch, and `batch` is empty
+    // at every pause boundary) ----
+    eff: AsyncEffects<P::Msg>,
+    batch: Vec<Ev>,
+    inbox_ids: Vec<u32>,
     // Per-timestamp delivery grouping (one linear pre-pass instead of a
     // rescan of the batch per recipient): `groups[slot[p]]` lists the
     // `(op, batch position)` pairs addressed to `p` this timestamp, with
     // `stamp` distinguishing generations so nothing is cleared per pid.
-    let mut stamp: Vec<u64> = vec![0; t];
-    let mut slot: Vec<u32> = vec![0; t];
-    let mut groups: Vec<Vec<(u32, u32)>> = Vec::new();
-    let mut generation: u64 = 0;
+    stamp: Vec<u64>,
+    slot: Vec<u32>,
+    groups: Vec<Vec<(u32, u32)>>,
+    generation: u64,
+}
 
-    while let Some(now) = queue.drain_next(&mut batch) {
-        generation += 1;
+impl<P, A> AsyncEngine<P, A>
+where
+    P: AsyncProtocol,
+    A: AsyncAdversary<P::Msg>,
+{
+    /// Creates an engine poised before the first event.
+    ///
+    /// # Errors
+    ///
+    /// [`AsyncRunError::InvalidAdversary`] if the adversary's
+    /// [`validate`](AsyncAdversary::validate) hook rejects the schedule
+    /// (e.g. a [`FaultPlan`](crate::FaultPlan) that permanently crashes
+    /// every process).
+    pub fn new(procs: Vec<P>, adversary: A, cfg: AsyncConfig) -> Result<Self, AsyncRunError> {
+        let t = procs.len();
+        adversary.validate(t).map_err(|reason| AsyncRunError::InvalidAdversary { reason })?;
+        let max_delay = cfg.max_delay.max(1);
+        let rng = SmallRng::seed_from_u64(cfg.seed);
+        let mut queue = EventQueue::with_horizon(max_delay);
+        for pid in 0..t {
+            queue.push(Time::ZERO, Ev::Start(Pid::new(pid)));
+        }
+        // Adversary-scheduled injection points: handler-free invocations
+        // that let time-based faults strike quiescent processes (see
+        // [`AsyncAdversary::scheduled_events`]).
+        for (time, pid) in adversary.scheduled_events() {
+            if pid.index() < t {
+                queue.push(time, Ev::Inject(pid));
+            }
+        }
+        let filters = adversary.filters_deliveries();
+        let record = cfg.record_trace;
+        let metrics = Metrics::new(cfg.n);
+        Ok(AsyncEngine {
+            procs,
+            adversary,
+            cfg,
+            rng,
+            queue,
+            arena: OpArena::new(),
+            metrics,
+            trace: Trace::new(),
+            terminated: vec![false; t],
+            crashed: vec![false; t],
+            alive: vec![true; t],
+            live: t,
+            reviving: vec![false; t],
+            pending_revivals: 0,
+            invocations: vec![0; t],
+            notes: Vec::new(),
+            handled: 0,
+            now: Time::ZERO,
+            last_progress: Time::ZERO,
+            finished: false,
+            max_delay,
+            filters,
+            record,
+            eff: AsyncEffects::default(),
+            batch: Vec::new(),
+            inbox_ids: Vec::new(),
+            stamp: vec![0; t],
+            slot: vec![0; t],
+            groups: Vec::new(),
+            generation: 0,
+        })
+    }
+
+    /// The timestamp of the most recently processed batch.
+    pub fn time(&self) -> Time {
+        self.now
+    }
+
+    /// Whether the execution has completed (every process retired with no
+    /// revival pending).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// The metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// The per-process protocol states (e.g. for mid-run inspection).
+    pub fn processes(&self) -> &[P] {
+        &self.procs
+    }
+
+    /// Processes event batches until the execution completes, an error
+    /// occurs, or — with `stop = Some(s)` — the first batch boundary at or
+    /// past timestamp `s` is reached. Returns `true` when the execution
+    /// completed, `false` when it paused at `stop`.
+    ///
+    /// Pausing is exact: a paused engine continued to completion produces
+    /// bit-for-bit the report of an uninterrupted run (same metrics,
+    /// message schedule, trace and notes).
+    ///
+    /// # Errors
+    ///
+    /// [`AsyncRunError::EventLimit`] if the invocation cap is exceeded;
+    /// [`AsyncRunError::Stalled`] if live processes remain with nothing
+    /// pending (a protocol bug — in a correct protocol some process always
+    /// eventually acts); [`AsyncRunError::Livelock`] if the
+    /// [`AsyncConfig::stall_window`] watchdog trips.
+    pub fn run_until(&mut self, stop: Option<Time>) -> Result<bool, AsyncRunError> {
+        while !self.finished {
+            debug_assert!(self.batch.is_empty(), "batch buffer must drain between timestamps");
+            let Some(now) = self.queue.drain_next(&mut self.batch) else {
+                break;
+            };
+            self.now = now;
+            let work0 = self.metrics.work_total;
+            let crashes0 = self.metrics.crashes;
+            let terminations0 = self.metrics.terminations;
+            let recoveries0 = self.metrics.recoveries;
+            let result = self.process_batch(now);
+            self.batch.clear();
+            let delivered = result?;
+            if self.finished {
+                return Ok(true);
+            }
+            // Watchdog: progress is a delivered message batch or movement
+            // of the work / crash / termination / recovery counters (the
+            // sync engine's definition, on virtual time instead of
+            // executed rounds). Revivals always count — recoveries moves —
+            // so an arbitrarily long crash downtime cannot false-trip.
+            let progress = delivered
+                || self.metrics.work_total != work0
+                || self.metrics.crashes != crashes0
+                || self.metrics.terminations != terminations0
+                || self.metrics.recoveries != recoveries0;
+            if progress {
+                self.last_progress = now;
+            } else if let Some(window) = self.cfg.stall_window {
+                if now.saturating_sub(self.last_progress) > u128::from(window) {
+                    return Err(AsyncRunError::Livelock {
+                        window,
+                        diagnosis: Box::new(self.diagnosis()),
+                    });
+                }
+            }
+            if stop.is_some_and(|s| now >= s) {
+                return Ok(false);
+            }
+        }
+        if self.finished {
+            return Ok(true);
+        }
+        let t = self.procs.len();
+        let alive_pids = (0..t).filter(|&i| self.alive[i]).map(Pid::new).collect::<Vec<_>>();
+        if alive_pids.is_empty() {
+            self.finished = true;
+            Ok(true)
+        } else {
+            Err(AsyncRunError::Stalled { alive: alive_pids })
+        }
+    }
+
+    /// Captures the engine's full state at the current batch boundary.
+    pub fn snapshot(&self) -> AsyncEngineSnapshot<P, A>
+    where
+        P: Clone,
+        P::Msg: Clone,
+        A: Clone,
+    {
+        debug_assert!(self.batch.is_empty(), "snapshots are taken at batch boundaries");
+        AsyncEngineSnapshot {
+            procs: self.procs.clone(),
+            adversary: self.adversary.clone(),
+            cfg: self.cfg.clone(),
+            rng: self.rng.clone(),
+            queue: self.queue.clone(),
+            arena: self.arena.clone(),
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            terminated: self.terminated.clone(),
+            crashed: self.crashed.clone(),
+            alive: self.alive.clone(),
+            live: self.live,
+            reviving: self.reviving.clone(),
+            pending_revivals: self.pending_revivals,
+            invocations: self.invocations.clone(),
+            notes: self.notes.clone(),
+            handled: self.handled,
+            now: self.now,
+            last_progress: self.last_progress,
+            finished: self.finished,
+        }
+    }
+
+    /// Reconstructs an engine from a snapshot; the continuation is
+    /// bit-identical to the run the snapshot was taken from.
+    pub fn resume(snapshot: AsyncEngineSnapshot<P, A>) -> Self {
+        let t = snapshot.procs.len();
+        let max_delay = snapshot.cfg.max_delay.max(1);
+        let filters = snapshot.adversary.filters_deliveries();
+        let record = snapshot.cfg.record_trace;
+        AsyncEngine {
+            procs: snapshot.procs,
+            adversary: snapshot.adversary,
+            cfg: snapshot.cfg,
+            rng: snapshot.rng,
+            queue: snapshot.queue,
+            arena: snapshot.arena,
+            metrics: snapshot.metrics,
+            trace: snapshot.trace,
+            terminated: snapshot.terminated,
+            crashed: snapshot.crashed,
+            alive: snapshot.alive,
+            live: snapshot.live,
+            reviving: snapshot.reviving,
+            pending_revivals: snapshot.pending_revivals,
+            invocations: snapshot.invocations,
+            notes: snapshot.notes,
+            handled: snapshot.handled,
+            now: snapshot.now,
+            last_progress: snapshot.last_progress,
+            finished: snapshot.finished,
+            max_delay,
+            filters,
+            record,
+            eff: AsyncEffects::default(),
+            batch: Vec::new(),
+            inbox_ids: Vec::new(),
+            stamp: vec![0; t],
+            slot: vec![0; t],
+            groups: Vec::new(),
+            generation: 0,
+        }
+    }
+
+    /// Consumes the engine into its report (valid at any boundary; the
+    /// usual call site is after [`run_until`](AsyncEngine::run_until)
+    /// returned `Ok(true)`).
+    pub fn into_report(self) -> AsyncReport {
+        AsyncReport {
+            metrics: self.metrics,
+            terminated: self.terminated,
+            crashed: self.crashed,
+            notes: self.notes,
+            trace: self.trace,
+        }
+    }
+
+    fn diagnosis(&self) -> AsyncStallDiagnosis {
+        let stalled: Vec<Pid> =
+            (0..self.procs.len()).filter(|&i| self.alive[i]).map(Pid::new).collect();
+        let invocations = stalled.iter().map(|&p| (p, self.invocations[p.index()])).collect();
+        AsyncStallDiagnosis {
+            time: self.now,
+            last_progress: self.last_progress,
+            stalled,
+            invocations,
+            pending_events: self.queue.len(),
+            pending_revivals: self.pending_revivals,
+        }
+    }
+
+    /// Dispatches every event of the drained batch at timestamp `now`.
+    /// Returns whether at least one message batch was delivered (the
+    /// watchdog's strongest progress signal). Sets `finished` on
+    /// completion, leaving any remaining batch events undispatched (they
+    /// are start-of-idle noise: every process has retired).
+    fn process_batch(&mut self, now: Time) -> Result<bool, AsyncRunError> {
+        let t = self.procs.len();
+        self.generation += 1;
+        let generation = self.generation;
         let mut groups_used = 0usize;
-        for (pos, ev) in batch.iter().enumerate() {
+        for (pos, ev) in self.batch.iter().enumerate() {
             if let Ev::Deliver { op, to } = *ev {
                 let p = to.index();
-                if stamp[p] != generation {
-                    stamp[p] = generation;
-                    if groups.len() == groups_used {
-                        groups.push(Vec::new());
+                if self.stamp[p] != generation {
+                    self.stamp[p] = generation;
+                    if self.groups.len() == groups_used {
+                        self.groups.push(Vec::new());
                     }
-                    groups[groups_used].clear();
-                    slot[p] = groups_used as u32;
+                    self.groups[groups_used].clear();
+                    self.slot[p] = groups_used as u32;
                     groups_used += 1;
                 }
-                groups[slot[p] as usize].push((op, pos as u32));
+                self.groups[self.slot[p] as usize].push((op, pos as u32));
             }
         }
 
-        for i in 0..batch.len() {
-            let ev = std::mem::replace(&mut batch[i], Ev::Consumed);
+        let mut delivered = false;
+        for i in 0..self.batch.len() {
+            let ev = std::mem::replace(&mut self.batch[i], Ev::Consumed);
             let pid = match ev {
                 Ev::Consumed => continue,
                 Ev::Start(pid) => {
-                    if !alive[pid.index()] {
+                    if !self.alive[pid.index()] {
                         continue;
                     }
-                    eff.reset();
-                    procs[pid.index()].on_start(&mut eff);
+                    self.eff.reset();
+                    self.procs[pid.index()].on_start(&mut self.eff);
                     pid
                 }
                 Ev::Tick(pid) => {
-                    if !alive[pid.index()] {
+                    if !self.alive[pid.index()] {
                         continue;
                     }
-                    eff.reset();
-                    procs[pid.index()].on_tick(&mut eff);
+                    self.eff.reset();
+                    self.procs[pid.index()].on_tick(&mut self.eff);
                     pid
                 }
                 Ev::Inject(pid) => {
                     // Handler-free invocation: nothing runs, but the
                     // adversary gets its interception point below.
-                    if !alive[pid.index()] {
+                    if !self.alive[pid.index()] {
                         continue;
                     }
-                    eff.reset();
+                    self.eff.reset();
                     pid
                 }
                 Ev::Revive { pid, wipe } => {
                     let idx = pid.index();
-                    if alive[idx] || !reviving[idx] {
+                    if self.alive[idx] || !self.reviving[idx] {
                         continue;
                     }
-                    reviving[idx] = false;
-                    pending_revivals -= 1;
-                    crashed[idx] = false;
-                    alive[idx] = true;
-                    live += 1;
-                    metrics.recoveries += 1;
-                    if record {
-                        trace.push(Event::Recover { round: now, pid });
+                    self.reviving[idx] = false;
+                    self.pending_revivals -= 1;
+                    self.crashed[idx] = false;
+                    self.alive[idx] = true;
+                    self.live += 1;
+                    self.metrics.recoveries += 1;
+                    if self.record {
+                        self.trace.push(Event::Recover { round: now, pid });
                     }
-                    eff.reset();
-                    procs[idx].on_recover(wipe, &mut eff);
+                    self.eff.reset();
+                    self.procs[idx].on_recover(wipe, &mut self.eff);
                     // Detector re-registration: replay every past
                     // retirement to the recovered process, which may have
                     // missed reports during its downtime (or wiped the
@@ -602,9 +1021,9 @@ where
                     // idempotent; soundness is untouched because only
                     // permanently retired processes are replayed.
                     for obs in 0..t {
-                        if obs != idx && !alive[obs] && !reviving[obs] {
-                            let delay = cfg.delay.sample(&mut rng, max_delay);
-                            queue.push(
+                        if obs != idx && !self.alive[obs] && !self.reviving[obs] {
+                            let delay = self.cfg.delay.sample(&mut self.rng, self.max_delay);
+                            self.queue.push(
                                 now + delay,
                                 Ev::Notice { observer: pid, retired: Pid::new(obs) },
                             );
@@ -613,80 +1032,95 @@ where
                     pid
                 }
                 Ev::Notice { observer, retired } => {
-                    if !alive[observer.index()] {
+                    if !self.alive[observer.index()] {
                         continue;
                     }
-                    if record {
-                        trace.push(Event::Notice { round: now, observer, retired });
+                    if self.record {
+                        self.trace.push(Event::Notice { round: now, observer, retired });
                     }
-                    eff.reset();
-                    procs[observer.index()].on_retirement(retired, &mut eff);
+                    self.eff.reset();
+                    self.procs[observer.index()].on_retirement(retired, &mut self.eff);
                     observer
                 }
                 Ev::Deliver { op, to } => {
-                    if !alive[to.index()] {
+                    if !self.alive[to.index()] {
                         // Individually dead-lettered: a recipient that died
                         // mid-batch (or before all-retired early return)
                         // never gets its group dispatched, matching the
                         // reference scheduler event for event.
-                        metrics.dead_letters += 1;
-                        arena.release(op);
+                        self.metrics.dead_letters += 1;
+                        self.arena.release(op);
                         continue;
                     }
                     // This is the recipient's first delivery of the
                     // timestamp (later ones were folded here by the
                     // pre-pass); hand the whole group over as one batched
                     // inbox and tombstone the folded positions.
-                    inbox_ids.clear();
-                    let grp = &groups[slot[to.index()] as usize];
-                    debug_assert_eq!(grp.first(), Some(&(op, i as u32)));
-                    for &(op2, pos) in grp {
+                    self.inbox_ids.clear();
+                    let grp_slot = self.slot[to.index()] as usize;
+                    debug_assert_eq!(self.groups[grp_slot].first(), Some(&(op, i as u32)));
+                    for gi in 0..self.groups[grp_slot].len() {
+                        let (op2, pos) = self.groups[grp_slot][gi];
                         if pos as usize != i {
-                            batch[pos as usize] = Ev::Consumed;
+                            self.batch[pos as usize] = Ev::Consumed;
                         }
                         // Receive omission: consulted once per (message,
                         // recipient), at delivery time — the shared fault
                         // contract on [`Adversary`](crate::Adversary).
-                        if filters
-                            && adversary.omits_delivery(now, arena.ops()[op2 as usize].from, to)
+                        if self.filters
+                            && self.adversary.omits_delivery(
+                                now,
+                                self.arena.ops()[op2 as usize].from,
+                                to,
+                            )
                         {
-                            metrics.omissions += 1;
-                            if record {
-                                trace.push(Event::Note { round: now, pid: to, tag: "fault:omit" });
+                            self.metrics.omissions += 1;
+                            if self.record {
+                                self.trace.push(Event::Note {
+                                    round: now,
+                                    pid: to,
+                                    tag: "fault:omit",
+                                });
                             }
-                            arena.release(op2);
+                            self.arena.release(op2);
                             continue;
                         }
-                        inbox_ids.push(op2);
+                        self.inbox_ids.push(op2);
                     }
-                    if inbox_ids.is_empty() {
+                    if self.inbox_ids.is_empty() {
                         // The whole batch was omitted: no invocation.
                         continue;
                     }
-                    eff.reset();
-                    let inbox = Inbox::csr(&inbox_ids, arena.ops());
-                    procs[to.index()].on_messages(inbox, &mut eff);
-                    for &id in &inbox_ids {
-                        arena.release(id);
+                    self.eff.reset();
+                    let inbox = Inbox::csr(&self.inbox_ids, self.arena.ops());
+                    self.procs[to.index()].on_messages(inbox, &mut self.eff);
+                    for &id in &self.inbox_ids {
+                        self.arena.release(id);
                     }
+                    delivered = true;
                     to
                 }
             };
 
-            handled += 1;
-            if handled > cfg.max_events {
-                return Err(AsyncRunError::EventLimit { limit: cfg.max_events });
+            self.handled += 1;
+            if self.handled > self.cfg.max_events {
+                return Err(AsyncRunError::EventLimit { limit: self.cfg.max_events });
             }
             let idx = pid.index();
-            invocations[idx] += 1;
+            self.invocations[idx] += 1;
 
-            let ctx = AdversaryCtx { t, alive: &alive, live, crashes: metrics.crashes };
-            let fate = adversary.intercept(now, pid, invocations[idx], &eff, ctx);
+            let ctx = AdversaryCtx {
+                t,
+                alive: &self.alive,
+                live: self.live,
+                crashes: self.metrics.crashes,
+            };
+            let fate = self.adversary.intercept(now, pid, self.invocations[idx], &self.eff, ctx);
 
-            for tag in eff.notes.drain(..) {
-                notes.push((now, pid, tag));
-                if record {
-                    trace.push(Event::Note { round: now, pid, tag });
+            for tag in self.eff.notes.drain(..) {
+                self.notes.push((now, pid, tag));
+                if self.record {
+                    self.trace.push(Event::Note { round: now, pid, tag });
                 }
             }
 
@@ -703,10 +1137,10 @@ where
                 _ => None,
             };
             if count_work {
-                for &unit in &eff.work {
-                    metrics.record_work(unit);
-                    if record {
-                        trace.push(Event::Work { round: now, pid, unit });
+                for &unit in &self.eff.work {
+                    self.metrics.record_work(unit);
+                    if self.record {
+                        self.trace.push(Event::Work { round: now, pid, unit });
                     }
                 }
             }
@@ -720,7 +1154,7 @@ where
             // `Subset` costs zero payload clones here.
             let mut msg_idx = 0usize;
             let mut omitted_now = 0u64;
-            for op in eff.drain_sends() {
+            for op in self.eff.drain_sends() {
                 let len = op.to.len();
                 let lets_through = |k: usize, to: Pid| {
                     deliver
@@ -736,17 +1170,17 @@ where
                 }
                 if scheduled > 0 {
                     let class = op.payload.class();
-                    metrics.record_messages(class, scheduled as u64);
-                    let id = arena.insert(
+                    self.metrics.record_messages(class, scheduled as u64);
+                    let id = self.arena.insert(
                         FlightOp { from: pid, to: op.to, payload: op.payload },
                         scheduled as u32,
                     );
                     for (k, to) in op.to.iter().enumerate() {
                         if lets_through(k, to) {
-                            let delay = cfg.delay.sample(&mut rng, max_delay);
-                            queue.push(now + delay, Ev::Deliver { op: id, to });
-                            if record {
-                                trace.push(Event::Send { round: now, from: pid, to, class });
+                            let delay = self.cfg.delay.sample(&mut self.rng, self.max_delay);
+                            self.queue.push(now + delay, Ev::Deliver { op: id, to });
+                            if self.record {
+                                self.trace.push(Event::Send { round: now, from: pid, to, class });
                             }
                         }
                     }
@@ -755,29 +1189,29 @@ where
             }
 
             if omitted_now > 0 {
-                metrics.omissions += omitted_now;
-                if record {
-                    trace.push(Event::Note { round: now, pid, tag: "fault:omit" });
+                self.metrics.omissions += omitted_now;
+                if self.record {
+                    self.trace.push(Event::Note { round: now, pid, tag: "fault:omit" });
                 }
             }
 
             let crashed_now = matches!(fate, Fate::Crash(_) | Fate::CrashRecover { .. });
-            if eff.tick && !crashed_now && !eff.terminated {
-                queue.push(now + 1u64, Ev::Tick(pid));
+            if self.eff.tick && !crashed_now && !self.eff.terminated {
+                self.queue.push(now + 1u64, Ev::Tick(pid));
             }
 
             let retired_now = if crashed_now {
-                crashed[idx] = true;
-                metrics.crashes += 1;
-                if record {
-                    trace.push(Event::Crash { round: now, pid });
+                self.crashed[idx] = true;
+                self.metrics.crashes += 1;
+                if self.record {
+                    self.trace.push(Event::Crash { round: now, pid });
                 }
                 true
-            } else if eff.terminated {
-                terminated[idx] = true;
-                metrics.terminations += 1;
-                if record {
-                    trace.push(Event::Terminate { round: now, pid });
+            } else if self.eff.terminated {
+                self.terminated[idx] = true;
+                self.metrics.terminations += 1;
+                if self.record {
+                    self.trace.push(Event::Terminate { round: now, pid });
                 }
                 true
             } else {
@@ -785,22 +1219,22 @@ where
             };
 
             if retired_now {
-                alive[idx] = false;
-                live -= 1;
+                self.alive[idx] = false;
+                self.live -= 1;
                 if let Some((downtime, wipe)) = recover_plan {
                     // Recoverable crash: schedule the restart; crucially,
                     // NO detector notices — the detector stays sound by
                     // never accusing a process that will act again.
-                    reviving[idx] = true;
-                    pending_revivals += 1;
-                    queue.push(now + downtime, Ev::Revive { pid, wipe });
+                    self.reviving[idx] = true;
+                    self.pending_revivals += 1;
+                    self.queue.push(now + downtime, Ev::Revive { pid, wipe });
                 } else {
                     // Retirement detector: eventually (and soundly) inform
                     // everyone still alive.
-                    for (obs, &obs_alive) in alive.iter().enumerate() {
+                    for (obs, &obs_alive) in self.alive.iter().enumerate() {
                         if obs != idx && obs_alive {
-                            let delay = cfg.delay.sample(&mut rng, max_delay);
-                            queue.push(
+                            let delay = self.cfg.delay.sample(&mut self.rng, self.max_delay);
+                            self.queue.push(
                                 now + delay,
                                 Ev::Notice { observer: Pid::new(obs), retired: pid },
                             );
@@ -809,20 +1243,40 @@ where
                 }
             }
 
-            metrics.rounds = now;
-            if live == 0 && pending_revivals == 0 {
-                return Ok(AsyncReport { metrics, terminated, crashed, notes, trace });
+            self.metrics.rounds = now;
+            if self.live == 0 && self.pending_revivals == 0 {
+                self.finished = true;
+                return Ok(delivered);
             }
         }
-        batch.clear();
+        Ok(delivered)
     }
+}
 
-    let alive_pids = (0..t).filter(|&i| alive[i]).map(Pid::new).collect::<Vec<_>>();
-    if alive_pids.is_empty() {
-        Ok(AsyncReport { metrics, terminated, crashed, notes, trace })
-    } else {
-        Err(AsyncRunError::Stalled { alive: alive_pids })
-    }
+/// Runs an asynchronous execution until all processes retire — a thin
+/// wrapper over [`AsyncEngine`] (construct the engine directly for pause /
+/// snapshot / resume control).
+///
+/// # Errors
+///
+/// [`AsyncRunError::InvalidAdversary`] if the adversary rejects the
+/// system's shape; [`AsyncRunError::EventLimit`] if the invocation cap is
+/// exceeded; [`AsyncRunError::Stalled`] if live processes remain with
+/// nothing pending (a protocol bug — in a correct protocol some process
+/// always eventually acts); [`AsyncRunError::Livelock`] if the optional
+/// watchdog trips.
+pub fn run_async<P, A>(
+    procs: Vec<P>,
+    adversary: A,
+    cfg: AsyncConfig,
+) -> Result<AsyncReport, AsyncRunError>
+where
+    P: AsyncProtocol,
+    A: AsyncAdversary<P::Msg>,
+{
+    let mut engine = AsyncEngine::new(procs, adversary, cfg)?;
+    engine.run_until(None)?;
+    Ok(engine.into_report())
 }
 
 #[cfg(test)]
@@ -993,5 +1447,107 @@ mod tests {
         let report = run_async(procs, adv, AsyncConfig::default()).unwrap();
         assert_eq!(report.metrics.messages, 3);
         assert_eq!(report.metrics.crashes, 1);
+    }
+
+    /// Chatty pair that keeps a message ping-pong going for a while, so a
+    /// pause lands mid-conversation with ops in flight.
+    #[derive(Clone)]
+    struct PingPong {
+        me: usize,
+        hops: u32,
+    }
+
+    impl AsyncProtocol for PingPong {
+        type Msg = Ball;
+
+        fn on_start(&mut self, eff: &mut AsyncEffects<Ball>) {
+            if self.me == 0 {
+                eff.send(Pid::new(1), Ball);
+            }
+        }
+
+        fn on_messages(&mut self, _: Inbox<'_, Ball>, eff: &mut AsyncEffects<Ball>) {
+            eff.perform(Unit::new(self.me + 1));
+            self.hops += 1;
+            if self.hops >= 12 {
+                eff.terminate();
+            } else {
+                eff.send(Pid::new(1 - self.me), Ball);
+            }
+        }
+
+        fn on_retirement(&mut self, _: Pid, eff: &mut AsyncEffects<Ball>) {
+            eff.terminate();
+        }
+    }
+
+    #[test]
+    fn pause_snapshot_resume_is_bit_identical() {
+        let mk = || vec![PingPong { me: 0, hops: 0 }, PingPong { me: 1, hops: 0 }];
+        let cfg =
+            AsyncConfig { n: 2, seed: 42, max_delay: 7, record_trace: true, ..Default::default() };
+        let straight = run_async(mk(), NoFailures, cfg.clone()).unwrap();
+
+        let mut engine = AsyncEngine::new(mk(), NoFailures, cfg).unwrap();
+        let completed = engine.run_until(Some(Time::from(10u64))).unwrap();
+        assert!(!completed, "the ping-pong must outlive timestamp 10");
+        let resumed = AsyncEngine::resume(engine.snapshot());
+        // Drop the paused original; continue only from the snapshot.
+        drop(engine);
+        let mut resumed = resumed;
+        assert!(resumed.run_until(None).unwrap());
+        let report = resumed.into_report();
+        assert_eq!(report.metrics, straight.metrics);
+        assert_eq!(report.terminated, straight.terminated);
+        assert_eq!(report.notes, straight.notes);
+        assert_eq!(report.trace, straight.trace);
+    }
+
+    #[test]
+    fn watchdog_trips_on_tick_livelock() {
+        /// Spins a tick chain forever without working or messaging.
+        struct Spinner;
+        impl AsyncProtocol for Spinner {
+            type Msg = Ball;
+            fn on_start(&mut self, eff: &mut AsyncEffects<Ball>) {
+                eff.continue_later();
+            }
+            fn on_messages(&mut self, _: Inbox<'_, Ball>, _: &mut AsyncEffects<Ball>) {}
+            fn on_retirement(&mut self, _: Pid, _: &mut AsyncEffects<Ball>) {}
+            fn on_tick(&mut self, eff: &mut AsyncEffects<Ball>) {
+                eff.continue_later();
+            }
+        }
+        let cfg = AsyncConfig { n: 1, ..Default::default() }.with_stall_window(16);
+        let err = run_async(vec![Spinner], NoFailures, cfg).unwrap_err();
+        match err {
+            AsyncRunError::Livelock { window, diagnosis } => {
+                assert_eq!(window, 16);
+                assert_eq!(diagnosis.stalled, vec![Pid::new(0)]);
+                assert!(diagnosis.time > diagnosis.last_progress);
+                // The diagnosis renders the per-pid invocation counts.
+                assert!(diagnosis.to_string().contains("p0("));
+            }
+            other => panic!("expected livelock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn invalid_plan_is_rejected_before_the_run() {
+        use crate::faults::{FaultKind, FaultPlan};
+        // Two processes, both permanently crashed: FaultPlan::validate
+        // must reject this via the AsyncAdversary hook.
+        let plan = FaultPlan::new(vec![
+            FaultKind::Crash(Pid::new(0)).at(1u64),
+            FaultKind::Crash(Pid::new(1)).at(1u64),
+        ]);
+        let procs = vec![Player { me: 0 }, Player { me: 1 }];
+        let err = run_async(procs, plan, AsyncConfig { n: 2, ..Default::default() }).unwrap_err();
+        match err {
+            AsyncRunError::InvalidAdversary { reason } => {
+                assert!(reason.contains("all"), "unexpected reason: {reason}");
+            }
+            other => panic!("expected invalid-adversary error, got {other}"),
+        }
     }
 }

@@ -76,6 +76,7 @@ pub(crate) enum Ev {
 
 /// Heap entry ordered by `(time, seq)`; the event itself does not
 /// participate in the ordering.
+#[derive(Clone)]
 struct Entry {
     time: Time,
     seq: u64,
@@ -99,6 +100,7 @@ impl Ord for Entry {
     }
 }
 
+#[derive(Clone)]
 enum Imp {
     /// `buckets[time % buckets.len()]` holds the events of exactly one
     /// timestamp at a time: in-horizon pushes land at most `max_delay`
@@ -129,7 +131,11 @@ enum Imp {
     Heap(BinaryHeap<Reverse<Entry>>),
 }
 
-/// Timestamp-ordered queue over [`Ev`]s; see the module docs.
+/// Timestamp-ordered queue over [`Ev`]s; see the module docs. `Clone`
+/// captures the full schedule — including `seq`, so a cloned queue
+/// reproduces the original's tie-breaking order exactly (the property the
+/// engine's snapshot/resume differential relies on).
+#[derive(Clone)]
 pub(crate) struct EventQueue {
     imp: Imp,
     len: usize,
@@ -151,6 +157,11 @@ impl EventQueue {
             Imp::Heap(BinaryHeap::new())
         };
         EventQueue { imp, len: 0, seq: 0 }
+    }
+
+    /// Number of events pending (all representations).
+    pub(crate) fn len(&self) -> usize {
+        self.len
     }
 
     /// Schedules `ev` at `time` (never earlier than the drain cursor).

@@ -54,11 +54,24 @@ pub struct RunConfig {
     pub max_rounds: Round,
     /// Whether to record a full [`Trace`] (tests: yes; large sweeps: no).
     pub record_trace: bool,
+    /// Watchdog window: the maximum number of consecutive *executed* rounds
+    /// tolerated without observable progress (a delivery to a live process,
+    /// a unit of work, a retirement, or a live-set change) before the run
+    /// is aborted with [`RunError::Stalled`]. Rounds skipped by the sparse
+    /// fast-forward are provably quiescent and never count against the
+    /// window, so deep-idle protocols (Protocol C's `2^k`-round waits) are
+    /// not false positives. `None` disables the watchdog.
+    pub stall_window: Option<u64>,
 }
 
 impl Default for RunConfig {
     fn default() -> Self {
-        RunConfig { n: 0, max_rounds: Round::new(10_000_000), record_trace: false }
+        RunConfig {
+            n: 0,
+            max_rounds: Round::new(10_000_000),
+            record_trace: false,
+            stall_window: None,
+        }
     }
 }
 
@@ -67,12 +80,18 @@ impl RunConfig {
     /// (`u64` values and bare literals convert; pass a [`Round`] for wide
     /// caps such as [`Round::MAX`]).
     pub fn new(n: usize, max_rounds: impl Into<Round>) -> Self {
-        RunConfig { n, max_rounds: max_rounds.into(), record_trace: false }
+        RunConfig { n, max_rounds: max_rounds.into(), ..RunConfig::default() }
     }
 
     /// Enables trace recording.
     pub fn with_trace(mut self) -> Self {
         self.record_trace = true;
+        self
+    }
+
+    /// Arms the livelock watchdog (see [`RunConfig::stall_window`]).
+    pub fn with_stall_window(mut self, window: u64) -> Self {
+        self.stall_window = Some(window);
         self
     }
 }
@@ -120,6 +139,59 @@ impl Report {
     }
 }
 
+/// Watchdog report attached to abnormal exits: who is stuck, since when,
+/// and what (if anything) is still in flight. Produced by the progress
+/// monitor when it aborts a stalled run ([`RunError::Stalled`]) and to
+/// classify [`RunError::RoundLimit`] exits, which previously timed out
+/// with nothing but a metrics dump.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+pub struct StallDiagnosis {
+    /// Round at which the diagnosis was taken.
+    pub round: Round,
+    /// Last round with observable progress ([`Round::ZERO`] if none ever).
+    pub last_progress: Round,
+    /// Processes still alive — the stall suspects.
+    pub stalled: Vec<Pid>,
+    /// Cached next wakeup of each stalled process (`None` = purely
+    /// reactive: it will never act unless a message arrives).
+    pub wakeups: Vec<(Pid, Option<Round>)>,
+    /// Send ops still in flight (due for delivery next executed round).
+    pub pending_ops: usize,
+    /// Crash-recoveries scheduled but not yet fired.
+    pub pending_revivals: usize,
+}
+
+impl fmt::Display for StallDiagnosis {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "at round {}, last progress at round {}: {} process(es) stalled",
+            self.round,
+            self.last_progress,
+            self.stalled.len()
+        )?;
+        for (i, (pid, wake)) in self.wakeups.iter().take(8).enumerate() {
+            let sep = if i == 0 { " [" } else { ", " };
+            match wake {
+                Some(w) => write!(f, "{sep}{pid}: wakes {w}")?,
+                None => write!(f, "{sep}{pid}: reactive")?,
+            }
+        }
+        if !self.wakeups.is_empty() {
+            if self.wakeups.len() > 8 {
+                write!(f, ", +{} more]", self.wakeups.len() - 8)?;
+            } else {
+                write!(f, "]")?;
+            }
+        }
+        write!(
+            f,
+            "; {} op(s) in flight, {} revival(s) pending",
+            self.pending_ops, self.pending_revivals
+        )
+    }
+}
+
 /// Why a run failed to complete.
 #[derive(Debug)]
 pub enum RunError {
@@ -130,6 +202,8 @@ pub enum RunError {
         limit: Round,
         /// Metrics at the moment the run was abandoned.
         metrics: Box<Metrics>,
+        /// Who was still alive and what they were waiting on.
+        diagnosis: Box<StallDiagnosis>,
     },
     /// No messages in flight, no process due to wake, no adversary event —
     /// but some processes are still alive. The protocol livelocked.
@@ -141,16 +215,46 @@ pub enum RunError {
         /// Metrics at the moment of deadlock.
         metrics: Box<Metrics>,
     },
+    /// The watchdog aborted the run: [`RunConfig::stall_window`] consecutive
+    /// executed rounds passed with no delivery, no work, no retirement, and
+    /// no live-set change. Unlike [`RunError::Deadlock`] (provably nothing
+    /// can ever happen) this is a heuristic livelock verdict: processes are
+    /// executing but none of it is observable progress.
+    Stalled {
+        /// Round at which the watchdog fired.
+        round: Round,
+        /// The configured window that was exhausted.
+        window: u64,
+        /// Who is stuck and what they were waiting on.
+        diagnosis: Box<StallDiagnosis>,
+        /// Metrics at the moment the run was abandoned.
+        metrics: Box<Metrics>,
+    },
+    /// The adversary's fault schedule is self-contradictory or unsurvivable
+    /// (see [`Adversary::validate`]); the run was refused before round 1.
+    InvalidAdversary {
+        /// Why the schedule was rejected.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RunError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            RunError::RoundLimit { limit, .. } => {
-                write!(f, "round limit of {limit} exceeded before all processes retired")
+            RunError::RoundLimit { limit, diagnosis, .. } => {
+                write!(
+                    f,
+                    "round limit of {limit} exceeded before all processes retired ({diagnosis})"
+                )
             }
             RunError::Deadlock { round, alive, .. } => {
                 write!(f, "deadlock at round {round}: processes {alive:?} alive but nothing can ever happen")
+            }
+            RunError::Stalled { round, window, diagnosis, .. } => {
+                write!(f, "watchdog: no progress for {window} executed round(s) as of round {round} ({diagnosis})")
+            }
+            RunError::InvalidAdversary { reason } => {
+                write!(f, "invalid adversary schedule: {reason}")
             }
         }
     }
@@ -378,42 +482,143 @@ impl DeliveryIndex {
 ///
 /// As [`run`].
 pub fn run_returning<P, A>(
-    mut procs: Vec<P>,
-    mut adversary: A,
+    procs: Vec<P>,
+    adversary: A,
     cfg: RunConfig,
 ) -> Result<(Report, Vec<P>), RunError>
 where
     P: Protocol,
     A: Adversary<P::Msg>,
 {
-    let t = procs.len();
-    let mut statuses = vec![Status::Alive; t];
+    let mut engine = Engine::new(procs, adversary, cfg)?;
+    engine.run_until(None)?;
+    Ok(engine.into_report())
+}
+
+/// A checkpoint of a paused [`Engine`]: everything the run's future depends
+/// on — protocol states, the adversary (including any consumed-fault or RNG
+/// state), in-flight send ops, the live set, the wakeup cache, metrics,
+/// trace, and the 128-bit [`Round`] clock. Resuming via
+/// [`Engine::resume`] continues the run **bit-identically** to one that was
+/// never interrupted (see `tests/snapshot_differential.rs`).
+///
+/// The snapshot owns its data (it is deep-cloned out of the engine), so it
+/// remains valid after the original engine advances or is dropped. All
+/// component types derive `Serialize`/`Deserialize`; with a real serde
+/// implementation in the workspace (see `vendor/README.md`) a snapshot can
+/// be persisted wholesale, provided `P`, `A`, and the message type also
+/// serialize.
+#[derive(Serialize, Deserialize)]
+pub struct EngineSnapshot<P: Protocol, A> {
+    procs: Vec<P>,
+    adversary: A,
+    cfg: RunConfig,
+    round: Round,
+    statuses: Vec<Status>,
+    alive: Vec<bool>,
+    live: usize,
+    order: Vec<u32>,
+    metrics: Metrics,
+    trace: Trace,
+    pending: Vec<FlightOp<P::Msg>>,
+    wakeup: Vec<Option<Round>>,
+    revive: Vec<Option<(Round, bool)>>,
+    pending_revivals: usize,
+    next_revive: Option<Round>,
+    last_progress: Round,
+    stall_streak: u64,
+    finished: bool,
+}
+
+impl<P, A> EngineSnapshot<P, A>
+where
+    P: Protocol,
+{
+    /// The round boundary this snapshot was taken at.
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Metrics accumulated up to the snapshot point.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+}
+
+impl<P, A> Clone for EngineSnapshot<P, A>
+where
+    P: Protocol + Clone,
+    P::Msg: Clone,
+    A: Clone,
+{
+    fn clone(&self) -> Self {
+        EngineSnapshot {
+            procs: self.procs.clone(),
+            adversary: self.adversary.clone(),
+            cfg: self.cfg.clone(),
+            round: self.round,
+            statuses: self.statuses.clone(),
+            alive: self.alive.clone(),
+            live: self.live,
+            order: self.order.clone(),
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            pending: self.pending.clone(),
+            wakeup: self.wakeup.clone(),
+            revive: self.revive.clone(),
+            pending_revivals: self.pending_revivals,
+            next_revive: self.next_revive,
+            last_progress: self.last_progress,
+            stall_streak: self.stall_streak,
+            finished: self.finished,
+        }
+    }
+}
+
+/// The synchronous round engine as a resumable state machine.
+///
+/// [`run`] and [`run_returning`] drive an `Engine` to completion in one
+/// call; constructing one directly buys three extra capabilities:
+///
+/// * **Incremental execution** — [`run_until`](Engine::run_until) pauses at
+///   a round boundary, so a caller can interleave simulation with
+///   inspection ([`round`](Engine::round), [`metrics`](Engine::metrics)).
+/// * **Checkpoint/restore** — [`snapshot`](Engine::snapshot) captures the
+///   complete run state at any pause point and [`resume`](Engine::resume)
+///   reconstructs an engine that continues bit-identically; scratch
+///   buffers (the delivery index, effect buffers) are rebuilt fresh, which
+///   is safe because the round clock is strictly monotone and the delivery
+///   index's stamps can only match rounds they were built in.
+/// * **Watchdog** — with [`RunConfig::stall_window`] set, the engine
+///   monitors observable progress every executed round and aborts livelocks
+///   with a [`StallDiagnosis`] instead of burning the round budget.
+///
+/// Each executed round runs the same phases as the classic loop: revivals,
+/// delivery, stepping with adversary interception, retirement bookkeeping,
+/// then a sparse fast-forward over provably idle rounds.
+pub struct Engine<P: Protocol, A: Adversary<P::Msg>> {
+    procs: Vec<P>,
+    adversary: A,
+    cfg: RunConfig,
+    statuses: Vec<Status>,
     // The live-set, maintained incrementally as processes retire: `alive`
     // mirrors `statuses` and `live` counts its `true` entries, so neither
     // the adversary context nor the retirement check rescans statuses.
-    let mut alive = vec![true; t];
-    let mut live = t;
+    alive: Vec<bool>,
+    live: usize,
     // Alive pids in pid order, compacted lazily once more than half are
     // tombstones: the step loop visits O(live) slots per round instead of
     // scanning all `t` statuses (decisive when a handful of survivors run
     // for ~10^6 rounds in a t = 1024 system).
-    let mut order: Vec<u32> = (0..t as u32).collect();
-    let mut metrics = Metrics::new(cfg.n);
-    let mut trace = Trace::new();
-    let record = cfg.record_trace;
-
-    // Scratch buffers, allocated once and recycled every round. In steady
-    // state the loop below performs no allocation: `eff` is reset (not
-    // rebuilt), the two op buffers swap roles each round, and the delivery
-    // index grows only to the high-water mark of per-round live deliveries.
-    // The in-flight buffers hold send *ops* (payload stored once per
-    // broadcast), never per-recipient envelopes.
-    let mut eff: Effects<P::Msg> = Effects::new();
-    let mut pending: Vec<FlightOp<P::Msg>> = Vec::new();
-    let mut next_pending: Vec<FlightOp<P::Msg>> = Vec::new();
-    let mut delivery = DeliveryIndex::new(t);
-    let mut round: Round = Round::ONE;
-
+    order: Vec<u32>,
+    metrics: Metrics,
+    trace: Trace,
+    record: bool,
+    // In-flight send ops awaiting delivery at `round`. Part of snapshots:
+    // messages cross a round boundary, so a checkpoint without them would
+    // silently drop a whole round of traffic.
+    pending: Vec<FlightOp<P::Msg>>,
+    round: Round,
     // Per-process wakeup cache: the earliest round at which each process
     // may act spontaneously (`None` = purely reactive, `Some(Round::MAX)`
     // = a deadline saturated past the horizon, which fires *at* the
@@ -424,42 +629,243 @@ where
     // moments process state can change), so entries for untouched
     // processes stay valid and the fast-forward jump below reads the
     // minimum straight off this table.
-    let mut wakeup: Vec<Option<Round>> =
-        procs.iter().map(|p| p.next_wakeup(Round::ONE).map(|w| w.max(Round::ONE))).collect();
-
+    wakeup: Vec<Option<Round>>,
     // Crash-recovery bookkeeping: `revive[p]` holds the scheduled restart
     // round (and whether the state is wiped) for a process crashed via
     // [`Fate::CrashRecover`]; `next_revive` caches the minimum so the
     // common (no recoveries pending) round costs one comparison.
-    let mut revive: Vec<Option<(Round, bool)>> = vec![None; t];
-    let mut pending_revivals = 0usize;
-    let mut next_revive: Option<Round> = None;
+    revive: Vec<Option<(Round, bool)>>,
+    pending_revivals: usize,
+    next_revive: Option<Round>,
+    // Watchdog state: last round with observable progress and the length
+    // of the current no-progress streak of executed rounds.
+    last_progress: Round,
+    stall_streak: u64,
+    finished: bool,
+    // Scratch buffers, allocated once and recycled every round; excluded
+    // from snapshots and rebuilt on resume. In steady state the loop
+    // performs no allocation: `eff` is reset (not rebuilt), the two op
+    // buffers swap roles each round, and the delivery index grows only to
+    // the high-water mark of per-round live deliveries. The in-flight
+    // buffers hold send *ops* (payload stored once per broadcast), never
+    // per-recipient envelopes.
+    eff: Effects<P::Msg>,
+    next_pending: Vec<FlightOp<P::Msg>>,
+    delivery: DeliveryIndex,
+}
 
-    loop {
-        if round > cfg.max_rounds {
-            return Err(RunError::RoundLimit { limit: cfg.max_rounds, metrics: Box::new(metrics) });
+impl<P, A> Engine<P, A>
+where
+    P: Protocol,
+    A: Adversary<P::Msg>,
+{
+    /// Builds an engine over `procs` (pid = index) paused before round 1.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`RunError::InvalidAdversary`] if the adversary rejects the
+    /// system shape (see [`Adversary::validate`]).
+    pub fn new(procs: Vec<P>, adversary: A, cfg: RunConfig) -> Result<Self, RunError> {
+        if let Err(reason) = adversary.validate(procs.len()) {
+            return Err(RunError::InvalidAdversary { reason });
         }
+        let t = procs.len();
+        let wakeup =
+            procs.iter().map(|p| p.next_wakeup(Round::ONE).map(|w| w.max(Round::ONE))).collect();
+        Ok(Engine {
+            statuses: vec![Status::Alive; t],
+            alive: vec![true; t],
+            live: t,
+            order: (0..t as u32).collect(),
+            metrics: Metrics::new(cfg.n),
+            trace: Trace::new(),
+            record: cfg.record_trace,
+            pending: Vec::new(),
+            round: Round::ONE,
+            wakeup,
+            revive: vec![None; t],
+            pending_revivals: 0,
+            next_revive: None,
+            last_progress: Round::ZERO,
+            stall_streak: 0,
+            finished: false,
+            eff: Effects::new(),
+            next_pending: Vec::new(),
+            delivery: DeliveryIndex::new(t),
+            procs,
+            adversary,
+            cfg,
+        })
+    }
+
+    /// The round the engine is paused at (the next round to execute, or
+    /// the final round once [`is_finished`](Engine::is_finished)).
+    pub fn round(&self) -> Round {
+        self.round
+    }
+
+    /// Whether every process has retired (the run is complete).
+    pub fn is_finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Metrics accumulated so far.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Runs until completion or, if `stop` is given, pauses at the first
+    /// round boundary at or past `stop` (the sparse fast-forward may jump
+    /// the clock past `stop`; the pause lands on the next *visited*
+    /// boundary, so pausing never changes which rounds execute). Returns
+    /// `true` when the run completed, `false` when it paused.
+    ///
+    /// # Errors
+    ///
+    /// As [`run`], plus [`RunError::Stalled`] when the watchdog is armed.
+    pub fn run_until(&mut self, stop: Option<Round>) -> Result<bool, RunError> {
+        while !self.finished {
+            if stop.is_some_and(|s| self.round >= s) {
+                return Ok(false);
+            }
+            self.advance()?;
+        }
+        Ok(true)
+    }
+
+    /// Deep-copies the complete run state into an owned [`EngineSnapshot`].
+    pub fn snapshot(&self) -> EngineSnapshot<P, A>
+    where
+        P: Clone,
+        P::Msg: Clone,
+        A: Clone,
+    {
+        EngineSnapshot {
+            procs: self.procs.clone(),
+            adversary: self.adversary.clone(),
+            cfg: self.cfg.clone(),
+            round: self.round,
+            statuses: self.statuses.clone(),
+            alive: self.alive.clone(),
+            live: self.live,
+            order: self.order.clone(),
+            metrics: self.metrics.clone(),
+            trace: self.trace.clone(),
+            pending: self.pending.clone(),
+            wakeup: self.wakeup.clone(),
+            revive: self.revive.clone(),
+            pending_revivals: self.pending_revivals,
+            next_revive: self.next_revive,
+            last_progress: self.last_progress,
+            stall_streak: self.stall_streak,
+            finished: self.finished,
+        }
+    }
+
+    /// Reconstructs an engine from a snapshot. Scratch state (delivery
+    /// index, effect buffers) is rebuilt empty; stale-stamp reasoning makes
+    /// that equivalent to the buffers the original engine carried (stamps
+    /// only ever match the round they were built in, and the clock is
+    /// strictly monotone). The continuation is bit-identical to the
+    /// uninterrupted run.
+    pub fn resume(snapshot: EngineSnapshot<P, A>) -> Self {
+        let t = snapshot.procs.len();
+        Engine {
+            record: snapshot.cfg.record_trace,
+            procs: snapshot.procs,
+            adversary: snapshot.adversary,
+            cfg: snapshot.cfg,
+            round: snapshot.round,
+            statuses: snapshot.statuses,
+            alive: snapshot.alive,
+            live: snapshot.live,
+            order: snapshot.order,
+            metrics: snapshot.metrics,
+            trace: snapshot.trace,
+            pending: snapshot.pending,
+            wakeup: snapshot.wakeup,
+            revive: snapshot.revive,
+            pending_revivals: snapshot.pending_revivals,
+            next_revive: snapshot.next_revive,
+            last_progress: snapshot.last_progress,
+            stall_streak: snapshot.stall_streak,
+            finished: snapshot.finished,
+            eff: Effects::new(),
+            next_pending: Vec::new(),
+            delivery: DeliveryIndex::new(t),
+        }
+    }
+
+    /// Consumes the engine into its [`Report`] and final protocol states.
+    /// Meaningful once [`is_finished`](Engine::is_finished); on an
+    /// unfinished engine it reports the state as of the pause point
+    /// (statuses of still-running processes read [`Status::Alive`]).
+    pub fn into_report(self) -> (Report, Vec<P>) {
+        (Report { metrics: self.metrics, trace: self.trace, statuses: self.statuses }, self.procs)
+    }
+
+    /// The watchdog's view of the paused engine: who is alive, what they
+    /// are waiting on, and what is in flight.
+    fn diagnosis(&self) -> StallDiagnosis {
+        let stalled: Vec<Pid> =
+            self.alive.iter().enumerate().filter(|(_, a)| **a).map(|(i, _)| Pid::new(i)).collect();
+        let wakeups = stalled.iter().map(|&p| (p, self.wakeup[p.index()])).collect();
+        StallDiagnosis {
+            round: self.round,
+            last_progress: self.last_progress,
+            stalled,
+            wakeups,
+            pending_ops: self.pending.len(),
+            pending_revivals: self.pending_revivals,
+        }
+    }
+
+    fn round_limit(&self) -> RunError {
+        RunError::RoundLimit {
+            limit: self.cfg.max_rounds,
+            metrics: Box::new(self.metrics.clone()),
+            diagnosis: Box::new(self.diagnosis()),
+        }
+    }
+
+    /// Executes one round (plus any sparse fast-forward that follows it),
+    /// leaving the engine paused at the next round boundary.
+    fn advance(&mut self) -> Result<(), RunError> {
+        let t = self.procs.len();
+        let round = self.round;
+        if round > self.cfg.max_rounds {
+            return Err(self.round_limit());
+        }
+
+        // Progress baseline for the watchdog: any retirement, recovery, or
+        // unit of work moves one of these counters.
+        let work0 = self.metrics.work_total;
+        let crashes0 = self.metrics.crashes;
+        let terminations0 = self.metrics.terminations;
+        let recoveries0 = self.metrics.recoveries;
 
         // 0. Restart processes whose recovery downtime has elapsed — before
         //    delivery, so messages arriving this very round are received.
-        if pending_revivals > 0 && next_revive.is_some_and(|r| r <= round) {
-            next_revive = None;
+        if self.pending_revivals > 0 && self.next_revive.is_some_and(|r| r <= round) {
+            self.next_revive = None;
             for idx in 0..t {
-                match revive[idx] {
+                match self.revive[idx] {
                     Some((at, wipe)) if at <= round => {
-                        revive[idx] = None;
-                        pending_revivals -= 1;
-                        statuses[idx] = Status::Alive;
-                        alive[idx] = true;
-                        live += 1;
-                        metrics.recoveries += 1;
-                        procs[idx].on_recover(round, wipe);
-                        wakeup[idx] = procs[idx].next_wakeup(round).map(|w| w.max(round));
-                        if record {
-                            trace.push(Event::Recover { round, pid: Pid::new(idx) });
+                        self.revive[idx] = None;
+                        self.pending_revivals -= 1;
+                        self.statuses[idx] = Status::Alive;
+                        self.alive[idx] = true;
+                        self.live += 1;
+                        self.metrics.recoveries += 1;
+                        self.procs[idx].on_recover(round, wipe);
+                        self.wakeup[idx] = self.procs[idx].next_wakeup(round).map(|w| w.max(round));
+                        if self.record {
+                            self.trace.push(Event::Recover { round, pid: Pid::new(idx) });
                         }
                     }
-                    Some((at, _)) => next_revive = Some(next_revive.map_or(at, |r| r.min(at))),
+                    Some((at, _)) => {
+                        self.next_revive = Some(self.next_revive.map_or(at, |r| r.min(at)))
+                    }
                     None => {}
                 }
             }
@@ -468,22 +874,25 @@ where
         // 1. Deliver last round's messages: index the in-flight ops by live
         //    recipient; spans are intersected with the live set and dead
         //    recipients become dead letters without ever materializing.
-        let have_inbox = !pending.is_empty();
+        let have_inbox = !self.pending.is_empty();
         if have_inbox {
-            if adversary.filters_deliveries() {
-                let (dead, omitted) = delivery.build_filtered(
+            if self.adversary.filters_deliveries() {
+                let (dead, omitted) = self.delivery.build_filtered(
                     round,
-                    &pending,
-                    &alive,
-                    &mut adversary,
-                    record.then_some(&mut trace),
+                    &self.pending,
+                    &self.alive,
+                    &mut self.adversary,
+                    self.record.then_some(&mut self.trace),
                 );
-                metrics.dead_letters += dead;
-                metrics.omissions += omitted;
+                self.metrics.dead_letters += dead;
+                self.metrics.omissions += omitted;
             } else {
-                metrics.dead_letters += delivery.build(round, &pending, &alive);
+                self.metrics.dead_letters += self.delivery.build(round, &self.pending, &self.alive);
             }
         }
+        // A delivery to at least one live, non-omitted recipient counts as
+        // observable progress for the watchdog.
+        let delivered = have_inbox && !self.delivery.touched.is_empty();
 
         // An adversary event scheduled for this very round (e.g. a crash of
         // an otherwise idle process) disables sparse stepping for the
@@ -491,27 +900,33 @@ where
         // the dense engine. Adversaries that may act any round (random
         // crashes with budget left) return `Some(now)` and keep the dense
         // behaviour bit-for-bit.
-        let adv_due = adversary.next_event(round).is_some_and(|r| r <= round);
+        let adv_due = self.adversary.next_event(round).is_some_and(|r| r <= round);
 
         // 2 & 3. Step every due alive process; let the adversary rule on it.
         let mut tombstones = 0usize;
-        for &oi in &order {
-            let idx = oi as usize;
-            if !alive[idx] {
+        for oi in 0..self.order.len() {
+            let idx = self.order[oi] as usize;
+            if !self.alive[idx] {
                 tombstones += 1;
                 continue;
             }
-            let due = have_inbox && delivery.has_inbox(round, idx);
-            if !adv_due && !due && wakeup[idx].is_none_or(|w| w > round) {
+            let due = have_inbox && self.delivery.has_inbox(round, idx);
+            if !adv_due && !due && self.wakeup[idx].is_none_or(|w| w > round) {
                 continue; // provably a no-op (quiescence contract)
             }
             let pid = Pid::new(idx);
-            eff.reset();
-            let inbox = if due { delivery.inbox(round, idx, &pending) } else { Inbox::empty() };
-            procs[idx].step(round, inbox, &mut eff);
+            self.eff.reset();
+            let inbox =
+                if due { self.delivery.inbox(round, idx, &self.pending) } else { Inbox::empty() };
+            self.procs[idx].step(round, inbox, &mut self.eff);
 
-            let ctx = AdversaryCtx { t, alive: &alive, live, crashes: metrics.crashes };
-            let fate = adversary.intercept(round, pid, &eff, ctx);
+            let ctx = AdversaryCtx {
+                t,
+                alive: &self.alive,
+                live: self.live,
+                crashes: self.metrics.crashes,
+            };
+            let fate = self.adversary.intercept(round, pid, &self.eff, ctx);
             // Copy out the recovery schedule (if any) before the match
             // below borrows `fate`'s crash spec.
             let recover_plan = match fate {
@@ -519,130 +934,159 @@ where
                 _ => None,
             };
 
-            if record {
-                for tag in eff.notes() {
-                    trace.push(Event::Note { round, pid, tag });
+            if self.record {
+                for tag in self.eff.notes() {
+                    self.trace.push(Event::Note { round, pid, tag });
                 }
             }
 
             match fate {
                 Fate::Survive => {
-                    if let Some(unit) = eff.work() {
-                        metrics.record_work(unit);
-                        if record {
-                            trace.push(Event::Work { round, pid, unit });
+                    if let Some(unit) = self.eff.work() {
+                        self.metrics.record_work(unit);
+                        if self.record {
+                            self.trace.push(Event::Work { round, pid, unit });
                         }
                     }
-                    let terminated = eff.is_terminated();
+                    let terminated = self.eff.is_terminated();
                     let mut out = Outbound {
-                        metrics: &mut metrics,
-                        trace: &mut trace,
-                        record,
-                        next_pending: &mut next_pending,
+                        metrics: &mut self.metrics,
+                        trace: &mut self.trace,
+                        record: self.record,
+                        next_pending: &mut self.next_pending,
                         round,
                     };
-                    for op in eff.drain_sends() {
+                    for op in self.eff.drain_sends() {
                         out.deliver(pid, op.to, op.payload);
                     }
                     if terminated {
-                        statuses[idx] = Status::Terminated(round);
-                        alive[idx] = false;
-                        live -= 1;
-                        metrics.terminations += 1;
-                        if record {
-                            trace.push(Event::Terminate { round, pid });
+                        self.statuses[idx] = Status::Terminated(round);
+                        self.alive[idx] = false;
+                        self.live -= 1;
+                        self.metrics.terminations += 1;
+                        if self.record {
+                            self.trace.push(Event::Terminate { round, pid });
                         }
                     }
                 }
                 Fate::Omit(ref filter) => {
                     // Send-omission: the process survives and everything
                     // but the filtered sends applies.
-                    if let Some(unit) = eff.work() {
-                        metrics.record_work(unit);
-                        if record {
-                            trace.push(Event::Work { round, pid, unit });
+                    if let Some(unit) = self.eff.work() {
+                        self.metrics.record_work(unit);
+                        if self.record {
+                            self.trace.push(Event::Work { round, pid, unit });
                         }
                     }
-                    let terminated = eff.is_terminated();
-                    let total = eff.send_count() as u64;
-                    let before = metrics.messages;
+                    let terminated = self.eff.is_terminated();
+                    let total = self.eff.send_count() as u64;
+                    let before = self.metrics.messages;
                     let mut out = Outbound {
-                        metrics: &mut metrics,
-                        trace: &mut trace,
-                        record,
-                        next_pending: &mut next_pending,
+                        metrics: &mut self.metrics,
+                        trace: &mut self.trace,
+                        record: self.record,
+                        next_pending: &mut self.next_pending,
                         round,
                     };
-                    out.deliver_crash_subset(pid, &mut eff, filter);
-                    let suppressed = total - (metrics.messages - before);
-                    metrics.omissions += suppressed;
-                    if record && suppressed > 0 {
-                        trace.push(Event::Note { round, pid, tag: "fault:omit" });
+                    out.deliver_crash_subset(pid, &mut self.eff, filter);
+                    let suppressed = total - (self.metrics.messages - before);
+                    self.metrics.omissions += suppressed;
+                    if self.record && suppressed > 0 {
+                        self.trace.push(Event::Note { round, pid, tag: "fault:omit" });
                     }
                     if terminated {
-                        statuses[idx] = Status::Terminated(round);
-                        alive[idx] = false;
-                        live -= 1;
-                        metrics.terminations += 1;
-                        if record {
-                            trace.push(Event::Terminate { round, pid });
+                        self.statuses[idx] = Status::Terminated(round);
+                        self.alive[idx] = false;
+                        self.live -= 1;
+                        self.metrics.terminations += 1;
+                        if self.record {
+                            self.trace.push(Event::Terminate { round, pid });
                         }
                     }
                 }
                 Fate::Crash(ref spec) | Fate::CrashRecover { ref spec, .. } => {
                     if spec.count_work {
-                        if let Some(unit) = eff.work() {
-                            metrics.record_work(unit);
-                            if record {
-                                trace.push(Event::Work { round, pid, unit });
+                        if let Some(unit) = self.eff.work() {
+                            self.metrics.record_work(unit);
+                            if self.record {
+                                self.trace.push(Event::Work { round, pid, unit });
                             }
                         }
                     }
                     let mut out = Outbound {
-                        metrics: &mut metrics,
-                        trace: &mut trace,
-                        record,
-                        next_pending: &mut next_pending,
+                        metrics: &mut self.metrics,
+                        trace: &mut self.trace,
+                        record: self.record,
+                        next_pending: &mut self.next_pending,
                         round,
                     };
-                    out.deliver_crash_subset(pid, &mut eff, &spec.deliver);
-                    statuses[idx] = Status::Crashed(round);
-                    alive[idx] = false;
-                    live -= 1;
-                    metrics.crashes += 1;
-                    if record {
-                        trace.push(Event::Crash { round, pid });
+                    out.deliver_crash_subset(pid, &mut self.eff, &spec.deliver);
+                    self.statuses[idx] = Status::Crashed(round);
+                    self.alive[idx] = false;
+                    self.live -= 1;
+                    self.metrics.crashes += 1;
+                    if self.record {
+                        self.trace.push(Event::Crash { round, pid });
                     }
                     if let Some((downtime, wipe)) = recover_plan {
                         let at = round.saturating_add(u128::from(downtime));
-                        revive[idx] = Some((at, wipe));
-                        pending_revivals += 1;
-                        next_revive = Some(next_revive.map_or(at, |r| r.min(at)));
+                        self.revive[idx] = Some((at, wipe));
+                        self.pending_revivals += 1;
+                        self.next_revive = Some(self.next_revive.map_or(at, |r| r.min(at)));
                     }
                 }
             }
             // The step may have changed this process's timing state;
             // refresh its cached wakeup (retired slots are never read).
-            if alive[idx] {
+            if self.alive[idx] {
                 let next = round.saturating_add(1);
-                wakeup[idx] = procs[idx].next_wakeup(next).map(|w| w.max(next));
+                self.wakeup[idx] = self.procs[idx].next_wakeup(next).map(|w| w.max(next));
             }
         }
-        if tombstones * 2 > order.len() {
+        if tombstones * 2 > self.order.len() {
             // Keep slots with a scheduled revival: they will be alive again.
-            order.retain(|&i| alive[i as usize] || revive[i as usize].is_some());
+            let revive = &self.revive;
+            let alive = &self.alive;
+            self.order.retain(|&i| alive[i as usize] || revive[i as usize].is_some());
         }
 
         // Did everyone retire? (A scheduled revival is not retirement.)
-        if live == 0 && pending_revivals == 0 {
-            metrics.rounds = round;
-            return Ok((Report { metrics, trace, statuses }, procs));
+        if self.live == 0 && self.pending_revivals == 0 {
+            self.metrics.rounds = round;
+            self.finished = true;
+            return Ok(());
         }
 
         // Swap the op buffers: last round's deliveries become the new
         // scratch, this round's sends become the in-flight set.
-        std::mem::swap(&mut pending, &mut next_pending);
-        next_pending.clear();
+        std::mem::swap(&mut self.pending, &mut self.next_pending);
+        self.next_pending.clear();
+
+        // Watchdog: an executed round with no delivery, no work, and no
+        // live-set movement extends the no-progress streak; exhausting the
+        // window is a livelock verdict. Fast-forwarded rounds (below) are
+        // provably quiescent and never counted.
+        let progress = delivered
+            || self.metrics.work_total != work0
+            || self.metrics.crashes != crashes0
+            || self.metrics.terminations != terminations0
+            || self.metrics.recoveries != recoveries0;
+        if progress {
+            self.last_progress = round;
+            self.stall_streak = 0;
+        } else {
+            self.stall_streak += 1;
+            if let Some(window) = self.cfg.stall_window {
+                if self.stall_streak > window {
+                    return Err(RunError::Stalled {
+                        round,
+                        window,
+                        diagnosis: Box::new(self.diagnosis()),
+                        metrics: Box::new(self.metrics.clone()),
+                    });
+                }
+            }
+        }
 
         // Sparse fast-forward through provably idle rounds: with nothing in
         // flight, jump the clock straight to the earliest cached wakeup or
@@ -652,27 +1096,37 @@ where
         // saturated wakeup (`Round::MAX`) is a legal target: a deadline
         // past the representable horizon fires *at* the horizon, exactly
         // as the old 64-bit clock fired saturated deadlines at `u64::MAX`.
-        let advanced = if pending.is_empty() {
+        let advanced = if self.pending.is_empty() {
             let next = round.saturating_add(1);
-            let wake = order
+            let wake = self
+                .order
                 .iter()
                 .map(|&i| i as usize)
-                .filter(|&i| alive[i])
-                .filter_map(|i| wakeup[i])
+                .filter(|&i| self.alive[i])
+                .filter_map(|i| self.wakeup[i])
                 .map(|w| w.max(next))
                 .min();
-            let adv = adversary.next_event(next).map(|r| r.max(next));
-            let rev = if pending_revivals > 0 { next_revive.map(|r| r.max(next)) } else { None };
+            let adv = self.adversary.next_event(next).map(|r| r.max(next));
+            let rev = if self.pending_revivals > 0 {
+                self.next_revive.map(|r| r.max(next))
+            } else {
+                None
+            };
             match [wake, adv, rev].into_iter().flatten().min() {
                 Some(target) => target,
                 None => {
-                    let alive = alive
+                    let alive = self
+                        .alive
                         .iter()
                         .enumerate()
                         .filter(|(_, a)| **a)
                         .map(|(i, _)| Pid::new(i))
                         .collect();
-                    return Err(RunError::Deadlock { round, alive, metrics: Box::new(metrics) });
+                    return Err(RunError::Deadlock {
+                        round,
+                        alive,
+                        metrics: Box::new(self.metrics.clone()),
+                    });
                 }
             }
         } else {
@@ -681,9 +1135,10 @@ where
         if advanced == round {
             // Live processes remain but the clock cannot advance past the
             // horizon: report the cap rather than spinning at Round::MAX.
-            return Err(RunError::RoundLimit { limit: cfg.max_rounds, metrics: Box::new(metrics) });
+            return Err(self.round_limit());
         }
-        round = advanced;
+        self.round = advanced;
+        Ok(())
     }
 }
 

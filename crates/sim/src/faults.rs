@@ -32,6 +32,8 @@
 //! [`Degraded`] / [`AsyncDegraded`] decorators; a plan with no `Slow*`
 //! faults wraps every process transparently.
 
+use serde::{Deserialize, Serialize};
+
 use crate::adversary::{Adversary, AdversaryCtx, CrashSpec, Deliver, Fate};
 use crate::asynch::{AsyncAdversary, AsyncEffects, AsyncProtocol, Time};
 use crate::effects::Effects;
@@ -44,7 +46,7 @@ use crate::protocol::Protocol;
 /// Combine with [`at`](FaultKind::at) (and [`Fault::until`] /
 /// [`Fault::for_rounds`]) to place it on the clock; a bare `FaultKind`
 /// converts to a [`Fault`] active from round 1 with no repair.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum FaultKind {
     /// Fail-stop: the process crashes silently and never returns.
     Crash(Pid),
@@ -123,7 +125,7 @@ impl From<FaultKind> for Fault {
 /// A [`FaultKind`] placed on the clock: injected at `at`, repaired at
 /// `until` (exclusive; `None` = never). Crash-like kinds ignore `until` —
 /// their repair is the [`CrashRecover`](FaultKind::CrashRecover) downtime.
-#[derive(Clone, Debug, PartialEq, Eq)]
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Fault {
     /// What goes wrong.
     pub kind: FaultKind,
@@ -160,7 +162,7 @@ impl Fault {
 /// `Slow*` faults are enforced by wrapping the processes (see
 /// [`FaultPlan::wrap`] / [`FaultPlan::wrap_async`]); all other kinds act
 /// through the adversary interception points.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
 pub struct FaultPlan {
     faults: Vec<Fault>,
     spent: Vec<bool>,
@@ -292,7 +294,134 @@ impl FaultPlan {
             .map(|(f, _)| f.at.max(now))
             .min()
     }
+
+    /// Checks the plan against a system of `t` processes, rejecting
+    /// schedules that are unsatisfiable or violate the paper's fault
+    /// model: out-of-range pids, permanent crashes of **all** `t`
+    /// processes (the Do-All guarantee presumes a survivor), contradictory
+    /// crash fates for one pid (a recovery scheduled at or after a
+    /// permanent crash can never fire), overlapping `Slow*` windows on one
+    /// pid (the [`Degraded`] wrappers assume disjoint windows), and empty
+    /// fault windows (`until <= at`, a fault that can never inject).
+    ///
+    /// Both adversary traits route their `validate` hook here, so every
+    /// engine entry point ([`Engine::new`](crate::Engine::new), [`run`],
+    /// [`run_async`]) refuses an invalid plan with a typed error before
+    /// round 1 instead of panicking — or silently doing nothing — mid-run.
+    ///
+    /// [`run`]: crate::run
+    /// [`run_async`]: crate::asynch::run_async
+    pub fn validate(&self, t: usize) -> Result<(), FaultPlanError> {
+        let mut crashed: Vec<Pid> = Vec::new();
+        for f in &self.faults {
+            let pid = f.kind.pid();
+            if pid.index() >= t {
+                return Err(FaultPlanError::PidOutOfRange { pid, t });
+            }
+            if !f.kind.one_shot() && f.until.is_some_and(|u| u <= f.at) {
+                return Err(FaultPlanError::EmptyWindow { pid, at: f.at });
+            }
+            if matches!(f.kind, FaultKind::Crash(_)) && !crashed.contains(&pid) {
+                crashed.push(pid);
+            }
+        }
+        for (i, a) in self.faults.iter().enumerate() {
+            for b in &self.faults[i + 1..] {
+                let pid = a.kind.pid();
+                if pid != b.kind.pid() {
+                    continue;
+                }
+                // Contradictory crash fates: once a permanent crash is
+                // live, any other crash-like fault scheduled at or after
+                // it can never fire (nor, for a recovery, ever restart).
+                let contradictory = match (&a.kind, &b.kind) {
+                    (FaultKind::Crash(_), k) if k.one_shot() => a.at <= b.at,
+                    (k, FaultKind::Crash(_)) if k.one_shot() => b.at <= a.at,
+                    _ => false,
+                };
+                if contradictory {
+                    return Err(FaultPlanError::ContradictoryFates { pid });
+                }
+                // The Degraded wrappers assume disjoint slow windows.
+                if a.kind.slow_factor().is_some() && b.kind.slow_factor().is_some() {
+                    let (a_until, b_until) =
+                        (a.until.unwrap_or(Round::MAX), b.until.unwrap_or(Round::MAX));
+                    if a.at < b_until && b.at < a_until {
+                        return Err(FaultPlanError::OverlappingSlow { pid });
+                    }
+                }
+            }
+        }
+        if t > 0 && crashed.len() >= t {
+            return Err(FaultPlanError::AllCrashed { t });
+        }
+        Ok(())
+    }
 }
+
+/// Why a [`FaultPlan`] was rejected by [`FaultPlan::validate`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FaultPlanError {
+    /// A fault targets a pid outside `0..t`.
+    PidOutOfRange {
+        /// The out-of-range victim.
+        pid: Pid,
+        /// The system size the plan was validated against.
+        t: usize,
+    },
+    /// Permanent [`FaultKind::Crash`] faults cover all `t` processes — no
+    /// possible survivor, violating the paper's `t - 1` fault bound.
+    AllCrashed {
+        /// The system size the plan was validated against.
+        t: usize,
+    },
+    /// Two crash-like faults on one pid where a permanent crash precedes
+    /// (or ties) the other, making the later fate unreachable.
+    ContradictoryFates {
+        /// The doubly-doomed process.
+        pid: Pid,
+    },
+    /// Two `Slow*` windows on one pid overlap; the [`Degraded`] wrappers
+    /// require disjoint windows.
+    OverlappingSlow {
+        /// The process with overlapping windows.
+        pid: Pid,
+    },
+    /// A windowed fault with `until <= at` — it can never inject.
+    EmptyWindow {
+        /// The targeted process.
+        pid: Pid,
+        /// The degenerate window's start.
+        at: Round,
+    },
+}
+
+impl std::fmt::Display for FaultPlanError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FaultPlanError::PidOutOfRange { pid, t } => {
+                write!(f, "fault targets {pid} but the system has only {t} process(es)")
+            }
+            FaultPlanError::AllCrashed { t } => {
+                write!(f, "plan permanently crashes all {t} process(es); the Do-All contract requires a survivor")
+            }
+            FaultPlanError::ContradictoryFates { pid } => {
+                write!(f, "contradictory crash fates for {pid}: a permanent crash makes a later crash/recovery unreachable")
+            }
+            FaultPlanError::OverlappingSlow { pid } => {
+                write!(
+                    f,
+                    "overlapping slow windows for {pid}; degraded-mode windows must be disjoint"
+                )
+            }
+            FaultPlanError::EmptyWindow { pid, at } => {
+                write!(f, "empty fault window for {pid} at round {at} (until <= at)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FaultPlanError {}
 
 impl<M> Adversary<M> for FaultPlan {
     fn intercept(
@@ -315,6 +444,10 @@ impl<M> Adversary<M> for FaultPlan {
 
     fn omits_delivery(&mut self, now: Round, _from: Pid, to: Pid) -> bool {
         self.drops_delivery(now, to)
+    }
+
+    fn validate(&self, t: usize) -> Result<(), String> {
+        FaultPlan::validate(self, t).map_err(|e| e.to_string())
     }
 }
 
@@ -341,10 +474,14 @@ impl<M> AsyncAdversary<M> for FaultPlan {
     fn omits_delivery(&mut self, now: Time, _from: Pid, to: Pid) -> bool {
         self.drops_delivery(now, to)
     }
+
+    fn validate(&self, t: usize) -> Result<(), String> {
+        FaultPlan::validate(self, t).map_err(|e| e.to_string())
+    }
 }
 
 /// One reduced-rate window of a degraded process.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct SlowWindow {
     /// First round of the window.
     pub from: Round,
@@ -383,6 +520,24 @@ pub struct Degraded<P: Protocol> {
     buffered: Vec<(Pid, P::Msg)>,
     noted: Vec<bool>,
     repaired: Vec<bool>,
+}
+
+/// Cloning a wrapper clones the inner protocol *and* the degradation
+/// bookkeeping (buffered messages, window cursors), so engine snapshots
+/// capture mid-window state exactly.
+impl<P: Protocol + Clone> Clone for Degraded<P>
+where
+    P::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        Degraded {
+            inner: self.inner.clone(),
+            windows: self.windows.clone(),
+            buffered: self.buffered.clone(),
+            noted: self.noted.clone(),
+            repaired: self.repaired.clone(),
+        }
+    }
 }
 
 impl<P: Protocol> Degraded<P> {
@@ -517,6 +672,26 @@ pub struct AsyncDegraded<P: AsyncProtocol> {
     inner_wants_tick: bool,
     noted: Vec<bool>,
     repaired: Vec<bool>,
+}
+
+/// Cloning a wrapper clones the inner protocol *and* the degradation
+/// bookkeeping (invocation counter, buffered batches), so engine
+/// snapshots capture mid-window state exactly.
+impl<P: AsyncProtocol + Clone> Clone for AsyncDegraded<P>
+where
+    P::Msg: Clone,
+{
+    fn clone(&self) -> Self {
+        AsyncDegraded {
+            inner: self.inner.clone(),
+            windows: self.windows.clone(),
+            counted: self.counted,
+            buffered: self.buffered.clone(),
+            inner_wants_tick: self.inner_wants_tick,
+            noted: self.noted.clone(),
+            repaired: self.repaired.clone(),
+        }
+    }
 }
 
 impl<P: AsyncProtocol> AsyncDegraded<P> {

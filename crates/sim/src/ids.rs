@@ -113,8 +113,27 @@ impl From<Round> for u128 {
 }
 
 impl fmt::Display for Round {
+    /// Values on the old 64-bit clock print as bare decimals. Wide values
+    /// (above `u64::MAX` — deep-idle deadlines like Protocol C's `2^k`
+    /// waits) additionally carry the nearest power of two, because a bare
+    /// 39-digit decimal is unreadable in diagnostics: `2^100` renders as
+    /// `1267650600228229401496703205376 (2^100)`.
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}", self.0)
+        write!(f, "{}", self.0)?;
+        if self.0 > u128::from(u64::MAX) {
+            let floor = 127 - self.0.leading_zeros();
+            // Nearest exponent: round up when the value is at or past the
+            // midpoint of [2^floor, 2^(floor+1)), i.e. when the bit below
+            // the leading bit is set.
+            let up = floor > 0 && (self.0 >> (floor - 1)) & 1 == 1 && !self.0.is_power_of_two();
+            let k = floor + u32::from(up);
+            if self.0.is_power_of_two() {
+                write!(f, " (2^{k})")?;
+            } else {
+                write!(f, " (~2^{k})")?;
+            }
+        }
+        Ok(())
     }
 }
 

@@ -227,6 +227,66 @@ pub fn check_degraded_rate(
     violations
 }
 
+/// Checks the Do-All retirement discipline: no process may *voluntarily*
+/// terminate before all `n` work units have been performed at least once
+/// (by anyone). The paper's protocols retire a process only once the
+/// remaining work is provably covered — a termination while units are
+/// still untouched is exactly the bug shape where a protocol "forgets"
+/// a crashed process's chunk. Crashes are exempt: only
+/// [`Terminate`](Event::Terminate) events are held to the discipline.
+///
+/// Intended for the paper's Do-All protocols (A–D and their async
+/// variants). Deliberately fault-intolerant baselines (e.g. a spread
+/// that never re-covers crashed peers' chunks) fail it by design.
+pub fn check_termination_after_completion(trace: &Trace, n: usize) -> Vec<Violation> {
+    let mut violations = Vec::new();
+    let mut done = vec![false; n];
+    let mut remaining = n;
+    // A round's work is simultaneous in the model, so a retirement is
+    // judged against everything performed up to *and including* its own
+    // round: buffer each round's retirements and flush them only once the
+    // trace moves past that round (rounds are nondecreasing in a trace).
+    let mut pending: Vec<(Round, Pid)> = Vec::new();
+    for event in trace.events() {
+        let round = match event {
+            Event::Work { round, .. } | Event::Terminate { round, .. } => *round,
+            _ => continue,
+        };
+        if pending.first().is_some_and(|&(r, _)| r < round) {
+            for (r, pid) in pending.drain(..) {
+                if remaining > 0 {
+                    violations.push(Violation {
+                        round: r,
+                        what: format!(
+                            "{pid} terminated with {remaining} of {n} unit(s) never performed"
+                        ),
+                    });
+                }
+            }
+        }
+        match event {
+            Event::Work { unit, .. } => {
+                let idx = unit.zero_based();
+                if idx < n && !done[idx] {
+                    done[idx] = true;
+                    remaining -= 1;
+                }
+            }
+            Event::Terminate { round, pid } => pending.push((*round, *pid)),
+            _ => {}
+        }
+    }
+    if remaining > 0 {
+        for (r, pid) in pending {
+            violations.push(Violation {
+                round: r,
+                what: format!("{pid} terminated with {remaining} of {n} unit(s) never performed"),
+            });
+        }
+    }
+    violations
+}
+
 /// Checks the asynchronous retirement detector's *soundness* claim: a
 /// [`Notice`](Event::Notice) about process `p` must never precede `p`'s
 /// own retirement event — the detector may be arbitrarily slow, but it
@@ -404,6 +464,37 @@ mod tests {
         let v = check_degraded_rate(&tr, Pid::new(0), Round::new(10), Round::new(20), 4);
         assert_eq!(v.len(), 1);
         assert_eq!(v[0].round, Round::new(12));
+    }
+
+    #[test]
+    fn early_termination_is_flagged_but_crash_is_exempt() {
+        let tr = trace(vec![
+            Event::Work { round: Round::new(1), pid: Pid::new(0), unit: Unit::new(1) },
+            // p1 crashes with u2 untouched: exempt.
+            Event::Crash { round: Round::new(2), pid: Pid::new(1) },
+            // p0 terminates with u2 untouched: the forgotten-chunk bug.
+            Event::Terminate { round: Round::new(3), pid: Pid::new(0) },
+        ]);
+        let v = check_termination_after_completion(&tr, 2);
+        assert_eq!(v.len(), 1);
+        assert!(v[0].what.contains("p0 terminated with 1 of 2"));
+
+        let complete = trace(vec![
+            Event::Work { round: Round::new(1), pid: Pid::new(0), unit: Unit::new(1) },
+            Event::Work { round: Round::new(2), pid: Pid::new(0), unit: Unit::new(2) },
+            Event::Terminate { round: Round::new(2), pid: Pid::new(0) },
+        ]);
+        assert!(check_termination_after_completion(&complete, 2).is_empty());
+
+        // Same-round simultaneity: p0's retirement is recorded before p1's
+        // final unit, but the round's work is simultaneous, so it counts.
+        let simultaneous = trace(vec![
+            Event::Work { round: Round::new(1), pid: Pid::new(0), unit: Unit::new(1) },
+            Event::Terminate { round: Round::new(1), pid: Pid::new(0) },
+            Event::Work { round: Round::new(1), pid: Pid::new(1), unit: Unit::new(2) },
+            Event::Terminate { round: Round::new(1), pid: Pid::new(1) },
+        ]);
+        assert!(check_termination_after_completion(&simultaneous, 2).is_empty());
     }
 
     #[test]

@@ -77,6 +77,7 @@ mod protocol;
 mod trace;
 
 pub mod asynch;
+pub mod chaos;
 pub mod faults;
 pub mod invariants;
 
@@ -85,8 +86,12 @@ pub use adversary::{
     Trigger, TriggerAdversary, TriggerRule,
 };
 pub use effects::{Effects, Recipients, SendOp};
-pub use engine::{run, run_returning, Report, RunConfig, RunError, Status};
-pub use faults::{AsyncDegraded, Degraded, Fault, FaultKind, FaultPlan, SlowWindow};
+pub use engine::{
+    run, run_returning, Engine, EngineSnapshot, Report, RunConfig, RunError, StallDiagnosis, Status,
+};
+pub use faults::{
+    AsyncDegraded, Degraded, Fault, FaultKind, FaultPlan, FaultPlanError, SlowWindow,
+};
 pub use ids::{Pid, Round, Unit};
 pub use message::{Classify, Inbox, InboxIter};
 pub use metrics::Metrics;

@@ -6,6 +6,7 @@ use doall_sim::asynch::{
     AsyncAdversary, AsyncCrashSchedule, AsyncRandomCrashes, AsyncTrigger, AsyncTriggerAdversary,
     AsyncTriggerRule,
 };
+use doall_sim::chaos::{ChaosCase, ChaosConfig};
 use doall_sim::{
     Adversary, CrashSchedule, CrashSpec, Deliver, FaultKind, FaultPlan, NoFailures, Pid,
     RandomCrashes, Round, Trigger, TriggerAdversary, TriggerRule,
@@ -141,6 +142,21 @@ pub enum Scenario {
         /// Length of the window in rounds.
         rounds: u64,
     },
+    /// A seeded random chaos storm from the
+    /// [`chaos`](doall_sim::chaos) generator: crashes, recoveries,
+    /// slowdowns and omissions composed under budget constraints (never
+    /// all `t` processes permanently crashed, windows bounded, at most
+    /// one crash-kind fault per process). If the generated plan contains
+    /// [`Slow`](FaultKind::Slow) faults, callers must also wrap the
+    /// processes with [`FaultPlan::wrap`] on this plan.
+    Chaos {
+        /// The generator seed (runs are reproducible).
+        seed: u64,
+        /// System size the storm is budgeted for.
+        t: u64,
+        /// Workload size.
+        n: u64,
+    },
 }
 
 impl Scenario {
@@ -229,7 +245,8 @@ impl Scenario {
             }
             Scenario::CrashRecovery { .. }
             | Scenario::Slowdown { .. }
-            | Scenario::Omission { .. } => Box::new(self.fault_plan()),
+            | Scenario::Omission { .. }
+            | Scenario::Chaos { .. } => Box::new(self.fault_plan()),
         }
     }
 
@@ -257,6 +274,9 @@ impl Scenario {
                 let p = Pid::new(pid as usize);
                 let kind = if send { FaultKind::OmitSends(p) } else { FaultKind::OmitRecv(p) };
                 FaultPlan::new([kind.at(from).for_rounds(rounds)])
+            }
+            Scenario::Chaos { seed, t, n } => {
+                ChaosCase::generate(seed, &ChaosConfig::new(t as usize, n as usize)).plan()
             }
             _ => FaultPlan::default(),
         }
@@ -297,6 +317,7 @@ impl Scenario {
                 let side = if *send { "send" } else { "recv" };
                 format!("omit-{side}({pid},r={from}+{rounds})")
             }
+            Scenario::Chaos { seed, t, n } => format!("chaos(seed={seed},t={t},n={n})"),
         }
     }
 }
@@ -383,6 +404,20 @@ pub enum AsyncScenario {
         /// Length of the window in time units.
         duration: u64,
     },
+    /// A seeded random chaos storm from the
+    /// [`chaos`](doall_sim::chaos) generator, interpreted on the
+    /// asynchronous clock (injection times are timestamps, slow windows
+    /// are invocation ordinals). If the generated plan contains
+    /// [`Slow`](FaultKind::Slow) faults, callers must also wrap the
+    /// processes with [`FaultPlan::wrap_async`] on this plan.
+    Chaos {
+        /// The generator seed (runs are reproducible).
+        seed: u64,
+        /// System size the storm is budgeted for.
+        t: u64,
+        /// Workload size.
+        n: u64,
+    },
 }
 
 impl AsyncScenario {
@@ -411,7 +446,8 @@ impl AsyncScenario {
             }
             AsyncScenario::CrashRecovery { .. }
             | AsyncScenario::Slowdown { .. }
-            | AsyncScenario::Omission { .. } => Box::new(self.fault_plan()),
+            | AsyncScenario::Omission { .. }
+            | AsyncScenario::Chaos { .. } => Box::new(self.fault_plan()),
         }
     }
 
@@ -440,6 +476,9 @@ impl AsyncScenario {
                 let kind = if send { FaultKind::OmitSends(p) } else { FaultKind::OmitRecv(p) };
                 FaultPlan::new([kind.at(at).for_rounds(duration)])
             }
+            AsyncScenario::Chaos { seed, t, n } => {
+                ChaosCase::generate(seed, &ChaosConfig::new(t as usize, n as usize)).plan()
+            }
             _ => FaultPlan::default(),
         }
     }
@@ -464,6 +503,7 @@ impl AsyncScenario {
                 let side = if *send { "send" } else { "recv" };
                 format!("omit-{side}({pid},at={at}+{duration})")
             }
+            AsyncScenario::Chaos { seed, t, n } => format!("chaos(seed={seed},t={t},n={n})"),
         }
     }
 }
@@ -500,6 +540,7 @@ mod tests {
             AsyncScenario::CrashRecovery { pid: 0, at: 9, downtime: 40, wipe: false },
             AsyncScenario::Slowdown { pid: 1, from: 3, factor: 4, count: 8 },
             AsyncScenario::Omission { pid: 2, send: true, at: 5, duration: 20 },
+            AsyncScenario::Chaos { seed: 5, t: 8, n: 64 },
         ] {
             let _a = s.adversary::<u32>();
             let _b = s.adversary::<String>();
@@ -531,6 +572,20 @@ mod tests {
             Scenario::Omission { pid: 3, send: true, from: 1, rounds: 9 }.label(),
             "omit-send(3,r=1+9)"
         );
+        assert_eq!(
+            Scenario::Chaos { seed: 11, t: 16, n: 256 }.label(),
+            "chaos(seed=11,t=16,n=256)"
+        );
+    }
+
+    #[test]
+    fn chaos_scenarios_generate_nonempty_deterministic_plans() {
+        let s = Scenario::Chaos { seed: 3, t: 8, n: 64 };
+        assert!(!s.fault_plan().is_empty());
+        assert_eq!(s.fault_plan().len(), s.fault_plan().len());
+        let a = AsyncScenario::Chaos { seed: 3, t: 8, n: 64 };
+        assert_eq!(a.label(), "chaos(seed=3,t=8,n=64)");
+        assert!(!a.fault_plan().is_empty());
     }
 
     #[test]
@@ -558,6 +613,7 @@ mod tests {
             Scenario::CrashRecovery { pid: 0, round: 4, downtime: 6, wipe: true },
             Scenario::Slowdown { pid: 1, from: 2, factor: 4, rounds: 12 },
             Scenario::Omission { pid: 3, send: false, from: 1, rounds: 9 },
+            Scenario::Chaos { seed: 5, t: 8, n: 64 },
         ] {
             let _a = s.adversary::<u32>();
             let _b = s.adversary::<String>();

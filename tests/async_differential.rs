@@ -203,6 +203,7 @@ proptest! {
             delay: dist_of(raw_dist),
             max_events: 1_000_000,
             record_trace: true,
+            stall_window: None,
         };
         let sched = crash_schedule(t, seed);
         let fast = run_async(AsyncChatter::procs(t, n, seed), sched.clone(), cfg.clone())

@@ -288,7 +288,7 @@ fn round_limit_reports_partial_metrics() {
         }
     }
     match run(vec![Forever], NoFailures, RunConfig::new(3, 50)) {
-        Err(doall::sim::RunError::RoundLimit { limit, metrics }) => {
+        Err(doall::sim::RunError::RoundLimit { limit, metrics, .. }) => {
             assert_eq!(limit, 50u64);
             assert_eq!(metrics.work_total, 3);
         }

@@ -1,0 +1,117 @@
+//! Snapshot/restore differential proptests: on both execution planes,
+//! pausing a run at an arbitrary point, snapshotting, and resuming must
+//! be *bit-identical* to the uninterrupted run — same metrics, same
+//! trace, same final statuses — under chaos-generated fault plans as
+//! well as fault-free ones.
+//!
+//! This is the checkpoint contract the chaos campaign and any future
+//! long-run experiment harness lean on: a snapshot is not "approximately
+//! the same run", it is the same run.
+
+use doall::sim::asynch::{AsyncConfig, AsyncEngine, DelayDist, Time};
+use doall::sim::chaos::{ChaosCase, ChaosConfig};
+use doall::sim::{Engine, FaultPlan, Report, Round, RunConfig};
+use doall::{AsyncProtocolB, ProtocolB};
+use proptest::prelude::*;
+
+/// A fault plan drawn from the chaos generator (seed 0 ⇒ the empty,
+/// fault-free plan, so the zero-fault differential is always covered).
+fn plan_for(seed: u64, t: usize, n: usize) -> FaultPlan {
+    if seed == 0 {
+        FaultPlan::default()
+    } else {
+        ChaosCase::generate(seed, &ChaosConfig::new(t, n)).plan()
+    }
+}
+
+/// Runs Protocol B (t = 16, n = 64) under `plan` on the sync plane,
+/// pausing at `pause` for a snapshot/resume round-trip when given.
+fn sync_run(plan: &FaultPlan, pause: Option<Round>) -> Report {
+    let procs = plan.wrap(ProtocolB::processes(64, 16).expect("valid B shape"));
+    let cfg = RunConfig::new(64, Round::MAX).with_trace();
+    let mut engine = Engine::new(procs, plan.clone(), cfg).expect("plan validates at t = 16");
+    let finished = engine.run_until(pause).expect("run must complete");
+    if !finished {
+        let snapshot = engine.snapshot();
+        drop(engine);
+        engine = Engine::resume(snapshot);
+        engine.run_until(None).expect("resumed run must complete");
+    }
+    engine.into_report().0
+}
+
+/// The async-plane counterpart: Async Protocol B under uniform delivery
+/// delays seeded by `delay_seed`, paused at virtual time `pause`.
+fn async_run(
+    plan: &FaultPlan,
+    delay_seed: u64,
+    pause: Option<Time>,
+) -> doall::sim::asynch::AsyncReport {
+    let procs = plan.wrap_async(AsyncProtocolB::processes(64, 16).expect("valid B shape"));
+    let cfg = AsyncConfig::new(64, delay_seed).with_delay(DelayDist::Uniform, 4).with_trace();
+    let mut engine = AsyncEngine::new(procs, plan.clone(), cfg).expect("plan validates at t = 16");
+    let finished = engine.run_until(pause).expect("run must complete");
+    if !finished {
+        let snapshot = engine.snapshot();
+        drop(engine);
+        engine = AsyncEngine::resume(snapshot);
+        engine.run_until(None).expect("resumed run must complete");
+    }
+    engine.into_report()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+
+    /// Sync plane: snapshot-at-`pause`-then-resume ≡ straight run, for
+    /// fault-free (seed 0) and chaos-faulted plans alike.
+    #[test]
+    fn sync_snapshot_resume_is_bit_identical(plan_seed in 0u64..32, pause in 1u64..48) {
+        let plan = plan_for(plan_seed, 16, 64);
+        let straight = sync_run(&plan, None);
+        let resumed = sync_run(&plan, Some(Round::new(pause as u128)));
+        prop_assert_eq!(straight, resumed);
+    }
+
+    /// Async plane: same contract at a virtual-time pause point, with the
+    /// delivery-delay sampler's RNG state captured mid-stream.
+    #[test]
+    fn async_snapshot_resume_is_bit_identical(
+        plan_seed in 0u64..16,
+        delay_seed in 0u64..8,
+        pause in 1u64..64,
+    ) {
+        let plan = plan_for(plan_seed, 16, 64);
+        let straight = async_run(&plan, delay_seed, None);
+        let resumed = async_run(&plan, delay_seed, Some(Time::new(pause as u128)));
+        prop_assert_eq!(straight, resumed);
+    }
+}
+
+/// Pausing after the run already finished must be a no-op path that still
+/// produces the identical report (the snapshot branch is never taken).
+#[test]
+fn pause_beyond_completion_matches_straight_run() {
+    let plan = plan_for(7, 16, 64);
+    let straight = sync_run(&plan, None);
+    let late = sync_run(&plan, Some(Round::new(u64::MAX as u128)));
+    assert_eq!(straight, late);
+}
+
+/// Snapshotting every few rounds in a chain (snapshot → resume → snapshot
+/// → …) must still converge to the straight run: snapshots compose.
+#[test]
+fn chained_snapshots_compose() {
+    let plan = plan_for(3, 16, 64);
+    let straight = sync_run(&plan, None);
+
+    let procs = plan.wrap(ProtocolB::processes(64, 16).expect("valid B shape"));
+    let cfg = RunConfig::new(64, Round::MAX).with_trace();
+    let mut engine = Engine::new(procs, plan.clone(), cfg).expect("plan validates");
+    let mut next_pause = 2u128;
+    while !engine.run_until(Some(Round::new(next_pause))).expect("segment must run") {
+        engine = Engine::resume(engine.snapshot());
+        next_pause += 3;
+    }
+    assert_eq!(straight, engine.into_report().0);
+}
