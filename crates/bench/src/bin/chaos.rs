@@ -5,9 +5,15 @@
 //! ```sh
 //! cargo run --release -p doall-bench --bin chaos                  # default seed bank
 //! cargo run --release -p doall-bench --bin chaos -- --smoke       # CI per-PR leg
+//! cargo run --release -p doall-bench --bin chaos -- --smoke --shards 4   # sharded stepping
 //! cargo run --release -p doall-bench --bin chaos -- --seeds chaos-seeds.txt
 //! cargo run --release -p doall-bench --bin chaos -- --replay target/chaos/repro.txt
 //! ```
+//!
+//! `--shards K` runs every sync-plane cell with K-way sharded stepping
+//! (overriding `DOALL_ENGINE_SHARDS`; the async plane has no shards) —
+//! reports are bit-identical to sequential (`tests/shard_differential.rs`),
+//! so the campaign's pass/fail verdict and any shrunken repro are too.
 //!
 //! Per (seed × protocol × plane) the driver generates a valid fault plan
 //! from the [`doall_sim::chaos`] budgeted generator, runs the protocol
@@ -59,10 +65,10 @@ fn trace_violations(trace: &Trace, n: usize, out: &mut Vec<String>) {
 /// Runs `case` on the sync plane; `None` = shape not runnable (invalid
 /// plan for this `t`, or a constructor that rejects the shape) — which a
 /// shrink oracle must treat as "does not fail".
-fn sync_violations<P, F>(build: &F, case: &ChaosCase) -> Option<Vec<String>>
+fn sync_violations<P, F>(build: &F, case: &ChaosCase, shards: Option<usize>) -> Option<Vec<String>>
 where
-    P: Protocol,
-    P::Msg: 'static,
+    P: Protocol + Send,
+    P::Msg: Send + Sync + 'static,
     F: Fn(u64, u64) -> Option<Vec<P>>,
 {
     let plan = case.plan();
@@ -74,7 +80,10 @@ where
     // deadlines crossed by sparse fast-forward. Liveness is the watchdog's
     // job — its window counts *executed* rounds only — plus the engine's
     // deadlock detection.
-    let cfg = RunConfig::new(case.n, Round::MAX).with_trace().with_stall_window(STALL_WINDOW);
+    let mut cfg = RunConfig::new(case.n, Round::MAX).with_trace().with_stall_window(STALL_WINDOW);
+    if let Some(shards) = shards {
+        cfg = cfg.with_shards(shards);
+    }
     Some(match run(procs, plan, cfg) {
         Ok(report) => {
             let mut v = contract_violations(report.survivor_count(), &report.metrics);
@@ -113,13 +122,27 @@ where
     })
 }
 
-/// Dispatches a case to one cell of [`GRID`].
-fn case_violations(protocol: &str, plane: Plane, case: &ChaosCase) -> Option<Vec<String>> {
+/// Dispatches a case to one cell of [`GRID`]. `shards` applies to the
+/// sync plane only (the async engine has no sharded stepping).
+fn case_violations(
+    protocol: &str,
+    plane: Plane,
+    case: &ChaosCase,
+    shards: Option<usize>,
+) -> Option<Vec<String>> {
     match (protocol, plane) {
-        ("A", Plane::Sync) => sync_violations(&|n, t| ProtocolA::processes(n, t).ok(), case),
-        ("B", Plane::Sync) => sync_violations(&|n, t| ProtocolB::processes(n, t).ok(), case),
-        ("C", Plane::Sync) => sync_violations(&|n, t| ProtocolC::processes(n, t).ok(), case),
-        ("D", Plane::Sync) => sync_violations(&|n, t| ProtocolD::processes(n, t).ok(), case),
+        ("A", Plane::Sync) => {
+            sync_violations(&|n, t| ProtocolA::processes(n, t).ok(), case, shards)
+        }
+        ("B", Plane::Sync) => {
+            sync_violations(&|n, t| ProtocolB::processes(n, t).ok(), case, shards)
+        }
+        ("C", Plane::Sync) => {
+            sync_violations(&|n, t| ProtocolC::processes(n, t).ok(), case, shards)
+        }
+        ("D", Plane::Sync) => {
+            sync_violations(&|n, t| ProtocolD::processes(n, t).ok(), case, shards)
+        }
         ("A", Plane::Async) => async_violations(&|n, t| AsyncProtocolA::processes(n, t).ok(), case),
         ("B", Plane::Async) => async_violations(&|n, t| AsyncProtocolB::processes(n, t).ok(), case),
         _ => None,
@@ -129,7 +152,7 @@ fn case_violations(protocol: &str, plane: Plane, case: &ChaosCase) -> Option<Vec
 fn replay(path: &str) -> i32 {
     let text = std::fs::read_to_string(path).unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
     let repro = Repro::parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"));
-    match case_violations(&repro.protocol, repro.plane, &repro.case) {
+    match case_violations(&repro.protocol, repro.plane, &repro.case, None) {
         Some(v) if !v.is_empty() => {
             println!("{path}: failure reproduces on {} ({}):", repro.protocol, repro.plane);
             for violation in v {
@@ -167,6 +190,8 @@ fn main() {
     }
 
     let smoke = flag("--smoke");
+    let shards: Option<usize> =
+        opt("--shards").map(|s| s.parse().expect("--shards takes a number"));
     let out_dir = opt("--out-dir").cloned().unwrap_or_else(|| "target/chaos".to_string());
     let seeds: Vec<u64> = match opt("--seeds") {
         Some(path) => load_seeds(path),
@@ -187,7 +212,7 @@ fn main() {
         let case = ChaosCase::generate(seed, &cfg);
         for (protocol, plane) in GRID {
             cells += 1;
-            match case_violations(protocol, plane, &case) {
+            match case_violations(protocol, plane, &case, shards) {
                 None => eprintln!("seed {seed} {plane}/{protocol}: not runnable (skipped)"),
                 Some(v) if v.is_empty() => {
                     eprintln!(
@@ -202,7 +227,7 @@ fn main() {
                         eprintln!("    {violation}");
                     }
                     let min = shrink(&case, |c| {
-                        case_violations(protocol, plane, c).is_some_and(|v| !v.is_empty())
+                        case_violations(protocol, plane, c, shards).is_some_and(|v| !v.is_empty())
                     });
                     let repro = Repro { protocol: protocol.to_string(), plane, case: min };
                     let mut text = repro.emit();

@@ -1,6 +1,6 @@
 //! Headless perf baseline: runs the criterion-style engine/protocol
 //! benchmarks without the bench harness and emits one JSON measurement
-//! block (see `BENCH_PR2.json` for the committed before/after pair).
+//! block (see `BENCH_PR8.json` for the committed baseline).
 //!
 //! ```sh
 //! cargo run --release -p doall-bench --bin perf_baseline              # JSON to stdout
@@ -12,8 +12,10 @@
 //! `--compare FILE` is the CI regression guard: every measured cell whose
 //! id also appears in the baseline file must (a) report **identical
 //! message counts** (the simulator is deterministic, so any drift is a
-//! correctness bug) and (b) be no more than 30% slower in mean wall-clock
-//! per iteration (`mean_ms`).
+//! correctness bug), (b) be no more than 30% slower in mean wall-clock
+//! per iteration (`mean_ms`), and (c) when both sides report a non-zero
+//! `mem_bytes` (peak engine bytes: SoA columns + in-flight buffers), use
+//! no more than 30% more memory.
 //! Any violation exits non-zero. Cells absent from the baseline (new
 //! cells, or smoke-shrunk shapes with different ids) are skipped.
 
@@ -25,7 +27,7 @@ use doall_core::{
 };
 use doall_sim::asynch::{reference, run_async, AsyncConfig, AsyncProtocol, DelayDist};
 use doall_sim::chaos::{shrink, ChaosCase, ChaosConfig};
-use doall_sim::{run, Engine, Metrics, Protocol, Round, RunConfig};
+use doall_sim::{run, Engine, Metrics, NoFailures, Protocol, Round, RunConfig};
 use doall_workload::{AsyncScenario, Scenario};
 
 struct Measurement {
@@ -36,6 +38,9 @@ struct Measurement {
     iters: u64,
     total: Duration,
     metrics: Metrics,
+    /// Peak engine bytes (SoA columns + in-flight buffers) of the last
+    /// run; `0` for planes without the probe (the async engine).
+    mem_bytes: u64,
 }
 
 impl Measurement {
@@ -64,7 +69,7 @@ impl Measurement {
                 "    {{\"id\": \"{}\", \"n\": {}, \"t\": {}, \"scenario\": \"{}\", ",
                 "\"iters\": {}, \"mean_ms\": {:.3}, \"sim_rounds\": {}, ",
                 "\"ns_per_round\": {:.1}, \"rounds_per_sec\": {:.0}, ",
-                "\"work_total\": {}, \"messages\": {}}}"
+                "\"work_total\": {}, \"messages\": {}, \"mem_bytes\": {}}}"
             ),
             self.id,
             self.n,
@@ -79,31 +84,37 @@ impl Measurement {
             self.rounds_per_sec(),
             self.metrics.work_total,
             self.metrics.messages,
+            self.mem_bytes,
         )
     }
 }
 
-/// Warm up once, then iterate until ~300 ms or `max_iters`, whichever
-/// comes first. Returns the metrics of the last run (all runs are
-/// deterministic, so every iteration yields identical metrics).
+/// Warm up once, then iterate for at least 5 iterations *and* at least
+/// ~250 ms (whichever keeps going longer), capped by `max_iters` — the
+/// floor stops a single noisy fast iteration from tripping the 30%
+/// `--compare` gate, the cap keeps the giant scale cells to one timed
+/// run. `run_once` returns the run's metrics plus its peak engine bytes
+/// (`0` where no probe exists); all runs are deterministic, so every
+/// iteration yields identical values.
 fn measure_with(
     id: String,
     n: u64,
     t: u64,
     label: String,
     max_iters: u64,
-    run_once: impl Fn() -> Metrics,
+    run_once: impl Fn() -> (Metrics, u64),
 ) -> Measurement {
-    let budget = Duration::from_millis(300);
+    let budget = Duration::from_millis(250);
+    let min_iters = 5u64;
     eprintln!("running {id} (n={n}, t={t}, {label})...");
-    let mut metrics = run_once(); // warmup
+    let (mut metrics, mut mem_bytes) = run_once(); // warmup
     let start = Instant::now();
     let mut iters = 0u64;
-    while iters < max_iters && (iters == 0 || start.elapsed() < budget) {
-        metrics = run_once();
+    while iters < max_iters && (iters < min_iters || start.elapsed() < budget) {
+        (metrics, mem_bytes) = run_once();
         iters += 1;
     }
-    Measurement { id, n, t, scenario: label, iters, total: start.elapsed(), metrics }
+    Measurement { id, n, t, scenario: label, iters, total: start.elapsed(), metrics, mem_bytes }
 }
 
 fn measure<P, F>(
@@ -115,14 +126,15 @@ fn measure<P, F>(
     build: F,
 ) -> Measurement
 where
-    P: Protocol,
-    P::Msg: 'static,
+    P: Protocol + Send,
+    P::Msg: Send + Sync + 'static,
     F: Fn() -> Vec<P>,
 {
     measure_with(id.into(), n, t, scenario.label(), max_iters, || {
-        run(build(), scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, Round::MAX))
-            .expect("benchmark run must complete")
-            .metrics
+        let report =
+            run(build(), scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, Round::MAX))
+                .expect("benchmark run must complete");
+        (report.metrics, report.mem.engine_bytes())
     })
 }
 
@@ -152,7 +164,8 @@ where
         } else {
             reference::run_async_reference(build(), adversary, cfg.clone())
         };
-        report.expect("benchmark run must complete").metrics
+        // The async engine has no peak-memory probe; see `Measurement`.
+        (report.expect("benchmark run must complete").metrics, 0)
     })
 }
 
@@ -163,7 +176,9 @@ where
 /// reference scheduler (`async_storm_ref/*` — the "before"). Message
 /// counts between each twin pair are asserted bit-identical in `main`.
 fn async_cells(smoke: bool) -> Vec<Measurement> {
-    let iters = if smoke { 50 } else { 200 };
+    // Budget-bound (see `measure_with`): cheap cells fill the 250 ms
+    // budget instead of stopping at a noise-dominated handful of runs.
+    let iters = u64::MAX;
     let cfg = |n: u64| AsyncConfig::new(n as usize, 7).with_delay(DelayDist::Uniform, 4);
     let ff = AsyncScenario::FailureFree;
     let mut out = vec![
@@ -217,19 +232,53 @@ fn async_cells(smoke: bool) -> Vec<Measurement> {
     out
 }
 
+/// The scale cells (PR 8): the e17 giant coordinator-D shape —
+/// `t = 2^17` processes stepping through `n = 2^27` units, 134M protocol
+/// steps — run sequentially and with 4-way sharded stepping. One timed
+/// iteration each (a run takes tens of seconds); `main` asserts the two
+/// metrics are bit-identical and reports the wall-clock speedup (which
+/// scales with the cores the host actually has — a single-core CI
+/// container records parity, i.e. the sharding overhead bound), and the
+/// shards1 cell's `mem_bytes` is the committed peak-engine-memory anchor
+/// for the `--compare` gate.
+fn scale_cells() -> Vec<Measurement> {
+    let (n, t) = (1u64 << 27, 1u64 << 17);
+    [1usize, 4]
+        .into_iter()
+        .map(|shards| {
+            measure_with(
+                format!("scale/d_coord_t131072_shards{shards}"),
+                n,
+                t,
+                "failure-free".into(),
+                1,
+                || {
+                    let cfg = RunConfig::new(n as usize, Round::MAX).with_shards(shards);
+                    let report =
+                        run(ProtocolD::processes_with_coordinator(n, t).unwrap(), NoFailures, cfg)
+                            .expect("scale run must complete");
+                    (report.metrics, report.mem.engine_bytes())
+                },
+            )
+        })
+        .collect()
+}
+
 /// `chaos/shrink_b`: times one end-to-end shrinker pass — scan seeds for
 /// the first chaos case that crashes somebody in a Protocol B run, then
 /// greedily shrink it under that engine-backed oracle (dozens of full
 /// runs per pass). Reports the minimal case's run metrics.
 fn chaos_shrink_cell(iters: u64) -> Measurement {
     let cfg = ChaosConfig::new(16, 64);
-    let run_case = |case: &ChaosCase| -> Option<Metrics> {
+    let run_case = |case: &ChaosCase| -> Option<(Metrics, u64)> {
         let plan = case.plan();
         plan.validate(case.t).ok()?;
         let procs = plan.wrap(ProtocolB::processes(case.n as u64, case.t as u64).ok()?);
-        run(procs, plan, RunConfig::new(case.n, Round::MAX)).ok().map(|r| r.metrics)
+        run(procs, plan, RunConfig::new(case.n, Round::MAX))
+            .ok()
+            .map(|r| (r.metrics, r.mem.engine_bytes()))
     };
-    let fails = move |case: &ChaosCase| run_case(case).is_some_and(|m| m.crashes >= 1);
+    let fails = move |case: &ChaosCase| run_case(case).is_some_and(|(m, _)| m.crashes >= 1);
     measure_with("chaos/shrink_b".into(), 64, 16, "chaos-shrink(oracle=B)".into(), iters, || {
         let case = (1u64..).map(|s| ChaosCase::generate(s, &cfg)).find(&fails).unwrap();
         let min = shrink(&case, &fails);
@@ -250,15 +299,18 @@ fn snapshot_resume_cell(iters: u64) -> Measurement {
             engine = Engine::resume(engine.snapshot());
             engine.run_until(None).expect("resumed run must complete");
         }
-        engine.into_report().0.metrics
+        let report = engine.into_report().0;
+        (report.metrics, report.mem.engine_bytes())
     })
 }
 
 fn cells(smoke: bool) -> Vec<Measurement> {
-    // Smoke mode still iterates (bounded by the 300 ms per-cell budget in
-    // `measure`): single-shot timings are far too noisy for the --compare
-    // regression guard's 30% threshold.
-    let iters = if smoke { 50 } else { 200 };
+    // Cheap cells are budget-bound (the 250 ms per-cell budget in
+    // `measure_with`): micro-runs in the tens of microseconds need
+    // thousands of iterations before their mean is stable enough for the
+    // --compare regression guard's 30% threshold. Expensive cells below
+    // pass explicit small caps instead.
+    let iters = u64::MAX;
     // Smoke mode shrinks the big shape so the whole bin finishes fast.
     // (A/B need a perfect-square t; C a power of two: 16, 64, 256, 1024
     // satisfy both.)
@@ -297,7 +349,7 @@ fn cells(smoke: bool) -> Vec<Measurement> {
             n_of(t_big),
             t_big,
             &Scenario::DeadOnArrival { k: t_big / 2 },
-            if smoke { 50 } else { 20 },
+            iters,
             || ProtocolB::processes(n_of(t_big), t_big).unwrap(),
         ),
         measure(
@@ -305,7 +357,7 @@ fn cells(smoke: bool) -> Vec<Measurement> {
             n_of(t_big),
             t_big,
             &ff,
-            if smoke { 50 } else { 20 },
+            iters,
             || ProtocolB::processes(n_of(t_big), t_big).unwrap(),
         ),
     ];
@@ -399,6 +451,7 @@ fn cells(smoke: bool) -> Vec<Measurement> {
         out.push(measure("storm/lockstep_t512", 2_048, 512, &ff, 20, || {
             Lockstep::processes(2_048, 512).unwrap()
         }));
+        out.extend(scale_cells());
     }
     out.extend(async_cells(smoke));
     out
@@ -432,11 +485,54 @@ fn check_async_twins(results: &[Measurement]) -> usize {
     mismatches
 }
 
+/// Every `scale/*_shardsK` cell (K > 1) must report exactly the metrics
+/// of its `*_shards1` twin — sharded stepping is a wall-clock knob, never
+/// a semantic one. Prints the measured speedup (the committed baseline is
+/// the durable record of it; a warm CI runner can be noisy, so a shortfall
+/// only warns). Returns the number of metric mismatches.
+fn check_scale_twins(results: &[Measurement]) -> usize {
+    let mut mismatches = 0;
+    for m in results {
+        let Some((prefix, shards)) = m.id.rsplit_once("_shards") else { continue };
+        if !m.id.starts_with("scale/") || shards == "1" {
+            continue;
+        }
+        let Some(twin) = results.iter().find(|r| r.id == format!("{prefix}_shards1")) else {
+            continue;
+        };
+        if m.metrics != twin.metrics {
+            eprintln!(
+                "scale twin check: {}: FAIL sharded metrics diverged from sequential\n  sharded:    {:?}\n  sequential: {:?}",
+                m.id, m.metrics, twin.metrics,
+            );
+            mismatches += 1;
+            continue;
+        }
+        let speedup = twin.mean_ms() / m.mean_ms();
+        let cores = std::thread::available_parallelism().map_or(1, |p| p.get());
+        let verdict = if speedup >= 2.0 {
+            "ok"
+        } else if cores < 2 {
+            "parity expected: single-core host, sharding needs cores to pay off"
+        } else {
+            "WARN speedup below 2x"
+        };
+        eprintln!(
+            "scale twin check: {}: metrics bit-identical, {speedup:.2}x speedup over shards1 on {cores} core(s) ({verdict})",
+            m.id,
+        );
+    }
+    mismatches
+}
+
 /// One baseline entry scraped from a committed BENCH_*.json file.
 struct BaselineEntry {
     id: String,
     mean_ms: f64,
     messages: u64,
+    /// Peak engine bytes; absent in pre-PR8 baselines and zero for cells
+    /// without the probe — both mean "don't gate memory".
+    mem_bytes: u64,
 }
 
 /// Extracts `{"id": ..., "mean_ms": ..., "messages": ...}` result objects
@@ -461,11 +557,13 @@ fn parse_baseline(text: &str) -> Vec<BaselineEntry> {
         let (Ok(mean_ms), Ok(messages)) = (ms.parse::<f64>(), msgs.parse::<u64>()) else {
             continue;
         };
+        let mem_bytes = field("mem_bytes").and_then(|v| v.parse::<u64>().ok()).unwrap_or(0);
         if let Some(e) = by_id.iter_mut().find(|e| e.id == id) {
             e.mean_ms = mean_ms;
             e.messages = messages;
+            e.mem_bytes = mem_bytes;
         } else {
-            by_id.push(BaselineEntry { id, mean_ms, messages });
+            by_id.push(BaselineEntry { id, mean_ms, messages, mem_bytes });
         }
     }
     by_id
@@ -491,6 +589,17 @@ fn compare(results: &[Measurement], baseline_path: &str) -> usize {
             );
             violations += 1;
             continue;
+        }
+        if b.mem_bytes > 0 && m.mem_bytes > 0 {
+            let mem_ratio = m.mem_bytes as f64 / b.mem_bytes as f64;
+            if mem_ratio > 1.30 {
+                eprintln!(
+                    "compare: {}: FAIL {} engine bytes vs baseline {} ({mem_ratio:.2}x > 1.30x)",
+                    m.id, m.mem_bytes, b.mem_bytes
+                );
+                violations += 1;
+                continue;
+            }
         }
         let ratio = m.mean_ms() / b.mean_ms;
         if ratio > 1.30 {
@@ -519,6 +628,11 @@ fn main() {
     let twin_mismatches = check_async_twins(&results);
     if twin_mismatches > 0 {
         eprintln!("twin check: {twin_mismatches} async arena/reference cell(s) drifted");
+        std::process::exit(1);
+    }
+    let scale_mismatches = check_scale_twins(&results);
+    if scale_mismatches > 0 {
+        eprintln!("scale twin check: {scale_mismatches} sharded cell(s) drifted from sequential");
         std::process::exit(1);
     }
     let body: Vec<String> = results.iter().map(Measurement::to_json).collect();

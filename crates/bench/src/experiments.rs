@@ -43,9 +43,9 @@ pub struct Outcome {
     pub pass: bool,
 }
 
-fn run_protocol<P: Protocol>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Metrics
+fn run_protocol<P: Protocol + Send>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Metrics
 where
-    P::Msg: 'static,
+    P::Msg: Send + Sync + 'static,
 {
     let report = run(procs, scenario.adversary::<P::Msg>(), RunConfig::new(n as usize, Round::MAX))
         .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()));
@@ -990,9 +990,9 @@ pub fn e14() -> Outcome {
 /// Runs one fault-catalog cell: wraps the processes with the scenario's
 /// [`FaultPlan`] (slowdown windows are wrapper-enforced), drives the same
 /// plan as the adversary, and returns the traced report.
-fn run_fault_cell<P: Protocol>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Report
+fn run_fault_cell<P: Protocol + Send>(procs: Vec<P>, scenario: &Scenario, n: u64) -> Report
 where
-    P::Msg: 'static,
+    P::Msg: Send + Sync + 'static,
 {
     let plan = scenario.fault_plan();
     run(
@@ -1248,10 +1248,118 @@ pub fn e16() -> Outcome {
     }
 }
 
+/// E17 — the scale axis (DESIGN.md §2.12): the sharded engine, the
+/// struct-of-arrays process table, and run-compressed protocol state
+/// carry the *same exact closed-form counts* two orders of magnitude past
+/// the e3/e6 shapes — `t = 2^16`–`2^17` processes and `n = 2^27`–`10^8`
+/// units — while per-process engine state stays inside its 32-byte
+/// budget. Each giant cell is paired with a small cell that validates the
+/// identical formula on the honest grid first. Registered in [`by_id`]
+/// only, *not* in [`all`]: the giant cells are the CI scale-smoke leg,
+/// not part of the default suite. Derivations: EXPERIMENTS.md §e17.
+pub fn e17() -> Outcome {
+    let mut table =
+        Table::new(["cell", "n", "t", "work", "msgs (expect)", "rounds (expect)", "soa B/proc"]);
+    let mut pass = true;
+
+    // Protocol B with every process except p0 dead at round 1: the lone
+    // survivor works through the entire Figure-1 schedule alone, so the
+    // counts are exact —
+    //   messages = t(√t−1) + √t(√t−1)(2√t−1)   (partial + full checkpoints)
+    //   rounds   = n + t + 2√t(√t−1)           (one op per round)
+    // and every message is a dead letter *except* the final FullCpOwn
+    // multicast (√t−1 messages): the survivor terminates right after
+    // sending it, the run ends with it still in flight, and dead letters
+    // are counted at delivery. The giant cell uses t = 2^16, not 2^17,
+    // because B's t must be a perfect square (EXPERIMENTS.md).
+    let b_msgs = |t: u64| {
+        let s = t.isqrt();
+        t * (s - 1) + s * (s - 1) * (2 * s - 1)
+    };
+    let b_rounds = |n: u64, t: u64| {
+        let s = t.isqrt();
+        n + t + 2 * s * (s - 1)
+    };
+    for (cell, n, t) in
+        [("B lone-survivor", 64u64, 16u64), ("B lone-survivor (giant)", 1 << 27, 1 << 16)]
+    {
+        let scenario = Scenario::MassExtinction { from: 1, k: t - 1, round: 1 };
+        let report = run(
+            ProtocolB::processes(n, t).unwrap(),
+            scenario.adversary(),
+            RunConfig::new(n as usize, Round::MAX),
+        )
+        .unwrap();
+        let m = &report.metrics;
+        pass &= m.work_total == n
+            && m.messages == b_msgs(t)
+            && m.rounds == b_rounds(n, t)
+            && m.dead_letters == m.messages - (t.isqrt() - 1)
+            && u64::from(m.crashes) == t - 1
+            && m.terminations == 1
+            && report.mem.soa_bytes <= 32 * t;
+        table.row([
+            cell.to_string(),
+            n.to_string(),
+            t.to_string(),
+            vs(m.work_total, n),
+            format!("{} (expect {})", m.messages, b_msgs(t)),
+            format!("{} (expect {})", m.rounds, b_rounds(n, t)),
+            format!("{}", report.mem.soa_bytes.div_ceil(t)),
+        ]);
+    }
+
+    // Coordinator-D failure-free counts are exact at any scale: one
+    // agreement phase of 2(t−1) messages, then ⌈n/t⌉ work rounds and the
+    // 3-round agree/decide envelope. The t = 2^17 cell is the sharded-
+    // stepping showcase (all t processes step every work round — the
+    // perf_baseline shard-speedup pair); the n = 10^8 cell is the
+    // workload ceiling, with interval-compressed shares keeping every
+    // process's state at a handful of runs.
+    for (cell, n, t) in [
+        ("coordinator-D", 4_096u64, 1_024u64),
+        ("coordinator-D (giant t)", 1 << 27, 1 << 17),
+        ("coordinator-D (giant n)", 100_000_000, 1_024),
+    ] {
+        let report = run(
+            ProtocolD::processes_with_coordinator(n, t).unwrap(),
+            NoFailures,
+            RunConfig::new(n as usize, Round::MAX),
+        )
+        .unwrap();
+        let m = &report.metrics;
+        let rounds = n.div_ceil(t) + 3;
+        pass &= m.work_total == n
+            && m.messages == 2 * (t - 1)
+            && m.rounds == rounds
+            && m.dead_letters == 0
+            && m.crashes == 0
+            && u64::from(m.terminations) == t
+            && report.mem.soa_bytes <= 32 * t;
+        table.row([
+            cell.to_string(),
+            n.to_string(),
+            t.to_string(),
+            vs(m.work_total, n),
+            format!("{} (expect {})", m.messages, 2 * (t - 1)),
+            format!("{} (expect {})", m.rounds, rounds),
+            format!("{}", report.mem.soa_bytes.div_ceil(t)),
+        ]);
+    }
+
+    Outcome {
+        id: "e17",
+        claim: "scale axis: exact closed-form counts survive t = 2^16..2^17 and n = 2^27..10^8 (lone-survivor B, coordinator-D), with per-process engine state <= 32 bytes",
+        rendered: table.render(),
+        pass,
+    }
+}
+
 /// Every experiment, in order. Runs them sequentially: the grids *inside*
 /// each experiment already fan out across all sweep workers, and nesting
 /// a second level of parallelism on top would multiply the thread count
 /// past the core count instead of speeding anything up.
+/// `e17` (the scale-smoke leg) is deliberately excluded — run it by id.
 pub fn all() -> Vec<Outcome> {
     vec![
         e1(),
@@ -1292,6 +1400,7 @@ pub fn by_id(id: &str) -> Option<Outcome> {
         "e14" => Some(e14()),
         "e15" => Some(e15()),
         "e16" => Some(e16()),
+        "e17" => Some(e17()),
         _ => None,
     }
 }

@@ -7,7 +7,8 @@
 //! > processes `1, …, j−1` crashed or terminated."
 //!
 //! The checkpointing logic is byte-for-byte the synchronous `DoWork` of
-//! Figure 1 — the [`compile_dowork`] schedule is shared — only the
+//! Figure 1 — the [`compile_dowork`](super::compile_dowork) schedule is
+//! shared — only the
 //! activation trigger changes: the retirement detector of
 //! [`doall_sim::asynch`] replaces the round deadline. Because the detector
 //! is *sound* (it never reports a live process), at most one process is
@@ -18,21 +19,19 @@
 //! additionally infers retirements from received checkpoints instead of
 //! waiting for a detector report about every lower-numbered process.
 
-use std::collections::{BTreeSet, VecDeque};
+use std::collections::BTreeSet;
 
 use doall_bounds::AbParams;
 use doall_sim::asynch::{AsyncEffects, AsyncProtocol};
 use doall_sim::{Inbox, Pid};
 
-use super::{
-    compile_dowork, group_span, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op,
-};
+use super::{group_span, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op, Schedule};
 use crate::error::ConfigError;
 
 #[derive(Clone, Debug)]
 pub(super) enum AsyncState {
     Passive,
-    Active { ops: VecDeque<Op> },
+    Active { ops: Schedule },
     Done,
 }
 
@@ -130,7 +129,7 @@ impl AsyncProtocolA {
 
     fn activate(&mut self, eff: &mut AsyncEffects<AbMsg>) {
         eff.note("activate");
-        self.state = AsyncState::Active { ops: compile_dowork(self.params, self.j, self.last) };
+        self.state = AsyncState::Active { ops: Schedule::new(self.params, self.j, self.last) };
         advance_schedule(&mut self.state, self.params, self.j, eff);
     }
 }

@@ -23,7 +23,8 @@
 //! the `go ahead` machinery disappears entirely: `AsyncProtocolB` sends
 //! **zero** `go_ahead` messages in every execution.
 //!
-//! The checkpointing schedule is untouched (shared [`compile_dowork`]), so
+//! The checkpointing schedule is untouched (shared
+//! [`compile_dowork`](super::compile_dowork)), so
 //! Theorem 2.3/2.8's work bound (`≤ 3n`) and the ordinary-message bound
 //! (`≤ 9t√t`) carry over exactly as for the asynchronous Protocol A.
 
@@ -34,7 +35,7 @@ use doall_sim::asynch::{AsyncEffects, AsyncProtocol};
 use doall_sim::{Inbox, Pid};
 
 use super::asynch::{advance_schedule, AsyncState};
-use super::{compile_dowork, interpret, is_terminal_for, validate, AbMsg, LastOrdinary};
+use super::{interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Schedule};
 use crate::error::ConfigError;
 
 /// One process of the asynchronous Protocol B.
@@ -110,7 +111,7 @@ impl AsyncProtocolB {
     fn maybe_activate(&mut self, eff: &mut AsyncEffects<AbMsg>) {
         if matches!(self.state, AsyncState::Passive) && self.all_lower_known_retired() {
             eff.note("activate");
-            self.state = AsyncState::Active { ops: compile_dowork(self.params, self.j, self.last) };
+            self.state = AsyncState::Active { ops: Schedule::new(self.params, self.j, self.last) };
             advance_schedule(&mut self.state, self.params, self.j, eff);
         }
     }

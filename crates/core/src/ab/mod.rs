@@ -247,6 +247,84 @@ fn push_full_checkpoint(ops: &mut VecDeque<Op>, p: AbParams, c: u64, from_group:
     }
 }
 
+/// A lazily-expanded `DoWork` schedule: pops the exact op sequence of
+/// [`compile_dowork`] while materialising only the restart prologue plus
+/// one subchunk at a time — `O(n/t + √t)` resident ops instead of
+/// `O(n + t√t)`, which is what lets a lone survivor chew through
+/// `n = 10^8` units without holding a gigabyte of op queue.
+#[derive(Clone, Debug)]
+pub struct Schedule {
+    p: AbParams,
+    /// The owner's group (fixed; checkpoint targets depend on it).
+    gj: u64,
+    /// The restart prologue, then at most one expanded subchunk.
+    buf: VecDeque<Op>,
+    /// Next subchunk to expand into `buf`; `> p.t` once exhausted.
+    next_s: u64,
+}
+
+impl Schedule {
+    /// Builds process `j`'s schedule given its last ordinary message —
+    /// the lazy equivalent of [`compile_dowork`]`(p, j, last)`.
+    pub fn new(p: AbParams, j: u64, last: LastOrdinary) -> Self {
+        let sqrt_t = p.sqrt_t();
+        let gj = p.group_of(j);
+        let mut buf = VecDeque::new();
+
+        // Resume the checkpointing that the previous active process may
+        // have been in the middle of (same dispatch as `compile_dowork`).
+        let c = last.completed_subchunk();
+        match last {
+            LastOrdinary::Fictitious => {}
+            LastOrdinary::Partial { c } => {
+                buf.push_back(Op::PartialCp { c });
+                if c % sqrt_t == 0 && c > 0 {
+                    push_full_checkpoint(&mut buf, p, c, gj + 1);
+                }
+            }
+            LastOrdinary::Full { c, g, sender_in_own_group } => {
+                if sender_in_own_group {
+                    buf.push_back(Op::FullCpOwn { c, g });
+                    push_full_checkpoint(&mut buf, p, c, g + 1);
+                } else {
+                    buf.push_back(Op::PartialCp { c });
+                    push_full_checkpoint(&mut buf, p, c, g + 1);
+                }
+            }
+        }
+        Schedule { p, gj, buf, next_s: c + 1 }
+    }
+
+    /// Expands the next subchunk (Figure 1 lines 10–14) into the buffer.
+    fn refill(&mut self) {
+        let s = self.next_s;
+        if s > self.p.t {
+            return;
+        }
+        self.next_s += 1;
+        for u in self.p.subchunk_units(s) {
+            self.buf.push_back(Op::Work { u });
+        }
+        self.buf.push_back(Op::PartialCp { c: s });
+        if s.is_multiple_of(self.p.sqrt_t()) {
+            push_full_checkpoint(&mut self.buf, self.p, s, self.gj + 1);
+        }
+    }
+
+    /// The next one-round operation, or `None` once the schedule is done.
+    pub fn pop_front(&mut self) -> Option<Op> {
+        if self.buf.is_empty() {
+            self.refill();
+        }
+        self.buf.pop_front()
+    }
+
+    /// Whether every operation has been popped.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty() && self.next_s > self.p.t
+    }
+}
+
 /// Executes one compiled operation, emitting its work or broadcast. Every
 /// broadcast here targets a contiguous pid range, so each is recorded as a
 /// single O(1) span multicast — the payload is stored once regardless of
@@ -466,6 +544,39 @@ mod tests {
         assert_eq!(validate(10, 4), Err(ConfigError::NotDivisible { n: 10, t: 4 }));
         assert!(validate(2, 4).is_err());
         assert!(validate(8, 4).is_ok());
+    }
+
+    #[test]
+    fn lazy_schedule_matches_compile_dowork_everywhere() {
+        // Every (j, LastOrdinary) shape over several parameter packs: the
+        // lazy schedule must pop the byte-identical op sequence, while
+        // never buffering more than a prologue plus one subchunk.
+        for (n, t) in [(1, 1), (8, 4), (32, 16), (81, 9)] {
+            let p = AbParams::new(n, t);
+            let mut lasts = vec![LastOrdinary::Fictitious];
+            for c in 1..=p.t {
+                lasts.push(LastOrdinary::Partial { c });
+                for g in 1..=p.sqrt_t() {
+                    lasts.push(LastOrdinary::Full { c, g, sender_in_own_group: true });
+                    lasts.push(LastOrdinary::Full { c, g, sender_in_own_group: false });
+                }
+            }
+            let resident_cap = (p.subchunk_size() + 6 * p.sqrt_t() + 2) as usize;
+            for j in 0..t {
+                for &last in &lasts {
+                    let expect: Vec<Op> = compile_dowork(p, j, last).into();
+                    let mut sched = Schedule::new(p, j, last);
+                    assert_eq!(sched.is_empty(), expect.is_empty());
+                    let mut got = Vec::new();
+                    while let Some(op) = sched.pop_front() {
+                        got.push(op);
+                        assert!(sched.buf.len() <= resident_cap, "n={n} t={t} j={j}");
+                    }
+                    assert!(sched.is_empty());
+                    assert_eq!(got, expect, "n={n} t={t} j={j} last={last:?}");
+                }
+            }
+        }
     }
 
     #[test]

@@ -17,18 +17,16 @@
 //! their padded values — a constant-factor slack (`t⁺ < (√t + 1)² <
 //! t + 2√t + 1` and `n⁺ < n + t⁺`).
 
-use std::collections::VecDeque;
-
 use doall_bounds::deadlines_ab::{dd, AbParams};
 use doall_sim::{Effects, Inbox, Protocol, Round, Unit};
 
-use super::{compile_dowork, interpret, is_terminal_for, AbMsg, LastOrdinary, Op};
+use super::{interpret, is_terminal_for, AbMsg, LastOrdinary, Op, Schedule};
 use crate::error::ConfigError;
 
 #[derive(Clone, Debug)]
 enum PState {
     Passive,
-    Active { ops: VecDeque<Op> },
+    Active { ops: Schedule },
     Done,
 }
 
@@ -125,7 +123,7 @@ impl PaddedA {
 
     fn activate(&mut self, eff: &mut Effects<AbMsg>) {
         eff.note("activate");
-        let mut ops = compile_dowork(self.params, self.j, self.last);
+        let mut ops = Schedule::new(self.params, self.j, self.last);
         if let Some(op) = ops.pop_front() {
             self.exec(op, eff);
         }

@@ -5,20 +5,16 @@
 //! are performed, at most `9t√t` messages are sent, and all processes
 //! retire by round `nt + 3t²`.
 
-use std::collections::VecDeque;
-
 use doall_bounds::deadlines_ab::{dd, AbParams};
 use doall_sim::{Effects, Inbox, Protocol, Round};
 
-use super::{
-    compile_dowork, exec_op, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op,
-};
+use super::{exec_op, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Schedule};
 use crate::error::ConfigError;
 
 #[derive(Clone, Debug)]
 enum AState {
     Passive,
-    Active { ops: VecDeque<Op> },
+    Active { ops: Schedule },
     Done,
 }
 
@@ -83,7 +79,7 @@ impl ProtocolA {
 
     fn activate(&mut self, eff: &mut Effects<AbMsg>) {
         eff.note("activate");
-        let mut ops = compile_dowork(self.params, self.j, self.last);
+        let mut ops = Schedule::new(self.params, self.j, self.last);
         if let Some(op) = ops.pop_front() {
             exec_op(op, self.params, self.j, eff);
         }

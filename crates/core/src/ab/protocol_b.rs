@@ -16,14 +16,10 @@
 //! becomes active at round `r' + TT(j, i)` exactly as the analysis
 //! requires.
 
-use std::collections::VecDeque;
-
 use doall_bounds::deadlines_ab::{ddb, pto, AbParams};
 use doall_sim::{Effects, Inbox, Pid, Protocol, Round};
 
-use super::{
-    compile_dowork, exec_op, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Op,
-};
+use super::{exec_op, interpret, is_terminal_for, validate, AbMsg, LastOrdinary, Schedule};
 use crate::error::ConfigError;
 
 #[derive(Clone, Debug)]
@@ -36,7 +32,7 @@ enum BState {
         next_target: u64,
     },
     Active {
-        ops: VecDeque<Op>,
+        ops: Schedule,
     },
     Done,
 }
@@ -113,7 +109,7 @@ impl ProtocolB {
 
     fn activate(&mut self, eff: &mut Effects<AbMsg>) {
         eff.note("activate");
-        let mut ops = compile_dowork(self.params, self.j, self.last);
+        let mut ops = Schedule::new(self.params, self.j, self.last);
         if let Some(op) = ops.pop_front() {
             exec_op(op, self.params, self.j, eff);
         }

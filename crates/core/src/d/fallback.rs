@@ -19,19 +19,17 @@
 //!   process count. Performing a phantom unit consumes the round but emits
 //!   no work.
 
-use std::collections::VecDeque;
-
 use doall_bounds::deadlines_ab::{dd, AbParams};
 use doall_sim::{Effects, Pid, Round, Unit};
 
-use crate::ab::{compile_dowork, interpret, is_terminal_for, AbMsg, LastOrdinary, Op};
+use crate::ab::{interpret, is_terminal_for, AbMsg, LastOrdinary, Op, Schedule};
 
 use super::DMsg;
 
 #[derive(Clone, Debug)]
 enum FState {
     Passive,
-    Active { ops: VecDeque<Op> },
+    Active { ops: Schedule },
     Done,
 }
 
@@ -141,7 +139,7 @@ impl FallbackMachine {
 
     fn activate(&mut self, eff: &mut Effects<DMsg>) {
         eff.note("activate");
-        let mut ops = compile_dowork(self.params, self.rank, self.last);
+        let mut ops = Schedule::new(self.params, self.rank, self.last);
         if let Some(op) = ops.pop_front() {
             self.exec(op, eff);
         }

@@ -13,13 +13,13 @@
 
 pub mod fallback;
 
-use std::collections::{BTreeSet, VecDeque};
 use std::fmt;
 
 use doall_sim::{Classify, Effects, Inbox, Pid, Protocol, Round, Unit};
 
 use crate::ab::AbMsg;
 use crate::error::ConfigError;
+use crate::intervals::IntervalSet;
 use fallback::FallbackMachine;
 
 /// Messages of Protocol D.
@@ -32,9 +32,9 @@ pub enum DMsg {
         /// Work/agreement phase index (0-based).
         phase: u32,
         /// The sender's outstanding-units set.
-        s: BTreeSet<u64>,
+        s: IntervalSet,
         /// The sender's set of processes believed live.
-        t: BTreeSet<u64>,
+        t: IntervalSet,
         /// Whether the sender has decided this agreement phase.
         done: bool,
     },
@@ -44,18 +44,18 @@ pub enum DMsg {
         /// Work/agreement phase index.
         phase: u32,
         /// The sender's outstanding-units set.
-        s: BTreeSet<u64>,
+        s: IntervalSet,
         /// The sender's set of processes believed live.
-        t: BTreeSet<u64>,
+        t: IntervalSet,
     },
     /// Coordinator variant: the coordinator's merged, authoritative view.
     Decision {
         /// Work/agreement phase index.
         phase: u32,
         /// The agreed outstanding-units set.
-        s: BTreeSet<u64>,
+        s: IntervalSet,
         /// The agreed live set.
-        t: BTreeSet<u64>,
+        t: IntervalSet,
     },
     /// A relabeled Protocol A message of the fallback (§4 / Figure 4
     /// line 12).
@@ -95,17 +95,17 @@ enum DState {
     /// Performing this phase's share, one unit per round, then idling so
     /// every process spends exactly `⌈|S|/|T|⌉` rounds in the phase.
     Work {
-        queue: VecDeque<u64>,
+        share: IntervalSet,
         rounds_left: u64,
     },
     /// Running the Figure 4 `Agree` exchange.
     Agree {
         /// Processes not yet known faulty (`U`).
-        u: BTreeSet<u64>,
+        u: IntervalSet,
         /// The rebuilt live set (`T` in the figure; starts at `{j}`).
-        t_new: BTreeSet<u64>,
+        t_new: IntervalSet,
         /// |T'| — the live-set size before this agreement phase.
-        t_prev: usize,
+        t_prev: u64,
         /// Broadcast iterations completed.
         iter: u64,
         /// First iteration at which silence means faulty and stability
@@ -117,14 +117,14 @@ enum DState {
     /// the coordinator's decision (`entry == 0` until the first step).
     CoordFollower {
         entry: Round,
-        t_prev: usize,
+        t_prev: u64,
     },
     /// Coordinator variant, coordinator side: collecting reports.
     CoordLeader {
         entry: Round,
-        t_prev: usize,
-        s_acc: BTreeSet<u64>,
-        heard: BTreeSet<u64>,
+        t_prev: u64,
+        s_acc: IntervalSet,
+        heard: IntervalSet,
     },
     /// Reverted to Protocol A.
     Fallback(FallbackMachine),
@@ -151,11 +151,12 @@ pub struct ProtocolD {
     n: u64,
     t: u64,
     j: u64,
-    /// Outstanding units (`S`).
-    s: BTreeSet<u64>,
+    /// Outstanding units (`S`), run-compressed so `n = 10^8` costs a
+    /// handful of interval runs, not a gigabyte of tree nodes.
+    s: IntervalSet,
     /// Processes thought correct at the end of the previous work phase
     /// (`T`).
-    t_set: BTreeSet<u64>,
+    t_set: IntervalSet,
     /// Current phase index (0-based; phase 0 gets no grace round).
     phase: u32,
     /// Whether agreement phases use the §4 coordinator optimization.
@@ -177,14 +178,12 @@ impl ProtocolD {
     /// arithmetic, so any `n >= 1`, `t >= 1` works.
     pub fn new(n: u64, t: u64, j: u64) -> Self {
         debug_assert!(j < t);
-        let s: BTreeSet<u64> = (1..=n).collect();
-        let t_set: BTreeSet<u64> = (0..t).collect();
         let mut d = ProtocolD {
             n,
             t,
             j,
-            s: s.clone(),
-            t_set: t_set.clone(),
+            s: IntervalSet::from_range(1..n + 1),
+            t_set: IntervalSet::from_range(0..t),
             phase: 0,
             coordinated: false,
             fell_back_to_broadcast: false,
@@ -250,17 +249,15 @@ impl ProtocolD {
     /// The current phase coordinator: the lowest process this one believes
     /// to be alive.
     fn coordinator(&self) -> u64 {
-        *self.t_set.iter().next().expect("t_set always contains self")
+        self.t_set.min().expect("t_set always contains self")
     }
 
     /// Figure 4 line 5: my share of the outstanding work, by grade.
     fn build_work_phase(&self) -> DState {
-        let w = (self.s.len() as u64).div_ceil(self.t_set.len() as u64);
-        let grade = self.t_set.iter().position(|&p| p == self.j).unwrap_or(0) as u64;
-        let lo = grade * w;
-        let queue: VecDeque<u64> =
-            self.s.iter().copied().skip(lo as usize).take(w as usize).collect();
-        DState::Work { queue, rounds_left: w }
+        let w = self.s.len().div_ceil(self.t_set.len());
+        let grade = if self.t_set.contains(self.j) { self.t_set.rank(self.j) } else { 0 };
+        let share = self.s.slice_by_rank(grade * w, w);
+        DState::Work { share, rounds_left: w }
     }
 
     fn enter_agree(&mut self) -> DState {
@@ -289,12 +286,12 @@ impl ProtocolD {
 
     /// Abandons the coordinator protocol (its coordinator is presumed
     /// dead) and joins the broadcast agreement for this phase.
-    fn revert_to_broadcast(&mut self, t_prev: usize) -> DState {
+    fn revert_to_broadcast(&mut self, t_prev: u64) -> DState {
         self.fell_back_to_broadcast = true;
         let dead_coordinator = self.coordinator();
         let mut u = self.t_set.clone();
-        u.remove(&dead_coordinator);
-        self.t_set.remove(&dead_coordinator);
+        u.remove(dead_coordinator);
+        self.t_set.remove(dead_coordinator);
         DState::Agree {
             u,
             t_new: [self.j].into_iter().collect(),
@@ -329,7 +326,7 @@ impl ProtocolD {
                     if let DMsg::Report { phase, s, t } = msg {
                         if *phase == self.phase {
                             let _ = t; // liveness knowledge comes from who reported
-                            s_acc = s_acc.intersection(s).copied().collect();
+                            s_acc.intersect(s);
                             heard.insert(from.index() as u64);
                         }
                     }
@@ -349,7 +346,7 @@ impl ProtocolD {
                     // no scratch Vec.
                     let me = self.j;
                     eff.broadcast(
-                        self.t_set.iter().filter(|&&p| p != me).map(|&p| Pid::new(p as usize)),
+                        self.t_set.iter().filter(|&p| p != me).map(|p| Pid::new(p as usize)),
                         msg,
                     );
                     self.t_set = t_new;
@@ -400,7 +397,7 @@ impl ProtocolD {
 
     /// Ends an agreement phase at `round` with the agreed `(S, T)`;
     /// decides between next work phase, fallback, and termination.
-    fn finish_phase(&mut self, round: Round, t_prev: usize, eff: &mut Effects<DMsg>) {
+    fn finish_phase(&mut self, round: Round, t_prev: u64, eff: &mut Effects<DMsg>) {
         self.phase += 1;
         if self.s.is_empty() {
             eff.terminate();
@@ -411,8 +408,8 @@ impl ProtocolD {
         // died during this phase — revert to Protocol A.
         if t_prev > 2 * self.t_set.len() {
             eff.note("fallback");
-            let survivors: Vec<u64> = self.t_set.iter().copied().collect();
-            let units: Vec<u64> = self.s.iter().copied().collect();
+            let survivors: Vec<u64> = self.t_set.iter().collect();
+            let units: Vec<u64> = self.s.iter().collect();
             self.state =
                 DState::Fallback(FallbackMachine::new(self.j, survivors, units, round + 1u64));
             return;
@@ -447,17 +444,17 @@ impl ProtocolD {
                     done = true;
                     adopted = true;
                 } else if !adopted {
-                    self.s = self.s.intersection(s).copied().collect();
-                    t_new.extend(t.iter().copied());
+                    self.s.intersect(s);
+                    t_new.union_with(t);
                 }
             }
             if !adopted && iter >= enable_iter {
                 for i in u_before.iter() {
-                    if *i == self.j {
+                    if i == self.j {
                         continue;
                     }
                     let heard = inbox.iter().any(|(from, msg)| {
-                        from.index() as u64 == *i
+                        from.index() as u64 == i
                             && matches!(msg, DMsg::Agree { phase, .. } if *phase == self.phase)
                     });
                     if !heard {
@@ -475,7 +472,7 @@ impl ProtocolD {
         // `j` — no scratch Vec, no per-recipient view clones.
         let msg = DMsg::Agree { phase: self.phase, s: self.s.clone(), t: t_new.clone(), done };
         let me = self.j;
-        eff.broadcast(u.iter().filter(|&&p| p != me).map(|&p| Pid::new(p as usize)), msg);
+        eff.broadcast(u.iter().filter(|&p| p != me).map(|p| Pid::new(p as usize)), msg);
 
         if done {
             self.t_set = t_new;
@@ -497,10 +494,10 @@ impl Protocol for ProtocolD {
         }
         match &mut self.state {
             DState::Done => {}
-            DState::Work { queue, rounds_left } => {
-                if let Some(unit) = queue.pop_front() {
+            DState::Work { share, rounds_left } => {
+                if let Some(unit) = share.pop_min() {
                     eff.perform(Unit::new(unit as usize));
-                    self.s.remove(&unit); // line 8: S := S \ S' (incrementally)
+                    self.s.remove(unit); // line 8: S := S \ S' (incrementally)
                 }
                 *rounds_left -= 1;
                 if *rounds_left == 0 {
@@ -678,7 +675,7 @@ mod tests {
         }
         let report = run(ProtocolD::processes(n, t).unwrap(), adv, cfg(n)).unwrap();
         assert!(report.metrics.all_work_done());
-        assert_eq!(report.survivors(), vec![Pid::new(0)]);
+        assert!(report.survivors_iter().eq([Pid::new(0)]));
     }
 
     #[test]

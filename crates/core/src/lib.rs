@@ -11,6 +11,7 @@ pub mod baseline;
 pub mod c;
 pub mod d;
 pub mod error;
+pub mod intervals;
 
 pub use ab::asynch::AsyncProtocolA;
 pub use ab::asynch_b::AsyncProtocolB;
@@ -21,3 +22,4 @@ pub use baseline::{AsyncReplicate, Lockstep, NaiveSpread, ReplicateAll};
 pub use c::protocol_c::ProtocolC;
 pub use d::ProtocolD;
 pub use error::ConfigError;
+pub use intervals::IntervalSet;

@@ -25,6 +25,30 @@ use rand::{Rng, SeedableRng};
 
 use crate::effects::Effects;
 use crate::ids::{Pid, Round};
+use crate::liveset::LiveSet;
+
+/// The live-set view inside an [`AdversaryCtx`]: either a borrowed
+/// `&[bool]` slice (tests, the asynchronous engine, standalone harnesses)
+/// or the synchronous engine's compressed [`LiveSet`]. Both answer
+/// membership in O(1); adversaries query through
+/// [`is_alive`](AliveView::is_alive) and never see the representation.
+#[derive(Clone, Copy, Debug)]
+pub enum AliveView<'a> {
+    /// A dense boolean slice, indexed by pid.
+    Slice(&'a [bool]),
+    /// The engine's compressed live set.
+    Set(&'a LiveSet),
+}
+
+impl AliveView<'_> {
+    /// Whether `pid` has neither crashed nor terminated.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        match self {
+            AliveView::Slice(s) => s.get(pid.index()).copied().unwrap_or(false),
+            AliveView::Set(l) => l.contains(pid.index()),
+        }
+    }
+}
 
 /// What happens to a process's actions in one atomic step (a synchronous
 /// round, or one asynchronous handler invocation).
@@ -139,10 +163,11 @@ impl Deliver {
 pub struct AdversaryCtx<'a> {
     /// Number of processes in the system.
     pub t: usize,
-    /// `alive[p]` is false once process `p` has crashed or terminated.
-    pub alive: &'a [bool],
-    /// Number of `true` entries in `alive`, maintained incrementally by the
-    /// engine (use [`AdversaryCtx::new`] to compute it from a slice).
+    /// Live-set membership view (a pid is absent once it has crashed or
+    /// terminated); see [`AliveView`].
+    pub alive: AliveView<'a>,
+    /// Number of live processes, maintained incrementally by the engine
+    /// (use [`AdversaryCtx::new`] to compute it from a slice).
     pub live: usize,
     /// Crashes inflicted so far.
     pub crashes: u32,
@@ -154,7 +179,17 @@ impl<'a> AdversaryCtx<'a> {
     /// The engine constructs contexts directly from its incremental
     /// counters; this constructor is for tests and standalone harnesses.
     pub fn new(alive: &'a [bool], crashes: u32) -> Self {
-        AdversaryCtx { t: alive.len(), alive, live: alive.iter().filter(|a| **a).count(), crashes }
+        AdversaryCtx {
+            t: alive.len(),
+            alive: AliveView::Slice(alive),
+            live: alive.iter().filter(|a| **a).count(),
+            crashes,
+        }
+    }
+
+    /// Whether `pid` has neither crashed nor terminated.
+    pub fn is_alive(&self, pid: Pid) -> bool {
+        self.alive.is_alive(pid)
     }
 
     /// Number of processes that have neither crashed nor terminated.

@@ -69,7 +69,7 @@ pub use adversary::{
     AsyncTriggerAdversary, AsyncTriggerRule,
 };
 
-use crate::adversary::{AdversaryCtx, Fate};
+use crate::adversary::{AdversaryCtx, AliveView, Fate};
 use crate::effects::SendBuf;
 use crate::ids::{Pid, Round, Unit};
 use crate::message::{Classify, FlightOp, Inbox};
@@ -1111,7 +1111,7 @@ where
 
             let ctx = AdversaryCtx {
                 t,
-                alive: &self.alive,
+                alive: AliveView::Slice(&self.alive),
                 live: self.live,
                 crashes: self.metrics.crashes,
             };

@@ -20,7 +20,7 @@ use rand::SeedableRng;
 use super::{
     AsyncAdversary, AsyncConfig, AsyncEffects, AsyncProtocol, AsyncReport, AsyncRunError, Time,
 };
-use crate::adversary::{AdversaryCtx, Fate};
+use crate::adversary::{AdversaryCtx, AliveView, Fate};
 use crate::ids::Pid;
 use crate::message::{Classify, Inbox};
 use crate::metrics::Metrics;
@@ -173,7 +173,8 @@ where
             let idx = pid.index();
             invocations[idx] += 1;
 
-            let ctx = AdversaryCtx { t, alive: &alive, live, crashes: metrics.crashes };
+            let ctx =
+                AdversaryCtx { t, alive: AliveView::Slice(&alive), live, crashes: metrics.crashes };
             let fate = adversary.intercept(now, pid, invocations[idx], &eff, ctx);
 
             for tag in eff.notes.drain(..) {

@@ -1,12 +1,15 @@
 //! The synchronous round engine.
 
+use std::collections::BTreeMap;
 use std::fmt;
+use std::num::NonZeroUsize;
 
 use serde::{Deserialize, Serialize};
 
-use crate::adversary::{Adversary, AdversaryCtx, Fate};
+use crate::adversary::{Adversary, AdversaryCtx, AliveView, Fate};
 use crate::effects::{Effects, Recipients};
 use crate::ids::{Pid, Round};
+use crate::liveset::LiveSet;
 use crate::message::{Classify, FlightOp, Inbox};
 use crate::metrics::Metrics;
 use crate::protocol::Protocol;
@@ -62,6 +65,15 @@ pub struct RunConfig {
     /// window, so deep-idle protocols (Protocol C's `2^k`-round waits) are
     /// not false positives. `None` disables the watchdog.
     pub stall_window: Option<u64>,
+    /// Number of shards for parallel stepping (`None` or `Some(1)` = the
+    /// sequential engine). Sharding splits each round's due list into
+    /// contiguous pid ranges stepped on scoped worker threads; the
+    /// adversary, metrics, trace, and message queueing all run on the merge
+    /// thread in pid order, so a sharded run is **bit-identical** to the
+    /// sequential one (`tests/shard_differential.rs`) — sharding is purely
+    /// a wall-clock knob. [`RunConfig::new`] seeds this from the
+    /// `DOALL_ENGINE_SHARDS` environment variable when set.
+    pub shards: Option<NonZeroUsize>,
 }
 
 impl Default for RunConfig {
@@ -71,16 +83,28 @@ impl Default for RunConfig {
             max_rounds: Round::new(10_000_000),
             record_trace: false,
             stall_window: None,
+            shards: None,
         }
     }
+}
+
+/// Shard-count default from the `DOALL_ENGINE_SHARDS` environment variable
+/// (unset, empty, `0`, or unparsable all mean "sequential"). Read per call
+/// rather than cached so tests can vary the variable within one process.
+fn env_shards() -> Option<NonZeroUsize> {
+    std::env::var("DOALL_ENGINE_SHARDS").ok().and_then(|v| v.trim().parse().ok())
 }
 
 impl RunConfig {
     /// Convenience constructor for an `n`-unit workload with a round cap
     /// (`u64` values and bare literals convert; pass a [`Round`] for wide
-    /// caps such as [`Round::MAX`]).
+    /// caps such as [`Round::MAX`]). The shard count defaults to the
+    /// `DOALL_ENGINE_SHARDS` environment variable (sequential when unset),
+    /// so an entire binary can be switched to sharded stepping without
+    /// touching call sites; [`with_shards`](RunConfig::with_shards) wins
+    /// over the environment.
     pub fn new(n: usize, max_rounds: impl Into<Round>) -> Self {
-        RunConfig { n, max_rounds: max_rounds.into(), ..RunConfig::default() }
+        RunConfig { n, max_rounds: max_rounds.into(), shards: env_shards(), ..RunConfig::default() }
     }
 
     /// Enables trace recording.
@@ -94,10 +118,23 @@ impl RunConfig {
         self.stall_window = Some(window);
         self
     }
+
+    /// Sets the shard count for parallel stepping (`0` and `1` both mean
+    /// sequential; see [`RunConfig::shards`]).
+    pub fn with_shards(mut self, shards: usize) -> Self {
+        self.shards = NonZeroUsize::new(shards);
+        self
+    }
 }
 
 /// Outcome of a completed run: every process retired.
-#[derive(Clone, Debug, PartialEq, Eq, Serialize)]
+///
+/// Two reports compare equal when their *semantic* outcome matches —
+/// metrics, trace, and statuses. The [`mem`](Report::mem) probe is
+/// excluded from equality: buffer high-water marks depend on allocation
+/// history (shard count, snapshot/resume, capacity growth), not on the
+/// simulated execution, and differential tests assert semantic identity.
+#[derive(Clone, Debug, Serialize)]
 pub struct Report {
     /// Work / message / round counters.
     pub metrics: Metrics,
@@ -105,6 +142,54 @@ pub struct Report {
     pub trace: Trace,
     /// Final per-process statuses, indexed by pid.
     pub statuses: Vec<Status>,
+    /// Peak memory held by the engine and workload (see [`MemBudget`]).
+    pub mem: MemBudget,
+}
+
+impl PartialEq for Report {
+    fn eq(&self, other: &Self) -> bool {
+        self.metrics == other.metrics
+            && self.trace == other.trace
+            && self.statuses == other.statuses
+    }
+}
+
+impl Eq for Report {}
+
+/// Peak memory accounting for a run, measured exactly from the engine's own
+/// table capacities (no allocator hooks): the engine observes its buffers
+/// once per executed round and keeps the high-water mark. Payload heap data
+/// inside messages and protocol states is *not* chased — `proc_bytes` is
+/// the shallow struct size — so the probe is exact for the engine's SoA
+/// tables and a documented lower bound for protocols that heap-allocate.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MemBudget {
+    /// Per-process SoA columns: the process-state table, the live set, and
+    /// the delivery index's pid-indexed columns. This is the scale-axis
+    /// number: it must stay ≤ 32 bytes × t regardless of n or round count.
+    pub soa_bytes: u64,
+    /// Peak transient state: in-flight send ops, the delivery index's
+    /// per-delivery entries, the due list, and shard lanes. Proportional
+    /// to per-round traffic, not to `t`.
+    pub flight_bytes: u64,
+    /// Workload-proportional ledgers: the per-unit work multiplicity table
+    /// and the recorded trace.
+    pub ledger_bytes: u64,
+    /// Shallow protocol state: `size_of::<P>() × t`.
+    pub proc_bytes: u64,
+}
+
+impl MemBudget {
+    /// Peak bytes held by the engine proper (SoA columns + transients),
+    /// excluding protocol state and ledgers.
+    pub fn engine_bytes(&self) -> u64 {
+        self.soa_bytes + self.flight_bytes
+    }
+
+    /// Total peak across all four pools.
+    pub fn total_bytes(&self) -> u64 {
+        self.soa_bytes + self.flight_bytes + self.ledger_bytes + self.proc_bytes
+    }
 }
 
 impl Report {
@@ -309,24 +394,30 @@ impl std::error::Error for RunError {}
 /// ```
 pub fn run<P, A>(procs: Vec<P>, adversary: A, cfg: RunConfig) -> Result<Report, RunError>
 where
-    P: Protocol,
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
     A: Adversary<P::Msg>,
 {
     run_returning(procs, adversary, cfg).map(|(report, _)| report)
 }
 
 /// Per-round delivery index over the in-flight op table, in CSR style:
-/// recipient `p`'s inbox is `index[offset[p] .. offset[p] + count[p]]`, a
-/// list of op ids. All scratch is recycled round to round; the `stamp`
-/// array (last round that touched each slot) replaces any O(t) per-round
-/// reset — only recipients actually addressed this round cost anything.
+/// recipient `p`'s inbox is `index[offset[p] .. cursor[p]]`, a list of op
+/// ids (the fill cursor ends exactly at the inbox's end, so no separate
+/// count column is stored). All scratch is recycled round to round; the
+/// `stamp` array holds the build *epoch* that last touched each slot — a
+/// `u32` generation counter rather than the 128-bit round — replacing any
+/// O(t) per-round reset: only recipients actually addressed this round
+/// cost anything, and the pid-indexed columns total 12 bytes per process.
+/// On the (once per 2³² builds) epoch wrap the stamps are bulk-reset, so
+/// a stale stamp can never alias a fresh epoch.
 struct DeliveryIndex {
-    stamp: Vec<Round>,
-    count: Vec<u32>,
+    epoch: u32,
+    stamp: Vec<u32>,
     offset: Vec<u32>,
     cursor: Vec<u32>,
     index: Vec<u32>,
-    touched: Vec<usize>,
+    touched: Vec<u32>,
     /// Per-(message, recipient) receive-omission verdicts, in pending-op
     /// iteration order; recycled scratch for
     /// [`build_filtered`](DeliveryIndex::build_filtered).
@@ -336,8 +427,8 @@ struct DeliveryIndex {
 impl DeliveryIndex {
     fn new(t: usize) -> Self {
         DeliveryIndex {
-            stamp: vec![Round::ZERO; t],
-            count: vec![0; t],
+            epoch: 0,
+            stamp: vec![0; t],
             offset: vec![0; t],
             cursor: vec![0; t],
             index: Vec::new(),
@@ -346,40 +437,59 @@ impl DeliveryIndex {
         }
     }
 
-    /// Builds the index for `round` from the in-flight ops, intersecting
+    /// Starts a new build generation; handles the u32 wrap exactly.
+    fn next_epoch(&mut self) {
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.stamp.fill(0);
+            self.epoch = 1;
+        }
+    }
+
+    /// Turns the per-recipient tallies accumulated in `cursor` into CSR
+    /// offsets and resets each cursor to its inbox start, sizing `index`
+    /// for the fill pass.
+    fn finish_counts(&mut self) {
+        let mut cum: u32 = 0;
+        for &i in &self.touched {
+            let i = i as usize;
+            let count = self.cursor[i];
+            self.offset[i] = cum;
+            self.cursor[i] = cum;
+            cum += count;
+        }
+        self.index.clear();
+        self.index.resize(cum as usize, 0);
+    }
+
+    /// Builds the index for this round from the in-flight ops, intersecting
     /// every span with the live set: dead recipients never enter the index
     /// (they are tallied as dead letters), so delivery work is proportional
     /// to *live* deliveries plus ops. Returns the dead-letter count.
-    fn build<M>(&mut self, round: Round, pending: &[FlightOp<M>], alive: &[bool]) -> u64 {
+    fn build<M>(&mut self, pending: &[FlightOp<M>], live: &LiveSet) -> u64 {
+        self.next_epoch();
         self.touched.clear();
         let mut dead: u64 = 0;
         for op in pending {
             for p in op.to.iter() {
                 let i = p.index();
-                if alive[i] {
-                    if self.stamp[i] != round {
-                        self.stamp[i] = round;
-                        self.count[i] = 0;
-                        self.touched.push(i);
+                if live.contains(i) {
+                    if self.stamp[i] != self.epoch {
+                        self.stamp[i] = self.epoch;
+                        self.cursor[i] = 0;
+                        self.touched.push(i as u32);
                     }
-                    self.count[i] += 1;
+                    self.cursor[i] += 1;
                 } else {
                     dead += 1;
                 }
             }
         }
-        let mut cum: u32 = 0;
-        for &i in &self.touched {
-            self.offset[i] = cum;
-            self.cursor[i] = cum;
-            cum += self.count[i];
-        }
-        self.index.clear();
-        self.index.resize(cum as usize, 0);
+        self.finish_counts();
         for (id, op) in pending.iter().enumerate() {
             for p in op.to.iter() {
                 let i = p.index();
-                if alive[i] {
+                if live.contains(i) {
                     self.index[self.cursor[i] as usize] = id as u32;
                     self.cursor[i] += 1;
                 }
@@ -388,17 +498,20 @@ impl DeliveryIndex {
         dead
     }
 
-    /// Whether recipient `i` was addressed by a live delivery this round.
-    fn has_inbox(&self, round: Round, i: usize) -> bool {
-        self.stamp[i] == round
+    /// Whether recipient `i` was addressed by a live delivery in the most
+    /// recent build. Callers must additionally know that a build happened
+    /// *this round* (the engine's `have_inbox` guard): the epoch only
+    /// distinguishes builds from each other.
+    fn has_inbox(&self, i: usize) -> bool {
+        self.stamp[i] == self.epoch
     }
 
-    /// The inbox of recipient `i` for `round` (empty if nothing was
-    /// addressed to it this round).
-    fn inbox<'a, M>(&'a self, round: Round, i: usize, ops: &'a [FlightOp<M>]) -> Inbox<'a, M> {
-        if self.stamp[i] == round {
+    /// The inbox of recipient `i` for the most recent build (empty if
+    /// nothing was addressed to it).
+    fn inbox<'a, M>(&'a self, i: usize, ops: &'a [FlightOp<M>]) -> Inbox<'a, M> {
+        if self.stamp[i] == self.epoch {
             let lo = self.offset[i] as usize;
-            let hi = lo + self.count[i] as usize;
+            let hi = self.cursor[i] as usize;
             Inbox::csr(&self.index[lo..hi], ops)
         } else {
             Inbox::empty()
@@ -417,10 +530,11 @@ impl DeliveryIndex {
         &mut self,
         round: Round,
         pending: &[FlightOp<M>],
-        alive: &[bool],
+        live: &LiveSet,
         adversary: &mut A,
         mut trace: Option<&mut Trace>,
     ) -> (u64, u64) {
+        self.next_epoch();
         self.touched.clear();
         self.omit.clear();
         let mut dead: u64 = 0;
@@ -428,7 +542,7 @@ impl DeliveryIndex {
         for op in pending {
             for p in op.to.iter() {
                 let i = p.index();
-                if !alive[i] {
+                if !live.contains(i) {
                     dead += 1;
                     self.omit.push(false);
                     continue;
@@ -442,35 +556,168 @@ impl DeliveryIndex {
                     }
                     continue;
                 }
-                if self.stamp[i] != round {
-                    self.stamp[i] = round;
-                    self.count[i] = 0;
-                    self.touched.push(i);
+                if self.stamp[i] != self.epoch {
+                    self.stamp[i] = self.epoch;
+                    self.cursor[i] = 0;
+                    self.touched.push(i as u32);
                 }
-                self.count[i] += 1;
+                self.cursor[i] += 1;
             }
         }
-        let mut cum: u32 = 0;
-        for &i in &self.touched {
-            self.offset[i] = cum;
-            self.cursor[i] = cum;
-            cum += self.count[i];
-        }
-        self.index.clear();
-        self.index.resize(cum as usize, 0);
+        self.finish_counts();
         let mut k = 0usize;
         for (id, op) in pending.iter().enumerate() {
             for p in op.to.iter() {
                 let i = p.index();
                 let drop = self.omit[k];
                 k += 1;
-                if alive[i] && !drop {
+                if live.contains(i) && !drop {
                     self.index[self.cursor[i] as usize] = id as u32;
                     self.cursor[i] += 1;
                 }
             }
         }
         (dead, omitted)
+    }
+
+    /// Bytes in the pid-indexed columns (counted against the SoA budget).
+    fn soa_bytes(&self) -> u64 {
+        ((self.stamp.capacity() + self.offset.capacity() + self.cursor.capacity())
+            * std::mem::size_of::<u32>()) as u64
+    }
+
+    /// Bytes in the per-delivery scratch (counted as flight state).
+    fn flight_bytes(&self) -> u64 {
+        (self.index.capacity() * 4 + self.touched.capacity() * 4 + self.omit.capacity()) as u64
+    }
+}
+
+/// Status code bits in [`ProcSet::meta`]: process is alive.
+const PS_ALIVE: u8 = 0;
+/// Status code bits: process crashed (retirement round in its slot).
+const PS_CRASHED: u8 = 1;
+/// Status code bits: process terminated (retirement round in its slot).
+const PS_TERMINATED: u8 = 2;
+/// Mask of the status code bits.
+const PS_CODE: u8 = 0b011;
+/// Flag bit: an alive process's slot holds a cached wakeup round.
+const PS_WAKE: u8 = 0b100;
+
+/// Struct-of-arrays per-process engine state: one metadata byte (status
+/// code plus a wakeup-present flag) and one 128-bit slot per process. The
+/// slot is a union keyed by the metadata — for an alive process it caches
+/// the next spontaneous wakeup round (valid only when [`PS_WAKE`] is set,
+/// so a saturated `Round::MAX` deadline needs no out-of-band sentinel);
+/// for a retired process it records the retirement round. 17 bytes per
+/// process replace the former parallel `Vec<Status>` + `Vec<bool>` +
+/// `Vec<u32>` + two `Vec<Option<...>>` columns (≈ 57 bytes with `Option`
+/// padding), which is what moves `t = 10^6` systems comfortably under the
+/// 32-byte/process engine budget.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+struct ProcSet {
+    meta: Vec<u8>,
+    slot: Vec<u128>,
+}
+
+impl ProcSet {
+    /// Builds the table with every process alive and the given initial
+    /// wakeup cache.
+    fn from_wakeups(wakeups: impl Iterator<Item = Option<Round>>) -> Self {
+        let mut meta = Vec::new();
+        let mut slot = Vec::new();
+        for w in wakeups {
+            match w {
+                Some(r) => {
+                    meta.push(PS_ALIVE | PS_WAKE);
+                    slot.push(r.get());
+                }
+                None => {
+                    meta.push(PS_ALIVE);
+                    slot.push(0);
+                }
+            }
+        }
+        ProcSet { meta, slot }
+    }
+
+    /// The cached wakeup of an alive process (`None` = purely reactive).
+    fn wakeup(&self, idx: usize) -> Option<Round> {
+        (self.meta[idx] & PS_WAKE != 0).then(|| Round::new(self.slot[idx]))
+    }
+
+    /// Whether an alive process's cached wakeup is due at `round`.
+    fn wakeup_due(&self, idx: usize, round: Round) -> bool {
+        self.meta[idx] & PS_WAKE != 0 && self.slot[idx] <= round.get()
+    }
+
+    /// Replaces an alive process's cached wakeup.
+    fn set_wakeup(&mut self, idx: usize, wake: Option<Round>) {
+        match wake {
+            Some(r) => {
+                self.meta[idx] |= PS_WAKE;
+                self.slot[idx] = r.get();
+            }
+            None => {
+                self.meta[idx] &= !PS_WAKE;
+            }
+        }
+    }
+
+    /// Retires a process, recording the retirement round in its slot.
+    fn retire(&mut self, idx: usize, terminated: bool, round: Round) {
+        self.meta[idx] = if terminated { PS_TERMINATED } else { PS_CRASHED };
+        self.slot[idx] = round.get();
+    }
+
+    /// Returns a crashed process to life (crash-recovery revival); the
+    /// caller refreshes the wakeup cache afterwards.
+    fn revive(&mut self, idx: usize) {
+        self.meta[idx] = PS_ALIVE;
+        self.slot[idx] = 0;
+    }
+
+    /// The process's [`Status`] as the report vocabulary sees it.
+    fn status(&self, idx: usize) -> Status {
+        match self.meta[idx] & PS_CODE {
+            PS_CRASHED => Status::Crashed(Round::new(self.slot[idx])),
+            PS_TERMINATED => Status::Terminated(Round::new(self.slot[idx])),
+            _ => Status::Alive,
+        }
+    }
+
+    /// Materializes the per-process status column for a [`Report`].
+    fn statuses(&self) -> Vec<Status> {
+        (0..self.meta.len()).map(|i| self.status(i)).collect()
+    }
+
+    /// Bytes held by the table, for the memory probe.
+    fn bytes(&self) -> u64 {
+        (self.meta.capacity() + self.slot.capacity() * std::mem::size_of::<u128>()) as u64
+    }
+}
+
+/// Per-shard scratch for parallel stepping: the shard's slice of the due
+/// list, one recycled [`Effects`] buffer per due process, and the
+/// post-step wakeup candidates. Lanes are long-lived (capacity survives
+/// across rounds); only the portion covering this round's chunk is touched.
+struct Lane<M> {
+    due: Vec<u32>,
+    eff: Vec<Effects<M>>,
+    wake: Vec<Option<Round>>,
+}
+
+impl<M> Default for Lane<M> {
+    fn default() -> Self {
+        Lane { due: Vec::new(), eff: Vec::new(), wake: Vec::new() }
+    }
+}
+
+impl<M> Lane<M> {
+    /// Shallow bytes held by this lane's buffers.
+    fn bytes(&self) -> u64 {
+        (self.due.capacity() * 4
+            + self.eff.capacity() * std::mem::size_of::<Effects<M>>()
+            + self.wake.capacity() * std::mem::size_of::<Option<Round>>()) as u64
     }
 }
 
@@ -487,7 +734,8 @@ pub fn run_returning<P, A>(
     cfg: RunConfig,
 ) -> Result<(Report, Vec<P>), RunError>
 where
-    P: Protocol,
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
     A: Adversary<P::Msg>,
 {
     let mut engine = Engine::new(procs, adversary, cfg)?;
@@ -514,20 +762,17 @@ pub struct EngineSnapshot<P: Protocol, A> {
     adversary: A,
     cfg: RunConfig,
     round: Round,
-    statuses: Vec<Status>,
-    alive: Vec<bool>,
-    live: usize,
-    order: Vec<u32>,
+    pset: ProcSet,
+    live: LiveSet,
     metrics: Metrics,
     trace: Trace,
     pending: Vec<FlightOp<P::Msg>>,
-    wakeup: Vec<Option<Round>>,
-    revive: Vec<Option<(Round, bool)>>,
-    pending_revivals: usize,
+    revive: BTreeMap<u32, (Round, bool)>,
     next_revive: Option<Round>,
     last_progress: Round,
     stall_streak: u64,
     finished: bool,
+    mem: MemBudget,
 }
 
 impl<P, A> EngineSnapshot<P, A>
@@ -557,20 +802,17 @@ where
             adversary: self.adversary.clone(),
             cfg: self.cfg.clone(),
             round: self.round,
-            statuses: self.statuses.clone(),
-            alive: self.alive.clone(),
-            live: self.live,
-            order: self.order.clone(),
+            pset: self.pset.clone(),
+            live: self.live.clone(),
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
             pending: self.pending.clone(),
-            wakeup: self.wakeup.clone(),
             revive: self.revive.clone(),
-            pending_revivals: self.pending_revivals,
             next_revive: self.next_revive,
             last_progress: self.last_progress,
             stall_streak: self.stall_streak,
             finished: self.finished,
+            mem: self.mem,
         }
     }
 }
@@ -600,17 +842,25 @@ pub struct Engine<P: Protocol, A: Adversary<P::Msg>> {
     procs: Vec<P>,
     adversary: A,
     cfg: RunConfig,
-    statuses: Vec<Status>,
-    // The live-set, maintained incrementally as processes retire: `alive`
-    // mirrors `statuses` and `live` counts its `true` entries, so neither
-    // the adversary context nor the retirement check rescans statuses.
-    alive: Vec<bool>,
-    live: usize,
-    // Alive pids in pid order, compacted lazily once more than half are
-    // tombstones: the step loop visits O(live) slots per round instead of
-    // scanning all `t` statuses (decisive when a handful of survivors run
-    // for ~10^6 rounds in a t = 1024 system).
-    order: Vec<u32>,
+    // Struct-of-arrays per-process state: status + retirement round +
+    // cached wakeup, one byte and one slot per process (see [`ProcSet`]).
+    // The wakeup cache holds the earliest round each alive process may act
+    // spontaneously (absent = purely reactive, `Round::MAX` = a deadline
+    // saturated past the horizon, which fires *at* the horizon). A process
+    // is *stepped* only when it is due, has an inbox, or the adversary has
+    // an event scheduled this round — by the quiescence contract on
+    // [`Protocol`], the skipped invocations were provably no-ops. The
+    // cache is refreshed after every step (the only moments process state
+    // can change), so entries for untouched processes stay valid and the
+    // fast-forward jump reads the minimum straight off this table.
+    pset: ProcSet,
+    // The compressed live set: bitset membership plus lazily rebuilt
+    // maximal runs. Replaces both the old `Vec<bool>` mirror and the
+    // compacting `order` list — the per-round due-scan walks the runs in
+    // pid order, so a mass extinction leaving a handful of survivors costs
+    // O(survivors) per round from the very next round, with no compaction
+    // heuristics.
+    live: LiveSet,
     metrics: Metrics,
     trace: Trace,
     record: bool,
@@ -619,44 +869,41 @@ pub struct Engine<P: Protocol, A: Adversary<P::Msg>> {
     // silently drop a whole round of traffic.
     pending: Vec<FlightOp<P::Msg>>,
     round: Round,
-    // Per-process wakeup cache: the earliest round at which each process
-    // may act spontaneously (`None` = purely reactive, `Some(Round::MAX)`
-    // = a deadline saturated past the horizon, which fires *at* the
-    // horizon). A process is *stepped* only when it is due, has an inbox,
-    // or the adversary has an event scheduled this round — by the
-    // quiescence contract on [`Protocol`], the skipped invocations were
-    // provably no-ops. The cache is refreshed after every step (the only
-    // moments process state can change), so entries for untouched
-    // processes stay valid and the fast-forward jump below reads the
-    // minimum straight off this table.
-    wakeup: Vec<Option<Round>>,
-    // Crash-recovery bookkeeping: `revive[p]` holds the scheduled restart
-    // round (and whether the state is wiped) for a process crashed via
-    // [`Fate::CrashRecover`]; `next_revive` caches the minimum so the
-    // common (no recoveries pending) round costs one comparison.
-    revive: Vec<Option<(Round, bool)>>,
-    pending_revivals: usize,
+    // Crash-recovery bookkeeping, sparse: scheduled restart round (and
+    // whether state is wiped) per process crashed via
+    // [`Fate::CrashRecover`], keyed by pid. `next_revive` caches the
+    // minimum so the common (no recoveries pending) round costs one
+    // comparison; O(recovering) space instead of a t-length column.
+    revive: BTreeMap<u32, (Round, bool)>,
     next_revive: Option<Round>,
     // Watchdog state: last round with observable progress and the length
     // of the current no-progress streak of executed rounds.
     last_progress: Round,
     stall_streak: u64,
     finished: bool,
+    // Resolved shard count (≥ 1; from `RunConfig::shards`).
+    shards: usize,
+    // Peak-memory probe, observed once per executed round.
+    mem: MemBudget,
     // Scratch buffers, allocated once and recycled every round; excluded
     // from snapshots and rebuilt on resume. In steady state the loop
     // performs no allocation: `eff` is reset (not rebuilt), the two op
-    // buffers swap roles each round, and the delivery index grows only to
-    // the high-water mark of per-round live deliveries. The in-flight
-    // buffers hold send *ops* (payload stored once per broadcast), never
+    // buffers swap roles each round, the due list and shard lanes are
+    // refilled in place, and the delivery index grows only to the
+    // high-water mark of per-round live deliveries. The in-flight buffers
+    // hold send *ops* (payload stored once per broadcast), never
     // per-recipient envelopes.
+    due: Vec<u32>,
     eff: Effects<P::Msg>,
+    lanes: Vec<Lane<P::Msg>>,
     next_pending: Vec<FlightOp<P::Msg>>,
     delivery: DeliveryIndex,
 }
 
 impl<P, A> Engine<P, A>
 where
-    P: Protocol,
+    P: Protocol + Send,
+    P::Msg: Send + Sync,
     A: Adversary<P::Msg>,
 {
     /// Builds an engine over `procs` (pid = index) paused before round 1.
@@ -670,26 +917,30 @@ where
             return Err(RunError::InvalidAdversary { reason });
         }
         let t = procs.len();
-        let wakeup =
-            procs.iter().map(|p| p.next_wakeup(Round::ONE).map(|w| w.max(Round::ONE))).collect();
+        let pset = ProcSet::from_wakeups(
+            procs.iter().map(|p| p.next_wakeup(Round::ONE).map(|w| w.max(Round::ONE))),
+        );
+        let shards = cfg.shards.map_or(1, NonZeroUsize::get);
+        let mem =
+            MemBudget { proc_bytes: (t * std::mem::size_of::<P>()) as u64, ..MemBudget::default() };
         Ok(Engine {
-            statuses: vec![Status::Alive; t],
-            alive: vec![true; t],
-            live: t,
-            order: (0..t as u32).collect(),
+            pset,
+            live: LiveSet::new(t),
             metrics: Metrics::new(cfg.n),
             trace: Trace::new(),
             record: cfg.record_trace,
             pending: Vec::new(),
             round: Round::ONE,
-            wakeup,
-            revive: vec![None; t],
-            pending_revivals: 0,
+            revive: BTreeMap::new(),
             next_revive: None,
             last_progress: Round::ZERO,
             stall_streak: 0,
             finished: false,
+            shards,
+            mem,
+            due: Vec::new(),
             eff: Effects::new(),
+            lanes: Vec::new(),
             next_pending: Vec::new(),
             delivery: DeliveryIndex::new(t),
             procs,
@@ -745,20 +996,17 @@ where
             adversary: self.adversary.clone(),
             cfg: self.cfg.clone(),
             round: self.round,
-            statuses: self.statuses.clone(),
-            alive: self.alive.clone(),
-            live: self.live,
-            order: self.order.clone(),
+            pset: self.pset.clone(),
+            live: self.live.clone(),
             metrics: self.metrics.clone(),
             trace: self.trace.clone(),
             pending: self.pending.clone(),
-            wakeup: self.wakeup.clone(),
             revive: self.revive.clone(),
-            pending_revivals: self.pending_revivals,
             next_revive: self.next_revive,
             last_progress: self.last_progress,
             stall_streak: self.stall_streak,
             finished: self.finished,
+            mem: self.mem,
         }
     }
 
@@ -770,27 +1018,28 @@ where
     /// uninterrupted run.
     pub fn resume(snapshot: EngineSnapshot<P, A>) -> Self {
         let t = snapshot.procs.len();
+        let shards = snapshot.cfg.shards.map_or(1, NonZeroUsize::get);
         Engine {
             record: snapshot.cfg.record_trace,
             procs: snapshot.procs,
             adversary: snapshot.adversary,
             cfg: snapshot.cfg,
             round: snapshot.round,
-            statuses: snapshot.statuses,
-            alive: snapshot.alive,
+            pset: snapshot.pset,
             live: snapshot.live,
-            order: snapshot.order,
             metrics: snapshot.metrics,
             trace: snapshot.trace,
             pending: snapshot.pending,
-            wakeup: snapshot.wakeup,
             revive: snapshot.revive,
-            pending_revivals: snapshot.pending_revivals,
             next_revive: snapshot.next_revive,
             last_progress: snapshot.last_progress,
             stall_streak: snapshot.stall_streak,
             finished: snapshot.finished,
+            shards,
+            mem: snapshot.mem,
+            due: Vec::new(),
             eff: Effects::new(),
+            lanes: Vec::new(),
             next_pending: Vec::new(),
             delivery: DeliveryIndex::new(t),
         }
@@ -800,24 +1049,49 @@ where
     /// Meaningful once [`is_finished`](Engine::is_finished); on an
     /// unfinished engine it reports the state as of the pause point
     /// (statuses of still-running processes read [`Status::Alive`]).
-    pub fn into_report(self) -> (Report, Vec<P>) {
-        (Report { metrics: self.metrics, trace: self.trace, statuses: self.statuses }, self.procs)
+    pub fn into_report(mut self) -> (Report, Vec<P>) {
+        self.observe_mem();
+        (
+            Report {
+                metrics: self.metrics,
+                trace: self.trace,
+                statuses: self.pset.statuses(),
+                mem: self.mem,
+            },
+            self.procs,
+        )
     }
 
     /// The watchdog's view of the paused engine: who is alive, what they
     /// are waiting on, and what is in flight.
     fn diagnosis(&self) -> StallDiagnosis {
-        let stalled: Vec<Pid> =
-            self.alive.iter().enumerate().filter(|(_, a)| **a).map(|(i, _)| Pid::new(i)).collect();
-        let wakeups = stalled.iter().map(|&p| (p, self.wakeup[p.index()])).collect();
+        let stalled: Vec<Pid> = self.live.ones().map(Pid::new).collect();
+        let wakeups = stalled.iter().map(|&p| (p, self.pset.wakeup(p.index()))).collect();
         StallDiagnosis {
             round: self.round,
             last_progress: self.last_progress,
             stalled,
             wakeups,
             pending_ops: self.pending.len(),
-            pending_revivals: self.pending_revivals,
+            pending_revivals: self.revive.len(),
         }
+    }
+
+    /// Folds the current buffer footprint into the peak-memory probe:
+    /// per-process SoA columns (recomputed — they are stable at t), and the
+    /// high-water mark of transient flight state and ledgers.
+    fn observe_mem(&mut self) {
+        self.mem.soa_bytes = self.pset.bytes() + self.live.bytes() + self.delivery.soa_bytes();
+        let flight = self.delivery.flight_bytes()
+            + ((self.pending.capacity() + self.next_pending.capacity())
+                * std::mem::size_of::<FlightOp<P::Msg>>()) as u64
+            + (self.due.capacity() * 4) as u64
+            + self.lanes.iter().map(Lane::bytes).sum::<u64>()
+            + (self.revive.len() * std::mem::size_of::<(u32, Round, bool)>()) as u64;
+        self.mem.flight_bytes = self.mem.flight_bytes.max(flight);
+        let ledger = (self.metrics.work_by_unit.capacity() * std::mem::size_of::<u32>()) as u64
+            + std::mem::size_of_val(self.trace.events()) as u64;
+        self.mem.ledger_bytes = self.mem.ledger_bytes.max(ledger);
     }
 
     fn round_limit(&self) -> RunError {
@@ -831,7 +1105,6 @@ where
     /// Executes one round (plus any sparse fast-forward that follows it),
     /// leaving the engine paused at the next round boundary.
     fn advance(&mut self) -> Result<(), RunError> {
-        let t = self.procs.len();
         let round = self.round;
         if round > self.cfg.max_rounds {
             return Err(self.round_limit());
@@ -846,29 +1119,27 @@ where
 
         // 0. Restart processes whose recovery downtime has elapsed — before
         //    delivery, so messages arriving this very round are received.
-        if self.pending_revivals > 0 && self.next_revive.is_some_and(|r| r <= round) {
-            self.next_revive = None;
-            for idx in 0..t {
-                match self.revive[idx] {
-                    Some((at, wipe)) if at <= round => {
-                        self.revive[idx] = None;
-                        self.pending_revivals -= 1;
-                        self.statuses[idx] = Status::Alive;
-                        self.alive[idx] = true;
-                        self.live += 1;
-                        self.metrics.recoveries += 1;
-                        self.procs[idx].on_recover(round, wipe);
-                        self.wakeup[idx] = self.procs[idx].next_wakeup(round).map(|w| w.max(round));
-                        if self.record {
-                            self.trace.push(Event::Recover { round, pid: Pid::new(idx) });
-                        }
-                    }
-                    Some((at, _)) => {
-                        self.next_revive = Some(self.next_revive.map_or(at, |r| r.min(at)))
-                    }
-                    None => {}
+        if self.next_revive.is_some_and(|r| r <= round) {
+            let ready: Vec<(u32, bool)> = self
+                .revive
+                .iter()
+                .filter(|&(_, &(at, _))| at <= round)
+                .map(|(&i, &(_, wipe))| (i, wipe))
+                .collect();
+            for (i, wipe) in ready {
+                self.revive.remove(&i);
+                let idx = i as usize;
+                self.pset.revive(idx);
+                self.live.insert(idx);
+                self.metrics.recoveries += 1;
+                self.procs[idx].on_recover(round, wipe);
+                let wake = self.procs[idx].next_wakeup(round).map(|w| w.max(round));
+                self.pset.set_wakeup(idx, wake);
+                if self.record {
+                    self.trace.push(Event::Recover { round, pid: Pid::new(idx) });
                 }
             }
+            self.next_revive = self.revive.values().map(|&(at, _)| at).min();
         }
 
         // 1. Deliver last round's messages: index the in-flight ops by live
@@ -880,14 +1151,14 @@ where
                 let (dead, omitted) = self.delivery.build_filtered(
                     round,
                     &self.pending,
-                    &self.alive,
+                    &self.live,
                     &mut self.adversary,
                     self.record.then_some(&mut self.trace),
                 );
                 self.metrics.dead_letters += dead;
                 self.metrics.omissions += omitted;
             } else {
-                self.metrics.dead_letters += self.delivery.build(round, &self.pending, &self.alive);
+                self.metrics.dead_letters += self.delivery.build(&self.pending, &self.live);
             }
         }
         // A delivery to at least one live, non-omitted recipient counts as
@@ -902,156 +1173,86 @@ where
         // behaviour bit-for-bit.
         let adv_due = self.adversary.next_event(round).is_some_and(|r| r <= round);
 
-        // 2 & 3. Step every due alive process; let the adversary rule on it.
-        let mut tombstones = 0usize;
-        for oi in 0..self.order.len() {
-            let idx = self.order[oi] as usize;
-            if !self.alive[idx] {
-                tombstones += 1;
-                continue;
-            }
-            let due = have_inbox && self.delivery.has_inbox(round, idx);
-            if !adv_due && !due && self.wakeup[idx].is_none_or(|w| w > round) {
-                continue; // provably a no-op (quiescence contract)
-            }
-            let pid = Pid::new(idx);
-            self.eff.reset();
-            let inbox =
-                if due { self.delivery.inbox(round, idx, &self.pending) } else { Inbox::empty() };
-            self.procs[idx].step(round, inbox, &mut self.eff);
-
-            let ctx = AdversaryCtx {
-                t,
-                alive: &self.alive,
-                live: self.live,
-                crashes: self.metrics.crashes,
-            };
-            let fate = self.adversary.intercept(round, pid, &self.eff, ctx);
-            // Copy out the recovery schedule (if any) before the match
-            // below borrows `fate`'s crash spec.
-            let recover_plan = match fate {
-                Fate::CrashRecover { downtime, wipe, .. } => Some((downtime.max(1), wipe)),
-                _ => None,
-            };
-
-            if self.record {
-                for tag in self.eff.notes() {
-                    self.trace.push(Event::Note { round, pid, tag });
+        // 2. Due-scan: the set of processes stepped this round is fully
+        //    determined at the round boundary (live ∧ (adversary event ∨
+        //    inbox ∨ wakeup due)), and a fate ruling only ever affects the
+        //    stepped process itself — so the list can be collected up front
+        //    and, when sharding, stepped on worker threads without changing
+        //    which processes run or what they observe.
+        self.due.clear();
+        {
+            let pset = &self.pset;
+            let delivery = &self.delivery;
+            let due = &mut self.due;
+            for i in self.live.iter() {
+                if adv_due || (have_inbox && delivery.has_inbox(i)) || pset.wakeup_due(i, round) {
+                    due.push(i as u32);
                 }
-            }
-
-            match fate {
-                Fate::Survive => {
-                    if let Some(unit) = self.eff.work() {
-                        self.metrics.record_work(unit);
-                        if self.record {
-                            self.trace.push(Event::Work { round, pid, unit });
-                        }
-                    }
-                    let terminated = self.eff.is_terminated();
-                    let mut out = Outbound {
-                        metrics: &mut self.metrics,
-                        trace: &mut self.trace,
-                        record: self.record,
-                        next_pending: &mut self.next_pending,
-                        round,
-                    };
-                    for op in self.eff.drain_sends() {
-                        out.deliver(pid, op.to, op.payload);
-                    }
-                    if terminated {
-                        self.statuses[idx] = Status::Terminated(round);
-                        self.alive[idx] = false;
-                        self.live -= 1;
-                        self.metrics.terminations += 1;
-                        if self.record {
-                            self.trace.push(Event::Terminate { round, pid });
-                        }
-                    }
-                }
-                Fate::Omit(ref filter) => {
-                    // Send-omission: the process survives and everything
-                    // but the filtered sends applies.
-                    if let Some(unit) = self.eff.work() {
-                        self.metrics.record_work(unit);
-                        if self.record {
-                            self.trace.push(Event::Work { round, pid, unit });
-                        }
-                    }
-                    let terminated = self.eff.is_terminated();
-                    let total = self.eff.send_count() as u64;
-                    let before = self.metrics.messages;
-                    let mut out = Outbound {
-                        metrics: &mut self.metrics,
-                        trace: &mut self.trace,
-                        record: self.record,
-                        next_pending: &mut self.next_pending,
-                        round,
-                    };
-                    out.deliver_crash_subset(pid, &mut self.eff, filter);
-                    let suppressed = total - (self.metrics.messages - before);
-                    self.metrics.omissions += suppressed;
-                    if self.record && suppressed > 0 {
-                        self.trace.push(Event::Note { round, pid, tag: "fault:omit" });
-                    }
-                    if terminated {
-                        self.statuses[idx] = Status::Terminated(round);
-                        self.alive[idx] = false;
-                        self.live -= 1;
-                        self.metrics.terminations += 1;
-                        if self.record {
-                            self.trace.push(Event::Terminate { round, pid });
-                        }
-                    }
-                }
-                Fate::Crash(ref spec) | Fate::CrashRecover { ref spec, .. } => {
-                    if spec.count_work {
-                        if let Some(unit) = self.eff.work() {
-                            self.metrics.record_work(unit);
-                            if self.record {
-                                self.trace.push(Event::Work { round, pid, unit });
-                            }
-                        }
-                    }
-                    let mut out = Outbound {
-                        metrics: &mut self.metrics,
-                        trace: &mut self.trace,
-                        record: self.record,
-                        next_pending: &mut self.next_pending,
-                        round,
-                    };
-                    out.deliver_crash_subset(pid, &mut self.eff, &spec.deliver);
-                    self.statuses[idx] = Status::Crashed(round);
-                    self.alive[idx] = false;
-                    self.live -= 1;
-                    self.metrics.crashes += 1;
-                    if self.record {
-                        self.trace.push(Event::Crash { round, pid });
-                    }
-                    if let Some((downtime, wipe)) = recover_plan {
-                        let at = round.saturating_add(u128::from(downtime));
-                        self.revive[idx] = Some((at, wipe));
-                        self.pending_revivals += 1;
-                        self.next_revive = Some(self.next_revive.map_or(at, |r| r.min(at)));
-                    }
-                }
-            }
-            // The step may have changed this process's timing state;
-            // refresh its cached wakeup (retired slots are never read).
-            if self.alive[idx] {
-                let next = round.saturating_add(1);
-                self.wakeup[idx] = self.procs[idx].next_wakeup(next).map(|w| w.max(next));
             }
         }
-        if tombstones * 2 > self.order.len() {
-            // Keep slots with a scheduled revival: they will be alive again.
-            let revive = &self.revive;
-            let alive = &self.alive;
-            self.order.retain(|&i| alive[i as usize] || revive[i as usize].is_some());
+
+        // 3. Step every due process and let the adversary rule on it. The
+        //    sharded path steps disjoint contiguous chunks in parallel and
+        //    then settles in pid order on this thread; the sequential path
+        //    interleaves step and settle per process. Both produce
+        //    bit-identical traces, metrics, and message order.
+        let next = round.saturating_add(1);
+        if self.shards > 1 && self.due.len() >= self.shards {
+            let mut lanes = std::mem::take(&mut self.lanes);
+            if lanes.len() < self.shards {
+                lanes.resize_with(self.shards, Lane::default);
+            }
+            let (s, len) = (self.shards, self.due.len());
+            for (k, lane) in lanes.iter_mut().enumerate() {
+                lane.due.clear();
+                if k < s {
+                    lane.due.extend_from_slice(&self.due[k * len / s..(k + 1) * len / s]);
+                }
+                let chunk = lane.due.len();
+                if lane.eff.len() < chunk {
+                    lane.eff.resize_with(chunk, Effects::new);
+                }
+                if lane.wake.len() < chunk {
+                    lane.wake.resize(chunk, None);
+                }
+            }
+            self.step_shards(&mut lanes, round, have_inbox);
+            for lane in &mut lanes {
+                for di in 0..lane.due.len() {
+                    let idx = lane.due[di] as usize;
+                    self.settle(round, Pid::new(idx), &mut lane.eff[di]);
+                    if self.live.contains(idx) {
+                        self.pset.set_wakeup(idx, lane.wake[di]);
+                    }
+                }
+            }
+            self.lanes = lanes;
+        } else {
+            let mut eff = std::mem::replace(&mut self.eff, Effects::new());
+            for di in 0..self.due.len() {
+                let idx = self.due[di] as usize;
+                eff.reset();
+                let inbox = if have_inbox && self.delivery.has_inbox(idx) {
+                    self.delivery.inbox(idx, &self.pending)
+                } else {
+                    Inbox::empty()
+                };
+                self.procs[idx].step(round, inbox, &mut eff);
+                self.settle(round, Pid::new(idx), &mut eff);
+                // The step may have changed this process's timing state;
+                // refresh its cached wakeup (retired slots are never read).
+                if self.live.contains(idx) {
+                    let wake = self.procs[idx].next_wakeup(next).map(|w| w.max(next));
+                    self.pset.set_wakeup(idx, wake);
+                }
+            }
+            self.eff = eff;
         }
+
+        self.observe_mem();
 
         // Did everyone retire? (A scheduled revival is not retirement.)
-        if self.live == 0 && self.pending_revivals == 0 {
+        if self.live.is_empty() && self.revive.is_empty() {
             self.metrics.rounds = round;
             self.finished = true;
             return Ok(());
@@ -1097,31 +1298,16 @@ where
         // past the representable horizon fires *at* the horizon, exactly
         // as the old 64-bit clock fired saturated deadlines at `u64::MAX`.
         let advanced = if self.pending.is_empty() {
-            let next = round.saturating_add(1);
-            let wake = self
-                .order
-                .iter()
-                .map(|&i| i as usize)
-                .filter(|&i| self.alive[i])
-                .filter_map(|i| self.wakeup[i])
-                .map(|w| w.max(next))
-                .min();
-            let adv = self.adversary.next_event(next).map(|r| r.max(next));
-            let rev = if self.pending_revivals > 0 {
-                self.next_revive.map(|r| r.max(next))
-            } else {
-                None
+            let wake = {
+                let pset = &self.pset;
+                self.live.iter().filter_map(|i| pset.wakeup(i)).map(|w| w.max(next)).min()
             };
+            let adv = self.adversary.next_event(next).map(|r| r.max(next));
+            let rev = self.next_revive.map(|r| r.max(next));
             match [wake, adv, rev].into_iter().flatten().min() {
                 Some(target) => target,
                 None => {
-                    let alive = self
-                        .alive
-                        .iter()
-                        .enumerate()
-                        .filter(|(_, a)| **a)
-                        .map(|(i, _)| Pid::new(i))
-                        .collect();
+                    let alive = self.live.ones().map(Pid::new).collect();
                     return Err(RunError::Deadlock {
                         round,
                         alive,
@@ -1130,7 +1316,7 @@ where
                 }
             }
         } else {
-            round.saturating_add(1)
+            next
         };
         if advanced == round {
             // Live processes remain but the clock cannot advance past the
@@ -1139,6 +1325,174 @@ where
         }
         self.round = advanced;
         Ok(())
+    }
+
+    /// Steps the lanes' due chunks on scoped worker threads. Shard threads
+    /// touch only disjoint `&mut [P]` slices of the process table (the due
+    /// list is ascending, so successive chunks split off successive slice
+    /// tails) plus shared read-only views of the delivery index and the
+    /// in-flight ops; every engine-state mutation — adversary ruling,
+    /// metrics, trace, outbound queueing — happens afterwards on the merge
+    /// thread, in [`settle`](Engine::settle). Each worker also precomputes
+    /// its processes' post-step wakeups; the merge thread installs them
+    /// only for processes the adversary leaves alive.
+    fn step_shards(&mut self, lanes: &mut [Lane<P::Msg>], round: Round, have_inbox: bool) {
+        let next = round.saturating_add(1);
+        let delivery = &self.delivery;
+        let pending = &self.pending[..];
+        let mut rest = self.procs.as_mut_slice();
+        let mut base = 0usize;
+        std::thread::scope(|scope| {
+            for lane in lanes.iter_mut() {
+                if lane.due.is_empty() {
+                    continue;
+                }
+                let lo = lane.due[0] as usize;
+                let hi = *lane.due.last().expect("nonempty chunk") as usize + 1;
+                let tail = std::mem::take(&mut rest);
+                let (_, tail) = tail.split_at_mut(lo - base);
+                let (chunk, tail) = tail.split_at_mut(hi - lo);
+                rest = tail;
+                base = hi;
+                scope.spawn(move || {
+                    for (i, &p) in lane.due.iter().enumerate() {
+                        let idx = p as usize;
+                        let eff = &mut lane.eff[i];
+                        eff.reset();
+                        let inbox = if have_inbox && delivery.has_inbox(idx) {
+                            delivery.inbox(idx, pending)
+                        } else {
+                            Inbox::empty()
+                        };
+                        let proc = &mut chunk[idx - lo];
+                        proc.step(round, inbox, eff);
+                        lane.wake[i] = proc.next_wakeup(next).map(|w| w.max(next));
+                    }
+                });
+            }
+        });
+    }
+
+    /// Applies the adversary's ruling to one stepped process: intercept,
+    /// fate application, metrics, tracing, and outbound queueing — the
+    /// sequential tail of a step. Always runs on the merge thread in
+    /// ascending pid order, which is what keeps sharded runs bit-identical
+    /// to sequential ones: adversary RNG draws, trace events, and message
+    /// queue order all replay the sequential engine's exactly.
+    fn settle(&mut self, round: Round, pid: Pid, eff: &mut Effects<P::Msg>) {
+        let idx = pid.index();
+        let ctx = AdversaryCtx {
+            t: self.procs.len(),
+            alive: AliveView::Set(&self.live),
+            live: self.live.len(),
+            crashes: self.metrics.crashes,
+        };
+        let fate = self.adversary.intercept(round, pid, eff, ctx);
+        // Copy out the recovery schedule (if any) before the match below
+        // borrows `fate`'s crash spec.
+        let recover_plan = match fate {
+            Fate::CrashRecover { downtime, wipe, .. } => Some((downtime.max(1), wipe)),
+            _ => None,
+        };
+
+        if self.record {
+            for tag in eff.notes() {
+                self.trace.push(Event::Note { round, pid, tag });
+            }
+        }
+
+        match fate {
+            Fate::Survive => {
+                if let Some(unit) = eff.work() {
+                    self.metrics.record_work(unit);
+                    if self.record {
+                        self.trace.push(Event::Work { round, pid, unit });
+                    }
+                }
+                let terminated = eff.is_terminated();
+                let mut out = Outbound {
+                    metrics: &mut self.metrics,
+                    trace: &mut self.trace,
+                    record: self.record,
+                    next_pending: &mut self.next_pending,
+                    round,
+                };
+                for op in eff.drain_sends() {
+                    out.deliver(pid, op.to, op.payload);
+                }
+                if terminated {
+                    self.pset.retire(idx, true, round);
+                    self.live.remove(idx);
+                    self.metrics.terminations += 1;
+                    if self.record {
+                        self.trace.push(Event::Terminate { round, pid });
+                    }
+                }
+            }
+            Fate::Omit(ref filter) => {
+                // Send-omission: the process survives and everything but
+                // the filtered sends applies.
+                if let Some(unit) = eff.work() {
+                    self.metrics.record_work(unit);
+                    if self.record {
+                        self.trace.push(Event::Work { round, pid, unit });
+                    }
+                }
+                let terminated = eff.is_terminated();
+                let total = eff.send_count() as u64;
+                let before = self.metrics.messages;
+                let mut out = Outbound {
+                    metrics: &mut self.metrics,
+                    trace: &mut self.trace,
+                    record: self.record,
+                    next_pending: &mut self.next_pending,
+                    round,
+                };
+                out.deliver_crash_subset(pid, eff, filter);
+                let suppressed = total - (self.metrics.messages - before);
+                self.metrics.omissions += suppressed;
+                if self.record && suppressed > 0 {
+                    self.trace.push(Event::Note { round, pid, tag: "fault:omit" });
+                }
+                if terminated {
+                    self.pset.retire(idx, true, round);
+                    self.live.remove(idx);
+                    self.metrics.terminations += 1;
+                    if self.record {
+                        self.trace.push(Event::Terminate { round, pid });
+                    }
+                }
+            }
+            Fate::Crash(ref spec) | Fate::CrashRecover { ref spec, .. } => {
+                if spec.count_work {
+                    if let Some(unit) = eff.work() {
+                        self.metrics.record_work(unit);
+                        if self.record {
+                            self.trace.push(Event::Work { round, pid, unit });
+                        }
+                    }
+                }
+                let mut out = Outbound {
+                    metrics: &mut self.metrics,
+                    trace: &mut self.trace,
+                    record: self.record,
+                    next_pending: &mut self.next_pending,
+                    round,
+                };
+                out.deliver_crash_subset(pid, eff, &spec.deliver);
+                self.pset.retire(idx, false, round);
+                self.live.remove(idx);
+                self.metrics.crashes += 1;
+                if self.record {
+                    self.trace.push(Event::Crash { round, pid });
+                }
+                if let Some((downtime, wipe)) = recover_plan {
+                    let at = round.saturating_add(u128::from(downtime));
+                    self.revive.insert(idx as u32, (at, wipe));
+                    self.next_revive = Some(self.next_revive.map_or(at, |r| r.min(at)));
+                }
+            }
+        }
     }
 }
 

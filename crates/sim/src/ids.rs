@@ -216,6 +216,12 @@ impl PartialOrd<Round> for u128 {
 
 /// Identifier of a process, `0..t-1`.
 ///
+/// Backed by a `u32` (4 bytes instead of 8): process identifiers saturate
+/// the scale axis long before they exhaust 32 bits (the engine's SoA state
+/// tables are sized per process, so at `t = 10^6` the narrower backing
+/// halves every pid-indexed column), and the constructor still takes a
+/// `usize` so call sites read exactly as before.
+///
 /// # Examples
 ///
 /// ```
@@ -229,17 +235,23 @@ impl PartialOrd<Round> for u128 {
     Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Default, Serialize, Deserialize,
 )]
 #[serde(transparent)]
-pub struct Pid(usize);
+pub struct Pid(u32);
 
 impl Pid {
     /// Creates a process identifier from a zero-based index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` exceeds `u32::MAX` (systems beyond 2³² processes
+    /// are outside the simulator's addressable range).
     pub const fn new(index: usize) -> Self {
-        Pid(index)
+        assert!(index <= u32::MAX as usize, "pid out of u32 range");
+        Pid(index as u32)
     }
 
     /// Returns the zero-based index of this process.
     pub const fn index(self) -> usize {
-        self.0
+        self.0 as usize
     }
 
     /// Iterates over `Pid(lo), Pid(lo+1), ..., Pid(hi-1)`.
@@ -253,7 +265,7 @@ impl Pid {
     /// assert_eq!(group, vec![Pid::new(2), Pid::new(3), Pid::new(4)]);
     /// ```
     pub fn range(lo: usize, hi: usize) -> impl DoubleEndedIterator<Item = Pid> + Clone {
-        (lo..hi).map(Pid)
+        (lo..hi).map(Pid::new)
     }
 
     /// The identifier immediately after this one.
@@ -264,13 +276,13 @@ impl Pid {
 
 impl From<usize> for Pid {
     fn from(index: usize) -> Self {
-        Pid(index)
+        Pid::new(index)
     }
 }
 
 impl From<Pid> for usize {
     fn from(pid: Pid) -> usize {
-        pid.0
+        pid.index()
     }
 }
 

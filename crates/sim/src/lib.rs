@@ -71,6 +71,7 @@ mod adversary;
 mod effects;
 mod engine;
 mod ids;
+mod liveset;
 mod message;
 mod metrics;
 mod protocol;
@@ -82,17 +83,19 @@ pub mod faults;
 pub mod invariants;
 
 pub use adversary::{
-    Adversary, AdversaryCtx, CrashSchedule, CrashSpec, Deliver, Fate, NoFailures, RandomCrashes,
-    Trigger, TriggerAdversary, TriggerRule,
+    Adversary, AdversaryCtx, AliveView, CrashSchedule, CrashSpec, Deliver, Fate, NoFailures,
+    RandomCrashes, Trigger, TriggerAdversary, TriggerRule,
 };
 pub use effects::{Effects, Recipients, SendOp};
 pub use engine::{
-    run, run_returning, Engine, EngineSnapshot, Report, RunConfig, RunError, StallDiagnosis, Status,
+    run, run_returning, Engine, EngineSnapshot, MemBudget, Report, RunConfig, RunError,
+    StallDiagnosis, Status,
 };
 pub use faults::{
     AsyncDegraded, Degraded, Fault, FaultKind, FaultPlan, FaultPlanError, SlowWindow,
 };
 pub use ids::{Pid, Round, Unit};
+pub use liveset::LiveSet;
 pub use message::{Classify, Inbox, InboxIter};
 pub use metrics::Metrics;
 pub use protocol::Protocol;

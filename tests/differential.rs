@@ -8,7 +8,7 @@
 
 use doall::sim::{
     run, Adversary, AdversaryCtx, Classify, CrashSchedule, CrashSpec, Effects, Fate, Inbox,
-    Metrics, Pid, Protocol, Report, Round, RunConfig, Status, Trace, Unit,
+    MemBudget, Metrics, Pid, Protocol, Report, Round, RunConfig, Status, Trace, Unit,
 };
 use proptest::prelude::*;
 
@@ -266,7 +266,12 @@ where
 
         if live == 0 {
             metrics.rounds = round;
-            return Some(Report { metrics, trace: Trace::new(), statuses });
+            return Some(Report {
+                metrics,
+                trace: Trace::new(),
+                statuses,
+                mem: MemBudget::default(),
+            });
         }
 
         std::mem::swap(&mut pending, &mut next_pending);

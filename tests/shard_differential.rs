@@ -1,0 +1,134 @@
+//! Differential test for sharded parallel stepping: for every shard
+//! count, the engine must produce a [`Report`] identical to the
+//! sequential engine's — metrics (totals, per-class counts, dead
+//! letters, per-unit work multiplicities), the full recorded trace, and
+//! final statuses. Sharding is purely a wall-clock knob (DESIGN.md
+//! §2.12): shards step disjoint pid ranges into private effect lanes,
+//! and the merge applies them in pid order, which is exactly the
+//! sequential visitation order.
+//!
+//! Shard counts cover uneven splits (3, 7), a power of two (2, 16), and
+//! more shards than some fixtures have processes (t = 16 with 16 shards
+//! leaves shards with one pid; protocols with t < 16 force empty-tail
+//! handling).
+
+use doall::sim::{run, Protocol, Report, Round, RunConfig};
+use doall::workload::Scenario;
+use doall::{Lockstep, ProtocolA, ProtocolB, ProtocolC, ProtocolD};
+
+const SHARDS: [usize; 4] = [2, 3, 7, 16];
+
+/// Runs the same (procs, scenario) pair sequentially and at every shard
+/// count, asserting full-Report equality (trace recording on).
+fn assert_shard_invariant<P>(build: impl Fn() -> Vec<P>, scenario: &Scenario, n: u64)
+where
+    P: Protocol + Send,
+    P::Msg: Send + Sync + 'static,
+{
+    let cfg =
+        |shards: usize| RunConfig::new(n as usize, Round::MAX).with_trace().with_shards(shards);
+    let sequential: Report = run(build(), scenario.adversary::<P::Msg>(), cfg(1))
+        .unwrap_or_else(|e| panic!("sequential run failed under {}: {e}", scenario.label()));
+    for shards in SHARDS {
+        let sharded =
+            run(build(), scenario.adversary::<P::Msg>(), cfg(shards)).unwrap_or_else(|e| {
+                panic!("{shards}-shard run failed under {}: {e}", scenario.label())
+            });
+        assert_eq!(
+            sequential,
+            sharded,
+            "{shards}-shard report diverged from sequential under {}",
+            scenario.label()
+        );
+    }
+}
+
+#[test]
+fn protocol_a_matches_sequential_across_shard_counts() {
+    for scenario in [
+        Scenario::FailureFree,
+        Scenario::DeadOnArrival { k: 15 },
+        Scenario::TakeoverCascade { victims: 15 },
+        Scenario::CheckpointSplit { victims: 8, nth_send: 2, prefix: 1 },
+    ] {
+        assert_shard_invariant(|| ProtocolA::processes(64, 16).unwrap(), &scenario, 64);
+    }
+}
+
+#[test]
+fn protocol_b_matches_sequential_across_shard_counts() {
+    for scenario in [
+        Scenario::FailureFree,
+        Scenario::MassExtinction { from: 1, k: 15, round: 1 },
+        Scenario::TakeoverCascade { victims: 15 },
+    ] {
+        assert_shard_invariant(|| ProtocolB::processes(64, 16).unwrap(), &scenario, 64);
+    }
+}
+
+#[test]
+fn protocol_d_matches_sequential_across_shard_counts() {
+    for scenario in [Scenario::FailureFree, Scenario::MassExtinction { from: 2, k: 6, round: 2 }] {
+        assert_shard_invariant(|| ProtocolD::processes(64, 8).unwrap(), &scenario, 64);
+        assert_shard_invariant(
+            || ProtocolD::processes_with_coordinator(64, 8).unwrap(),
+            &scenario,
+            64,
+        );
+    }
+}
+
+/// Protocol C's takeover deadlines drive the engine's sparse
+/// fast-forward: the round clock jumps across huge idle gaps, which the
+/// sharded stepper must cross at exactly the same rounds.
+#[test]
+fn fast_forward_heavy_c_matches_sequential_across_shard_counts() {
+    assert_shard_invariant(|| ProtocolC::processes(16, 16).unwrap(), &Scenario::FailureFree, 16);
+    assert_shard_invariant(
+        || ProtocolC::processes(8, 16).unwrap(),
+        &Scenario::DeadOnArrival { k: 15 },
+        8,
+    );
+    assert_shard_invariant(
+        || ProtocolC::processes(16, 16).unwrap(),
+        &Scenario::DeepIdle { k: 15, round: Round::new(1 << 40) },
+        16,
+    );
+}
+
+/// Lockstep broadcasts after every unit — the densest message plane the
+/// baselines offer, so the per-shard effect lanes carry real load.
+#[test]
+fn lockstep_broadcast_storm_matches_sequential_across_shard_counts() {
+    assert_shard_invariant(|| Lockstep::processes(128, 16).unwrap(), &Scenario::FailureFree, 128);
+}
+
+/// The trigger-based random adversary consumes its RNG stream in
+/// interception order; the sharded engine intercepts on the merge thread
+/// in pid order, so the stream — and therefore who crashes — must be
+/// bit-identical at every shard count.
+#[test]
+fn random_crashes_match_sequential_across_shard_counts() {
+    for seed in 0..8u64 {
+        let scenario = Scenario::Random { seed, p: 0.05, max_crashes: 15 };
+        assert_shard_invariant(|| ProtocolB::processes(64, 16).unwrap(), &scenario, 64);
+    }
+}
+
+/// Beyond fail-stop: crash-recovery (the revival queue) and slowdown
+/// (fault-plan-wrapped processes) under sharded stepping.
+#[test]
+fn fault_models_match_sequential_across_shard_counts() {
+    let recover = Scenario::CrashRecovery { pid: 0, round: 3, downtime: 16, wipe: false };
+    assert_shard_invariant(|| ProtocolB::processes(64, 16).unwrap(), &recover, 64);
+
+    let slow = Scenario::Slowdown { pid: 0, from: 2, factor: 4, rounds: 32 };
+    assert_shard_invariant(
+        || slow.fault_plan().wrap(ProtocolB::processes(64, 16).unwrap()),
+        &slow,
+        64,
+    );
+
+    let omit = Scenario::Omission { pid: 0, send: true, from: 1, rounds: 8 };
+    assert_shard_invariant(|| ProtocolB::processes(64, 16).unwrap(), &omit, 64);
+}
