@@ -15,6 +15,12 @@
 //! reports are bit-identical to sequential (`tests/shard_differential.rs`),
 //! so the campaign's pass/fail verdict and any shrunken repro are too.
 //!
+//! The campaign itself fans out across the work-stealing sweep scheduler
+//! ([`doall_bench::sweep`]): each seed × grid cell — run plus, on failure,
+//! its shrink search — is one weighted sweep cell. Results are reported in
+//! campaign order and every cell is deterministic, so the parallel
+//! campaign's output matches the serial one (`DOALL_SWEEP_THREADS=1`).
+//!
 //! Per (seed × protocol × plane) the driver generates a valid fault plan
 //! from the [`doall_sim::chaos`] budgeted generator, runs the protocol
 //! under it with the watchdog armed, and checks:
@@ -31,6 +37,7 @@
 //! `target/chaos`); `--replay FILE` re-runs such a file and exits 0 iff
 //! the failure still reproduces.
 
+use doall_bench::sweep;
 use doall_core::{AsyncProtocolA, AsyncProtocolB, ProtocolA, ProtocolB, ProtocolC, ProtocolD};
 use doall_sim::asynch::{run_async, AsyncConfig, AsyncProtocol, DelayDist};
 use doall_sim::chaos::{contract_violations, shrink, ChaosCase, ChaosConfig, Plane, Repro};
@@ -206,52 +213,75 @@ fn main() {
     // t = 16 satisfies every constructor: perfect square (A, B), power of
     // two (C), anything (D and the async pair).
     let cfg = ChaosConfig::new(16, 64);
+    // The seed × grid campaign is embarrassingly parallel: every cell is
+    // one deterministic run (plus, on failure, its deterministic shrink),
+    // so it fans out through the weighted sweep scheduler. Faults are a
+    // rough time-budget proxy (more faults = longer runs and, above all, a
+    // longer shrink search); the async plane pays extra for its event
+    // queue. Reporting stays in campaign order — the sweep returns results
+    // in input order regardless of which worker ran what — and repro files
+    // are written from this thread, so the output and any written repros
+    // are byte-identical to a serial campaign. `DOALL_SWEEP_THREADS=1`
+    // forces the inline path.
+    let cells: Vec<(ChaosCase, &str, Plane)> = seeds
+        .iter()
+        .map(|&seed| ChaosCase::generate(seed, &cfg))
+        .flat_map(|case| GRID.map(|(protocol, plane)| (case.clone(), protocol, plane)))
+        .collect();
+    let outcomes = sweep::map_cells_weighted(
+        cells,
+        |_, (case, _, plane)| {
+            (case.faults.len() as u64 + 1) * if *plane == Plane::Async { 2 } else { 1 }
+        },
+        |_, (case, protocol, plane)| {
+            let violations = case_violations(protocol, *plane, case, shards);
+            let shrunk = match &violations {
+                Some(v) if !v.is_empty() => Some(shrink(case, |c| {
+                    case_violations(protocol, *plane, c, shards).is_some_and(|v| !v.is_empty())
+                })),
+                _ => None,
+            };
+            (case.clone(), *protocol, *plane, violations, shrunk)
+        },
+    );
     let mut failures = 0usize;
-    let mut cells = 0usize;
-    for &seed in &seeds {
-        let case = ChaosCase::generate(seed, &cfg);
-        for (protocol, plane) in GRID {
-            cells += 1;
-            match case_violations(protocol, plane, &case, shards) {
-                None => eprintln!("seed {seed} {plane}/{protocol}: not runnable (skipped)"),
-                Some(v) if v.is_empty() => {
-                    eprintln!(
-                        "seed {seed} {plane}/{protocol}: ok ({} fault(s))",
-                        case.faults.len()
-                    );
+    for (case, protocol, plane, violations, shrunk) in &outcomes {
+        let seed = case.seed;
+        match violations {
+            None => eprintln!("seed {seed} {plane}/{protocol}: not runnable (skipped)"),
+            Some(v) if v.is_empty() => {
+                eprintln!("seed {seed} {plane}/{protocol}: ok ({} fault(s))", case.faults.len());
+            }
+            Some(v) => {
+                failures += 1;
+                eprintln!("seed {seed} {plane}/{protocol}: FAIL");
+                for violation in v {
+                    eprintln!("    {violation}");
                 }
-                Some(v) => {
-                    failures += 1;
-                    eprintln!("seed {seed} {plane}/{protocol}: FAIL");
-                    for violation in &v {
-                        eprintln!("    {violation}");
-                    }
-                    let min = shrink(&case, |c| {
-                        case_violations(protocol, plane, c, shards).is_some_and(|v| !v.is_empty())
-                    });
-                    let repro = Repro { protocol: protocol.to_string(), plane, case: min };
-                    let mut text = repro.emit();
-                    for violation in &v {
-                        text.push_str(&format!("# violation: {violation}\n"));
-                    }
-                    std::fs::create_dir_all(&out_dir).expect("create --out-dir");
-                    let path = format!("{out_dir}/repro-{plane}-{protocol}-seed{seed}.txt");
-                    std::fs::write(&path, text).expect("write repro file");
-                    eprintln!(
-                        "    shrunk {} -> {} fault(s) (t={}, n={}); wrote {path}",
-                        case.faults.len(),
-                        repro.case.faults.len(),
-                        repro.case.t,
-                        repro.case.n,
-                    );
+                let min = shrunk.clone().expect("failing cell was shrunk in the sweep");
+                let repro = Repro { protocol: protocol.to_string(), plane: *plane, case: min };
+                let mut text = repro.emit();
+                for violation in v {
+                    text.push_str(&format!("# violation: {violation}\n"));
                 }
+                std::fs::create_dir_all(&out_dir).expect("create --out-dir");
+                let path = format!("{out_dir}/repro-{plane}-{protocol}-seed{seed}.txt");
+                std::fs::write(&path, text).expect("write repro file");
+                eprintln!(
+                    "    shrunk {} -> {} fault(s) (t={}, n={}); wrote {path}",
+                    case.faults.len(),
+                    repro.case.faults.len(),
+                    repro.case.t,
+                    repro.case.n,
+                );
             }
         }
     }
     eprintln!(
-        "chaos campaign: {} seed(s) x {} grid cells = {cells} runs, {failures} failure(s)",
+        "chaos campaign: {} seed(s) x {} grid cells = {} runs, {failures} failure(s)",
         seeds.len(),
         GRID.len(),
+        outcomes.len(),
     );
     if failures > 0 {
         std::process::exit(1);

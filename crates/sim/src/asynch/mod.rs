@@ -71,6 +71,7 @@ pub use adversary::{
 
 use crate::adversary::{AdversaryCtx, AliveView, Fate};
 use crate::effects::SendBuf;
+use crate::engine::MemBudget;
 use crate::ids::{Pid, Round, Unit};
 use crate::message::{Classify, FlightOp, Inbox};
 use crate::metrics::Metrics;
@@ -358,7 +359,13 @@ impl AsyncConfig {
 }
 
 /// Result of an asynchronous run.
-#[derive(Clone, Debug, PartialEq, Eq)]
+///
+/// Two reports compare equal when their *semantic* outcome matches —
+/// metrics, retirement columns, notes, and trace. The [`mem`](AsyncReport::mem)
+/// probe and [`executed`](AsyncReport::executed) counter are excluded from
+/// equality, mirroring [`Report`](crate::Report): they measure host-side
+/// footprint and effort, not the simulated execution.
+#[derive(Clone, Debug)]
 pub struct AsyncReport {
     /// Work / message counters (rounds field holds the final timestamp).
     pub metrics: Metrics,
@@ -371,7 +378,29 @@ pub struct AsyncReport {
     /// Event log (empty unless [`AsyncConfig::record_trace`] was set); the
     /// `round` field of each event holds the logical timestamp.
     pub trace: Trace,
+    /// Peak memory held by the engine (arena, event queue, SoA columns,
+    /// scratch) — see [`MemBudget`]. The reference scheduler reports
+    /// zeroes: it is an executable spec, not a measured engine.
+    pub mem: MemBudget,
+    /// Number of timestamp batches the engine actually processed — the
+    /// async peer of [`Report::executed_rounds`](crate::Report::executed_rounds)
+    /// and the correct denominator for wall-clock rates
+    /// ([`Metrics::rounds`] holds the final *virtual* timestamp, which
+    /// idle stretches inflate arbitrarily).
+    pub executed: u64,
 }
+
+impl PartialEq for AsyncReport {
+    fn eq(&self, other: &Self) -> bool {
+        self.metrics == other.metrics
+            && self.terminated == other.terminated
+            && self.crashed == other.crashed
+            && self.notes == other.notes
+            && self.trace == other.trace
+    }
+}
+
+impl Eq for AsyncReport {}
 
 impl AsyncReport {
     /// Whether at least one process terminated normally.
@@ -568,6 +597,10 @@ pub struct AsyncEngineSnapshot<P: AsyncProtocol, A> {
     now: Time,
     last_progress: Time,
     finished: bool,
+    #[serde(default)]
+    mem: MemBudget,
+    #[serde(default)]
+    executed: u64,
 }
 
 impl<P, A> AsyncEngineSnapshot<P, A>
@@ -613,6 +646,8 @@ where
             now: self.now,
             last_progress: self.last_progress,
             finished: self.finished,
+            mem: self.mem,
+            executed: self.executed,
         }
     }
 }
@@ -661,6 +696,11 @@ pub struct AsyncEngine<P: AsyncProtocol, A: AsyncAdversary<P::Msg>> {
     now: Time,
     last_progress: Time,
     finished: bool,
+    // Peak-memory probe (observed once per processed batch) and the count
+    // of batches actually processed; both snapshotted, both excluded from
+    // report equality.
+    mem: MemBudget,
+    executed: u64,
     // ---- derived: recomputed from cfg / adversary on new() and resume() ----
     max_delay: u64,
     // Whether deliveries must be checked for receive omission; queried
@@ -737,6 +777,11 @@ where
             now: Time::ZERO,
             last_progress: Time::ZERO,
             finished: false,
+            mem: MemBudget {
+                proc_bytes: (t * std::mem::size_of::<P>()) as u64,
+                ..MemBudget::default()
+            },
+            executed: 0,
             max_delay,
             filters,
             record,
@@ -794,12 +839,14 @@ where
                 break;
             };
             self.now = now;
+            self.executed += 1;
             let work0 = self.metrics.work_total;
             let crashes0 = self.metrics.crashes;
             let terminations0 = self.metrics.terminations;
             let recoveries0 = self.metrics.recoveries;
             let result = self.process_batch(now);
             self.batch.clear();
+            self.observe_mem();
             let delivered = result?;
             if self.finished {
                 return Ok(true);
@@ -870,6 +917,8 @@ where
             now: self.now,
             last_progress: self.last_progress,
             finished: self.finished,
+            mem: self.mem,
+            executed: self.executed,
         }
     }
 
@@ -901,6 +950,8 @@ where
             now: snapshot.now,
             last_progress: snapshot.last_progress,
             finished: snapshot.finished,
+            mem: snapshot.mem,
+            executed: snapshot.executed,
             max_delay,
             filters,
             record,
@@ -917,14 +968,45 @@ where
     /// Consumes the engine into its report (valid at any boundary; the
     /// usual call site is after [`run_until`](AsyncEngine::run_until)
     /// returned `Ok(true)`).
-    pub fn into_report(self) -> AsyncReport {
+    pub fn into_report(mut self) -> AsyncReport {
+        self.observe_mem();
         AsyncReport {
             metrics: self.metrics,
             terminated: self.terminated,
             crashed: self.crashed,
             notes: self.notes,
             trace: self.trace,
+            mem: self.mem,
+            executed: self.executed,
         }
+    }
+
+    /// Folds the current buffer footprint into the peak-memory probe — the
+    /// async peer of the sync engine's per-round observation. `soa` is the
+    /// per-process columns, `flight` the op arena + event queue + batch
+    /// scratch, `ledger` the work table, notes, and trace.
+    fn observe_mem(&mut self) {
+        self.mem.soa_bytes = (self.terminated.capacity()
+            + self.crashed.capacity()
+            + self.alive.capacity()
+            + self.reviving.capacity()
+            + self.invocations.capacity() * 8
+            + self.stamp.capacity() * 8
+            + self.slot.capacity() * 4) as u64;
+        let flight = (self.arena.slots.capacity() * std::mem::size_of::<FlightOp<P::Msg>>()
+            + self.arena.refs.capacity() * 4
+            + self.arena.free.capacity() * 4
+            + self.batch.capacity() * std::mem::size_of::<Ev>()
+            + self.inbox_ids.capacity() * 4
+            + self.groups.iter().map(|g| g.capacity() * 8).sum::<usize>())
+            as u64
+            + self.queue.bytes();
+        self.mem.flight_bytes = self.mem.flight_bytes.max(flight);
+        let ledger = (self.metrics.work_by_unit.capacity() * 4
+            + self.notes.capacity() * std::mem::size_of::<(Time, Pid, &'static str)>())
+            as u64
+            + std::mem::size_of_val(self.trace.events()) as u64;
+        self.mem.ledger_bytes = self.mem.ledger_bytes.max(ledger);
     }
 
     fn diagnosis(&self) -> AsyncStallDiagnosis {

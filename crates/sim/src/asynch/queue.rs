@@ -164,6 +164,21 @@ impl EventQueue {
         self.len
     }
 
+    /// Bytes held by the queue's buffers (ring buckets, overflow / heap
+    /// entries), for the engine's memory probe. Capacities, not lengths:
+    /// the probe tracks high-water footprint.
+    pub(crate) fn bytes(&self) -> u64 {
+        let ev = std::mem::size_of::<Ev>();
+        let entry = std::mem::size_of::<Reverse<Entry>>();
+        (match &self.imp {
+            Imp::Calendar { buckets, overflow, .. } => {
+                buckets.iter().map(|b| b.capacity() * ev).sum::<usize>()
+                    + overflow.capacity() * entry
+            }
+            Imp::Heap(heap) => heap.capacity() * entry,
+        }) as u64
+    }
+
     /// Schedules `ev` at `time` (never earlier than the drain cursor).
     /// Message traffic always lands within `now + 1 ..= now + max_delay`
     /// and goes straight to a calendar bucket; fault events may aim

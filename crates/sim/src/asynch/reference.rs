@@ -21,6 +21,7 @@ use super::{
     AsyncAdversary, AsyncConfig, AsyncEffects, AsyncProtocol, AsyncReport, AsyncRunError, Time,
 };
 use crate::adversary::{AdversaryCtx, AliveView, Fate};
+use crate::engine::MemBudget;
 use crate::ids::Pid;
 use crate::message::{Classify, Inbox};
 use crate::metrics::Metrics;
@@ -104,10 +105,12 @@ where
     let mut invocations = vec![0u64; t];
     let mut notes: Vec<(Time, Pid, &'static str)> = Vec::new();
     let mut handled: u64 = 0;
+    let mut executed: u64 = 0;
     let mut eff: AsyncEffects<P::Msg> = AsyncEffects::default();
 
     while let Some(Reverse(first)) = heap.pop() {
         let now = first.time;
+        executed += 1;
         let mut batch: Vec<RefEv<P::Msg>> = vec![first.ev];
         while heap.peek().is_some_and(|Reverse(e)| e.time == now) {
             batch.push(heap.pop().expect("peeked").0.ev);
@@ -277,14 +280,30 @@ where
 
             metrics.rounds = now;
             if live == 0 {
-                return Ok(AsyncReport { metrics, terminated, crashed, notes, trace });
+                return Ok(AsyncReport {
+                    metrics,
+                    terminated,
+                    crashed,
+                    notes,
+                    trace,
+                    mem: MemBudget::default(),
+                    executed,
+                });
             }
         }
     }
 
     let alive_pids = (0..t).filter(|&i| alive[i]).map(Pid::new).collect::<Vec<_>>();
     if alive_pids.is_empty() {
-        Ok(AsyncReport { metrics, terminated, crashed, notes, trace })
+        Ok(AsyncReport {
+            metrics,
+            terminated,
+            crashed,
+            notes,
+            trace,
+            mem: MemBudget::default(),
+            executed,
+        })
     } else {
         Err(AsyncRunError::Stalled { alive: alive_pids })
     }

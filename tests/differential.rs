@@ -271,6 +271,7 @@ where
                 trace: Trace::new(),
                 statuses,
                 mem: MemBudget::default(),
+                executed_rounds: 0,
             });
         }
 
