@@ -28,7 +28,7 @@ use doall_core::{
 use doall_sim::asynch::{reference, run_async, AsyncConfig, AsyncProtocol, DelayDist};
 use doall_sim::chaos::{shrink, ChaosCase, ChaosConfig};
 use doall_sim::{run, Engine, Metrics, NoFailures, Protocol, Round, RunConfig};
-use doall_workload::{AsyncScenario, Scenario};
+use doall_workload::Scenario;
 
 struct Measurement {
     id: String,
@@ -176,7 +176,7 @@ fn measure_async<P, F>(
     id: impl Into<String>,
     n: u64,
     t: u64,
-    scenario: &AsyncScenario,
+    scenario: &Scenario,
     cfg: AsyncConfig,
     max_iters: u64,
     arena: bool,
@@ -188,7 +188,7 @@ where
     F: Fn() -> Vec<P>,
 {
     measure_with(id.into(), n, t, scenario.label(), max_iters, || {
-        let adversary = scenario.adversary::<P::Msg>();
+        let adversary = scenario.async_adversary::<P::Msg>();
         let report = if arena {
             run_async(build(), adversary, cfg.clone())
         } else {
@@ -213,7 +213,7 @@ fn async_cells(smoke: bool) -> Vec<Measurement> {
     // budget instead of stopping at a noise-dominated handful of runs.
     let iters = u64::MAX;
     let cfg = |n: u64| AsyncConfig::new(n as usize, 7).with_delay(DelayDist::Uniform, 4);
-    let ff = AsyncScenario::FailureFree;
+    let ff = Scenario::FailureFree;
     let mut out = vec![
         measure_async("async/protocol_a", 64, 16, &ff, cfg(64), iters, true, || {
             AsyncProtocolA::processes(64, 16).unwrap()
@@ -227,7 +227,7 @@ fn async_cells(smoke: bool) -> Vec<Measurement> {
             "fault_async/recovery_b",
             64,
             16,
-            &AsyncScenario::CrashRecovery { pid: 0, at: 9, downtime: 40, wipe: false },
+            &Scenario::CrashRecovery { pid: 0, round: 9, downtime: 40, wipe: false },
             cfg(64),
             iters,
             true,
@@ -238,7 +238,7 @@ fn async_cells(smoke: bool) -> Vec<Measurement> {
         // Storm shapes: one active process span-broadcasting its way
         // through t = 1024 (31- and 32-wide checkpoint multicasts), plus
         // the detector's O(t²) notice traffic after 992 crashes.
-        let doa = AsyncScenario::DeadOnArrival { k: 992 };
+        let doa = Scenario::DeadOnArrival { k: 992 };
         for (arena, prefix) in [(true, "async_storm"), (false, "async_storm_ref")] {
             out.push(measure_async(
                 format!("{prefix}/protocol_a_t1024"),
@@ -336,6 +336,91 @@ fn snapshot_resume_cell(iters: u64) -> Measurement {
         let report = engine.into_report().0;
         (report.metrics, report.mem.engine_bytes(), report.executed_rounds)
     })
+}
+
+/// `serve/*`: fleet-throughput cells for the service plane (PR 10). One
+/// iteration runs a whole [`doall_service::Session`] — arrival sort,
+/// admission, the
+/// discrete-event schedule, and every job's engine run — so `mean_ms` is
+/// the cost of serving the stream end to end. Per-job engine metrics are
+/// arrival-independent (each admitted job runs to completion on its own
+/// engine), so the summed `messages` count is deterministic and the
+/// `--compare` bit-identity gate covers the service plane too; `mem_bytes`
+/// stays 0 (no single engine to meter). Always on: smoke and full share
+/// the shapes.
+fn serve_cells() -> Vec<Measurement> {
+    use doall_service::{Admission, ArrivalModel, JobSpec, Pool, Session};
+
+    let iters = u64::MAX;
+    let fold = |fleet: &doall_service::FleetReport| {
+        let m = Metrics {
+            rounds: Round::new(fleet.metrics.horizon),
+            work_total: fleet.metrics.work_total,
+            messages: fleet.metrics.messages,
+            ..Default::default()
+        };
+        let executed: u64 = fleet
+            .records
+            .iter()
+            .filter_map(|r| r.report.as_ref())
+            .map(|rep| match rep {
+                doall_service::JobReport::Sync(r) => r.executed_rounds,
+                doall_service::JobReport::Async(r) => r.executed,
+            })
+            .sum();
+        (m, 0u64, executed)
+    };
+    vec![
+        // 200 Protocol B jobs, Poisson arrivals, 3:1 failure-free vs
+        // half-dead-on-arrival, four concurrent jobs on a 64-slot pool.
+        measure_with(
+            "serve/poisson_b_mix200".into(),
+            64,
+            16,
+            "poisson(gap=3) x 200 B jobs".into(),
+            iters,
+            || {
+                let mut session = Session::new(Pool::new(64), Admission::new(200));
+                let arrivals = ArrivalModel::Poisson { mean_gap: 3.0 };
+                for (i, at) in arrivals.times(18, 200).into_iter().enumerate() {
+                    let scenario = if i % 4 == 3 {
+                        Scenario::DeadOnArrival { k: 8 }
+                    } else {
+                        Scenario::FailureFree
+                    };
+                    let spec =
+                        JobSpec::new(ProtocolB::processes(64, 16).unwrap(), 64).scenario(scenario);
+                    session.submit(at, spec.into_job());
+                }
+                let fleet = session.run();
+                assert_eq!(fleet.metrics.completed, 200, "ample cap: every job served");
+                fold(&fleet)
+            },
+        ),
+        // 100 asynchronous Protocol B jobs under a fixed delay: per-job
+        // counts are e14's exact failure-free cell, so the fleet total is
+        // an exact multiple — any drift trips the message-identity gate.
+        measure_with(
+            "serve/poisson_async_b100".into(),
+            32,
+            16,
+            "poisson(gap=5) x 100 async-B jobs".into(),
+            iters,
+            || {
+                let mut session = Session::new(Pool::new(64), Admission::new(100));
+                let arrivals = ArrivalModel::Poisson { mean_gap: 5.0 };
+                for at in arrivals.times(41, 100) {
+                    let spec = JobSpec::new(AsyncProtocolB::processes(32, 16).unwrap(), 32)
+                        .delay(DelayDist::Fixed, 1);
+                    session.submit(at, spec.into_async_job());
+                }
+                let fleet = session.run();
+                assert_eq!(fleet.metrics.completed, 100, "ample cap: every job served");
+                assert_eq!(fleet.metrics.messages, 100 * 132, "e14's exact cell, times 100");
+                fold(&fleet)
+            },
+        ),
+    ]
 }
 
 fn cells(smoke: bool) -> Vec<Measurement> {
@@ -488,6 +573,7 @@ fn cells(smoke: bool) -> Vec<Measurement> {
         out.extend(scale_cells());
     }
     out.extend(async_cells(smoke));
+    out.extend(serve_cells());
     out
 }
 

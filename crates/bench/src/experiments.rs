@@ -21,11 +21,12 @@ use doall_core::{
     AsyncProtocolA, AsyncProtocolB, AsyncReplicate, Lockstep, NaiveSpread, ProtocolA, ProtocolB,
     ProtocolC, ProtocolD, ReplicateAll,
 };
+use doall_service::{Admission, ArrivalModel, JobSpec, Pool, Session};
 use doall_sim::asynch::{run_async, AsyncConfig, AsyncProtocol, DelayDist};
 use doall_sim::chaos;
 use doall_sim::invariants::{check_degraded_rate, check_recovery_silence};
 use doall_sim::{run, Metrics, NoFailures, Pid, Protocol, Report, Round, RunConfig};
-use doall_workload::{AsyncScenario, Scenario};
+use doall_workload::Scenario;
 
 use crate::sweep;
 use crate::table::{vs, Table};
@@ -811,13 +812,13 @@ pub fn e13() -> Outcome {
 /// Runs one asynchronous-plane protocol cell and returns its metrics.
 fn run_async_protocol<P: AsyncProtocol>(
     procs: Vec<P>,
-    scenario: &AsyncScenario,
+    scenario: &Scenario,
     cfg: AsyncConfig,
 ) -> Metrics
 where
     P::Msg: 'static,
 {
-    let report = run_async(procs, scenario.adversary::<P::Msg>(), cfg)
+    let report = run_async(procs, scenario.async_adversary::<P::Msg>(), cfg)
         .unwrap_or_else(|e| panic!("{}: {e}", scenario.label()));
     assert!(report.metrics.all_work_done(), "incomplete work under {}", scenario.label());
     assert!(report.has_survivor(), "no survivor under {}", scenario.label());
@@ -844,18 +845,18 @@ pub fn e14() -> Outcome {
         (DelayDist::Bimodal, 16),
     ];
     let protocols = ["async-A", "async-B", "async-replicate"];
-    let mut cells: Vec<(u64, u64, &str, DelayDist, u64, AsyncScenario)> = Vec::new();
+    let mut cells: Vec<(u64, u64, &str, DelayDist, u64, Scenario)> = Vec::new();
     for (si, (n, t)) in [(32u64, 16u64), (256, 64)].into_iter().enumerate() {
         for (dist, max_delay) in dists {
             for scenario in [
-                AsyncScenario::FailureFree,
-                AsyncScenario::DeadOnArrival { k: t - 1 },
-                AsyncScenario::Random {
+                Scenario::FailureFree,
+                Scenario::DeadOnArrival { k: t - 1 },
+                Scenario::Random {
                     seed: sweep::cell_seed(14, si as u64),
                     p: 0.002,
                     max_crashes: (t - 1) as u32,
                 },
-                AsyncScenario::KillNthActivation { nth: 1 },
+                Scenario::KillNthActivation { nth: 1 },
             ] {
                 for proto in protocols {
                     cells.push((n, t, proto, dist, max_delay, scenario.clone()));
@@ -865,14 +866,14 @@ pub fn e14() -> Outcome {
     }
     // The broadcast-heavy big shapes (affordable thanks to the op arena):
     // failure-free A at t = 1024, and B with all but the last group dead.
-    cells.push((2_048, 1_024, "async-A", DelayDist::Uniform, 4, AsyncScenario::FailureFree));
+    cells.push((2_048, 1_024, "async-A", DelayDist::Uniform, 4, Scenario::FailureFree));
     cells.push((
         2_048,
         1_024,
         "async-B",
         DelayDist::Uniform,
         4,
-        AsyncScenario::DeadOnArrival { k: 992 },
+        Scenario::DeadOnArrival { k: 992 },
     ));
 
     let rows = sweep::map_cells(cells, |i, (n, t, proto, dist, max_delay, scenario)| {
@@ -929,12 +930,12 @@ pub fn e14() -> Outcome {
         let cfg = || AsyncConfig::new(n as usize, 0).with_delay(DelayDist::Fixed, 1);
         let a = run_async_protocol(
             AsyncProtocolA::processes(n, t).unwrap(),
-            &AsyncScenario::FailureFree,
+            &Scenario::FailureFree,
             cfg(),
         );
         let b = run_async_protocol(
             AsyncProtocolB::processes(n, t).unwrap(),
-            &AsyncScenario::FailureFree,
+            &Scenario::FailureFree,
             cfg(),
         );
         pass &= a.work_total == n && a.messages == 132 && a.messages == sync_a.messages;
@@ -957,12 +958,12 @@ pub fn e14() -> Outcome {
         let cfg = || AsyncConfig::new(n as usize, 7).with_delay(DelayDist::Uniform, 4);
         let rep = run_async_protocol(
             AsyncReplicate::processes(n, t).unwrap(),
-            &AsyncScenario::FailureFree,
+            &Scenario::FailureFree,
             cfg(),
         );
         let a = run_async_protocol(
             AsyncProtocolA::processes(n, t).unwrap(),
-            &AsyncScenario::FailureFree,
+            &Scenario::FailureFree,
             cfg(),
         );
         if rep.effort() < 4 * a.effort() {
@@ -1355,6 +1356,217 @@ pub fn e17() -> Outcome {
     }
 }
 
+/// E18 — the service plane (§1's job-stream setting): Poisson and bursty
+/// streams of Do-All jobs multiplexed over one shared slot pool, on both
+/// engine planes. Because every job runs to completion on its own engine,
+/// per-job metrics are independent of *when* the job starts — so fleet
+/// work and message totals are exact multiples of the single-job counts
+/// (pinned below), while the time-axis aggregates (p50/p99, utilization)
+/// come from the deterministic discrete-event schedule. Poisson instants
+/// go through `ln`, so only order-safe inequalities are asserted on that
+/// stream; every exact pin sits on a float-free quantity.
+pub fn e18() -> Outcome {
+    let mut table = Table::new([
+        "stream",
+        "plane",
+        "jobs",
+        "served",
+        "p50/p99 rounds",
+        "work vs bound",
+        "detail",
+    ]);
+    let mut pass = true;
+
+    // Stream 1: 500 Protocol B jobs, Poisson arrivals, 3 in 4 failure-free
+    // and every fourth with half the processes dead on arrival. The pool
+    // holds four concurrent 16-process jobs; the cap is ample, so every
+    // job is served and Theorem 2.8's envelopes bound the whole fleet.
+    {
+        let (n, t) = (64u64, 16u64);
+        let bound = theorems::protocol_b(n, t);
+        let jobs = 500usize;
+        let mut session = Session::new(Pool::new(64), Admission::new(jobs));
+        let arrivals = ArrivalModel::Poisson { mean_gap: 3.0 };
+        for (i, at) in arrivals.times(18, jobs).into_iter().enumerate() {
+            let scenario = if i % 4 == 3 {
+                Scenario::DeadOnArrival { k: t / 2 }
+            } else {
+                Scenario::FailureFree
+            };
+            let spec = JobSpec::new(ProtocolB::processes(n, t).unwrap(), n as usize)
+                .scenario(scenario)
+                .label(format!("b{i}"));
+            session.submit(at, spec.into_job());
+        }
+        let fleet = session.run();
+        let ok = fleet.metrics.completed == jobs
+            && fleet.metrics.rejected == 0
+            && fleet.metrics.p99_rounds <= bound.rounds
+            && fleet.metrics.work_total <= jobs as u64 * bound.work
+            && fleet.metrics.messages <= jobs as u64 * bound.messages;
+        pass &= ok;
+        table.row([
+            arrivals.label(),
+            "sync B".into(),
+            jobs.to_string(),
+            fleet.metrics.completed.to_string(),
+            format!("{}/{}", fleet.metrics.p50_rounds, fleet.metrics.p99_rounds),
+            format!("{} <= {}", fleet.metrics.work_total, jobs as u64 * bound.work),
+            format!("util {:.2}", fleet.metrics.utilization),
+        ]);
+    }
+
+    // Stream 2: 500 asynchronous Protocol B jobs, Poisson arrivals, fixed
+    // delay 1 — each job reports e14's exact failure-free counts (32
+    // work, 132 messages, one fixed final timestamp), so the fleet totals
+    // are exact multiples: work = 500·32 = 16 000 and messages =
+    // 500·132 = 66 000, with p50 = p99 = the single-job time.
+    {
+        let (n, t) = (32u64, 16u64);
+        let jobs = 500usize;
+        let single = JobSpec::new(AsyncProtocolB::processes(n, t).unwrap(), n as usize)
+            .delay(DelayDist::Fixed, 1)
+            .run_async()
+            .unwrap();
+        let single_time = single.metrics.rounds.get();
+        let mut session = Session::new(Pool::new(64), Admission::new(jobs));
+        let arrivals = ArrivalModel::Poisson { mean_gap: 5.0 };
+        for (i, at) in arrivals.times(41, jobs).into_iter().enumerate() {
+            let spec = JobSpec::new(AsyncProtocolB::processes(n, t).unwrap(), n as usize)
+                .delay(DelayDist::Fixed, 1)
+                .label(format!("ab{i}"));
+            session.submit(at, spec.into_async_job());
+        }
+        let fleet = session.run();
+        let ok = fleet.metrics.completed == jobs
+            && fleet.metrics.work_total == jobs as u64 * n
+            && fleet.metrics.messages == jobs as u64 * 132
+            && fleet.metrics.p50_rounds == single_time
+            && fleet.metrics.p99_rounds == single_time;
+        pass &= ok;
+        table.row([
+            arrivals.label(),
+            "async B".into(),
+            jobs.to_string(),
+            fleet.metrics.completed.to_string(),
+            format!(
+                "{}/{} (expect {single_time})",
+                fleet.metrics.p50_rounds, fleet.metrics.p99_rounds
+            ),
+            format!("{} (expect {})", fleet.metrics.work_total, jobs as u64 * n),
+            format!("{} msgs (expect {})", fleet.metrics.messages, jobs as u64 * 132),
+        ]);
+    }
+
+    // Stream 3: a float-free bursty Protocol D stream with every count
+    // exact (EXPERIMENTS.md §e18). 120 failure-free (64, 16) jobs, four
+    // per burst, one burst every 10 rounds, on a 64-slot pool: each burst
+    // starts immediately (4·16 = 64 slots), finishes in exactly
+    // n/t + 2 = 6 rounds (e7's pin), and is long gone before the next.
+    //   p50 = p99 = 6,  work = 120·64 = 7 680,  horizon = 29·10 + 6 = 296.
+    {
+        let (n, t) = (64u64, 16u64);
+        let jobs = 120usize;
+        let arrivals = ArrivalModel::Bursty { burst: 4, period: 10 };
+        let mut session = Session::new(Pool::new(64), Admission::new(jobs));
+        for (i, at) in arrivals.times(0, jobs).into_iter().enumerate() {
+            let spec = JobSpec::new(ProtocolD::processes(n, t).unwrap(), n as usize)
+                .label(format!("d{i}"));
+            session.submit(at, spec.into_job());
+        }
+        let fleet = session.run();
+        let ok = fleet.metrics.completed == jobs
+            && fleet.metrics.p50_rounds == 6
+            && fleet.metrics.p99_rounds == 6
+            && fleet.metrics.work_total == jobs as u64 * n
+            && fleet.metrics.horizon == 296
+            && fleet.metrics.deferred == 0;
+        pass &= ok;
+        table.row([
+            arrivals.label(),
+            "sync D".into(),
+            jobs.to_string(),
+            fleet.metrics.completed.to_string(),
+            format!("{}/{} (expect 6/6)", fleet.metrics.p50_rounds, fleet.metrics.p99_rounds),
+            format!("{} (expect {})", fleet.metrics.work_total, jobs as u64 * n),
+            format!("horizon {} (expect 296)", fleet.metrics.horizon),
+        ]);
+    }
+
+    // Stream 4: a bursty asynchronous stream under random uniform delays —
+    // Theorem 2.3's envelopes still cap every job, hence the fleet.
+    {
+        let (n, t) = (32u64, 16u64);
+        let bound = theorems::protocol_a(n, t);
+        let jobs = 64usize;
+        let arrivals = ArrivalModel::Bursty { burst: 8, period: 50 };
+        let mut session = Session::new(Pool::new(64), Admission::new(jobs));
+        for (i, at) in arrivals.times(0, jobs).into_iter().enumerate() {
+            let spec = JobSpec::new(AsyncProtocolA::processes(n, t).unwrap(), n as usize)
+                .seed(sweep::cell_seed(18, i as u64))
+                .delay(DelayDist::Uniform, 4)
+                .label(format!("aa{i}"));
+            session.submit(at, spec.into_async_job());
+        }
+        let fleet = session.run();
+        let ok = fleet.metrics.completed == jobs
+            && fleet.metrics.work_total <= jobs as u64 * bound.work
+            && fleet.metrics.messages <= jobs as u64 * bound.messages;
+        pass &= ok;
+        table.row([
+            arrivals.label(),
+            "async A".into(),
+            jobs.to_string(),
+            fleet.metrics.completed.to_string(),
+            format!("{}/{}", fleet.metrics.p50_rounds, fleet.metrics.p99_rounds),
+            format!("{} <= {}", fleet.metrics.work_total, jobs as u64 * bound.work),
+            format!("util {:.2}", fleet.metrics.utilization),
+        ]);
+    }
+
+    // Stream 5: exact admission arithmetic. Five 16-wide bursts at t = 0
+    // into a 16-slot pool with a queue cap of 2: one starts, two defer,
+    // two bounce — and the admitted three serialize, so the sojourns are
+    // exactly 6, 12, 18 (p50 = 12, p99 = 18).
+    {
+        let (n, t) = (64u64, 16u64);
+        let jobs = 5usize;
+        let mut session = Session::new(Pool::new(16), Admission::new(2));
+        for i in 0..jobs {
+            let spec = JobSpec::new(ProtocolD::processes(n, t).unwrap(), n as usize)
+                .label(format!("q{i}"));
+            session.submit(0, spec.into_job());
+        }
+        let fleet = session.run();
+        let ok = fleet.metrics.completed == 3
+            && fleet.metrics.rejected == 2
+            && fleet.metrics.deferred == 2
+            && fleet.metrics.max_queue_depth == 2
+            && fleet.metrics.p50_sojourn == 12
+            && fleet.metrics.p99_sojourn == 18;
+        pass &= ok;
+        table.row([
+            "burst(5@0)".into(),
+            "sync D".into(),
+            jobs.to_string(),
+            format!("{} (expect 3)", fleet.metrics.completed),
+            format!(
+                "sojourn {}/{} (expect 12/18)",
+                fleet.metrics.p50_sojourn, fleet.metrics.p99_sojourn
+            ),
+            format!("rejected {} (expect 2)", fleet.metrics.rejected),
+            format!("queue depth {} (expect 2)", fleet.metrics.max_queue_depth),
+        ]);
+    }
+
+    Outcome {
+        id: "e18",
+        claim: "service plane (§1's stream setting): Poisson + bursty streams on both planes stay inside the per-job theorem envelopes; float-free cells pin exact fleet counts (D bursty: p50=p99=6, work=7680, horizon=296; async fixed-delay: 16000 work / 66000 messages; admission 3+2 split with sojourns 12/18)",
+        rendered: table.render(),
+        pass,
+    }
+}
+
 /// Every experiment, in order. Runs them sequentially: the grids *inside*
 /// each experiment already fan out across all sweep workers, and nesting
 /// a second level of parallelism on top would multiply the thread count
@@ -1378,6 +1590,7 @@ pub fn all() -> Vec<Outcome> {
         e14(),
         e15(),
         e16(),
+        e18(),
     ]
 }
 
@@ -1401,6 +1614,7 @@ pub fn by_id(id: &str) -> Option<Outcome> {
         "e15" => Some(e15()),
         "e16" => Some(e16()),
         "e17" => Some(e17()),
+        "e18" => Some(e18()),
         _ => None,
     }
 }

@@ -1,0 +1,139 @@
+//! Pluggable job-arrival models: the virtual instants at which a stream
+//! of Do-All jobs reaches the [`Session`](crate::Session).
+//!
+//! [`ArrivalModel::Bursty`] is fully deterministic (no floats, no RNG) —
+//! experiments pin exact cells on it. The Poisson and diurnal models draw
+//! exponential gaps through `ln`, so their instants are deterministic per
+//! seed on one host but not something to pin bitwise across libm
+//! versions; experiments assert only inequalities over them.
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+/// A generator of job arrival instants on the virtual-time axis.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ArrivalModel {
+    /// Memoryless arrivals: i.i.d. exponential gaps with the given mean
+    /// (virtual time units per job).
+    Poisson {
+        /// Mean inter-arrival gap, in virtual time units (must be > 0).
+        mean_gap: f64,
+    },
+    /// Deterministic bursts: job `i` arrives at `(i / burst) * period` —
+    /// `burst` simultaneous submissions every `period` units. Exact and
+    /// float-free.
+    Bursty {
+        /// Jobs per burst (0 is treated as 1).
+        burst: usize,
+        /// Virtual time between bursts.
+        period: u64,
+    },
+    /// A day/night cycle: exponential gaps whose mean swings between
+    /// `peak_gap` (busiest instant) and `trough_gap` (quietest) over each
+    /// `period`, via a raised-cosine profile. Models the "idle
+    /// workstations at night" setting of the paper's introduction.
+    Diurnal {
+        /// Length of one full cycle in virtual time units.
+        period: u64,
+        /// Mean gap at the cycle's busiest point (must be > 0).
+        peak_gap: f64,
+        /// Mean gap at the quietest point (must be >= `peak_gap`).
+        trough_gap: f64,
+    },
+}
+
+impl ArrivalModel {
+    /// Generates the first `count` arrival instants. Deterministic for a
+    /// given `(model, seed, count)`; `Bursty` ignores the seed entirely.
+    pub fn times(&self, seed: u64, count: usize) -> Vec<u128> {
+        match *self {
+            ArrivalModel::Poisson { mean_gap } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let mean_gap = mean_gap.max(f64::MIN_POSITIVE);
+                let mut clock = 0.0_f64;
+                (0..count)
+                    .map(|_| {
+                        clock += exp_gap(&mut rng, mean_gap);
+                        clock as u128
+                    })
+                    .collect()
+            }
+            ArrivalModel::Bursty { burst, period } => {
+                let burst = burst.max(1);
+                (0..count).map(|i| (i / burst) as u128 * u128::from(period)).collect()
+            }
+            ArrivalModel::Diurnal { period, peak_gap, trough_gap } => {
+                let mut rng = SmallRng::seed_from_u64(seed);
+                let peak_gap = peak_gap.max(f64::MIN_POSITIVE);
+                let trough_gap = trough_gap.max(peak_gap);
+                let period = period.max(1) as f64;
+                let mut clock = 0.0_f64;
+                (0..count)
+                    .map(|_| {
+                        // Raised cosine: phase 0 is the trough (quiet),
+                        // phase 0.5 the peak (busy).
+                        let phase = (clock / period).fract();
+                        let busy = 0.5 - 0.5 * (std::f64::consts::TAU * phase).cos();
+                        let mean = trough_gap + (peak_gap - trough_gap) * busy;
+                        clock += exp_gap(&mut rng, mean);
+                        clock as u128
+                    })
+                    .collect()
+            }
+        }
+    }
+
+    /// A stable short label for tables and baseline cell ids.
+    pub fn label(&self) -> String {
+        match *self {
+            ArrivalModel::Poisson { mean_gap } => format!("poisson(gap={mean_gap})"),
+            ArrivalModel::Bursty { burst, period } => format!("bursty({burst}/{period})"),
+            ArrivalModel::Diurnal { period, peak_gap, trough_gap } => {
+                format!("diurnal(T={period},{peak_gap}..{trough_gap})")
+            }
+        }
+    }
+}
+
+/// One exponential gap with the given mean, via inverse transform.
+fn exp_gap(rng: &mut SmallRng, mean: f64) -> f64 {
+    let u: f64 = rng.gen_range(0.0_f64..1.0);
+    // 1 - u is in (0, 1], so ln is finite and the gap non-negative.
+    -mean * (1.0 - u).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bursty_is_exact_and_seed_free() {
+        let m = ArrivalModel::Bursty { burst: 3, period: 50 };
+        let times = m.times(7, 8);
+        assert_eq!(times, vec![0, 0, 0, 50, 50, 50, 100, 100]);
+        assert_eq!(times, m.times(999, 8));
+    }
+
+    #[test]
+    fn poisson_is_deterministic_per_seed_and_monotone() {
+        let m = ArrivalModel::Poisson { mean_gap: 25.0 };
+        let a = m.times(42, 100);
+        assert_eq!(a, m.times(42, 100));
+        assert_ne!(a, m.times(43, 100));
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn diurnal_is_deterministic_and_monotone() {
+        let m = ArrivalModel::Diurnal { period: 1_000, peak_gap: 5.0, trough_gap: 80.0 };
+        let a = m.times(11, 200);
+        assert_eq!(a, m.times(11, 200));
+        assert!(a.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(ArrivalModel::Bursty { burst: 4, period: 100 }.label(), "bursty(4/100)");
+        assert_eq!(ArrivalModel::Poisson { mean_gap: 25.0 }.label(), "poisson(gap=25)");
+    }
+}

@@ -12,5 +12,7 @@
 pub mod scenario;
 pub mod tasks;
 
-pub use scenario::{AsyncScenario, Scenario};
+#[allow(deprecated)]
+pub use scenario::AsyncScenario;
+pub use scenario::Scenario;
 pub use tasks::{FormulaSweep, IdempotentTask, ValveBank};

@@ -1,6 +1,12 @@
 //! Named failure scenarios: the crash schedules the paper's proofs and
 //! examples revolve around, packaged for reuse by tests, examples and the
 //! experiment harness.
+//!
+//! Since PR 10 there is **one** scenario vocabulary for both planes: every
+//! [`Scenario`] lowers to a synchronous adversary via
+//! [`Scenario::adversary`] *and* to an asynchronous one via
+//! [`Scenario::async_adversary`]. The old `AsyncScenario` twin enum is a
+//! deprecated alias kept for source compatibility.
 
 use doall_sim::asynch::{
     AsyncAdversary, AsyncCrashSchedule, AsyncRandomCrashes, AsyncTrigger, AsyncTriggerAdversary,
@@ -12,11 +18,19 @@ use doall_sim::{
     RandomCrashes, Round, Trigger, TriggerAdversary, TriggerRule,
 };
 
-/// A named, parameterized failure scenario.
+/// A named, parameterized failure scenario, usable on **either plane**.
 ///
-/// Each variant builds a fresh adversary via [`Scenario::adversary`]; the
-/// same scenario value can drive any protocol (adversaries are generic in
-/// the message type).
+/// Each variant builds a fresh adversary via [`Scenario::adversary`]
+/// (synchronous rounds) or [`Scenario::async_adversary`] (event-driven
+/// timestamps); the same scenario value can drive any protocol
+/// (adversaries are generic in the message type).
+///
+/// Round-indexed parameters are interpreted on the asynchronous plane as
+/// virtual **timestamps** (crash injections, omission windows) or
+/// **handler-invocation ordinals** (slowdown windows) — the same reading
+/// [`FaultPlan`] itself uses on that plane. Behaviour-triggered scenarios
+/// ([`TakeoverCascade`](Scenario::TakeoverCascade),
+/// [`KillNthActivation`](Scenario::KillNthActivation)) carry over exactly.
 ///
 /// # Examples
 ///
@@ -38,53 +52,74 @@ use doall_sim::{
 pub enum Scenario {
     /// No process ever fails.
     FailureFree,
-    /// Processes `0..k` crash silently in round 1 (dead on arrival).
+    /// Processes `0..k` crash silently in round 1 (dead on arrival). On
+    /// the asynchronous plane they crash on their first handler
+    /// invocation (their start signal).
     DeadOnArrival {
         /// Number of initial victims.
         k: u64,
     },
     /// Every process among the first `victims` crashes immediately after
     /// performing its first unit of work, unreported — the scenario behind
-    /// the `n + t − 1` work lower bound.
+    /// the `n + t − 1` work lower bound. Behaviour-triggered, so it means
+    /// the same thing on both planes.
     TakeoverCascade {
         /// Number of cascade victims (use `t − 1` to spare one survivor).
         victims: u64,
     },
     /// Each of the first `victims` processes dies on its `nth` *sending*
     /// round, delivering only a length-`prefix` prefix of that broadcast —
-    /// the mid-checkpoint splits of §2's analysis.
+    /// the mid-checkpoint splits of §2's analysis. Asynchronous handlers
+    /// have no sending rounds, so there the crash strikes the victim's
+    /// `nth` handler invocation instead (same prefix semantics).
     CheckpointSplit {
         /// Number of victims.
         victims: u64,
-        /// Which sending round kills each victim (1-based).
+        /// Which sending round (sync) / handler invocation (async) kills
+        /// each victim (1-based).
         nth_send: u64,
         /// How many messages of the final broadcast escape.
         prefix: usize,
     },
     /// The §3 strawman cascade: process 0 dies after performing `t − 1`
     /// units; the top half of the processes dies; each successive
-    /// most-knowledgeable survivor redoes the suffix and dies too.
+    /// most-knowledgeable survivor redoes the suffix and dies too. The
+    /// asynchronous lowering keeps the work-triggered rules and kills the
+    /// top half on their start signal (asynchronous time has no round
+    /// `2t` to anchor the mid-run extinction to).
     Strawman {
         /// System size `t` (used to derive the victim set).
         t: u64,
     },
-    /// Seeded random crashes with budget `max_crashes`.
+    /// Seeded random crashes with budget `max_crashes`. Per-round
+    /// per-process probability on the synchronous plane, per-handler-
+    /// invocation probability on the asynchronous one.
     Random {
         /// RNG seed (runs are reproducible).
         seed: u64,
-        /// Per-round per-process crash probability.
+        /// Per-round (sync) / per-invocation (async) crash probability.
         p: f64,
         /// Total crash budget (use `t − 1` for a guaranteed survivor).
         max_crashes: u32,
     },
+    /// Kills the `nth` process ever to emit the `"activate"` note, right
+    /// on its activation with nothing delivered — the takeover-cascade
+    /// driver in note-speak, identical on both planes (the sync lowering
+    /// rides [`Trigger::NthNote`], the async one
+    /// [`AsyncTrigger::NthNote`]).
+    KillNthActivation {
+        /// Which activation to strike (1-based).
+        nth: u64,
+    },
     /// Crash `k` processes (pids `from..from+k`) at the given round — the
-    /// mass-extinction trigger for Protocol D's fallback.
+    /// mass-extinction trigger for Protocol D's fallback. Asynchronously,
+    /// `round` is the injection timestamp.
     MassExtinction {
         /// First victim pid.
         from: u64,
         /// Number of victims.
         k: u64,
-        /// Round at which they all die.
+        /// Round (sync) / timestamp (async) at which they all die.
         round: u64,
     },
     /// The wide-clock *deep idle* scenario: every passive process (pids
@@ -107,39 +142,40 @@ pub enum Scenario {
     CrashRecovery {
         /// The victim.
         pid: u64,
-        /// The crash round.
+        /// The crash round (sync) / timestamp (async).
         round: u64,
-        /// Rounds of downtime before the restart.
+        /// Rounds / time units of downtime before the restart.
         downtime: u64,
         /// Whether the restart loses all protocol state.
         wipe: bool,
     },
     /// Beyond fail-stop: `pid` runs at `1/factor` speed for `rounds`
-    /// rounds starting at `from`. Wrapper-enforced — callers must also
-    /// wrap the processes with [`Scenario::fault_plan`]'s
-    /// [`FaultPlan::wrap`]; the adversary half of the plan is a no-op for
-    /// this kind.
+    /// rounds starting at `from` (handler-invocation ordinals on the
+    /// asynchronous plane). Wrapper-enforced — callers must also wrap the
+    /// processes with [`Scenario::fault_plan`]'s [`FaultPlan::wrap`] /
+    /// [`FaultPlan::wrap_async`]; the adversary half of the plan is a
+    /// no-op for this kind.
     Slowdown {
         /// The degraded process.
         pid: u64,
-        /// First round of the degradation window.
+        /// First round (sync) / invocation ordinal (async) of the window.
         from: u64,
         /// Slow-down factor (`4` = quarter speed).
         factor: u64,
-        /// Length of the window in rounds.
+        /// Length of the window in rounds / invocations.
         rounds: u64,
     },
     /// Beyond fail-stop: messages sent by (`send = true`) or addressed to
     /// (`send = false`) `pid` are silently dropped for `rounds` rounds
-    /// starting at `from`; the process itself keeps running.
+    /// (time units) starting at `from`; the process itself keeps running.
     Omission {
         /// The afflicted process.
         pid: u64,
         /// Send-side (`true`) or receive-side (`false`) omission.
         send: bool,
-        /// First round of the omission window.
+        /// First round (sync) / timestamp (async) of the omission window.
         from: u64,
-        /// Length of the window in rounds.
+        /// Length of the window in rounds / time units.
         rounds: u64,
     },
     /// A seeded random chaos storm from the
@@ -148,7 +184,8 @@ pub enum Scenario {
     /// all `t` processes permanently crashed, windows bounded, at most
     /// one crash-kind fault per process). If the generated plan contains
     /// [`Slow`](FaultKind::Slow) faults, callers must also wrap the
-    /// processes with [`FaultPlan::wrap`] on this plan.
+    /// processes with [`FaultPlan::wrap`] / [`FaultPlan::wrap_async`] on
+    /// this plan.
     Chaos {
         /// The generator seed (runs are reproducible).
         seed: u64,
@@ -160,7 +197,7 @@ pub enum Scenario {
 }
 
 impl Scenario {
-    /// Builds the adversary for this scenario.
+    /// Builds the **synchronous** adversary for this scenario.
     pub fn adversary<M>(&self) -> Box<dyn Adversary<M>>
     where
         M: 'static,
@@ -229,6 +266,13 @@ impl Scenario {
             Scenario::Random { seed, p, max_crashes } => {
                 Box::new(RandomCrashes::new(seed, p, max_crashes))
             }
+            Scenario::KillNthActivation { nth } => {
+                Box::new(TriggerAdversary::new(vec![TriggerRule {
+                    trigger: Trigger::NthNote { tag: "activate", nth },
+                    target: None,
+                    spec: CrashSpec { deliver: Deliver::None, count_work: true },
+                }]))
+            }
             Scenario::MassExtinction { from, k, round } => {
                 let mut s = CrashSchedule::new();
                 for j in from..from + k {
@@ -250,11 +294,108 @@ impl Scenario {
         }
     }
 
+    /// Builds the **asynchronous** adversary for this scenario.
+    ///
+    /// Every variant lowers: behaviour-triggered scenarios carry over
+    /// exactly; round-indexed ones read their rounds as timestamps (or,
+    /// for [`Slowdown`](Scenario::Slowdown), invocation ordinals); the
+    /// [`Strawman`](Scenario::Strawman) and
+    /// [`CheckpointSplit`](Scenario::CheckpointSplit) interpretations are
+    /// documented on the variants.
+    pub fn async_adversary<M>(&self) -> Box<dyn AsyncAdversary<M>>
+    where
+        M: 'static,
+    {
+        match *self {
+            Scenario::FailureFree => Box::new(NoFailures),
+            Scenario::DeadOnArrival { k } => {
+                let mut s = AsyncCrashSchedule::new();
+                for j in 0..k {
+                    s = s.crash_at(Pid::new(j as usize), 1, CrashSpec::silent());
+                }
+                Box::new(s)
+            }
+            Scenario::TakeoverCascade { victims } => {
+                let rules = (0..victims)
+                    .map(|j| AsyncTriggerRule {
+                        trigger: AsyncTrigger::NthWorkBy { pid: Pid::new(j as usize), nth: 1 },
+                        spec: CrashSpec { deliver: Deliver::None, count_work: true },
+                    })
+                    .collect();
+                Box::new(AsyncTriggerAdversary::new(rules))
+            }
+            Scenario::CheckpointSplit { victims, nth_send, prefix } => {
+                let rules = (0..victims)
+                    .map(|j| AsyncTriggerRule {
+                        trigger: AsyncTrigger::NthInvocationOf {
+                            pid: Pid::new(j as usize),
+                            nth: nth_send,
+                        },
+                        spec: CrashSpec { deliver: Deliver::Prefix(prefix), count_work: true },
+                    })
+                    .collect();
+                Box::new(AsyncTriggerAdversary::new(rules))
+            }
+            Scenario::Strawman { t } => {
+                let mut rules = vec![AsyncTriggerRule {
+                    trigger: AsyncTrigger::NthWorkBy {
+                        pid: Pid::new(0),
+                        nth: t.saturating_sub(1).max(1),
+                    },
+                    spec: CrashSpec { deliver: Deliver::All, count_work: true },
+                }];
+                for j in t / 2 + 1..t {
+                    rules.push(AsyncTriggerRule {
+                        trigger: AsyncTrigger::NthInvocationOf {
+                            pid: Pid::new(j as usize),
+                            nth: 1,
+                        },
+                        spec: CrashSpec::silent(),
+                    });
+                }
+                for j in (2..=t / 2).rev() {
+                    let redo = t.saturating_sub(1 + j);
+                    if redo == 0 {
+                        continue;
+                    }
+                    rules.push(AsyncTriggerRule {
+                        trigger: AsyncTrigger::NthWorkBy { pid: Pid::new(j as usize), nth: redo },
+                        spec: CrashSpec { deliver: Deliver::None, count_work: true },
+                    });
+                }
+                Box::new(AsyncTriggerAdversary::new(rules))
+            }
+            Scenario::Random { seed, p, max_crashes } => {
+                Box::new(AsyncRandomCrashes::new(seed, p, max_crashes))
+            }
+            Scenario::KillNthActivation { nth } => {
+                Box::new(AsyncTriggerAdversary::new(vec![AsyncTriggerRule {
+                    trigger: AsyncTrigger::NthNote { tag: "activate", nth },
+                    spec: CrashSpec { deliver: Deliver::None, count_work: true },
+                }]))
+            }
+            Scenario::MassExtinction { from, k, round } => {
+                let faults =
+                    (from..from + k).map(|j| FaultKind::Crash(Pid::new(j as usize)).at(round));
+                Box::new(FaultPlan::new(faults))
+            }
+            Scenario::DeepIdle { k, round } => {
+                let faults = (1..=k).map(|j| FaultKind::Crash(Pid::new(j as usize)).at(round));
+                Box::new(FaultPlan::new(faults))
+            }
+            Scenario::CrashRecovery { .. }
+            | Scenario::Slowdown { .. }
+            | Scenario::Omission { .. }
+            | Scenario::Chaos { .. } => Box::new(self.fault_plan()),
+        }
+    }
+
     /// The catalog [`FaultPlan`] behind this scenario — empty for the
     /// fail-stop scenarios. For [`Slowdown`](Scenario::Slowdown) the plan
-    /// must *also* wrap the processes ([`FaultPlan::wrap`]); for the
-    /// other fault scenarios the plan doubles as the adversary that
-    /// [`Scenario::adversary`] already returns.
+    /// must *also* wrap the processes ([`FaultPlan::wrap`] /
+    /// [`FaultPlan::wrap_async`]); for the other fault scenarios the plan
+    /// doubles as the adversary that [`Scenario::adversary`] and
+    /// [`Scenario::async_adversary`] already return.
     pub fn fault_plan(&self) -> FaultPlan {
         match *self {
             Scenario::CrashRecovery { pid, round, downtime, wipe } => {
@@ -295,6 +436,7 @@ impl Scenario {
             Scenario::Random { seed, p, max_crashes } => {
                 format!("random(seed={seed},p={p},f<={max_crashes})")
             }
+            Scenario::KillNthActivation { nth } => format!("kill-activation({nth})"),
             Scenario::MassExtinction { from, k, round } => {
                 format!("mass-extinction({from}..{},r={round})", from + k)
             }
@@ -322,235 +464,26 @@ impl Scenario {
     }
 }
 
-/// A named, parameterized failure scenario for the **asynchronous** plane,
-/// where crashes strike handler invocations instead of rounds. The
-/// synchronous [`Scenario`] vocabulary carries over where it translates;
-/// round-indexed scenarios do not (asynchronous time is untimed), and a
-/// note-triggered kill takes their place.
+/// The pre-PR10 asynchronous twin of [`Scenario`], now the same type.
 ///
-/// # Examples
-///
-/// ```
-/// use doall_workload::AsyncScenario;
-///
-/// let scenario = AsyncScenario::DeadOnArrival { k: 3 };
-/// let _adv = scenario.adversary::<u32>();
-/// assert_eq!(scenario.label(), "dead-on-arrival(3)");
-/// ```
-#[derive(Clone, Debug, PartialEq)]
-pub enum AsyncScenario {
-    /// No process ever fails.
-    FailureFree,
-    /// Processes `0..k` crash silently on their very first handler
-    /// invocation (their start signal) — dead on arrival.
-    DeadOnArrival {
-        /// Number of initial victims.
-        k: u64,
-    },
-    /// Seeded random crashes: each handler invocation of an alive process
-    /// crashes with probability `p` (random prefix of its sends escapes),
-    /// up to `max_crashes`, sparing a lone survivor.
-    Random {
-        /// RNG seed (runs are reproducible).
-        seed: u64,
-        /// Per-invocation crash probability.
-        p: f64,
-        /// Total crash budget (use `t − 1` for a guaranteed survivor).
-        max_crashes: u32,
-    },
-    /// Kills the `nth` process ever to emit the `"activate"` note, right
-    /// on its activation event with nothing delivered — the takeover
-    /// cascade driver of the asynchronous plane.
-    KillNthActivation {
-        /// Which activation to strike (1-based).
-        nth: u64,
-    },
-    /// Beyond fail-stop: `pid` crashes silently at timestamp `at` and
-    /// restarts `downtime` time units later, wiped or stale.
-    CrashRecovery {
-        /// The victim.
-        pid: u64,
-        /// The injection timestamp.
-        at: u64,
-        /// Time units of downtime before the restart.
-        downtime: u64,
-        /// Whether the restart loses all protocol state.
-        wipe: bool,
-    },
-    /// Beyond fail-stop: `pid` handles only every `factor`-th of its
-    /// handler invocations `from..from + count` (1-based ordinals).
-    /// Wrapper-enforced — callers must also wrap the processes with
-    /// [`AsyncScenario::fault_plan`]'s [`FaultPlan::wrap_async`].
-    Slowdown {
-        /// The degraded process.
-        pid: u64,
-        /// First gated handler invocation (1-based).
-        from: u64,
-        /// Slow-down factor (`4` = quarter-rate handler scheduling).
-        factor: u64,
-        /// Length of the window in invocations.
-        count: u64,
-    },
-    /// Beyond fail-stop: messages sent by (`send = true`) or addressed to
-    /// (`send = false`) `pid` are silently dropped during the timestamp
-    /// window `at..at + duration`; the process itself keeps running.
-    Omission {
-        /// The afflicted process.
-        pid: u64,
-        /// Send-side (`true`) or receive-side (`false`) omission.
-        send: bool,
-        /// First timestamp of the omission window.
-        at: u64,
-        /// Length of the window in time units.
-        duration: u64,
-    },
-    /// A seeded random chaos storm from the
-    /// [`chaos`](doall_sim::chaos) generator, interpreted on the
-    /// asynchronous clock (injection times are timestamps, slow windows
-    /// are invocation ordinals). If the generated plan contains
-    /// [`Slow`](FaultKind::Slow) faults, callers must also wrap the
-    /// processes with [`FaultPlan::wrap_async`] on this plan.
-    Chaos {
-        /// The generator seed (runs are reproducible).
-        seed: u64,
-        /// System size the storm is budgeted for.
-        t: u64,
-        /// Workload size.
-        n: u64,
-    },
-}
-
-impl AsyncScenario {
-    /// Builds the adversary for this scenario.
-    pub fn adversary<M>(&self) -> Box<dyn AsyncAdversary<M>>
-    where
-        M: 'static,
-    {
-        match *self {
-            AsyncScenario::FailureFree => Box::new(NoFailures),
-            AsyncScenario::DeadOnArrival { k } => {
-                let mut s = AsyncCrashSchedule::new();
-                for j in 0..k {
-                    s = s.crash_at(Pid::new(j as usize), 1, CrashSpec::silent());
-                }
-                Box::new(s)
-            }
-            AsyncScenario::Random { seed, p, max_crashes } => {
-                Box::new(AsyncRandomCrashes::new(seed, p, max_crashes))
-            }
-            AsyncScenario::KillNthActivation { nth } => {
-                Box::new(AsyncTriggerAdversary::new(vec![AsyncTriggerRule {
-                    trigger: AsyncTrigger::NthNote { tag: "activate", nth },
-                    spec: CrashSpec { deliver: Deliver::None, count_work: true },
-                }]))
-            }
-            AsyncScenario::CrashRecovery { .. }
-            | AsyncScenario::Slowdown { .. }
-            | AsyncScenario::Omission { .. }
-            | AsyncScenario::Chaos { .. } => Box::new(self.fault_plan()),
-        }
-    }
-
-    /// The catalog [`FaultPlan`] behind this scenario — empty for the
-    /// fail-stop scenarios. For [`Slowdown`](AsyncScenario::Slowdown) the
-    /// plan must *also* wrap the processes ([`FaultPlan::wrap_async`]);
-    /// for the other fault scenarios the plan doubles as the adversary
-    /// that [`AsyncScenario::adversary`] already returns.
-    pub fn fault_plan(&self) -> FaultPlan {
-        match *self {
-            AsyncScenario::CrashRecovery { pid, at, downtime, wipe } => {
-                FaultPlan::new([FaultKind::CrashRecover {
-                    pid: Pid::new(pid as usize),
-                    downtime,
-                    wipe,
-                }
-                .at(at)])
-            }
-            AsyncScenario::Slowdown { pid, from, factor, count } => {
-                FaultPlan::new([FaultKind::Slow { pid: Pid::new(pid as usize), factor }
-                    .at(from)
-                    .for_rounds(count)])
-            }
-            AsyncScenario::Omission { pid, send, at, duration } => {
-                let p = Pid::new(pid as usize);
-                let kind = if send { FaultKind::OmitSends(p) } else { FaultKind::OmitRecv(p) };
-                FaultPlan::new([kind.at(at).for_rounds(duration)])
-            }
-            AsyncScenario::Chaos { seed, t, n } => {
-                ChaosCase::generate(seed, &ChaosConfig::new(t as usize, n as usize)).plan()
-            }
-            _ => FaultPlan::default(),
-        }
-    }
-
-    /// A short, stable label for tables and logs.
-    pub fn label(&self) -> String {
-        match self {
-            AsyncScenario::FailureFree => "failure-free".into(),
-            AsyncScenario::DeadOnArrival { k } => format!("dead-on-arrival({k})"),
-            AsyncScenario::Random { seed, p, max_crashes } => {
-                format!("random(seed={seed},p={p},f<={max_crashes})")
-            }
-            AsyncScenario::KillNthActivation { nth } => format!("kill-activation({nth})"),
-            AsyncScenario::CrashRecovery { pid, at, downtime, wipe } => {
-                let mode = if *wipe { "wipe" } else { "stale" };
-                format!("crash-recovery({pid},at={at},down={downtime},{mode})")
-            }
-            AsyncScenario::Slowdown { pid, from, factor, count } => {
-                format!("slowdown({pid},x{factor},inv={from}+{count})")
-            }
-            AsyncScenario::Omission { pid, send, at, duration } => {
-                let side = if *send { "send" } else { "recv" };
-                format!("omit-{side}({pid},at={at}+{duration})")
-            }
-            AsyncScenario::Chaos { seed, t, n } => format!("chaos(seed={seed},t={t},n={n})"),
-        }
-    }
-}
+/// The old `AsyncScenario` field vocabulary (`at`, `count`, `duration`)
+/// folded into the synchronous names (`round`, `rounds`); construct a
+/// [`Scenario`] and call [`Scenario::async_adversary`] instead.
+#[deprecated(
+    since = "0.1.0",
+    note = "the scenario enums are unified; use `Scenario` and `Scenario::async_adversary`"
+)]
+pub type AsyncScenario = Scenario;
 
 #[cfg(test)]
 mod tests {
     use super::*;
 
     #[test]
-    fn async_labels_are_stable() {
-        assert_eq!(AsyncScenario::FailureFree.label(), "failure-free");
-        assert_eq!(AsyncScenario::KillNthActivation { nth: 2 }.label(), "kill-activation(2)");
-        assert_eq!(
-            AsyncScenario::CrashRecovery { pid: 0, at: 9, downtime: 40, wipe: true }.label(),
-            "crash-recovery(0,at=9,down=40,wipe)"
-        );
-        assert_eq!(
-            AsyncScenario::Slowdown { pid: 1, from: 3, factor: 4, count: 8 }.label(),
-            "slowdown(1,x4,inv=3+8)"
-        );
-        assert_eq!(
-            AsyncScenario::Omission { pid: 2, send: false, at: 5, duration: 20 }.label(),
-            "omit-recv(2,at=5+20)"
-        );
-    }
-
-    #[test]
-    fn async_adversaries_build_for_any_message_type() {
-        for s in [
-            AsyncScenario::FailureFree,
-            AsyncScenario::DeadOnArrival { k: 2 },
-            AsyncScenario::Random { seed: 1, p: 0.1, max_crashes: 3 },
-            AsyncScenario::KillNthActivation { nth: 1 },
-            AsyncScenario::CrashRecovery { pid: 0, at: 9, downtime: 40, wipe: false },
-            AsyncScenario::Slowdown { pid: 1, from: 3, factor: 4, count: 8 },
-            AsyncScenario::Omission { pid: 2, send: true, at: 5, duration: 20 },
-            AsyncScenario::Chaos { seed: 5, t: 8, n: 64 },
-        ] {
-            let _a = s.adversary::<u32>();
-            let _b = s.adversary::<String>();
-        }
-    }
-
-    #[test]
     fn labels_are_stable() {
         assert_eq!(Scenario::FailureFree.label(), "failure-free");
         assert_eq!(Scenario::DeadOnArrival { k: 3 }.label(), "dead-on-arrival(3)");
+        assert_eq!(Scenario::KillNthActivation { nth: 2 }.label(), "kill-activation(2)");
         assert_eq!(
             Scenario::MassExtinction { from: 2, k: 6, round: 2 }.label(),
             "mass-extinction(2..8,r=2)"
@@ -583,24 +516,21 @@ mod tests {
         let s = Scenario::Chaos { seed: 3, t: 8, n: 64 };
         assert!(!s.fault_plan().is_empty());
         assert_eq!(s.fault_plan().len(), s.fault_plan().len());
-        let a = AsyncScenario::Chaos { seed: 3, t: 8, n: 64 };
-        assert_eq!(a.label(), "chaos(seed=3,t=8,n=64)");
-        assert!(!a.fault_plan().is_empty());
     }
 
     #[test]
     fn fault_plans_match_their_scenarios() {
         assert!(Scenario::FailureFree.fault_plan().is_empty());
-        assert!(AsyncScenario::Random { seed: 1, p: 0.1, max_crashes: 3 }.fault_plan().is_empty());
+        assert!(Scenario::Random { seed: 1, p: 0.1, max_crashes: 3 }.fault_plan().is_empty());
         let plan = Scenario::Slowdown { pid: 1, from: 2, factor: 4, rounds: 12 }.fault_plan();
         assert_eq!(plan.len(), 1);
         let plan =
-            AsyncScenario::CrashRecovery { pid: 0, at: 9, downtime: 40, wipe: true }.fault_plan();
+            Scenario::CrashRecovery { pid: 0, round: 9, downtime: 40, wipe: true }.fault_plan();
         assert_eq!(plan.len(), 1);
     }
 
     #[test]
-    fn adversaries_build_for_any_message_type() {
+    fn adversaries_build_for_any_message_type_on_both_planes() {
         for s in [
             Scenario::FailureFree,
             Scenario::DeadOnArrival { k: 2 },
@@ -608,6 +538,7 @@ mod tests {
             Scenario::CheckpointSplit { victims: 2, nth_send: 1, prefix: 1 },
             Scenario::Strawman { t: 8 },
             Scenario::Random { seed: 1, p: 0.1, max_crashes: 3 },
+            Scenario::KillNthActivation { nth: 1 },
             Scenario::MassExtinction { from: 0, k: 2, round: 5 },
             Scenario::DeepIdle { k: 2, round: Round::new(1 << 100) },
             Scenario::CrashRecovery { pid: 0, round: 4, downtime: 6, wipe: true },
@@ -617,6 +548,8 @@ mod tests {
         ] {
             let _a = s.adversary::<u32>();
             let _b = s.adversary::<String>();
+            let _c = s.async_adversary::<u32>();
+            let _d = s.async_adversary::<String>();
         }
     }
 }

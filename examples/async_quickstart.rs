@@ -7,10 +7,10 @@
 //! ```
 
 use doall::bounds::theorems;
-use doall::sim::asynch::{run_async, AsyncConfig, AsyncCrashSchedule, AsyncReport, DelayDist};
+use doall::sim::asynch::{AsyncCrashSchedule, AsyncReport, DelayDist};
 use doall::sim::invariants::{check_activation_order, check_detector_soundness};
 use doall::sim::{CrashSpec, Pid};
-use doall::{AsyncProtocolA, AsyncProtocolB, AsyncReplicate};
+use doall::{AsyncProtocolA, AsyncProtocolB, AsyncReplicate, JobSpec};
 
 fn describe(label: &str, report: &AsyncReport) {
     println!(
@@ -30,18 +30,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("Adversary: p0 crashes on its 9th handler invocation, mid-broadcast —");
     println!("only the first 2 messages of that checkpoint escape.\n");
 
+    // A custom adversary with no `Scenario` name: `run_async_with` is the
+    // JobSpec escape hatch for exactly this case.
     let adversary = || AsyncCrashSchedule::new().crash_at(Pid::new(0), 9, CrashSpec::prefix(2));
-    let cfg = AsyncConfig::new(n as usize, 42).with_delay(DelayDist::Uniform, 7).with_trace();
+    fn spec<P>(procs: Vec<P>, n: u64) -> JobSpec<P> {
+        JobSpec::new(procs, n as usize).seed(42).delay(DelayDist::Uniform, 7).with_trace()
+    }
 
     // Protocol A's asynchronous variant: a process activates once the
     // detector has reported every lower-numbered process retired.
-    let a = run_async(AsyncProtocolA::processes(n, t)?, adversary(), cfg.clone())?;
+    let a = spec(AsyncProtocolA::processes(n, t)?, n).run_async_with(adversary())?;
     // The Protocol B analogue (labeled extension): checkpoints already
     // prove their sender's predecessors retired, so only the un-inferable
     // detector reports are awaited — and no go_ahead is ever sent.
-    let b = run_async(AsyncProtocolB::processes(n, t)?, adversary(), cfg.clone())?;
+    let b = spec(AsyncProtocolB::processes(n, t)?, n).run_async_with(adversary())?;
     // The replicate baseline: perfect fault tolerance, Θ(tn) effort.
-    let rep = run_async(AsyncReplicate::processes(n, t)?, adversary(), cfg)?;
+    let rep = spec(AsyncReplicate::processes(n, t)?, n).run_async_with(adversary())?;
 
     describe("async A", &a);
     describe("async B", &b);

@@ -7,14 +7,19 @@
 //!
 //! Here process 0 alone discovers a pool of 256 units; the 16 processes
 //! first agree on the pool (§5 agreement via Protocol B), then perform it
-//! (Protocol B again) — with crashes in both stages.
+//! (Protocol B again) — with crashes in both stages. The agreed pool is
+//! also served as a job through the service plane's shared [`Pool`], and
+//! the engine metrics come out identical to the bootstrap's own work
+//! stage: serving through a [`Session`] adds no distortion.
 //!
 //! ```sh
 //! cargo run --example bootstrap_pool
 //! ```
 
 use doall::agreement::bootstrap::{direct_effort, run_bootstrap};
+use doall::service::{Admission, JobSpec, Pool, Session};
 use doall::sim::{CrashSchedule, CrashSpec, NoFailures, Pid};
+use doall::ProtocolB;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, t) = (256u64, 16u64);
@@ -34,6 +39,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         outcome.total_effort()
     );
     assert!(outcome.total_effort() <= 2 * direct, "§1: cost at most doubles");
+
+    // The agreed pool, served through the service plane: one job on the
+    // shared workstation pool, bit-identical to the bootstrap's own
+    // failure-free work stage.
+    let mut session = Session::new(Pool::new(t as usize), Admission::new(1));
+    let spec =
+        JobSpec::new(ProtocolB::processes(outcome.agreed_pool, t)?, outcome.agreed_pool as usize)
+            .label("agreed-pool");
+    session.submit(0, spec.into_job());
+    let fleet = session.run();
+    let served = fleet.find("agreed-pool").expect("served");
+    let served_metrics = served.report.as_ref().unwrap().metrics();
+    assert_eq!(served_metrics, &outcome.work, "service plane distorts nothing");
+    println!(
+        "  served as a job   : {} effort over {} rounds (identical metrics)",
+        served_metrics.effort(),
+        served.rounds
+    );
 
     // Crashes in both stages.
     let ba_adv = CrashSchedule::new().crash_at(Pid::new(1), 2, CrashSpec::silent()).crash_at(

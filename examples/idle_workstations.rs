@@ -2,15 +2,16 @@
 //! workstations, where a "failure" is a user reclaiming her machine. Here
 //! the computation is an exhaustive SAT sweep (evaluating a boolean
 //! formula on every assignment — §1's example of idempotent work), run
-//! with the time-optimal Protocol D.
+//! with the time-optimal Protocol D — and the workstations are managed as
+//! a shared [`Pool`] serving a small overnight job stream through a
+//! [`Session`].
 //!
 //! ```sh
 //! cargo run --example idle_workstations
 //! ```
 
 use doall::bounds::theorems;
-use doall::core::d::DMsg;
-use doall::sim::{run, RunConfig};
+use doall::service::{Admission, JobSpec, Pool, Session};
 use doall::workload::{FormulaSweep, IdempotentTask, Scenario};
 use doall::ProtocolD;
 
@@ -28,15 +29,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("SAT sweep: 2^{vars} = {n} assignments across {t} idle workstations");
 
-    for (label, scenario) in [
+    // The two shifts of the night arrive as a stream over one shared
+    // workstation pool: each sweep occupies all t machines, so the second
+    // job queues until the first completes.
+    let mut session = Session::new(Pool::new(t as usize), Admission::new(4));
+    let shifts = [
         ("quiet night (no reclaims)", Scenario::FailureFree),
         ("busy evening (reclaims)", Scenario::Random { seed: 42, p: 0.05, max_crashes: 7 }),
-    ] {
-        let report = run(
-            ProtocolD::processes(n, t)?,
-            scenario.adversary::<DMsg>(),
-            RunConfig::new(n as usize, 100_000).with_trace(),
-        )?;
+    ];
+    for (i, (label, scenario)) in shifts.iter().enumerate() {
+        let spec = JobSpec::new(ProtocolD::processes(n, t)?, n as usize)
+            .scenario(scenario.clone())
+            .max_rounds(100_000u64)
+            .with_trace()
+            .label(*label);
+        session.submit(i as u128, spec.into_job());
+    }
+    let fleet = session.run();
+    assert_eq!(fleet.metrics.completed, 2, "both sweeps must be served");
+
+    for (label, _) in shifts {
+        let record = fleet.find(label).expect("served job has a record");
+        let report = record.report.as_ref().unwrap().as_sync().unwrap();
 
         let mut sweep = FormulaSweep::new(vars, clauses.clone());
         sweep.replay(&report.trace);
@@ -55,6 +69,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             assert_eq!(report.metrics.rounds, n / t + 2, "time-optimal when nobody reclaims");
         }
     }
+
+    println!();
+    println!(
+        "fleet: {} jobs served over {} virtual rounds,",
+        fleet.metrics.completed, fleet.metrics.horizon
+    );
+    println!(
+        "  p50/p99 completion rounds : {}/{}",
+        fleet.metrics.p50_rounds, fleet.metrics.p99_rounds
+    );
+    println!("  pool utilization          : {:.0}%", fleet.metrics.utilization * 100.0);
 
     println!("\nTime-optimal when quiet, graceful degradation when busy.");
     Ok(())

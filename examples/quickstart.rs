@@ -6,10 +6,8 @@
 //! ```
 
 use doall::bounds::theorems;
-use doall::core::ab::AbMsg;
-use doall::sim::{run, RunConfig};
 use doall::workload::Scenario;
-use doall::ProtocolB;
+use doall::{JobSpec, ProtocolB};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (n, t) = (64u64, 16u64);
@@ -18,11 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // the paper's "at least one survivor" premise holds.
     let scenario = Scenario::Random { seed: 2026, p: 0.02, max_crashes: (t - 1) as u32 };
 
-    let report = run(
-        ProtocolB::processes(n, t)?,
-        scenario.adversary::<AbMsg>(),
-        RunConfig::new(n as usize, 1_000_000),
-    )?;
+    let report = JobSpec::new(ProtocolB::processes(n, t)?, n as usize)
+        .scenario(scenario.clone())
+        .max_rounds(1_000_000u64)
+        .run()?;
 
     println!("Protocol B on n = {n} units, t = {t} processes ({})", scenario.label());
     println!("  all work done : {}", report.metrics.all_work_done());

@@ -30,20 +30,40 @@
 //!
 //! ## Quickstart
 //!
+//! One job, one builder: a [`JobSpec`] names the protocol processes, the
+//! failure [`workload::Scenario`], and the engine limits, and runs on
+//! either plane ([`JobSpec::run`] / [`JobSpec::run_async`]).
+//!
 //! ```
-//! use doall::{ProtocolB, sim::{run, RunConfig}, workload::Scenario};
+//! use doall::{JobSpec, ProtocolB, workload::Scenario};
 //!
 //! // 64 units of work, 16 processes, 8 of them doomed to crash.
-//! let procs = ProtocolB::processes(64, 16)?;
-//! let adversary = Scenario::Random { seed: 7, p: 0.01, max_crashes: 8 }
-//!     .adversary::<doall::core::ab::AbMsg>();
-//! let report = run(procs, adversary, RunConfig::new(64, 100_000))?;
+//! let report = JobSpec::new(ProtocolB::processes(64, 16)?, 64)
+//!     .scenario(Scenario::Random { seed: 7, p: 0.01, max_crashes: 8 })
+//!     .max_rounds(100_000u64)
+//!     .run()?;
 //!
 //! assert!(report.metrics.all_work_done());      // correctness
 //! assert!(report.metrics.work_total <= 3 * 64); // Theorem 2.8(a)
 //! assert!(report.metrics.rounds <= 3u64 * 64 + 8 * 16); // Theorem 2.8(c)
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! The raw entry points (`sim::run(procs, adversary, RunConfig)` and
+//! `sim::asynch::run_async`) remain for custom adversaries; a job served
+//! through a [`service::Session`] stream is bit-identical to the direct
+//! [`JobSpec::run`] above.
+//!
+//! ## Serving a job stream
+//!
+//! The paper's own setting (§1) is a pool of workstations serving a
+//! *stream* of computations. [`service`] supplies that layer: jobs drawn
+//! from an [`service::ArrivalModel`] are admitted onto a shared
+//! [`Pool`] under a queue-depth cap and multiplexed by a [`Session`],
+//! which reports per-job records plus fleet aggregates (p50/p99
+//! completion rounds, utilization, admission statistics). See
+//! `examples/idle_workstations.rs` and `README.md` §"Serving a job
+//! stream".
 //!
 //! See `examples/` for runnable scenarios (reactor valves, idle
 //! workstations, Byzantine agreement) and `DESIGN.md` / `EXPERIMENTS.md`
@@ -56,6 +76,7 @@
 pub use doall_agreement as agreement;
 pub use doall_bounds as bounds;
 pub use doall_core as core;
+pub use doall_service as service;
 pub use doall_sim as sim;
 pub use doall_workload as workload;
 
@@ -63,3 +84,4 @@ pub use doall_core::{
     AsyncProtocolA, AsyncProtocolB, AsyncReplicate, ConfigError, Lockstep, NaiveSpread, ProtocolA,
     ProtocolB, ProtocolC, ProtocolD, ReplicateAll,
 };
+pub use doall_service::{JobSpec, Pool, Session};

@@ -8,7 +8,7 @@ use doall::sim::invariants::{
     check_sequential_work, check_single_active,
 };
 use doall::sim::{run, Event, Pid, Protocol, Report, Round, RunConfig};
-use doall::workload::{AsyncScenario, Scenario};
+use doall::workload::Scenario;
 use doall::{Lockstep, NaiveSpread, ProtocolA, ProtocolB, ProtocolC, ProtocolD, ReplicateAll};
 
 fn scenarios(t: u64) -> Vec<Scenario> {
@@ -306,11 +306,11 @@ fn async_protocols_fault_scenarios() {
 
     let (n, t) = (32u64, 16u64);
     let scenarios = vec![
-        AsyncScenario::CrashRecovery { pid: 0, at: 10, downtime: 30, wipe: false },
-        AsyncScenario::CrashRecovery { pid: 0, at: 8, downtime: 50, wipe: true },
-        AsyncScenario::Slowdown { pid: 0, from: 2, factor: 4, count: 8 },
-        AsyncScenario::Omission { pid: 0, send: true, at: 5, duration: 30 },
-        AsyncScenario::Omission { pid: 1, send: false, at: 5, duration: 30 },
+        Scenario::CrashRecovery { pid: 0, round: 10, downtime: 30, wipe: false },
+        Scenario::CrashRecovery { pid: 0, round: 8, downtime: 50, wipe: true },
+        Scenario::Slowdown { pid: 0, from: 2, factor: 4, rounds: 8 },
+        Scenario::Omission { pid: 0, send: true, from: 5, rounds: 30 },
+        Scenario::Omission { pid: 1, send: false, from: 5, rounds: 30 },
     ];
     for scenario in scenarios {
         for seed in 0..3 {
@@ -324,7 +324,7 @@ fn async_protocols_fault_scenarios() {
             let label = scenario.label();
             let report_a = run_async(
                 plan.wrap_async(AsyncProtocolA::processes(n, t).unwrap()),
-                scenario.adversary(),
+                scenario.async_adversary(),
                 cfg.clone(),
             )
             .unwrap_or_else(|e| panic!("{label} seed {seed} (A): {e}"));
@@ -333,7 +333,7 @@ fn async_protocols_fault_scenarios() {
             assert!(silence.is_empty(), "{label} seed {seed} (A): {silence:?}");
             let report_b = run_async(
                 plan.wrap_async(AsyncProtocolB::processes(n, t).unwrap()),
-                scenario.adversary(),
+                scenario.async_adversary(),
                 cfg,
             )
             .unwrap_or_else(|e| panic!("{label} seed {seed} (B): {e}"));
